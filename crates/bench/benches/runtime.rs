@@ -1,0 +1,60 @@
+//! Criterion benches for the threaded pipeline runtime (tiny model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autopipe_model::{ModelConfig, ModelFamily};
+use autopipe_runtime::{BatchSet, Pipeline, PipelineConfig, ReferenceModel};
+use autopipe_schedule::{one_f_one_b, sliced_1f1b};
+use autopipe_sim::Partition;
+
+fn tiny() -> ModelConfig {
+    ModelConfig {
+        name: "tiny".into(),
+        family: ModelFamily::Gpt2,
+        num_layers: 2,
+        hidden_size: 32,
+        num_heads: 2,
+        seq_len: 16,
+        vocab_size: 64,
+        ffn_mult: 2,
+    }
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let model = tiny();
+    let m = 4;
+    let batch = BatchSet::synthetic(1, m, 2, model.seq_len, model.vocab_size);
+    let part = Partition::new(vec![0, 3, 7]);
+    let mut g = c.benchmark_group("runtime");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::new("pipeline-1f1b", "p2m4"), |b| {
+        let mut pipe = Pipeline::new(&PipelineConfig {
+            model: model.clone(),
+            partition: part.clone(),
+            schedule: one_f_one_b(2, m),
+            lr: 1e-3,
+            seed: 1,
+            checkpointing: false,
+        });
+        b.iter(|| pipe.train_iteration(&batch))
+    });
+    g.bench_function(BenchmarkId::new("pipeline-sliced", "p2m4"), |b| {
+        let mut pipe = Pipeline::new(&PipelineConfig {
+            model: model.clone(),
+            partition: part.clone(),
+            schedule: sliced_1f1b(2, m, 1),
+            lr: 1e-3,
+            seed: 1,
+            checkpointing: false,
+        });
+        b.iter(|| pipe.train_iteration(&batch))
+    });
+    g.bench_function(BenchmarkId::new("reference", "m4"), |b| {
+        let mut reference = ReferenceModel::new(&model, 1, 1e-3, false);
+        b.iter(|| reference.train_iteration(&batch))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

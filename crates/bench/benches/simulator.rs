@@ -1,0 +1,36 @@
+//! Criterion benches for the two simulators.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autopipe_bench::systems::cost_db;
+use autopipe_cost::Hardware;
+use autopipe_model::zoo;
+use autopipe_schedule::one_f_one_b;
+use autopipe_sim::analytic::{recurrence, simulate_replay};
+use autopipe_sim::event::{run_schedule, EventConfig, EventCosts};
+use autopipe_sim::Partition;
+
+fn bench_simulators(c: &mut Criterion) {
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&zoo::gpt2_345m(), &hw, 8);
+    let part = Partition::even(db.len(), 8);
+    let sc = part.stage_costs(&db);
+    let mut g = c.benchmark_group("simulator");
+    for m in [16usize, 64] {
+        g.bench_function(BenchmarkId::new("analytic-replay", m), |b| {
+            b.iter(|| simulate_replay(&sc, m))
+        });
+        g.bench_function(BenchmarkId::new("recurrence", m), |b| {
+            b.iter(|| recurrence::simulate(&sc, m))
+        });
+        let sched = one_f_one_b(8, m);
+        let ev = EventCosts::from_stage_costs(&sc, hw.link_latency);
+        g.bench_function(BenchmarkId::new("event", m), |b| {
+            b.iter(|| run_schedule(&sched, &ev, &EventConfig::default()).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

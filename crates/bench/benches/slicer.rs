@@ -1,0 +1,24 @@
+//! Criterion benches for the Slicer's Algorithm 2 and its empirical
+//! brute-force counterpart.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use autopipe_sim::StageCosts;
+use autopipe_slicer::{solve_sliced_count, solve_sliced_count_empirical};
+
+fn bench_slicer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("slicer");
+    for p in [4usize, 8, 16] {
+        let costs = StageCosts::new(vec![0.05; p], vec![0.12; p], 0.001);
+        g.bench_function(BenchmarkId::new("algorithm2", p), |b| {
+            b.iter(|| solve_sliced_count(&costs))
+        });
+        g.bench_function(BenchmarkId::new("empirical", p), |b| {
+            b.iter(|| solve_sliced_count_empirical(&costs, 2 * p, 3e-5))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_slicer);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Experiment runner: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! cargo run -p autopipe-bench --release --bin exp -- all
+//! cargo run -p autopipe-bench --release --bin exp -- fig9 table4
+//! ```
+
+use autopipe_bench::exps;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: exp <experiment>...\n  experiments: table1 table2 fig9 fig10 fig11 \
+         table3 table4 fig12 fig13 fig14a fig14b ablations scaling trace all"
+    );
+    std::process::exit(2);
+}
+
+fn run_one(name: &str) {
+    match name {
+        "table1" => exps::table1::run(),
+        "table2" => exps::table2::run(),
+        "fig9" => exps::fig9_10::run_fig9(),
+        "fig10" => exps::fig9_10::run_fig10(),
+        "fig11" => exps::fig11::run(),
+        "table3" => exps::planner_tables::run_table3(),
+        "table4" => exps::planner_tables::run_table4(),
+        "fig12" => exps::fig12::run(),
+        "fig13" => exps::fig13::run(),
+        "fig14a" => exps::fig14::run_fig14a(),
+        "fig14b" => exps::fig14::run_fig14b(),
+        "ablations" => exps::ablations::run(),
+        "scaling" => exps::scaling::run(),
+        "trace" => exps::trace::run(),
+        "all" => {
+            for e in [
+                "table1", "table2", "fig9", "fig10", "fig11", "table3", "table4", "fig12",
+                "fig13", "fig14a", "fig14b", "ablations", "scaling", "trace",
+            ] {
+                run_one(e);
+            }
+        }
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    for a in &args {
+        run_one(a);
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 14: startup overhead comparison — Megatron-LM 1F1B, the interleaved
+//! schedule, the Slicer alone, and full AutoPipe.
+
+use autopipe_cost::Hardware;
+use autopipe_model::zoo;
+use serde_json::json;
+
+use crate::report::{ms, save_json, Table};
+use crate::systems::{cost_db, measure, System};
+
+const SYSTEMS: [System; 4] = [
+    System::Megatron,
+    System::Interleaved(2),
+    System::SlicerOnly,
+    System::AutoPipe,
+];
+
+/// Fig. 14a: 4-stage pipeline, sweep the micro-batch size. The interleaved
+/// schedule OOMs at the largest size.
+pub fn run_fig14a() {
+    let hw = Hardware::rtx3090_cluster();
+    let model = zoo::gpt2_345m();
+    let p = 4;
+    let m = 8;
+    let mut t = Table::new(&["mbs", "Megatron-LM", "Interleaved", "Slicer", "AutoPipe"]);
+    let mut records = Vec::new();
+    for mbs in [4usize, 8, 16, 24, 32] {
+        let db = cost_db(&model, &hw, mbs);
+        let vals: Vec<Result<f64, String>> = SYSTEMS
+            .iter()
+            .map(|&s| measure(s, &db, &hw, p, m).map(|o| o.startup))
+            .collect();
+        t.row(vec![
+            mbs.to_string(),
+            ms(&vals[0]),
+            ms(&vals[1]),
+            ms(&vals[2]),
+            ms(&vals[3]),
+        ]);
+        records.push(json!({
+            "mbs": mbs,
+            "megatron_s": vals[0].clone().ok(),
+            "interleaved": vals[1].clone().ok(),
+            "slicer_s": vals[2].clone().ok(),
+            "autopipe_s": vals[3].clone().ok(),
+        }));
+    }
+    t.print("Fig. 14a: startup overhead (ms) vs micro-batch size (GPT-2 345M, 4 stages)");
+    save_json("fig14a", &json!(records));
+}
+
+/// Fig. 14b: mbs 4, sweep the pipeline depth. The interleaved schedule
+/// cannot chunk 24 layers onto 8 devices ("X").
+pub fn run_fig14b() {
+    let hw = Hardware::rtx3090_cluster();
+    let model = zoo::gpt2_345m();
+    let mbs = 4;
+    let db = cost_db(&model, &hw, mbs);
+    let mut t = Table::new(&["stages", "Megatron-LM", "Interleaved", "Slicer", "AutoPipe"]);
+    let mut records = Vec::new();
+    for p in [2usize, 4, 8, 12] {
+        let m = 2 * p;
+        let vals: Vec<Result<f64, String>> = SYSTEMS
+            .iter()
+            .map(|&s| measure(s, &db, &hw, p, m).map(|o| o.startup))
+            .collect();
+        t.row(vec![
+            p.to_string(),
+            ms(&vals[0]),
+            ms(&vals[1]),
+            ms(&vals[2]),
+            ms(&vals[3]),
+        ]);
+        records.push(json!({
+            "stages": p,
+            "megatron_s": vals[0].clone().ok(),
+            "interleaved_s": vals[1].clone().ok(),
+            "slicer_s": vals[2].clone().ok(),
+            "autopipe_s": vals[3].clone().ok(),
+        }));
+    }
+    t.print("Fig. 14b: startup overhead (ms) vs pipeline depth (GPT-2 345M, mbs 4)");
+    save_json("fig14b", &json!(records));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both the Slicer and the interleaved schedule roughly halve startup
+    /// vs Megatron 1F1B; AutoPipe's startup is slightly larger than the
+    /// Slicer's ("because AutoPipe moves the load of the last pipeline
+    /// stage forward to balance the pipeline").
+    #[test]
+    fn startup_halving_and_ordering() {
+        let hw = Hardware::rtx3090_cluster();
+        let db = cost_db(&zoo::gpt2_345m(), &hw, 8);
+        let (p, m) = (4, 8);
+        let mega = measure(System::Megatron, &db, &hw, p, m).unwrap().startup;
+        let int = measure(System::Interleaved(2), &db, &hw, p, m)
+            .unwrap()
+            .startup;
+        let slicer = measure(System::SlicerOnly, &db, &hw, p, m).unwrap().startup;
+        let auto = measure(System::AutoPipe, &db, &hw, p, m).unwrap().startup;
+        assert!(slicer < 0.75 * mega, "slicer {slicer} vs mega {mega}");
+        assert!(int < 0.75 * mega, "interleaved {int} vs mega {mega}");
+        assert!(auto < mega, "autopipe {auto} vs mega {mega}");
+        assert!(
+            auto > 0.9 * slicer,
+            "autopipe startup ({auto}) should be >= slicer's ({slicer})"
+        );
+    }
+}

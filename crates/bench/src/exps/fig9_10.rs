@@ -1,0 +1,122 @@
+//! Fig. 9 (iteration time vs micro-batch size, 4 stages × 8 micro-batches)
+//! and Fig. 10 (iteration time vs pipeline depth, m = 2·depth).
+
+use autopipe_cost::Hardware;
+use autopipe_model::{zoo, ModelConfig};
+use serde_json::json;
+
+use crate::report::{ms, save_json, Table};
+use crate::systems::{cost_db, measure, System};
+
+const SYSTEMS: [System; 4] = [
+    System::Megatron,
+    System::SlicerOnly,
+    System::PlannerOnly,
+    System::AutoPipe,
+];
+
+/// Fig. 9: fix depth 4 and 8 micro-batches, sweep the micro-batch size.
+pub fn run_fig9() {
+    let hw = Hardware::rtx3090_cluster();
+    let cases: Vec<(ModelConfig, Vec<usize>)> = vec![
+        (zoo::gpt2_345m(), vec![4, 8, 16, 24, 32]),
+        // 762M OOMs at mbs 32 (kept in the sweep to reproduce the marker).
+        (zoo::gpt2_762m(), vec![4, 8, 16, 24, 32]),
+        (zoo::bert_large(), vec![4, 8, 16, 24, 32]),
+    ];
+    let mut records = Vec::new();
+    for (model, mbs_list) in cases {
+        let mut t = Table::new(&["mbs", "Megatron-LM", "Slicer", "Planner", "AutoPipe", "speedup"]);
+        // Fig. 9's 762M runs 9 stages? No — Fig. 9 fixes 4 stages for all.
+        let p = 4;
+        let m = 8;
+        for &mbs in &mbs_list {
+            let db = cost_db(&model, &hw, mbs);
+            let vals: Vec<Result<f64, String>> = SYSTEMS
+                .iter()
+                .map(|&s| measure(s, &db, &hw, p, m).map(|o| o.iteration))
+                .collect();
+            let speedup = match (&vals[0], &vals[3]) {
+                (Ok(mega), Ok(auto)) => format!("{:.2}x", mega / auto),
+                _ => "-".into(),
+            };
+            t.row(vec![
+                mbs.to_string(),
+                ms(&vals[0]),
+                ms(&vals[1]),
+                ms(&vals[2]),
+                ms(&vals[3]),
+                speedup,
+            ]);
+            records.push(json!({
+                "model": model.name,
+                "mbs": mbs,
+                "megatron_s": vals[0].clone().ok(),
+                "slicer_s": vals[1].clone().ok(),
+                "planner_s": vals[2].clone().ok(),
+                "autopipe_s": vals[3].clone().ok(),
+            }));
+        }
+        t.print(&format!(
+            "Fig. 9: {} — iteration time (ms) vs micro-batch size (4 stages, 8 micro-batches)",
+            model.name
+        ));
+    }
+    save_json("fig9", &json!(records));
+}
+
+/// Fig. 10: fix the micro-batch size, sweep the depth with m = 2·depth.
+pub fn run_fig10() {
+    let hw = Hardware::rtx3090_cluster();
+    // Megatron needs the depth to divide the layer count: GPT-2 762M (36
+    // layers) runs 9 stages instead of 8.
+    let cases: Vec<(ModelConfig, usize, Vec<usize>)> = vec![
+        (zoo::gpt2_345m(), 4, vec![2, 4, 8, 12]),
+        (zoo::gpt2_762m(), 4, vec![2, 4, 9, 12]),
+        (zoo::bert_large(), 16, vec![2, 4, 8, 12]),
+    ];
+    let mut records = Vec::new();
+    for (model, mbs, depths) in cases {
+        let db = cost_db(&model, &hw, mbs);
+        let mut t = Table::new(&[
+            "stages",
+            "Megatron-LM",
+            "Slicer",
+            "Planner",
+            "AutoPipe",
+            "speedup",
+        ]);
+        for &p in &depths {
+            let m = 2 * p;
+            let vals: Vec<Result<f64, String>> = SYSTEMS
+                .iter()
+                .map(|&s| measure(s, &db, &hw, p, m).map(|o| o.iteration))
+                .collect();
+            let speedup = match (&vals[0], &vals[3]) {
+                (Ok(mega), Ok(auto)) => format!("{:.2}x", mega / auto),
+                _ => "-".into(),
+            };
+            t.row(vec![
+                p.to_string(),
+                ms(&vals[0]),
+                ms(&vals[1]),
+                ms(&vals[2]),
+                ms(&vals[3]),
+                speedup,
+            ]);
+            records.push(json!({
+                "model": model.name,
+                "stages": p,
+                "megatron_s": vals[0].clone().ok(),
+                "slicer_s": vals[1].clone().ok(),
+                "planner_s": vals[2].clone().ok(),
+                "autopipe_s": vals[3].clone().ok(),
+            }));
+        }
+        t.print(&format!(
+            "Fig. 10: {} — iteration time (ms) vs pipeline depth (mbs {mbs}, m = 2·depth)",
+            model.name
+        ));
+    }
+    save_json("fig10", &json!(records));
+}

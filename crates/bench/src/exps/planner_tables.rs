@@ -1,0 +1,86 @@
+//! Tables III and IV: planner comparison at low and high memory demand.
+
+use autopipe_cost::Hardware;
+use autopipe_model::{zoo, ModelConfig};
+use serde_json::json;
+
+use crate::exps::{evaluate_plan, run_planner};
+use crate::report::{ms, save_json, Table};
+use crate::systems::cost_db;
+
+fn planner_rows(
+    model: &ModelConfig,
+    mbs: usize,
+    gpus: &[usize],
+    gbs_list: &[usize],
+    records: &mut Vec<serde_json::Value>,
+) -> Table {
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(model, &hw, mbs);
+    let mut header = vec!["Model".to_string(), "Mbs".into(), "# GPUs".into(), "Alg".into()];
+    for gbs in gbs_list {
+        header.push(format!("Gbs={gbs}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new(&header_refs);
+    for &g in gpus {
+        for alg in ["D", "P", "A"] {
+            let mut cells = vec![
+                model.name.clone(),
+                mbs.to_string(),
+                g.to_string(),
+                alg.to_string(),
+            ];
+            let mut per_gbs = Vec::new();
+            for &gbs in gbs_list {
+                let v: Result<f64, String> = run_planner(alg, &db, &hw, g, gbs, mbs)
+                    .map_err(|e| e.to_string())
+                    .and_then(|plan| evaluate_plan(&plan, &db, &hw, gbs, mbs));
+                cells.push(ms(&v));
+                per_gbs.push(json!({ "gbs": gbs, "iteration_s": v.clone().ok(), "marker": v.err() }));
+            }
+            records.push(json!({
+                "model": model.name, "mbs": mbs, "gpus": g, "alg": alg, "results": per_gbs,
+            }));
+            t.row(cells);
+        }
+    }
+    t
+}
+
+/// Table III: GPT-2 345M, mbs 4 (low memory demand), 4 and 16 GPUs.
+pub fn run_table3() {
+    let mut records = Vec::new();
+    let t = planner_rows(
+        &zoo::gpt2_345m(),
+        4,
+        &[4, 16],
+        &[128, 256, 512],
+        &mut records,
+    );
+    t.print("Table III: planner comparison with low memory demand — time per iteration (ms)");
+    save_json("table3", &json!(records));
+}
+
+/// Table IV: GPT-2 345M at mbs 32 and GPT-2 1.3B at mbs 16 (high memory
+/// demand), 4 and 8 GPUs.
+pub fn run_table4() {
+    let mut records = Vec::new();
+    let t1 = planner_rows(
+        &zoo::gpt2_345m(),
+        32,
+        &[4, 8],
+        &[512, 1024, 2048],
+        &mut records,
+    );
+    t1.print("Table IV (GPT-2 345M): planner comparison with high memory demand — ms");
+    let t2 = planner_rows(
+        &zoo::gpt2_1_3b(),
+        16,
+        &[4, 8],
+        &[512, 1024, 2048],
+        &mut records,
+    );
+    t2.print("Table IV (GPT-2 1.3B): planner comparison with high memory demand — ms");
+    save_json("table4", &json!(records));
+}

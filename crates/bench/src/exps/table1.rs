@@ -1,0 +1,29 @@
+//! Table I: the benchmark models.
+
+use autopipe_model::zoo;
+use serde_json::json;
+
+use crate::report::{save_json, Table};
+
+/// Print Table I and record it.
+pub fn run() {
+    let mut t = Table::new(&["Model", "# layers", "Hidden size", "# params (millions)"]);
+    let mut records = Vec::new();
+    for cfg in zoo::benchmark_models() {
+        let params_m = cfg.total_params() as f64 / 1e6;
+        t.row(vec![
+            cfg.name.clone(),
+            cfg.num_layers.to_string(),
+            cfg.hidden_size.to_string(),
+            format!("{params_m:.0}"),
+        ]);
+        records.push(json!({
+            "model": cfg.name,
+            "layers": cfg.num_layers,
+            "hidden": cfg.hidden_size,
+            "params_millions": params_m,
+        }));
+    }
+    t.print("Table I: benchmark models");
+    save_json("table1", &json!(records));
+}

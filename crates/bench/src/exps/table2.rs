@@ -1,0 +1,47 @@
+//! Table II: the seven 4-stage partition schemes of GPT-2 345M.
+
+use autopipe_core::table2::{table2_partitions, TABLE2_LAYERS};
+use autopipe_cost::Hardware;
+use autopipe_model::zoo;
+use serde_json::json;
+
+use crate::report::{save_json, Table};
+use crate::systems::cost_db;
+
+/// Print Table II (with each scheme's simulated iteration time as a bonus
+/// column — the quantity Fig. 11 compares).
+pub fn run() {
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&zoo::gpt2_345m(), &hw, 4);
+    let m = 8;
+    let mut t = Table::new(&[
+        "Partition ID",
+        "stage 0",
+        "stage 1",
+        "stage 2",
+        "stage 3",
+        "sim iter (ms)",
+    ]);
+    let mut records = Vec::new();
+    for (i, part) in table2_partitions(&db).iter().enumerate() {
+        let sc = part.stage_costs(&db);
+        let sim = autopipe_sim::simulate_replay(&sc, m);
+        let row = TABLE2_LAYERS[i];
+        t.row(vec![
+            (i + 1).to_string(),
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string(),
+            row[3].to_string(),
+            format!("{:.1}", sim.iteration_time * 1e3),
+        ]);
+        records.push(json!({
+            "scheme": i + 1,
+            "layers": row.to_vec(),
+            "sim_iteration_s": sim.iteration_time,
+            "master_stage": sim.master_stage,
+        }));
+    }
+    t.print("Table II: pipeline planning of the GPT-2 345M model");
+    save_json("table2", &json!(records));
+}

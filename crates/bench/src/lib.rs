@@ -1,0 +1,12 @@
+//! Experiment harness: regenerates every table and figure of the AutoPipe
+//! paper's evaluation (§IV) against the discrete-event cluster simulator.
+//!
+//! `cargo run -p autopipe-bench --release --bin exp -- <experiment>` where
+//! `<experiment>` is one of `table1 table2 fig9 fig10 fig11 table3 table4
+//! fig12 fig13 fig14a fig14b all`. Each experiment prints the same rows or
+//! series the paper reports and appends a JSON record to
+//! `results/<experiment>.json`.
+
+pub mod exps;
+pub mod report;
+pub mod systems;

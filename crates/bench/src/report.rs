@@ -1,0 +1,106 @@
+//! Plain-text tables and JSON result records.
+
+use std::fs;
+use std::path::Path;
+
+use serde_json::Value;
+
+/// A simple aligned text table.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with column headers.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = String::new();
+        out.push_str(&line(&self.header));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&line(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout with a title.
+    pub fn print(&self, title: &str) {
+        println!("\n== {title} ==");
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds as milliseconds with one decimal, or pass an error marker
+/// through ("OOM", "X", "-").
+pub fn ms(v: &Result<f64, String>) -> String {
+    match v {
+        Ok(s) => format!("{:.1}", s * 1e3),
+        Err(e) => e.split(' ').next().unwrap_or("-").to_string(),
+    }
+}
+
+/// Append a JSON record under `results/<name>.json`.
+pub fn save_json(name: &str, value: &Value) {
+    let dir = Path::new("results");
+    if fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(s) = serde_json::to_string_pretty(value) {
+        let _ = fs::write(path, s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "metric"]);
+        t.row(vec!["1".into(), "2.5".into()]);
+        t.row(vec!["1000".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].contains('1'));
+    }
+
+    #[test]
+    fn ms_formats_and_passes_markers() {
+        assert_eq!(ms(&Ok(1.2345)), "1234.5");
+        assert_eq!(ms(&Err("OOM".into())), "OOM");
+        assert_eq!(ms(&Err("X (bad depth)".into())), "X");
+    }
+}

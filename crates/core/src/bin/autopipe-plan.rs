@@ -1,0 +1,127 @@
+//! Command-line planner: describe a training job, get an AutoPipe plan.
+//!
+//! ```text
+//! cargo run --release -p autopipe-core --bin autopipe-plan -- \
+//!     --model gpt2-345m --gpus 4 --mbs 4 --gbs 128
+//! autopipe-plan --model gpt2-1.3b --gpus 8 --mbs 16 --gbs 512 --json
+//! ```
+
+use autopipe_core::{AutoPipe, PlanRequest};
+use autopipe_cost::Hardware;
+use autopipe_model::{zoo, ModelConfig};
+
+struct Args {
+    model: ModelConfig,
+    hardware: Hardware,
+    gpus: usize,
+    mbs: usize,
+    gbs: usize,
+    stages: Option<usize>,
+    slicer: bool,
+    json: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: autopipe-plan --model <name> --gpus N --mbs N --gbs N \
+         [--stages N] [--no-slicer] [--hardware rtx3090|a100] [--json]\n\
+         models: gpt2-345m gpt2-762m gpt2-1.3b bert-large gpt2-tiny"
+    );
+    std::process::exit(2);
+}
+
+fn model_by_name(name: &str) -> Option<ModelConfig> {
+    match name.to_ascii_lowercase().as_str() {
+        "gpt2-345m" | "345m" => Some(zoo::gpt2_345m()),
+        "gpt2-762m" | "762m" => Some(zoo::gpt2_762m()),
+        "gpt2-1.3b" | "1.3b" => Some(zoo::gpt2_1_3b()),
+        "bert-large" | "bert" => Some(zoo::bert_large()),
+        "gpt2-tiny" | "tiny" => Some(zoo::gpt2_tiny()),
+        _ => None,
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        model: zoo::gpt2_345m(),
+        hardware: Hardware::rtx3090_cluster(),
+        gpus: 4,
+        mbs: 4,
+        gbs: 128,
+        stages: None,
+        slicer: true,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let value = |it: &mut dyn Iterator<Item = String>| -> String {
+            it.next().unwrap_or_else(|| usage())
+        };
+        match flag.as_str() {
+            "--model" => {
+                let name = value(&mut it);
+                args.model = model_by_name(&name).unwrap_or_else(|| {
+                    eprintln!("unknown model: {name}");
+                    usage()
+                });
+            }
+            "--hardware" => {
+                args.hardware = match value(&mut it).as_str() {
+                    "rtx3090" => Hardware::rtx3090_cluster(),
+                    "a100" => Hardware::a100_cluster(),
+                    other => {
+                        eprintln!("unknown hardware: {other}");
+                        usage()
+                    }
+                };
+            }
+            "--gpus" => args.gpus = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--mbs" => args.mbs = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--gbs" => args.gbs = value(&mut it).parse().unwrap_or_else(|_| usage()),
+            "--stages" => args.stages = Some(value(&mut it).parse().unwrap_or_else(|_| usage())),
+            "--no-slicer" => args.slicer = false,
+            "--json" => args.json = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let request = PlanRequest {
+        hardware: args.hardware.clone(),
+        fixed_stages: args.stages,
+        enable_slicer: args.slicer,
+        ..PlanRequest::new(args.model.clone(), args.gpus, args.mbs, args.gbs)
+    };
+    match AutoPipe::plan(&request) {
+        Ok(plan) => {
+            if args.json {
+                println!("{}", serde_json::to_string_pretty(&plan).unwrap());
+            } else {
+                println!("model           : {}", args.model.name);
+                println!("hardware        : {}", args.hardware.name);
+                println!(
+                    "strategy        : {} stage(s) x dp {}",
+                    plan.stages, plan.dp
+                );
+                println!("micro-batches   : {}", plan.microbatches);
+                println!("layers per stage: {:?}", plan.layer_counts);
+                println!("sliced warmup   : {} micro-batch(es)", plan.n_sliced);
+                println!(
+                    "est. iteration  : {:.1} ms",
+                    plan.est_iteration_time() * 1e3
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! AutoPipe: the end-to-end facade (Fig. 2).
+//!
+//! `model configs → AutoPipe Planner → AutoPipe Slicer → distributed plan`.
+//!
+//! [`PlanRequest`] describes the training job (model, cluster, batch
+//! geometry); [`AutoPipe::plan`] selects the data×pipeline strategy
+//! (§IV-D: "its data-parallel size is the number of GPUs over the pipeline
+//! stages", combined "in the way Megatron-LM uses"), runs the Planner for
+//! the chosen depth, feeds the partition to the Slicer, and returns an
+//! executable [`Plan`] with the sliced 1F1B schedule.
+
+pub mod plan;
+pub mod strategy;
+pub mod table2;
+
+pub use plan::{AutoPipe, Plan, PlanRequest};
+pub use strategy::{choose_strategy, StrategyChoice};

@@ -1,0 +1,218 @@
+//! The end-to-end AutoPipe pipeline: configs → Planner → Slicer → Plan.
+
+use serde::{Deserialize, Serialize};
+
+use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
+use autopipe_model::{Granularity, ModelConfig};
+use autopipe_planner::autopipe::AutoPipeConfig;
+use autopipe_planner::types::PlanError;
+use autopipe_schedule::Schedule;
+use autopipe_sim::analytic::AnalyticResult;
+use autopipe_sim::Partition;
+use autopipe_slicer::plan_slicing;
+
+use crate::strategy::choose_strategy;
+
+/// Description of a training job to plan.
+#[derive(Debug, Clone)]
+pub struct PlanRequest {
+    /// The model to train.
+    pub model: ModelConfig,
+    /// The cluster.
+    pub hardware: Hardware,
+    /// Total number of devices.
+    pub n_devices: usize,
+    /// Micro-batch size (samples).
+    pub mbs: usize,
+    /// Global batch size (samples per iteration).
+    pub gbs: usize,
+    /// Planning granularity; AutoPipe's default is sub-layer.
+    pub granularity: Granularity,
+    /// Pin the pipeline depth instead of searching the DP×PP space.
+    pub fixed_stages: Option<usize>,
+    /// Run the AutoPipe Slicer on the planned partition.
+    pub enable_slicer: bool,
+    /// Simulate offline profiling noise on the cost database. `None` plans
+    /// on analytic ground truth.
+    pub profiler: Option<ProfilerConfig>,
+    /// Planner search budget.
+    pub planner: AutoPipeConfig,
+}
+
+impl PlanRequest {
+    /// A request with AutoPipe's defaults.
+    pub fn new(model: ModelConfig, n_devices: usize, mbs: usize, gbs: usize) -> Self {
+        PlanRequest {
+            model,
+            hardware: Hardware::rtx3090_cluster(),
+            n_devices,
+            mbs,
+            gbs,
+            granularity: Granularity::SubLayer,
+            fixed_stages: None,
+            enable_slicer: true,
+            profiler: None,
+            planner: AutoPipeConfig::default(),
+        }
+    }
+}
+
+/// A complete executable plan.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Plan {
+    /// Pipeline depth.
+    pub stages: usize,
+    /// Uniform data-parallel width.
+    pub dp: usize,
+    /// Micro-batches per pipeline replica per iteration.
+    pub microbatches: usize,
+    /// Number of sliced micro-batches (0 when the Slicer is off or the
+    /// pipeline has a single stage).
+    pub n_sliced: usize,
+    /// The block partition.
+    pub partition: Partition,
+    /// The executable schedule (sliced 1F1B, or plain 1F1B when unsliced).
+    pub schedule: Schedule,
+    /// Per-stage transformer-layer counts (Table II convention).
+    pub layer_counts: Vec<f64>,
+    /// Planner's simulated iteration time (pipeline only).
+    pub est_pipeline_time: f64,
+    /// Gradient synchronisation time per iteration.
+    pub grad_sync: f64,
+    /// Planner's analytic simulation of the chosen scheme.
+    pub analytic: AnalyticResult,
+    /// Schemes the planner simulated.
+    pub schemes_explored: usize,
+    /// Planner wall-clock, seconds.
+    pub search_seconds: f64,
+}
+
+impl Plan {
+    /// Estimated full iteration time.
+    pub fn est_iteration_time(&self) -> f64 {
+        self.est_pipeline_time + self.grad_sync
+    }
+}
+
+/// The AutoPipe front-end.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AutoPipe;
+
+impl AutoPipe {
+    /// Plan a training job: build the cost database (optionally through the
+    /// synthetic profiler), choose the DP×PP strategy, partition with the
+    /// Planner, and reschedule the Warmup phase with the Slicer.
+    pub fn plan(req: &PlanRequest) -> Result<Plan, PlanError> {
+        let db = Self::cost_db(req);
+        let choice = choose_strategy(
+            &db,
+            &req.hardware,
+            req.n_devices,
+            req.gbs,
+            req.mbs,
+            req.fixed_stages,
+            &req.planner,
+        )?;
+        let costs = choice.outcome.partition.stage_costs(&db);
+        let (schedule, n_sliced) = if req.enable_slicer && choice.stages >= 2 {
+            let sp = plan_slicing(&costs, choice.microbatches);
+            (sp.schedule, sp.n_sliced)
+        } else {
+            (
+                autopipe_schedule::one_f_one_b(choice.stages, choice.microbatches),
+                0,
+            )
+        };
+        Ok(Plan {
+            stages: choice.stages,
+            dp: choice.dp,
+            microbatches: choice.microbatches,
+            n_sliced,
+            layer_counts: choice.outcome.partition.layer_counts(&db),
+            partition: choice.outcome.partition.clone(),
+            schedule,
+            est_pipeline_time: choice.outcome.analytic.iteration_time,
+            grad_sync: choice.grad_sync,
+            analytic: choice.outcome.analytic.clone(),
+            schemes_explored: choice.outcome.schemes_explored,
+            search_seconds: choice.outcome.search_time.as_secs_f64(),
+        })
+    }
+
+    /// The cost database a request plans against.
+    pub fn cost_db(req: &PlanRequest) -> CostDb {
+        let db = CostDb::build(
+            &req.model,
+            &req.hardware,
+            req.mbs,
+            true,
+            req.granularity,
+        );
+        match &req.profiler {
+            Some(p) => autopipe_cost::profiler::profile(&db, p),
+            None => db,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_model::zoo;
+    use autopipe_schedule::validate;
+
+    #[test]
+    fn end_to_end_plan_is_executable() {
+        let req = PlanRequest {
+            fixed_stages: Some(4),
+            ..PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)
+        };
+        let plan = AutoPipe::plan(&req).unwrap();
+        assert_eq!(plan.stages, 4);
+        assert_eq!(plan.microbatches, 32);
+        assert!(plan.n_sliced >= 1);
+        validate(&plan.schedule).expect("planned schedule must validate");
+        let total_layers: f64 = plan.layer_counts.iter().sum();
+        assert_eq!(total_layers, 24.0);
+    }
+
+    #[test]
+    fn slicer_can_be_disabled() {
+        let req = PlanRequest {
+            fixed_stages: Some(4),
+            enable_slicer: false,
+            ..PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)
+        };
+        let plan = AutoPipe::plan(&req).unwrap();
+        assert_eq!(plan.n_sliced, 0);
+        validate(&plan.schedule).unwrap();
+    }
+
+    #[test]
+    fn profiled_planning_still_yields_balanced_schemes() {
+        // Planning on noisy measurements must not blow up the balance: the
+        // max stage should stay within 30% of the mean.
+        let req = PlanRequest {
+            fixed_stages: Some(4),
+            profiler: Some(ProfilerConfig::default()),
+            ..PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)
+        };
+        let plan = AutoPipe::plan(&req).unwrap();
+        let db = AutoPipe::cost_db(&req);
+        let sc = plan.partition.stage_costs(&db);
+        let mean: f64 = (0..4).map(|x| sc.work(x)).sum::<f64>() / 4.0;
+        let max = (0..4).map(|x| sc.work(x)).fold(0.0, f64::max);
+        assert!(max < 1.3 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn plan_serialises() {
+        let req = PlanRequest {
+            fixed_stages: Some(2),
+            ..PlanRequest::new(zoo::bert_large(), 2, 16, 128)
+        };
+        let plan = AutoPipe::plan(&req).unwrap();
+        let json = serde_json::to_string(&plan).unwrap();
+        assert!(json.contains("\"stages\":2"));
+    }
+}

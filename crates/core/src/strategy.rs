@@ -1,0 +1,242 @@
+//! Data×pipeline strategy selection.
+//!
+//! AutoPipe "omits the search in the data parallelism dimension by using the
+//! same data parallelism size for each pipeline stage" (§IV-D): with `G`
+//! devices it only considers uniform strategies `pipeline depth S × data
+//! parallelism G/S`, plans each feasible depth with the AutoPipe Planner,
+//! simulates it, adds the gradient-synchronisation cost, and keeps the best.
+//! This is how Tables III–IV's AutoPipe rows pick complete data parallelism
+//! at low memory demand and 2- or 4-stage pipelines at high memory demand.
+
+use autopipe_cost::{CommModel, CostDb, Hardware};
+use autopipe_planner::autopipe::{plan as planner_plan, AutoPipeConfig, AutoPipeOutcome};
+use autopipe_planner::types::PlanError;
+use autopipe_schedule::one_f_one_b;
+use autopipe_sim::memcheck::check_memory;
+
+/// One evaluated (depth, width) candidate.
+#[derive(Debug, Clone)]
+pub struct StrategyChoice {
+    /// Pipeline depth.
+    pub stages: usize,
+    /// Uniform data-parallel width (`G / stages`).
+    pub dp: usize,
+    /// Micro-batches per pipeline replica per iteration.
+    pub microbatches: usize,
+    /// Planner outcome for this depth.
+    pub outcome: AutoPipeOutcome,
+    /// Gradient all-reduce time appended per iteration.
+    pub grad_sync: f64,
+    /// Total schemes simulated across every candidate depth.
+    pub schemes_explored_total: usize,
+}
+
+impl StrategyChoice {
+    /// Estimated full iteration time.
+    pub fn est_iteration_time(&self) -> f64 {
+        self.outcome.analytic.iteration_time + self.grad_sync
+    }
+}
+
+/// Choose the best uniform strategy for `g` devices running a global batch
+/// of `gbs` samples with micro-batch size `mbs`. `fixed_stages` pins the
+/// depth (used by the per-depth experiments of Figs 9–10).
+pub fn choose_strategy(
+    db: &CostDb,
+    hw: &Hardware,
+    g: usize,
+    gbs: usize,
+    mbs: usize,
+    fixed_stages: Option<usize>,
+    cfg: &AutoPipeConfig,
+) -> Result<StrategyChoice, PlanError> {
+    assert!(g >= 1 && mbs >= 1 && gbs >= mbs);
+    let comm = CommModel::from_hardware(hw);
+    let m_total = gbs / mbs;
+
+    let depths: Vec<usize> = match fixed_stages {
+        Some(s) => vec![s],
+        None => (1..=g).filter(|s| g.is_multiple_of(*s)).collect(),
+    };
+
+    let mut best: Option<StrategyChoice> = None;
+    let mut last_err = PlanError::Infeasible("no depth evaluated".into());
+    let mut total_explored = 0usize;
+    for s in depths {
+        if s > db.len() {
+            continue;
+        }
+        let dp = g / s;
+        if dp == 0 {
+            continue;
+        }
+        let m = m_total / dp;
+        if m == 0 {
+            last_err = PlanError::Infeasible(format!(
+                "depth {s}: no micro-batches left per replica (Gbs {gbs}, mbs {mbs}, dp {dp})"
+            ));
+            continue;
+        }
+        let outcome = planner_plan(db, s, m, cfg);
+        total_explored += outcome.schemes_explored;
+        // Real memory feasibility of the planned partition.
+        let sched = one_f_one_b(s, m);
+        if let Err(e) = check_memory(&outcome.partition, db, &sched, hw) {
+            last_err = PlanError::Oom(format!("depth {s}: {e}"));
+            continue;
+        }
+        let max_stage_param_bytes = outcome
+            .partition
+            .stage_params(db)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+            * hw.elem_bytes;
+        let cand = StrategyChoice {
+            stages: s,
+            dp,
+            microbatches: m,
+            grad_sync: comm.grad_sync(max_stage_param_bytes, dp),
+            outcome,
+            schemes_explored_total: 0,
+        };
+        let better = best
+            .as_ref()
+            .map(|b| cand.est_iteration_time() < b.est_iteration_time())
+            .unwrap_or(true);
+        if better {
+            best = Some(cand);
+        }
+    }
+    match best {
+        Some(mut b) => {
+            b.schemes_explored_total = total_explored;
+            Ok(b)
+        }
+        None => Err(last_err),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_model::{zoo, Granularity};
+
+    fn db(model: &autopipe_model::ModelConfig, mbs: usize) -> CostDb {
+        CostDb::build(
+            model,
+            &Hardware::rtx3090_cluster(),
+            mbs,
+            true,
+            Granularity::SubLayer,
+        )
+    }
+
+    #[test]
+    fn low_memory_picks_complete_data_parallelism() {
+        // Table III: AutoPipe uses complete DP for GPT-2 345M at mbs 4.
+        let hw = Hardware::rtx3090_cluster();
+        let d = db(&zoo::gpt2_345m(), 4);
+        for g in [4, 16] {
+            let c = choose_strategy(&d, &hw, g, 128, 4, None, &AutoPipeConfig::default())
+                .unwrap();
+            assert_eq!(c.stages, 1, "g={g}");
+            assert_eq!(c.dp, g);
+        }
+    }
+
+    #[test]
+    fn high_memory_pipelines() {
+        // Table IV: AutoPipe uses a 2-stage pipeline for GPT-2 345M at
+        // mbs 32 and a 4-stage pipeline for GPT-2 1.3B at mbs 16.
+        let hw = Hardware::rtx3090_cluster();
+        let c345 = choose_strategy(
+            &db(&zoo::gpt2_345m(), 32),
+            &hw,
+            4,
+            512,
+            32,
+            None,
+            &AutoPipeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(c345.stages, 2, "345M dp {}", c345.dp);
+        let c13 = choose_strategy(
+            &db(&zoo::gpt2_1_3b(), 16),
+            &hw,
+            4,
+            512,
+            16,
+            None,
+            &AutoPipeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(c13.stages, 4, "1.3B dp {}", c13.dp);
+    }
+
+    #[test]
+    fn fixed_depth_is_respected() {
+        let hw = Hardware::rtx3090_cluster();
+        let d = db(&zoo::gpt2_345m(), 4);
+        let c = choose_strategy(&d, &hw, 4, 128, 4, Some(4), &AutoPipeConfig::default())
+            .unwrap();
+        assert_eq!(c.stages, 4);
+        assert_eq!(c.dp, 1);
+        assert_eq!(c.microbatches, 32);
+    }
+
+    #[test]
+    fn infeasible_when_nothing_fits() {
+        // 1.3B at mbs 32 on a single device: every depth-1 plan OOMs.
+        let hw = Hardware::rtx3090_cluster();
+        let d = db(&zoo::gpt2_1_3b(), 32);
+        let r = choose_strategy(&d, &hw, 1, 64, 32, None, &AutoPipeConfig::default());
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn strategy_adapts_to_bigger_devices() {
+        // GPT-2 345M at mbs 32 must pipeline on 24 GB cards (Table IV) but
+        // fits pure data parallelism on 80 GB cards — the planner should
+        // notice and drop the pipeline.
+        let small = Hardware::rtx3090_cluster();
+        let big = Hardware::a100_cluster();
+        let mk = |hw: &Hardware| {
+            CostDb::build(&zoo::gpt2_345m(), hw, 32, true, Granularity::SubLayer)
+        };
+        let c_small = choose_strategy(
+            &mk(&small),
+            &small,
+            4,
+            512,
+            32,
+            None,
+            &AutoPipeConfig::default(),
+        )
+        .unwrap();
+        assert!(c_small.stages >= 2);
+        let c_big = choose_strategy(
+            &mk(&big),
+            &big,
+            4,
+            512,
+            32,
+            None,
+            &AutoPipeConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(c_big.stages, 1, "80 GB cards should allow complete DP");
+    }
+
+    #[test]
+    fn grad_sync_only_with_replication() {
+        let hw = Hardware::rtx3090_cluster();
+        let d = db(&zoo::gpt2_345m(), 4);
+        let c = choose_strategy(&d, &hw, 4, 128, 4, Some(4), &AutoPipeConfig::default())
+            .unwrap();
+        assert_eq!(c.grad_sync, 0.0);
+        let c2 = choose_strategy(&d, &hw, 4, 128, 4, Some(2), &AutoPipeConfig::default())
+            .unwrap();
+        assert!(c2.grad_sync > 0.0);
+    }
+}

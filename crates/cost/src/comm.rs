@@ -1,0 +1,86 @@
+//! Communication model helpers shared by simulators and planners.
+
+use serde::{Deserialize, Serialize};
+
+use crate::hardware::Hardware;
+
+/// Communication cost model: α + bytes/β per point-to-point message, ring
+/// all-reduce for gradient synchronisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Per-message latency (α), seconds.
+    pub latency: f64,
+    /// Link bandwidth (β), bytes/s.
+    pub bandwidth: f64,
+}
+
+impl CommModel {
+    /// Extract the communication parameters from a hardware profile.
+    pub fn from_hardware(hw: &Hardware) -> Self {
+        CommModel {
+            latency: hw.link_latency,
+            bandwidth: hw.link_bandwidth,
+        }
+    }
+
+    /// Point-to-point transfer time for `bytes`.
+    pub fn p2p(&self, bytes: u64) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+
+    /// Ring all-reduce over `group` devices for `bytes`.
+    pub fn allreduce(&self, bytes: u64, group: usize) -> f64 {
+        if group <= 1 {
+            return 0.0;
+        }
+        let g = group as f64;
+        2.0 * (g - 1.0) / g * bytes as f64 / self.bandwidth + 2.0 * (g - 1.0) * self.latency
+    }
+
+    /// Gradient synchronisation time for a pipeline stage holding
+    /// `param_bytes` of gradients, replicated `dp` ways. In Megatron-style
+    /// hybrid parallelism this happens once per iteration after Cooldown.
+    pub fn grad_sync(&self, param_bytes: u64, dp: usize) -> f64 {
+        self.allreduce(param_bytes, dp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cm() -> CommModel {
+        CommModel {
+            latency: 30e-6,
+            bandwidth: 12.5e9,
+        }
+    }
+
+    #[test]
+    fn p2p_monotone_in_bytes() {
+        let c = cm();
+        assert!(c.p2p(2_000_000) > c.p2p(1_000_000));
+    }
+
+    #[test]
+    fn halving_a_message_does_not_halve_its_cost() {
+        // The slicer relies on `Comm/2` in Algorithm 2 as the *volume* term;
+        // with a latency floor two half-messages cost slightly more than one
+        // full message — which is exactly why the last sliced micro-batch
+        // aggregates its two halves into one send (§III-C).
+        let c = cm();
+        let full = c.p2p(8 << 20);
+        let half = c.p2p(4 << 20);
+        assert!(2.0 * half > full);
+        assert!(2.0 * half < full + 2.0 * c.latency + 1e-12);
+    }
+
+    #[test]
+    fn matches_hardware_transfer_time() {
+        let hw = Hardware::rtx3090_cluster();
+        let c = CommModel::from_hardware(&hw);
+        for bytes in [0u64, 1 << 10, 8 << 20] {
+            assert!((c.p2p(bytes) - hw.transfer_time(bytes)).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Per-block cost database — the "runtime statistics" half of the model
+//! configs consumed by the Planner (Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+use autopipe_model::{build_blocks, Block, BlockKind, Granularity, ModelConfig};
+
+use crate::flops;
+use crate::hardware::Hardware;
+
+/// Everything the planner/simulator needs to know about one block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BlockCost {
+    /// Block kind (kept for memory modelling and reporting).
+    pub kind: BlockKind,
+    /// Forward time for one micro-batch, seconds.
+    pub fwd: f64,
+    /// Backward time for one micro-batch, seconds — includes the
+    /// recomputation forward when activation checkpointing is on.
+    pub bwd: f64,
+    /// Parameters held by the block.
+    pub params: u64,
+    /// Bytes stashed per in-flight micro-batch under activation
+    /// checkpointing (the block's input activation).
+    pub ckpt_act_bytes: u64,
+    /// Bytes of *all* intermediate activations of the block for one
+    /// micro-batch — the transient working set during (re)computation.
+    pub full_act_bytes: u64,
+    /// Transformer-layer-equivalents for Table-II-style reporting
+    /// (1 for a whole layer, 0.5 for a sub-layer block, 0 otherwise).
+    pub layer_weight: f64,
+}
+
+impl BlockCost {
+    /// Combined forward+backward time — the weight Algorithm 1 partitions.
+    pub fn work(&self) -> f64 {
+        self.fwd + self.bwd
+    }
+}
+
+/// Cost database for one (model, hardware, micro-batch size) combination.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CostDb {
+    /// Model name, for reports.
+    pub model: String,
+    /// Per-block costs, aligned with `autopipe_model::build_blocks` output.
+    pub blocks: Vec<BlockCost>,
+    /// Time to ship one stage-boundary activation (one direction), seconds.
+    pub comm: f64,
+    /// Size of a stage-boundary activation in bytes.
+    pub comm_bytes: u64,
+    /// Micro-batch size these costs were computed for.
+    pub mbs: usize,
+    /// Whether activation checkpointing is on (it is in every paper
+    /// experiment, to avoid OOM).
+    pub checkpointing: bool,
+    /// Planning granularity the block sequence was lowered at.
+    pub granularity: Granularity,
+}
+
+impl CostDb {
+    /// Build the analytic cost database.
+    pub fn build(
+        cfg: &ModelConfig,
+        hw: &Hardware,
+        mbs: usize,
+        checkpointing: bool,
+        granularity: Granularity,
+    ) -> CostDb {
+        let blocks = build_blocks(cfg, granularity);
+        let costs = blocks
+            .iter()
+            .map(|b| Self::block_cost(cfg, hw, b, mbs, checkpointing))
+            .collect();
+        let comm_bytes = cfg.boundary_activation_elems(mbs) * hw.elem_bytes;
+        CostDb {
+            model: cfg.name.clone(),
+            blocks: costs,
+            comm: hw.transfer_time(comm_bytes),
+            comm_bytes,
+            mbs,
+            checkpointing,
+            granularity,
+        }
+    }
+
+    fn block_cost(
+        cfg: &ModelConfig,
+        hw: &Hardware,
+        block: &Block,
+        mbs: usize,
+        checkpointing: bool,
+    ) -> BlockCost {
+        let fwd_flops = flops::block_fwd_flops(cfg, block, mbs);
+        let fwd = hw.compute_time(fwd_flops);
+        let bwd = fwd * flops::bwd_multiplier(block.kind, checkpointing);
+        let b = mbs as u64;
+        let s = cfg.seq_len as u64;
+        let h = cfg.hidden_size as u64;
+        let nh = cfg.num_heads as u64;
+        let v = cfg.vocab_size as u64;
+        let m = cfg.ffn_mult as u64;
+        let eb = hw.elem_bytes;
+        let bsh = b * s * h;
+        let (ckpt_elems, full_elems) = match block.kind {
+            // Embedding input is token ids (4-byte ints), handled below.
+            BlockKind::Embedding => (0, bsh),
+            BlockKind::Attention => (bsh, 5 * bsh + 2 * b * nh * s * s),
+            BlockKind::Ffn => (bsh, (2 * m + 1) * bsh),
+            BlockKind::TransformerLayer => {
+                (bsh, (5 + 2 * m + 1) * bsh + 2 * b * nh * s * s)
+            }
+            BlockKind::FinalLayerNorm => (bsh, bsh),
+            BlockKind::LmHead => (bsh, b * s * v + bsh),
+            BlockKind::Pooler => (bsh, b * h),
+        };
+        let ckpt_act_bytes = if block.kind == BlockKind::Embedding {
+            b * s * 4 // token ids
+        } else {
+            ckpt_elems * eb
+        };
+        BlockCost {
+            kind: block.kind,
+            fwd,
+            bwd,
+            params: block.params,
+            ckpt_act_bytes,
+            full_act_bytes: full_elems * eb,
+            layer_weight: block.layer_weight(),
+        }
+    }
+
+    /// Total forward time of one micro-batch through the whole model — the
+    /// paper's estimate of the Warmup phase overhead (§III-B.1).
+    pub fn total_fwd(&self) -> f64 {
+        self.blocks.iter().map(|b| b.fwd).sum()
+    }
+
+    /// Total forward+backward time of one micro-batch through the model.
+    pub fn total_work(&self) -> f64 {
+        self.blocks.iter().map(|b| b.work()).sum()
+    }
+
+    /// Total parameters across all blocks.
+    pub fn total_params(&self) -> u64 {
+        self.blocks.iter().map(|b| b.params).sum()
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True when the database holds no blocks (never happens for real
+    /// models; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_model::zoo;
+
+    fn db(mbs: usize, ckpt: bool, g: Granularity) -> CostDb {
+        CostDb::build(
+            &zoo::gpt2_345m(),
+            &Hardware::rtx3090_cluster(),
+            mbs,
+            ckpt,
+            g,
+        )
+    }
+
+    #[test]
+    fn costs_align_with_block_sequence() {
+        let cfg = zoo::gpt2_345m();
+        let blocks = build_blocks(&cfg, Granularity::SubLayer);
+        let d = db(4, true, Granularity::SubLayer);
+        assert_eq!(d.len(), blocks.len());
+        for (b, c) in blocks.iter().zip(&d.blocks) {
+            assert_eq!(b.kind, c.kind);
+            assert_eq!(b.params, c.params);
+        }
+    }
+
+    #[test]
+    fn checkpointing_slows_backward_only_for_layer_bodies() {
+        let with = db(4, true, Granularity::SubLayer);
+        let without = db(4, false, Granularity::SubLayer);
+        for (w, wo) in with.blocks.iter().zip(&without.blocks) {
+            assert_eq!(w.fwd, wo.fwd);
+            if w.kind.is_layer_body() {
+                assert!(w.bwd > wo.bwd);
+            } else {
+                assert_eq!(w.bwd, wo.bwd);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_granularity_totals_match_sublayer_totals() {
+        let layer = db(4, true, Granularity::Layer);
+        let sub = db(4, true, Granularity::SubLayer);
+        assert!((layer.total_work() - sub.total_work()).abs() < 1e-9);
+        assert_eq!(layer.total_params(), sub.total_params());
+    }
+
+    #[test]
+    fn comm_is_small_relative_to_layer_compute() {
+        // §II-B: boundary tensors are "too tiny to saturate the network";
+        // a single transfer must be far cheaper than a layer's compute.
+        let d = db(4, true, Granularity::SubLayer);
+        let layer_work = d
+            .blocks
+            .iter()
+            .find(|b| b.kind == BlockKind::Ffn)
+            .unwrap()
+            .work();
+        assert!(d.comm < layer_work);
+    }
+
+    #[test]
+    fn comm_bytes_scale_with_mbs() {
+        assert_eq!(
+            db(8, true, Granularity::SubLayer).comm_bytes,
+            2 * db(4, true, Granularity::SubLayer).comm_bytes
+        );
+    }
+
+    #[test]
+    fn warmup_estimate_is_total_forward() {
+        let d = db(4, true, Granularity::SubLayer);
+        let manual: f64 = d.blocks.iter().map(|b| b.fwd).sum();
+        assert_eq!(d.total_fwd(), manual);
+    }
+}

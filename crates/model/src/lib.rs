@@ -1,0 +1,74 @@
+//! Block-level transformer model IR for AutoPipe.
+//!
+//! The AutoPipe Planner does not operate on framework-level layer objects; it
+//! operates on an ordered sequence of *blocks*, where a block is the smallest
+//! unit the partitioner may assign to a pipeline stage. The paper's key
+//! observation (§III-B) is that planning at whole-transformer-layer
+//! granularity cannot balance models whose first and last stages also carry
+//! the embedding and the language-model head; planning at *sub-layer*
+//! granularity — splitting each transformer layer into a
+//! `ResidualAttentionBlock` and a `ResidualFFNBlock` — doubles the search
+//! space without adding any inter-stage communication, because the activation
+//! flowing between the two halves has exactly the same shape (`[batch, seq,
+//! hidden]`) as the activation flowing between whole layers.
+//!
+//! This crate provides:
+//! * [`ModelConfig`] — architectural description of a benchmark model;
+//! * [`zoo`] — the four benchmark models of Table I;
+//! * [`Block`] / [`BlockKind`] — the planning unit;
+//! * [`build_blocks`] — lowering a config to a block sequence at either
+//!   [`Granularity::Layer`] or [`Granularity::SubLayer`].
+
+pub mod block;
+pub mod config;
+pub mod zoo;
+
+pub use block::{build_blocks, Block, BlockId, BlockKind, Granularity};
+pub use config::{ModelConfig, ModelFamily};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_models_match_table_i_param_counts() {
+        // Table I lists parameter counts in millions. Architectural counts
+        // differ from the marketing numbers by a few percent (weight tying,
+        // biases); we assert we are within 5%.
+        let cases = [
+            (zoo::gpt2_345m(), 345.0_f64),
+            (zoo::gpt2_762m(), 762.0),
+            (zoo::gpt2_1_3b(), 1314.0),
+            (zoo::bert_large(), 340.0),
+        ];
+        for (cfg, want_millions) in cases {
+            let got = cfg.total_params() as f64 / 1.0e6;
+            let rel = (got - want_millions).abs() / want_millions;
+            assert!(
+                rel < 0.05,
+                "{}: got {:.1}M params, Table I says {}M (rel err {:.3})",
+                cfg.name,
+                got,
+                want_millions,
+                rel
+            );
+        }
+    }
+
+    #[test]
+    fn sublayer_doubles_transformer_blocks() {
+        let cfg = zoo::gpt2_345m();
+        let layer = build_blocks(&cfg, Granularity::Layer);
+        let sub = build_blocks(&cfg, Granularity::SubLayer);
+        let layer_tf = layer
+            .iter()
+            .filter(|b| b.kind == BlockKind::TransformerLayer)
+            .count();
+        let sub_tf = sub
+            .iter()
+            .filter(|b| matches!(b.kind, BlockKind::Attention | BlockKind::Ffn))
+            .count();
+        assert_eq!(layer_tf, cfg.num_layers);
+        assert_eq!(sub_tf, 2 * cfg.num_layers);
+    }
+}

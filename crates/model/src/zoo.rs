@@ -1,0 +1,150 @@
+//! The four benchmark models of Table I.
+
+use crate::config::{ModelConfig, ModelFamily};
+
+/// GPT-2 345M: 24 layers, hidden 1024, 16 heads, seq 1024 (Megatron recipe).
+pub fn gpt2_345m() -> ModelConfig {
+    ModelConfig {
+        name: "GPT-2 345M".into(),
+        family: ModelFamily::Gpt2,
+        num_layers: 24,
+        hidden_size: 1024,
+        num_heads: 16,
+        seq_len: 1024,
+        vocab_size: 50257,
+        ffn_mult: 4,
+    }
+}
+
+/// GPT-2 762M: 36 layers, hidden 1280, 20 heads.
+pub fn gpt2_762m() -> ModelConfig {
+    ModelConfig {
+        name: "GPT-2 762M".into(),
+        family: ModelFamily::Gpt2,
+        num_layers: 36,
+        hidden_size: 1280,
+        num_heads: 20,
+        seq_len: 1024,
+        vocab_size: 50257,
+        ffn_mult: 4,
+    }
+}
+
+/// GPT-2 1.3B: 24 layers, hidden 2048, 32 heads.
+pub fn gpt2_1_3b() -> ModelConfig {
+    ModelConfig {
+        name: "GPT-2 1.3B".into(),
+        family: ModelFamily::Gpt2,
+        num_layers: 24,
+        hidden_size: 2048,
+        num_heads: 32,
+        seq_len: 1024,
+        vocab_size: 50257,
+        ffn_mult: 4,
+    }
+}
+
+/// BERT-large: 24 layers, hidden 1024, 16 heads, seq 512.
+pub fn bert_large() -> ModelConfig {
+    ModelConfig {
+        name: "BERT-large".into(),
+        family: ModelFamily::Bert,
+        num_layers: 24,
+        hidden_size: 1024,
+        num_heads: 16,
+        seq_len: 512,
+        vocab_size: 30522,
+        ffn_mult: 4,
+    }
+}
+
+/// GPT-3 2.7B-class config (not in Table I; used by the scaling study).
+pub fn gpt3_2_7b() -> ModelConfig {
+    ModelConfig {
+        name: "GPT-3 2.7B".into(),
+        family: ModelFamily::Gpt2,
+        num_layers: 32,
+        hidden_size: 2560,
+        num_heads: 32,
+        seq_len: 2048,
+        vocab_size: 50257,
+        ffn_mult: 4,
+    }
+}
+
+/// GPT-3 6.7B-class config (scaling study).
+pub fn gpt3_6_7b() -> ModelConfig {
+    ModelConfig {
+        name: "GPT-3 6.7B".into(),
+        family: ModelFamily::Gpt2,
+        num_layers: 32,
+        hidden_size: 4096,
+        num_heads: 32,
+        seq_len: 2048,
+        vocab_size: 50257,
+        ffn_mult: 4,
+    }
+}
+
+/// A synthetic GPT with `num_layers` layers at GPT-2 345M width — the
+/// scaling study's depth axis.
+pub fn gpt2_depth(num_layers: usize) -> ModelConfig {
+    ModelConfig {
+        name: format!("GPT-2 345M-width x{num_layers}L"),
+        family: ModelFamily::Gpt2,
+        num_layers,
+        hidden_size: 1024,
+        num_heads: 16,
+        seq_len: 1024,
+        vocab_size: 50257,
+        ffn_mult: 4,
+    }
+}
+
+/// All four Table I models, in table order.
+pub fn benchmark_models() -> Vec<ModelConfig> {
+    vec![gpt2_345m(), gpt2_762m(), gpt2_1_3b(), bert_large()]
+}
+
+/// A miniature GPT-2 used by the threaded runtime substrate and fast tests:
+/// same block structure as the real models, laptop-sized dimensions.
+pub fn gpt2_tiny() -> ModelConfig {
+    ModelConfig {
+        name: "GPT-2 tiny (test)".into(),
+        family: ModelFamily::Gpt2,
+        num_layers: 4,
+        hidden_size: 64,
+        num_heads: 4,
+        seq_len: 32,
+        vocab_size: 256,
+        ffn_mult: 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_shapes() {
+        let m = benchmark_models();
+        assert_eq!(
+            m.iter()
+                .map(|c| (c.num_layers, c.hidden_size))
+                .collect::<Vec<_>>(),
+            vec![(24, 1024), (36, 1280), (24, 2048), (24, 1024)]
+        );
+    }
+
+    #[test]
+    fn scaling_configs_have_expected_sizes() {
+        assert!((gpt3_2_7b().total_params() as f64 / 1e9 - 2.7).abs() < 0.3);
+        assert!((gpt3_6_7b().total_params() as f64 / 1e9 - 6.7).abs() < 0.6);
+        assert_eq!(gpt2_depth(48).num_layers, 48);
+    }
+
+    #[test]
+    fn tiny_model_is_small() {
+        assert!(gpt2_tiny().total_params() < 2_000_000);
+    }
+}

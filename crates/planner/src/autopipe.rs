@@ -1,0 +1,298 @@
+//! The AutoPipe Planner: heuristic pipeline planning by master-stage
+//! movement (§III-B.2).
+//!
+//! The search loop mirrors the paper's four steps:
+//!
+//! 1. Seed with Algorithm 1's relatively balanced scheme; simulate it to get
+//!    the master stage `i` and iteration time.
+//! 2. **Cooldown adjustment**: redistribute the blocks behind stage `i` so
+//!    that for every `s > i`, `Σ_{j=i+1..s}(f_j + b_j) ≤ (s−i)·b_i` (Eq. 1)
+//!    — then the master stage's Cooldown backwards run back-to-back with no
+//!    bubble (Fig. 7c).
+//! 3. **Master shifting**: move the master stage forward by moving its first
+//!    block to stage `i−1` or its last block to stage `i+1`, each with and
+//!    without re-balancing the prefix via Algorithm 1, and feed every new
+//!    scheme back through the simulator.
+//! 4. Return the scheme with the minimum simulated iteration time.
+//!
+//! A visited set plus a scheme budget bounds the search; in practice it
+//! explores tens of schemes (the paper's point: the master stage range is
+//! the pipeline depth, tiny compared to the cluster size).
+
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use autopipe_cost::CostDb;
+use autopipe_sim::analytic::{simulate_replay, AnalyticResult};
+use autopipe_sim::partition::{Partition, StageCosts};
+
+use crate::balanced::balanced_partition;
+
+/// Search knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AutoPipeConfig {
+    /// Maximum number of schemes to simulate before stopping.
+    pub max_schemes: usize,
+}
+
+impl Default for AutoPipeConfig {
+    fn default() -> Self {
+        AutoPipeConfig { max_schemes: 512 }
+    }
+}
+
+/// Result of a planner run.
+#[derive(Debug, Clone)]
+pub struct AutoPipeOutcome {
+    /// The best partition found.
+    pub partition: Partition,
+    /// Its simulation (iteration time, critical path, master stage, …).
+    pub analytic: AnalyticResult,
+    /// Number of schemes simulated.
+    pub schemes_explored: usize,
+    /// Wall-clock search time.
+    pub search_time: Duration,
+}
+
+/// Plan a `p`-stage pipeline for the model in `db` running `m` micro-batches
+/// per iteration.
+pub fn plan(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> AutoPipeOutcome {
+    let t0 = Instant::now();
+    let weights: Vec<f64> = db.blocks.iter().map(|b| b.work()).collect();
+    assert!(p >= 1 && p <= weights.len());
+
+    let init = balanced_partition(&weights, p);
+    let mut visited: HashSet<Vec<usize>> = HashSet::new();
+    let mut queue: VecDeque<Partition> = VecDeque::new();
+    visited.insert(init.boundaries().to_vec());
+    queue.push_back(init);
+
+    let mut best: Option<(Partition, AnalyticResult)> = None;
+    let mut explored = 0usize;
+
+    while let Some(part) = queue.pop_front() {
+        if explored >= cfg.max_schemes {
+            break;
+        }
+        let sc = part.stage_costs(db);
+        let res = simulate_replay(&sc, m);
+        explored += 1;
+        let i = res.master_stage;
+
+        let better = match &best {
+            None => true,
+            Some((_, b)) => res.iteration_time < b.iteration_time,
+        };
+        if better {
+            best = Some((part.clone(), res));
+        }
+
+        let mut push = |cand: Partition, queue: &mut VecDeque<Partition>| {
+            if visited.insert(cand.boundaries().to_vec()) {
+                queue.push_back(cand);
+            }
+        };
+
+        // Step 2: eliminate Cooldown bubbles behind the master stage.
+        if i + 1 < p {
+            if let Some(adj) = cooldown_adjust(&part, &sc, &weights, i) {
+                push(adj, &mut queue);
+            }
+        }
+        // Step 3: shift the master stage forward.
+        if i > 0 {
+            for cand in shift_candidates(&part, &weights, i) {
+                push(cand, &mut queue);
+            }
+        }
+    }
+
+    let (partition, analytic) = best.expect("at least the seed scheme was simulated");
+    AutoPipeOutcome {
+        partition,
+        analytic,
+        schemes_explored: explored,
+        search_time: t0.elapsed(),
+    }
+}
+
+/// Redistribute the blocks behind master stage `i` so Eq. 1 holds: greedily
+/// fill each stage `s > i` up to the cumulative budget `(s−i)·b_i`, leaving
+/// the remainder to the last stage. Returns `None` if nothing changed.
+fn cooldown_adjust(
+    part: &Partition,
+    sc: &StageCosts,
+    weights: &[f64],
+    i: usize,
+) -> Option<Partition> {
+    let p = part.n_stages();
+    let n = part.n_blocks();
+    let first = part.boundaries()[i + 1]; // first block behind the master
+    let tail_blocks = n - first;
+    let tail_stages = p - i - 1;
+    if tail_blocks < tail_stages {
+        return None;
+    }
+
+    let mut bounds = part.boundaries()[..=i + 1].to_vec();
+    let mut cursor = first;
+    let mut cum = 0.0;
+    for s in (i + 1)..(p - 1) {
+        let budget = (s - i) as f64 * sc.b[i];
+        let stages_left_after = p - 1 - s; // stages s+1..p-1
+        // Take at least one block; keep taking while under budget and while
+        // enough blocks remain for the stages behind us.
+        let mut taken = 0usize;
+        while cursor < n - stages_left_after {
+            let w = weights[cursor];
+            if taken >= 1 && cum + w > budget {
+                break;
+            }
+            cum += w;
+            cursor += 1;
+            taken += 1;
+        }
+        bounds.push(cursor);
+    }
+    bounds.push(n);
+    if bounds == part.boundaries() {
+        None
+    } else {
+        Some(Partition::new(bounds))
+    }
+}
+
+/// The four master-shifting candidates of step 3.
+fn shift_candidates(part: &Partition, weights: &[f64], i: usize) -> Vec<Partition> {
+    let b = part.boundaries();
+    let p = part.n_stages();
+    let mut out = Vec::with_capacity(4);
+
+    // Move the first block of stage i to stage i−1 (stage i must keep one).
+    if b[i] + 1 < b[i + 1] {
+        let mut nb = b.to_vec();
+        nb[i] += 1;
+        out.push(Partition::new(nb.clone()));
+        // With Algorithm 1 re-applied to the prefix ahead of stage i.
+        if i >= 1 && nb[i] >= i {
+            let pre = balanced_partition(&weights[..nb[i]], i);
+            let mut nb2 = pre.boundaries().to_vec();
+            nb2.extend_from_slice(&nb[i + 1..]);
+            if nb2 != b {
+                out.push(Partition::new(nb2));
+            }
+        }
+    }
+    // Move the last block of stage i to stage i+1.
+    if i + 1 < p && b[i + 1] - 1 > b[i] {
+        let mut nb = b.to_vec();
+        nb[i + 1] -= 1;
+        out.push(Partition::new(nb.clone()));
+        // With Algorithm 1 re-applied to the prefix through stage i.
+        if nb[i + 1] > i {
+            let pre = balanced_partition(&weights[..nb[i + 1]], i + 1);
+            let mut nb2 = pre.boundaries().to_vec();
+            nb2.extend_from_slice(&nb[i + 2..]);
+            if nb2 != b {
+                out.push(Partition::new(nb2));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_cost::Hardware;
+    use autopipe_model::{zoo, Granularity};
+    use autopipe_sim::metrics::balance_stddev;
+
+    fn db(g: Granularity) -> CostDb {
+        CostDb::build(&zoo::gpt2_345m(), &Hardware::rtx3090_cluster(), 4, true, g)
+    }
+
+    #[test]
+    fn beats_megatron_uniform_split() {
+        let d = db(Granularity::SubLayer);
+        let m = 8;
+        let p = 4;
+        let out = plan(&d, p, m, &AutoPipeConfig::default());
+        // Megatron: 6 whole layers per stage, embedding with stage 0,
+        // final-LN+head with stage 3.
+        let mega = Partition::new(vec![0, 13, 25, 37, 51]);
+        let mega_res = simulate_replay(&mega.stage_costs(&d), m);
+        assert!(
+            out.analytic.iteration_time < mega_res.iteration_time,
+            "autopipe {} vs megatron {}",
+            out.analytic.iteration_time,
+            mega_res.iteration_time
+        );
+    }
+
+    #[test]
+    fn improves_balance_over_seed() {
+        let d = db(Granularity::SubLayer);
+        let m = 8;
+        let out = plan(&d, 4, m, &AutoPipeConfig::default());
+        let seed = balanced_partition(
+            &d.blocks.iter().map(|b| b.work()).collect::<Vec<_>>(),
+            4,
+        );
+        let seed_res = simulate_replay(&seed.stage_costs(&d), m);
+        assert!(out.analytic.iteration_time <= seed_res.iteration_time + 1e-12);
+        // Balance should be decent: within 20% of perfectly even.
+        let sc = out.partition.stage_costs(&d);
+        let even = d.total_work() / 4.0;
+        let max_stage = (0..4).map(|x| sc.work(x)).fold(0.0, f64::max);
+        assert!(
+            max_stage < even * 1.25,
+            "max stage {max_stage} vs even {even}"
+        );
+        let _ = balance_stddev(&sc, m);
+    }
+
+    #[test]
+    fn sublayer_granularity_beats_layer_granularity() {
+        // The paper's Fig. 3 claim: finer blocks allow better balance.
+        let m = 8;
+        let sub = plan(&db(Granularity::SubLayer), 4, m, &AutoPipeConfig::default());
+        let layer = plan(&db(Granularity::Layer), 4, m, &AutoPipeConfig::default());
+        assert!(sub.analytic.iteration_time <= layer.analytic.iteration_time + 1e-12);
+    }
+
+    #[test]
+    fn explores_few_schemes() {
+        // The paper's selling point: order-of-magnitude faster search. The
+        // heuristic should stay in the tens of schemes for a 4-stage plan.
+        let d = db(Granularity::SubLayer);
+        let out = plan(&d, 4, 8, &AutoPipeConfig::default());
+        assert!(out.schemes_explored >= 1);
+        assert!(
+            out.schemes_explored < 200,
+            "explored {}",
+            out.schemes_explored
+        );
+    }
+
+    #[test]
+    fn works_for_every_benchmark_model_and_depth() {
+        let hw = Hardware::rtx3090_cluster();
+        for cfg in zoo::benchmark_models() {
+            let d = CostDb::build(&cfg, &hw, 4, true, Granularity::SubLayer);
+            for p in [2, 4, 8] {
+                let out = plan(&d, p, 2 * p, &AutoPipeConfig::default());
+                assert_eq!(out.partition.n_stages(), p, "{} p={p}", cfg.name);
+                assert!(out.analytic.iteration_time > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn single_stage_is_trivial() {
+        let d = db(Granularity::SubLayer);
+        let out = plan(&d, 1, 8, &AutoPipeConfig::default());
+        assert_eq!(out.partition.n_stages(), 1);
+        assert_eq!(out.schemes_explored, 1);
+    }
+}

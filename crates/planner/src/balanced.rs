@@ -1,0 +1,177 @@
+//! Algorithm 1: the relatively-balanced partition dynamic program.
+//!
+//! Given per-block weights `f_i + b_i` and a pipeline depth `p`, find the
+//! contiguous partition into `p` stages that minimises the maximum stage
+//! weight. The paper's formulation builds `prefix_sum` and a
+//! `time[i][j] = min over k < i of max(time[k][j-1], prefix[i] − prefix[k])`
+//! table, then reconstructs the partition; this is exactly that, O(n²·p).
+
+use autopipe_sim::Partition;
+
+/// Min–max balanced contiguous partition of `weights` into `p` stages.
+///
+/// Panics if `p == 0` or `p > weights.len()` (a stage may never be empty).
+pub fn balanced_partition(weights: &[f64], p: usize) -> Partition {
+    let n = weights.len();
+    assert!(p >= 1 && p <= n, "need 1 <= p ({p}) <= n ({n})");
+
+    let mut prefix = vec![0.0_f64; n + 1];
+    for i in 0..n {
+        prefix[i + 1] = prefix[i] + weights[i];
+    }
+
+    // time[i][j]: best max-stage-weight for the first i blocks in j stages.
+    let inf = f64::INFINITY;
+    let mut time = vec![vec![inf; p + 1]; n + 1];
+    // parent[i][j]: the k at which the optimum splits the last stage.
+    let mut parent = vec![vec![0usize; p + 1]; n + 1];
+    time[0][0] = 0.0;
+    for i in 1..=n {
+        let maxj = p.min(i);
+        for j in 1..=maxj {
+            // Stage j takes blocks k..i; the first j-1 stages need >= j-1
+            // blocks, and every stage is non-empty so k >= j-1 and k < i.
+            for k in (j - 1)..i {
+                if time[k][j - 1] == inf {
+                    continue;
+                }
+                let cand = time[k][j - 1].max(prefix[i] - prefix[k]);
+                if cand < time[i][j] {
+                    time[i][j] = cand;
+                    parent[i][j] = k;
+                }
+            }
+        }
+    }
+
+    // Reconstruct boundaries right-to-left.
+    let mut boundaries = vec![0usize; p + 1];
+    boundaries[p] = n;
+    let mut i = n;
+    for j in (1..=p).rev() {
+        let k = parent[i][j];
+        boundaries[j - 1] = k;
+        i = k;
+    }
+    Partition::new(boundaries)
+}
+
+/// The max stage weight of a partition — the quantity Algorithm 1 minimises.
+pub fn max_stage_weight(part: &Partition, weights: &[f64]) -> f64 {
+    (0..part.n_stages())
+        .map(|s| part.range(s).map(|b| weights[b]).sum::<f64>())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive optimum for small instances.
+    fn brute_force(weights: &[f64], p: usize) -> f64 {
+        fn rec(weights: &[f64], start: usize, p: usize, cur_max: f64, best: &mut f64) {
+            let n = weights.len();
+            if p == 1 {
+                let last: f64 = weights[start..].iter().sum();
+                *best = best.min(cur_max.max(last));
+                return;
+            }
+            let mut acc = 0.0;
+            // stage takes at least 1 block, leaves >= p-1 for the rest
+            for end in (start + 1)..=(n - (p - 1)) {
+                acc += weights[end - 1];
+                let m = cur_max.max(acc);
+                if m < *best {
+                    rec(weights, end, p - 1, m, best);
+                }
+            }
+        }
+        let mut best = f64::INFINITY;
+        rec(weights, 0, p, 0.0, &mut best);
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_instances() {
+        let cases: Vec<(Vec<f64>, usize)> = vec![
+            (vec![1.0, 2.0, 3.0, 4.0, 5.0], 2),
+            (vec![1.0, 2.0, 3.0, 4.0, 5.0], 3),
+            (vec![5.0, 1.0, 1.0, 1.0, 5.0], 3),
+            (vec![2.0, 2.0, 2.0, 2.0], 4),
+            (vec![1.0, 1.0, 9.0, 1.0, 1.0, 1.0, 1.0], 3),
+            (vec![0.1, 0.9, 0.5, 0.5, 0.8, 0.2, 0.4, 0.6], 4),
+        ];
+        for (w, p) in cases {
+            let part = balanced_partition(&w, p);
+            let got = max_stage_weight(&part, &w);
+            let want = brute_force(&w, p);
+            assert!(
+                (got - want).abs() < 1e-9,
+                "weights {w:?} p {p}: got {got}, optimal {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_stage_takes_everything() {
+        let w = vec![1.0, 2.0, 3.0];
+        let part = balanced_partition(&w, 1);
+        assert_eq!(part.n_stages(), 1);
+        assert_eq!(part.range(0), 0..3);
+    }
+
+    #[test]
+    fn p_equals_n_gives_singletons() {
+        let w = vec![3.0, 1.0, 2.0];
+        let part = balanced_partition(&w, 3);
+        assert_eq!(part.sizes(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn uniform_weights_split_evenly() {
+        let w = vec![1.0; 12];
+        let part = balanced_partition(&w, 4);
+        assert_eq!(part.sizes(), vec![3, 3, 3, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "need 1 <= p")]
+    fn rejects_more_stages_than_blocks() {
+        balanced_partition(&[1.0, 2.0], 3);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The DP never does worse than the exhaustive optimum, on any
+            /// random instance small enough to brute force.
+            #[test]
+            fn dp_is_optimal(
+                weights in proptest::collection::vec(0.01f64..10.0, 2..10),
+                p_seed in 0usize..100
+            ) {
+                let p = 1 + p_seed % weights.len();
+                let part = balanced_partition(&weights, p);
+                let got = max_stage_weight(&part, &weights);
+                let want = brute_force(&weights, p);
+                prop_assert!((got - want).abs() < 1e-9, "got {} want {}", got, want);
+            }
+
+            /// Stages always cover all blocks exactly once.
+            #[test]
+            fn partition_is_a_cover(
+                weights in proptest::collection::vec(0.01f64..10.0, 2..30),
+                p_seed in 0usize..100
+            ) {
+                let p = 1 + p_seed % weights.len();
+                let part = balanced_partition(&weights, p);
+                prop_assert_eq!(part.n_stages(), p);
+                prop_assert_eq!(part.n_blocks(), weights.len());
+                let covered: usize = part.sizes().iter().sum();
+                prop_assert_eq!(covered, weights.len());
+            }
+        }
+    }
+}

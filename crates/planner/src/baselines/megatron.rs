@@ -1,0 +1,126 @@
+//! Megatron-LM's partitioners: the uniform layer split used as the overall
+//! baseline (Figs 9–10), and the chunked split feeding its interleaved
+//! schedule (Fig. 14).
+
+use autopipe_cost::CostDb;
+use autopipe_sim::Partition;
+
+use crate::baselines::layer_boundary_positions;
+use crate::types::PlanError;
+
+/// Megatron-LM "evenly divides transformer layers into each pipeline stage":
+/// `L/p` whole layers per stage, embedding glued to stage 0, head blocks to
+/// the last stage. Errors when `p` does not divide the layer count — the
+/// reason GPT-2 762M (36 layers) runs a 9-stage pipeline instead of 8 in
+/// Fig. 10.
+pub fn uniform_partition(db: &CostDb, p: usize) -> Result<Partition, PlanError> {
+    let positions = layer_boundary_positions(db);
+    let n_layers = positions.len() - 1; // interior positions + 1
+    if p == 0 || p > n_layers {
+        return Err(PlanError::Infeasible(format!(
+            "cannot split {n_layers} layers into {p} stages"
+        )));
+    }
+    if !n_layers.is_multiple_of(p) {
+        return Err(PlanError::Infeasible(format!(
+            "Megatron-LM requires the pipeline depth to be a factor of the \
+             layer count ({n_layers} % {p} != 0)"
+        )));
+    }
+    let per = n_layers / p;
+    let mut bounds = Vec::with_capacity(p + 1);
+    for s in 0..p {
+        bounds.push(positions[s * per]);
+    }
+    bounds.push(db.len());
+    Ok(Partition::new(bounds))
+}
+
+/// The partition for Megatron-LM's interleaved schedule with `v` chunks per
+/// device: `p·v` chunk-stages of `L/(p·v)` layers each. Errors when the
+/// layers cannot be evenly chunked — the "X" entries of Fig. 14b ("the
+/// interleaved schedule requires an even number of model blocks per pipeline
+/// stage, making it unable to work properly with some pipeline depths").
+pub fn interleaved_partition(db: &CostDb, p: usize, v: usize) -> Result<Partition, PlanError> {
+    let positions = layer_boundary_positions(db);
+    let n_layers = positions.len() - 1;
+    if p == 0 || v == 0 || p * v > n_layers {
+        return Err(PlanError::Infeasible(format!(
+            "cannot split {n_layers} layers into {p}x{v} chunk-stages"
+        )));
+    }
+    if !n_layers.is_multiple_of(p * v) {
+        return Err(PlanError::Infeasible(format!(
+            "interleaved schedule needs {n_layers} layers divisible into \
+             {p} devices x {v} chunks"
+        )));
+    }
+    let per = n_layers / (p * v);
+    let mut bounds = Vec::with_capacity(p * v + 1);
+    for s in 0..(p * v) {
+        bounds.push(positions[s * per]);
+    }
+    bounds.push(db.len());
+    Ok(Partition::new(bounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_cost::Hardware;
+    use autopipe_model::{zoo, Granularity};
+
+    fn db(model: &autopipe_model::ModelConfig) -> CostDb {
+        CostDb::build(model, &Hardware::rtx3090_cluster(), 4, true, Granularity::SubLayer)
+    }
+
+    #[test]
+    fn uniform_splits_layers_evenly() {
+        let d = db(&zoo::gpt2_345m());
+        let part = uniform_partition(&d, 4).unwrap();
+        let layers = part.layer_counts(&d);
+        assert_eq!(layers, vec![6.0, 6.0, 6.0, 6.0]);
+        // Embedding with stage 0, head with stage 3.
+        assert_eq!(part.range(0).start, 0);
+        assert_eq!(part.range(3).end, d.len());
+    }
+
+    #[test]
+    fn depth_must_divide_layer_count() {
+        // GPT-2 762M has 36 layers: 8 stages impossible, 9 fine (Fig. 10).
+        let d = db(&zoo::gpt2_762m());
+        assert!(uniform_partition(&d, 8).is_err());
+        let part = uniform_partition(&d, 9).unwrap();
+        assert_eq!(part.layer_counts(&d), vec![4.0; 9]);
+    }
+
+    #[test]
+    fn uniform_is_imbalanced_in_time_despite_even_layers() {
+        // The motivating observation: even layer counts, uneven stage times
+        // (the head stage is the heaviest).
+        let d = db(&zoo::gpt2_345m());
+        let part = uniform_partition(&d, 4).unwrap();
+        let sc = part.stage_costs(&d);
+        let min = (0..4).map(|x| sc.work(x)).fold(f64::INFINITY, f64::min);
+        let max = (0..4).map(|x| sc.work(x)).fold(0.0, f64::max);
+        assert!(max > 1.2 * min, "max {max} min {min}");
+        // And the heaviest stage is the last one (LM head).
+        assert_eq!(
+            (0..4).max_by(|&a, &b| sc.work(a).total_cmp(&sc.work(b))),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn interleaved_chunking_rules() {
+        let d = db(&zoo::gpt2_345m());
+        // 24 layers, 4 devices, 2 chunks: 3 layers per chunk-stage.
+        let part = interleaved_partition(&d, 4, 2).unwrap();
+        assert_eq!(part.n_stages(), 8);
+        assert_eq!(part.layer_counts(&d), vec![3.0; 8]);
+        // 8 devices x 2 chunks: 24/16 not integral -> the Fig. 14b "X".
+        assert!(interleaved_partition(&d, 8, 2).is_err());
+        // 12 devices x 2 chunks: 1 layer per chunk-stage, fine.
+        assert!(interleaved_partition(&d, 12, 2).is_ok());
+    }
+}

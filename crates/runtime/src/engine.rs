@@ -1,0 +1,660 @@
+//! The pipeline execution engine: one thread per device, channels as links.
+//!
+//! Every schedule kind the paper discusses executes here — GPipe, 1F1B,
+//! AutoPipe's sliced 1F1B, and Megatron-LM's interleaved schedule (each
+//! device hosting `v` model chunks, with wrap-around links between the last
+//! and first devices).
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use autopipe_model::ModelConfig;
+use autopipe_schedule::{OpKind, Part, Schedule};
+use autopipe_sim::Partition;
+use autopipe_tensor::Tensor;
+
+use crate::data::BatchSet;
+use crate::stage::{build_modules, StageInput, StageModel, StageOutput};
+
+/// Configuration of a pipeline runtime.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Model architecture (use a laptop-scale config).
+    pub model: ModelConfig,
+    /// Partition over the model's sub-layer block sequence — one entry per
+    /// *stage* (`devices × chunks` stages for interleaved schedules).
+    pub partition: Partition,
+    /// Schedule to execute.
+    pub schedule: Schedule,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Parameter-init seed (shared with [`crate::ReferenceModel`]).
+    pub seed: u64,
+    /// Activation checkpointing (§II-C).
+    pub checkpointing: bool,
+}
+
+/// Result of one training iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct IterationStats {
+    /// Mean loss over the iteration's micro-batches.
+    pub loss: f32,
+    /// Wall-clock time of the pipelined section.
+    pub wall: Duration,
+}
+
+/// Message identity for stash-based receive (multiple chunks can share one
+/// directed link under the interleaved schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MsgKey {
+    is_grad: bool,
+    mb: usize,
+    part: Part,
+    dst_stage: usize,
+}
+
+#[derive(Debug)]
+struct Msg {
+    key: MsgKey,
+    tensor: Tensor,
+}
+
+/// A pipeline-parallel training run: per-device chunk stages plus the
+/// schedule driving them.
+pub struct Pipeline {
+    /// `stages[device][chunk]`.
+    stages: Vec<Vec<StageModel>>,
+    schedule: Schedule,
+    seq: usize,
+}
+
+impl Pipeline {
+    /// Build stages from a deterministic full-model initialisation.
+    pub fn new(cfg: &PipelineConfig) -> Pipeline {
+        let p = cfg.schedule.n_devices;
+        let v = cfg.schedule.n_chunks;
+        assert_eq!(
+            cfg.schedule.n_stages(),
+            cfg.partition.n_stages(),
+            "partition must have one entry per chunk-stage"
+        );
+        let all = build_modules(&cfg.model, cfg.seed);
+        assert_eq!(cfg.partition.n_blocks(), all.len());
+        let stages = (0..p)
+            .map(|d| {
+                (0..v)
+                    .map(|c| {
+                        StageModel::new(
+                            &all,
+                            &cfg.partition,
+                            cfg.schedule.stage_of(d, c),
+                            cfg.model.seq_len,
+                            cfg.lr,
+                            cfg.checkpointing,
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        Pipeline {
+            stages,
+            schedule: cfg.schedule.clone(),
+            seq: cfg.model.seq_len,
+        }
+    }
+
+    /// One full training iteration: pipelined forward/backward over every
+    /// micro-batch, then an optimiser step on every stage.
+    pub fn train_iteration(&mut self, batch: &BatchSet) -> IterationStats {
+        let stats = self.forward_backward(batch);
+        self.step_all();
+        stats
+    }
+
+    /// Pipelined forward/backward without the optimiser step (gradients
+    /// stay accumulated — used by data-parallel replicas).
+    pub fn forward_backward(&mut self, batch: &BatchSet) -> IterationStats {
+        let m = batch.n_microbatches();
+        assert_eq!(m, self.schedule.n_microbatches);
+        if self.schedule.n_sliced > 0 {
+            assert!(batch.mbs >= 2, "slicing needs at least 2 samples per micro-batch");
+        }
+        let p = self.schedule.n_devices;
+        let seq = self.seq;
+        let grad_scale = 1.0 / m as f32;
+
+        // One channel per directed device pair used by the schedule.
+        let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+        for (d, ops) in self.schedule.devices.iter().enumerate() {
+            for op in ops {
+                match op.kind {
+                    OpKind::SendAct { to, .. } | OpKind::SendGrad { to, .. } => {
+                        edges.insert((d, to));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let mut txs: Vec<HashMap<usize, Sender<Msg>>> = (0..p).map(|_| HashMap::new()).collect();
+        let mut rxs: Vec<Vec<Receiver<Msg>>> = (0..p).map(|_| Vec::new()).collect();
+        for &(from, to) in &edges {
+            let (tx, rx) = unbounded::<Msg>();
+            txs[from].insert(to, tx);
+            rxs[to].push(rx);
+        }
+
+        let schedule = &self.schedule;
+        let t0 = Instant::now();
+        let losses: Vec<f32> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            let mut txs = txs.drain(..);
+            let mut rxs = rxs.drain(..);
+            for (d, chunks) in self.stages.iter_mut().enumerate() {
+                let ops = &schedule.devices[d];
+                let my_tx = txs.next().unwrap();
+                let my_rx = rxs.next().unwrap();
+                handles.push(scope.spawn(move || {
+                    run_device(DeviceCtx {
+                        device: d,
+                        n_devices: p,
+                        chunks,
+                        ops,
+                        batch,
+                        seq,
+                        grad_scale,
+                        tx: my_tx,
+                        rx: my_rx,
+                    })
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let wall = t0.elapsed();
+        IterationStats {
+            loss: losses.iter().sum::<f32>() / m as f32,
+            wall,
+        }
+    }
+
+    /// Optimiser step on every stage.
+    pub fn step_all(&mut self) {
+        for dev in &mut self.stages {
+            for s in dev {
+                s.step();
+            }
+        }
+    }
+
+    /// Clip the global gradient norm across all stages (the distributed
+    /// equivalent of `clip_grad_norm_`): each stage contributes its squared
+    /// norm, the combined norm decides one common scale factor. Returns the
+    /// pre-clip global norm.
+    pub fn clip_gradients(&mut self, max_norm: f32) -> f64 {
+        let norm = self
+            .stages
+            .iter()
+            .flatten()
+            .map(|s| s.grad_sqnorm())
+            .sum::<f64>()
+            .sqrt();
+        if norm > max_norm as f64 && norm > 0.0 {
+            let factor = (max_norm as f64 / norm) as f32;
+            for dev in &mut self.stages {
+                for s in dev {
+                    s.scale_grads(factor);
+                }
+            }
+        }
+        norm
+    }
+
+    /// Set the learning rate on every stage (schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        for dev in &mut self.stages {
+            for s in dev {
+                s.set_lr(lr);
+            }
+        }
+    }
+
+    /// Sum over all parameters of all stages (equality tests).
+    pub fn param_checksum(&self) -> f64 {
+        self.stages
+            .iter()
+            .flatten()
+            .map(|s| s.param_checksum())
+            .sum()
+    }
+
+    /// Flat mutable view of every stage, in (device, chunk) order
+    /// (data-parallel all-reduce).
+    pub fn stages_mut(&mut self) -> Vec<&mut StageModel> {
+        self.stages.iter_mut().flatten().collect()
+    }
+}
+
+/// Average the accumulated gradients across data-parallel replicas and step
+/// every replica — the NCCL all-reduce + optimiser step of hybrid training.
+/// All replicas must share the same partition.
+pub fn data_parallel_step(replicas: &mut [Pipeline]) {
+    let r = replicas.len();
+    assert!(r >= 1);
+    let n_stages: usize = replicas[0].stages.iter().map(|d| d.len()).sum();
+    for s in 0..n_stages {
+        let mut avg: Vec<Tensor> = {
+            let stages0 = replicas[0].stages_mut();
+            stages0[s].grads().to_vec()
+        };
+        for rep in replicas[1..].iter_mut() {
+            let stages = rep.stages_mut();
+            for (a, g) in avg.iter_mut().zip(stages[s].grads()) {
+                a.axpy(1.0, g);
+            }
+        }
+        for a in &mut avg {
+            *a = a.scale(1.0 / r as f32);
+        }
+        for rep in replicas.iter_mut() {
+            let mut stages = rep.stages_mut();
+            stages[s].set_grads(avg.clone());
+        }
+    }
+    for rep in replicas.iter_mut() {
+        rep.step_all();
+    }
+}
+
+struct DeviceCtx<'a> {
+    device: usize,
+    n_devices: usize,
+    chunks: &'a mut [StageModel],
+    ops: &'a [autopipe_schedule::Op],
+    batch: &'a BatchSet,
+    seq: usize,
+    grad_scale: f32,
+    tx: HashMap<usize, Sender<Msg>>,
+    rx: Vec<Receiver<Msg>>,
+}
+
+fn run_device(ctx: DeviceCtx<'_>) -> f32 {
+    let p = ctx.n_devices;
+    let d = ctx.device;
+    let stage_of = |chunk: usize| chunk * p + d;
+    let mut stash: HashMap<MsgKey, Tensor> = HashMap::new();
+    let mut pending_acts: HashMap<(usize, usize, Part), Tensor> = HashMap::new();
+    let mut pending_grads: HashMap<(usize, usize), Tensor> = HashMap::new();
+    let mut fwd_out: HashMap<(usize, usize, Part), Tensor> = HashMap::new();
+    let mut bwd_out: HashMap<(usize, usize), Tensor> = HashMap::new();
+    let mut loss_sum = 0.0_f32;
+
+    // Blocking receive with stash: messages for other (chunk, mb) pairs
+    // sharing this device's links are parked until their op comes up.
+    let recv_key = |key: MsgKey, stash: &mut HashMap<MsgKey, Tensor>, rx: &[Receiver<Msg>]| -> Tensor {
+        if let Some(t) = stash.remove(&key) {
+            return t;
+        }
+        // With at most a couple of inbound links, round-robin blocking
+        // receive via select would be ideal; a simple loop over try_recv
+        // with a blocking fallback keeps this dependency-free.
+        loop {
+            let mut any = false;
+            for r in rx {
+                if let Ok(msg) = r.try_recv() {
+                    any = true;
+                    if msg.key == key {
+                        return msg.tensor;
+                    }
+                    stash.insert(msg.key, msg.tensor);
+                }
+            }
+            if let Some(t) = stash.remove(&key) {
+                return t;
+            }
+            if !any {
+                std::thread::yield_now();
+            }
+        }
+    };
+
+    for op in ctx.ops {
+        match op.kind {
+            OpKind::RecvAct {
+                mb, chunk, part, ..
+            } => {
+                let key = MsgKey {
+                    is_grad: false,
+                    mb,
+                    part,
+                    dst_stage: stage_of(chunk),
+                };
+                let tensor = recv_key(key, &mut stash, &ctx.rx);
+                if part == Part::Both {
+                    let h = *tensor.shape().last().unwrap();
+                    let rows = tensor.len() / h;
+                    let half = rows / 2;
+                    pending_acts.insert(
+                        (mb, chunk, Part::Half1),
+                        Tensor::from_vec(&[half, h], tensor.data()[..half * h].to_vec()),
+                    );
+                    pending_acts.insert(
+                        (mb, chunk, Part::Half2),
+                        Tensor::from_vec(&[rows - half, h], tensor.data()[half * h..].to_vec()),
+                    );
+                } else {
+                    pending_acts.insert((mb, chunk, part), tensor);
+                }
+            }
+            OpKind::Fwd { mb, chunk, part } => {
+                let stage = &mut ctx.chunks[chunk];
+                let input = if stage.has_embedding() {
+                    let rows = ctx.batch.rows_of_part(part);
+                    StageInput::Tokens(
+                        ctx.batch.ids[mb][rows.start * ctx.seq..rows.end * ctx.seq].to_vec(),
+                    )
+                } else {
+                    StageInput::Hidden(pending_acts.remove(&(mb, chunk, part)).unwrap_or_else(
+                        || panic!("device {d} chunk {chunk}: missing act {mb} {part:?}"),
+                    ))
+                };
+                if stage.has_head() {
+                    let rows = ctx.batch.rows_of_part(part);
+                    stage.set_targets(
+                        mb,
+                        part,
+                        ctx.batch.targets[mb][rows.start * ctx.seq..rows.end * ctx.seq].to_vec(),
+                    );
+                }
+                match stage.forward(mb, part, input) {
+                    StageOutput::Hidden(t) => {
+                        fwd_out.insert((mb, chunk, part), t);
+                    }
+                    StageOutput::Loss(l) => loss_sum += l,
+                }
+            }
+            OpKind::SendAct {
+                mb, chunk, part, to,
+            } => {
+                let tensor = if part == Part::Both {
+                    let t1 = fwd_out.remove(&(mb, chunk, Part::Half1)).expect("half1 out");
+                    let t2 = fwd_out.remove(&(mb, chunk, Part::Half2)).expect("half2 out");
+                    let h = *t1.shape().last().unwrap();
+                    let rows = t1.len() / h + t2.len() / h;
+                    let mut data = Vec::with_capacity(rows * h);
+                    data.extend_from_slice(t1.data());
+                    data.extend_from_slice(t2.data());
+                    Tensor::from_vec(&[rows, h], data)
+                } else {
+                    fwd_out.remove(&(mb, chunk, part)).unwrap_or_else(|| {
+                        panic!("device {d} chunk {chunk}: missing fwd out {mb} {part:?}")
+                    })
+                };
+                let key = MsgKey {
+                    is_grad: false,
+                    mb,
+                    part,
+                    dst_stage: stage_of(chunk) + 1,
+                };
+                ctx.tx[&to]
+                    .send(Msg { key, tensor })
+                    .expect("activation channel closed");
+            }
+            OpKind::RecvGrad { mb, chunk, .. } => {
+                let key = MsgKey {
+                    is_grad: true,
+                    mb,
+                    part: Part::Full,
+                    dst_stage: stage_of(chunk),
+                };
+                let tensor = recv_key(key, &mut stash, &ctx.rx);
+                pending_grads.insert((mb, chunk), tensor);
+            }
+            OpKind::Bwd { mb, chunk } => {
+                let stage = &mut ctx.chunks[chunk];
+                let d_out = pending_grads.remove(&(mb, chunk));
+                if !stage.has_head() {
+                    assert!(
+                        d_out.is_some(),
+                        "device {d} chunk {chunk}: missing grad for mb {mb}"
+                    );
+                }
+                if let Some(dx) = stage.backward_microbatch(mb, d_out.as_ref(), ctx.grad_scale) {
+                    bwd_out.insert((mb, chunk), dx);
+                }
+            }
+            OpKind::SendGrad { mb, chunk, to } => {
+                let tensor = bwd_out
+                    .remove(&(mb, chunk))
+                    .unwrap_or_else(|| panic!("device {d} chunk {chunk}: missing bwd out {mb}"));
+                let key = MsgKey {
+                    is_grad: true,
+                    mb,
+                    part: Part::Full,
+                    dst_stage: stage_of(chunk) - 1,
+                };
+                ctx.tx[&to]
+                    .send(Msg { key, tensor })
+                    .expect("gradient channel closed");
+            }
+        }
+    }
+    loss_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::ReferenceModel;
+    use autopipe_model::ModelFamily;
+    use autopipe_schedule::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
+
+    fn tiny() -> ModelConfig {
+        ModelConfig {
+            name: "tiny".into(),
+            family: ModelFamily::Gpt2,
+            num_layers: 2,
+            hidden_size: 16,
+            num_heads: 2,
+            seq_len: 8,
+            vocab_size: 40,
+            ffn_mult: 2,
+        }
+    }
+
+    /// A 4-layer variant for interleaved tests (needs more chunk-stages).
+    fn tiny4() -> ModelConfig {
+        ModelConfig {
+            num_layers: 4,
+            ..tiny()
+        }
+    }
+
+    /// Block layout of `tiny()` at sub-layer granularity:
+    /// [emb][attn,ffn]×2[ln_f][head] = 7 blocks.
+    fn partition2() -> Partition {
+        Partition::new(vec![0, 3, 7])
+    }
+
+    fn cfg(schedule: Schedule, partition: Partition, ckpt: bool) -> PipelineConfig {
+        PipelineConfig {
+            model: tiny(),
+            partition,
+            schedule,
+            lr: 1e-3,
+            seed: 99,
+            checkpointing: ckpt,
+        }
+    }
+
+    fn close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{what}: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn two_stage_pipeline_matches_reference() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(5, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::new(&cfg(one_f_one_b(2, m), partition2(), false));
+        let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
+        for it in 0..3 {
+            let pl = pipe.train_iteration(&batch).loss;
+            let rl = reference.train_iteration(&batch);
+            close(pl as f64, rl as f64, 1e-4, &format!("loss iter {it}"));
+        }
+        close(
+            pipe.param_checksum(),
+            reference.param_checksum(),
+            1e-5,
+            "params after 3 iterations",
+        );
+    }
+
+    #[test]
+    fn four_stage_pipeline_matches_reference() {
+        let model = tiny();
+        let m = 6;
+        // 7 blocks into 4 stages.
+        let part = Partition::new(vec![0, 2, 4, 6, 7]);
+        let batch = BatchSet::synthetic(6, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::new(&cfg(one_f_one_b(4, m), part, false));
+        let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
+        let pl = pipe.train_iteration(&batch).loss;
+        let rl = reference.train_iteration(&batch);
+        close(pl as f64, rl as f64, 1e-4, "loss");
+        close(pipe.param_checksum(), reference.param_checksum(), 1e-5, "params");
+    }
+
+    #[test]
+    fn sliced_pipeline_matches_reference() {
+        // The Slicer's correctness claim: slicing reschedules Warmup
+        // forwards without changing the math.
+        let model = tiny();
+        let m = 6;
+        let part = Partition::new(vec![0, 2, 4, 6, 7]);
+        let batch = BatchSet::synthetic(7, m, 4, model.seq_len, model.vocab_size);
+        for n_sliced in [1, 2, 3] {
+            let mut pipe = Pipeline::new(&cfg(sliced_1f1b(4, m, n_sliced), part.clone(), false));
+            let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
+            let pl = pipe.train_iteration(&batch).loss;
+            let rl = reference.train_iteration(&batch);
+            close(pl as f64, rl as f64, 1e-4, &format!("loss sliced={n_sliced}"));
+            close(
+                pipe.param_checksum(),
+                reference.param_checksum(),
+                1e-5,
+                &format!("params sliced={n_sliced}"),
+            );
+        }
+    }
+
+    #[test]
+    fn interleaved_pipeline_matches_reference() {
+        // Megatron-LM's interleaved schedule on the real runtime: 2 devices
+        // x 2 chunks = 4 chunk-stages over the 4-layer tiny model, checked
+        // against single-device training.
+        let model = tiny4();
+        let p = 2;
+        let v = 2;
+        let m = 4;
+        // Blocks: [emb][attn,ffn]x4[ln_f][head] = 11; 4 chunk-stages.
+        let part = Partition::new(vec![0, 3, 5, 8, 11]);
+        let sched = interleaved(p, v, m).unwrap();
+        let pipe_cfg = PipelineConfig {
+            model: model.clone(),
+            partition: part,
+            schedule: sched,
+            lr: 1e-3,
+            seed: 77,
+            checkpointing: false,
+        };
+        let mut pipe = Pipeline::new(&pipe_cfg);
+        let mut reference = ReferenceModel::new(&model, 77, 1e-3, false);
+        let batch = BatchSet::synthetic(8, m, 2, model.seq_len, model.vocab_size);
+        for it in 0..2 {
+            let pl = pipe.train_iteration(&batch).loss;
+            let rl = reference.train_iteration(&batch);
+            close(pl as f64, rl as f64, 1e-4, &format!("interleaved loss iter {it}"));
+        }
+        close(
+            pipe.param_checksum(),
+            reference.param_checksum(),
+            1e-5,
+            "interleaved params",
+        );
+    }
+
+    #[test]
+    fn checkpointed_pipeline_matches_uncheckpointed() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(8, m, 2, model.seq_len, model.vocab_size);
+        let mut plain = Pipeline::new(&cfg(one_f_one_b(2, m), partition2(), false));
+        let mut ckpt = Pipeline::new(&cfg(one_f_one_b(2, m), partition2(), true));
+        let lp = plain.train_iteration(&batch).loss;
+        let lc = ckpt.train_iteration(&batch).loss;
+        close(lp as f64, lc as f64, 1e-5, "loss");
+        close(plain.param_checksum(), ckpt.param_checksum(), 1e-6, "params");
+    }
+
+    #[test]
+    fn gpipe_schedule_also_executes() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(9, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::new(&cfg(gpipe(2, m), partition2(), false));
+        let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
+        let pl = pipe.train_iteration(&batch).loss;
+        let rl = reference.train_iteration(&batch);
+        close(pl as f64, rl as f64, 1e-4, "gpipe loss");
+    }
+
+    #[test]
+    fn data_parallel_hybrid_matches_reference() {
+        let model = tiny();
+        let m_total = 8;
+        let replicas = 2;
+        let m_rep = m_total / replicas;
+        let full = BatchSet::synthetic(10, m_total, 2, model.seq_len, model.vocab_size);
+        // Split micro-batches across the two replicas.
+        let split = |lo: usize, hi: usize| BatchSet {
+            ids: full.ids[lo..hi].to_vec(),
+            targets: full.targets[lo..hi].to_vec(),
+            mbs: full.mbs,
+            seq: full.seq,
+        };
+        let mut reps = vec![
+            Pipeline::new(&cfg(one_f_one_b(2, m_rep), partition2(), false)),
+            Pipeline::new(&cfg(one_f_one_b(2, m_rep), partition2(), false)),
+        ];
+        let l0 = reps[0].forward_backward(&split(0, m_rep)).loss;
+        let l1 = reps[1].forward_backward(&split(m_rep, m_total)).loss;
+        data_parallel_step(&mut reps);
+        let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
+        let rl = reference.train_iteration(&full);
+        close(((l0 + l1) / 2.0) as f64, rl as f64, 1e-4, "hybrid loss");
+        close(reps[0].param_checksum(), reference.param_checksum(), 1e-5, "replica 0 params");
+        close(reps[1].param_checksum(), reps[0].param_checksum(), 1e-9, "replicas agree");
+    }
+
+    #[test]
+    fn training_reduces_loss_through_the_pipeline() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(11, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::new(&PipelineConfig {
+            lr: 3e-3,
+            ..cfg(sliced_1f1b(2, m, 1), partition2(), true)
+        });
+        let first = pipe.train_iteration(&batch).loss;
+        let mut last = first;
+        for _ in 0..10 {
+            last = pipe.train_iteration(&batch).loss;
+        }
+        assert!(last < first, "{first} -> {last}");
+    }
+}

@@ -1,0 +1,217 @@
+//! High-level training loop on top of the pipeline engine: learning-rate
+//! warmup + decay and global gradient-norm clipping — enough of a real
+//! recipe to demonstrate that the pipelined substrate *trains* models, not
+//! just that it reproduces reference arithmetic.
+
+use autopipe_model::ModelConfig;
+
+use crate::data::BatchSet;
+use crate::engine::{Pipeline, PipelineConfig};
+
+/// Training-loop hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainerConfig {
+    /// Peak learning rate.
+    pub lr: f32,
+    /// Linear warmup iterations.
+    pub warmup_iters: usize,
+    /// Total iterations the schedule decays over (cosine to 10% of peak).
+    pub total_iters: usize,
+    /// Global gradient-norm clip (`None` = no clipping).
+    pub clip_norm: Option<f32>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            lr: 1e-3,
+            warmup_iters: 5,
+            total_iters: 100,
+            clip_norm: Some(1.0),
+        }
+    }
+}
+
+/// Per-iteration record.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainStep {
+    /// Iteration index.
+    pub iteration: usize,
+    /// Mean loss.
+    pub loss: f32,
+    /// Learning rate used.
+    pub lr: f32,
+    /// Pre-clip global gradient norm.
+    pub grad_norm: f64,
+}
+
+/// A pipeline plus its schedule-driven optimiser loop.
+pub struct Trainer {
+    pipeline: Pipeline,
+    cfg: TrainerConfig,
+    step: usize,
+}
+
+impl Trainer {
+    /// Build from a pipeline configuration.
+    pub fn new(pipe_cfg: &PipelineConfig, cfg: TrainerConfig) -> Trainer {
+        Trainer {
+            pipeline: Pipeline::new(pipe_cfg),
+            cfg,
+            step: 0,
+        }
+    }
+
+    /// Current learning rate per the warmup+cosine schedule.
+    pub fn current_lr(&self) -> f32 {
+        schedule_lr(self.step, &self.cfg)
+    }
+
+    /// One training iteration: forward/backward, clip, schedule LR, step.
+    pub fn train_iteration(&mut self, batch: &BatchSet) -> TrainStep {
+        let lr = self.current_lr();
+        self.pipeline.set_lr(lr);
+        let stats = self.pipeline.forward_backward(batch);
+        let grad_norm = match self.cfg.clip_norm {
+            Some(c) => self.pipeline.clip_gradients(c),
+            None => 0.0,
+        };
+        self.pipeline.step_all();
+        let record = TrainStep {
+            iteration: self.step,
+            loss: stats.loss,
+            lr,
+            grad_norm,
+        };
+        self.step += 1;
+        record
+    }
+
+    /// The underlying pipeline (inspection, checksums).
+    pub fn pipeline(&self) -> &Pipeline {
+        &self.pipeline
+    }
+}
+
+/// Linear warmup to `cfg.lr`, then cosine decay to 10% of peak.
+pub fn schedule_lr(step: usize, cfg: &TrainerConfig) -> f32 {
+    if step < cfg.warmup_iters {
+        return cfg.lr * (step + 1) as f32 / cfg.warmup_iters as f32;
+    }
+    let progress = ((step - cfg.warmup_iters) as f32
+        / (cfg.total_iters.saturating_sub(cfg.warmup_iters)).max(1) as f32)
+        .min(1.0);
+    let floor = 0.1 * cfg.lr;
+    floor + 0.5 * (cfg.lr - floor) * (1.0 + (std::f32::consts::PI * progress).cos())
+}
+
+/// Convenience: train `iters` iterations of the copy task and return the
+/// loss trajectory (used by convergence tests and the examples).
+pub fn train_copy_task(
+    model: &ModelConfig,
+    pipe_cfg: &PipelineConfig,
+    cfg: TrainerConfig,
+    m: usize,
+    mbs: usize,
+    iters: usize,
+) -> Vec<TrainStep> {
+    let mut trainer = Trainer::new(pipe_cfg, cfg);
+    let batch = BatchSet::copy_task(7, m, mbs, model.seq_len, model.vocab_size);
+    (0..iters).map(|_| trainer.train_iteration(&batch)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_model::{ModelFamily, ModelConfig};
+    use autopipe_schedule::sliced_1f1b;
+    use autopipe_sim::Partition;
+
+    fn tiny() -> ModelConfig {
+        ModelConfig {
+            name: "tiny".into(),
+            family: ModelFamily::Gpt2,
+            num_layers: 2,
+            hidden_size: 32,
+            num_heads: 2,
+            seq_len: 8,
+            vocab_size: 24,
+            ffn_mult: 2,
+        }
+    }
+
+    #[test]
+    fn lr_schedule_warms_up_then_decays() {
+        let cfg = TrainerConfig {
+            lr: 1.0,
+            warmup_iters: 4,
+            total_iters: 20,
+            clip_norm: None,
+        };
+        assert!((schedule_lr(0, &cfg) - 0.25).abs() < 1e-6);
+        assert!((schedule_lr(3, &cfg) - 1.0).abs() < 1e-6);
+        assert!(schedule_lr(10, &cfg) < 1.0);
+        assert!(schedule_lr(19, &cfg) >= 0.1 - 1e-6);
+        assert!(schedule_lr(500, &cfg) >= 0.1 - 1e-6);
+    }
+
+    #[test]
+    fn pipelined_training_actually_learns_the_copy_task() {
+        // The substance behind "synchronous pipeline parallelism does not
+        // affect model convergence": loss on a learnable task must fall
+        // well below chance (ln 24 ≈ 3.18) through a sliced pipeline.
+        let model = tiny();
+        let pipe_cfg = PipelineConfig {
+            model: model.clone(),
+            partition: Partition::new(vec![0, 3, 7]),
+            schedule: sliced_1f1b(2, 4, 1),
+            lr: 3e-3,
+            seed: 11,
+            checkpointing: true,
+        };
+        let steps = train_copy_task(
+            &model,
+            &pipe_cfg,
+            TrainerConfig {
+                lr: 3e-3,
+                warmup_iters: 3,
+                total_iters: 60,
+                clip_norm: Some(1.0),
+            },
+            4,
+            4,
+            60,
+        );
+        let first = steps.first().unwrap().loss;
+        let last = steps.last().unwrap().loss;
+        assert!(first > 2.5, "initial loss should be near chance, got {first}");
+        assert!(
+            last < first * 0.5,
+            "copy task should be learnable: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn clipping_bounds_the_applied_norm() {
+        let model = tiny();
+        let pipe_cfg = PipelineConfig {
+            model: model.clone(),
+            partition: Partition::new(vec![0, 3, 7]),
+            schedule: autopipe_schedule::one_f_one_b(2, 2),
+            lr: 1e-3,
+            seed: 12,
+            checkpointing: false,
+        };
+        let mut trainer = Trainer::new(
+            &pipe_cfg,
+            TrainerConfig {
+                clip_norm: Some(0.05),
+                ..Default::default()
+            },
+        );
+        let batch = BatchSet::copy_task(3, 2, 2, model.seq_len, model.vocab_size);
+        let step = trainer.train_iteration(&batch);
+        // Fresh random model on a hard batch: the raw norm exceeds the clip.
+        assert!(step.grad_norm > 0.05, "raw norm {}", step.grad_norm);
+    }
+}

@@ -1,0 +1,537 @@
+//! Schedule generators.
+
+use crate::op::{Op, OpKind, Part};
+use crate::{Schedule, ScheduleKind};
+
+/// Error building a schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenerateError {
+    /// The interleaved schedule requires the micro-batch count to be a
+    /// multiple of the pipeline depth (Megatron-LM restriction).
+    MicrobatchesNotMultipleOfDepth { m: usize, p: usize },
+    /// Interleaving needs at least 2 devices (a 1-device "pipeline" has no
+    /// peer to interleave against).
+    TooFewDevices,
+    /// Zero micro-batches or zero devices.
+    Empty,
+}
+
+impl std::fmt::Display for GenerateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GenerateError::MicrobatchesNotMultipleOfDepth { m, p } => write!(
+                f,
+                "interleaved schedule requires micro-batches ({m}) to be a multiple of depth ({p})"
+            ),
+            GenerateError::TooFewDevices => write!(f, "interleaved schedule needs >= 2 devices"),
+            GenerateError::Empty => write!(f, "schedule needs >= 1 device and >= 1 micro-batch"),
+        }
+    }
+}
+
+impl std::error::Error for GenerateError {}
+
+fn op(kind: OpKind) -> Op {
+    Op::new(kind)
+}
+
+/// The synchronous 1F1B schedule (Fig. 5): each stage runs
+/// `min(m, p−1−stage)` Warmup forwards, alternates forward/backward in the
+/// 1F1B phase, and drains remaining backwards in Cooldown.
+pub fn one_f_one_b(p: usize, m: usize) -> Schedule {
+    let mut devices = Vec::with_capacity(p);
+    for x in 0..p {
+        devices.push(one_f_one_b_device(p, m, x, 0));
+    }
+    Schedule {
+        kind: ScheduleKind::OneFOneB,
+        n_devices: p,
+        n_chunks: 1,
+        n_microbatches: m,
+        n_sliced: 0,
+        devices,
+    }
+}
+
+/// Build one device's 1F1B program. `sliced` leading micro-batches have
+/// their forwards split in half (0 = plain 1F1B).
+fn one_f_one_b_device(p: usize, m: usize, x: usize, sliced: usize) -> Vec<Op> {
+    let w = m.min(p - 1 - x);
+    let mut ops = Vec::new();
+    // Warmup forwards.
+    for i in 0..w {
+        push_fwd_set(&mut ops, p, x, i, sliced);
+    }
+    // 1F1B phase: forward of (w + j), backward of j.
+    let steady = m - w;
+    for j in 0..steady {
+        push_fwd_set(&mut ops, p, x, w + j, sliced);
+        push_bwd_set(&mut ops, p, x, j);
+    }
+    // Cooldown backwards.
+    for j in steady..m {
+        push_bwd_set(&mut ops, p, x, j);
+    }
+    ops
+}
+
+/// Emit the forward of micro-batch `i` on stage `x`, honouring slicing.
+///
+/// Sliced micro-batches (i < sliced) run as two half forwards with the first
+/// half's activation shipped immediately, so downstream stages start
+/// `f/2 + Comm/2` earlier. The *last* sliced micro-batch instead aggregates
+/// both halves into one message: its first-half send would hit a busy
+/// downstream stage and block (§III-C), so the send is cancelled and merged
+/// with the second half's.
+fn push_fwd_set(ops: &mut Vec<Op>, p: usize, x: usize, i: usize, sliced: usize) {
+    let aggregated = sliced >= 2 && i == sliced - 1;
+    if i < sliced && !aggregated {
+        for part in [Part::Half1, Part::Half2] {
+            if x > 0 {
+                ops.push(op(OpKind::RecvAct {
+                    mb: i,
+                    chunk: 0,
+                    part,
+                    from: x - 1,
+                }));
+            }
+            ops.push(op(OpKind::Fwd {
+                mb: i,
+                chunk: 0,
+                part,
+            }));
+            if x < p - 1 {
+                ops.push(op(OpKind::SendAct {
+                    mb: i,
+                    chunk: 0,
+                    part,
+                    to: x + 1,
+                }));
+            }
+        }
+    } else if aggregated {
+        if x > 0 {
+            ops.push(op(OpKind::RecvAct {
+                mb: i,
+                chunk: 0,
+                part: Part::Both,
+                from: x - 1,
+            }));
+        }
+        ops.push(op(OpKind::Fwd {
+            mb: i,
+            chunk: 0,
+            part: Part::Half1,
+        }));
+        ops.push(op(OpKind::Fwd {
+            mb: i,
+            chunk: 0,
+            part: Part::Half2,
+        }));
+        if x < p - 1 {
+            ops.push(op(OpKind::SendAct {
+                mb: i,
+                chunk: 0,
+                part: Part::Both,
+                to: x + 1,
+            }));
+        }
+    } else {
+        if x > 0 {
+            ops.push(op(OpKind::RecvAct {
+                mb: i,
+                chunk: 0,
+                part: Part::Full,
+                from: x - 1,
+            }));
+        }
+        ops.push(op(OpKind::Fwd {
+            mb: i,
+            chunk: 0,
+            part: Part::Full,
+        }));
+        if x < p - 1 {
+            ops.push(op(OpKind::SendAct {
+                mb: i,
+                chunk: 0,
+                part: Part::Full,
+                to: x + 1,
+            }));
+        }
+    }
+}
+
+/// Emit the backward of micro-batch `j` on stage `x`. Backwards are never
+/// sliced — slicing only reschedules the Warmup phase.
+fn push_bwd_set(ops: &mut Vec<Op>, p: usize, x: usize, j: usize) {
+    if x < p - 1 {
+        ops.push(op(OpKind::RecvGrad {
+            mb: j,
+            chunk: 0,
+            from: x + 1,
+        }));
+    }
+    ops.push(op(OpKind::Bwd { mb: j, chunk: 0 }));
+    if x > 0 {
+        ops.push(op(OpKind::SendGrad {
+            mb: j,
+            chunk: 0,
+            to: x - 1,
+        }));
+    }
+}
+
+/// GPipe: run every forward, then every backward in reverse micro-batch
+/// order (fill then drain — maximal startup and cooldown bubbles).
+pub fn gpipe(p: usize, m: usize) -> Schedule {
+    let mut devices = Vec::with_capacity(p);
+    for x in 0..p {
+        let mut ops = Vec::new();
+        for i in 0..m {
+            push_fwd_set(&mut ops, p, x, i, 0);
+        }
+        for j in (0..m).rev() {
+            push_bwd_set(&mut ops, p, x, j);
+        }
+        devices.push(ops);
+    }
+    Schedule {
+        kind: ScheduleKind::GPipe,
+        n_devices: p,
+        n_chunks: 1,
+        n_microbatches: m,
+        n_sliced: 0,
+        devices,
+    }
+}
+
+/// AutoPipe sliced 1F1B: identical to [`one_f_one_b`] except that the
+/// forwards of the first `sliced` micro-batches are split in half, with the
+/// last sliced micro-batch's halves aggregated into a single message.
+pub fn sliced_1f1b(p: usize, m: usize, sliced: usize) -> Schedule {
+    let sliced = sliced.min(m);
+    let mut devices = Vec::with_capacity(p);
+    for x in 0..p {
+        devices.push(one_f_one_b_device(p, m, x, sliced));
+    }
+    Schedule {
+        kind: ScheduleKind::Sliced1F1B,
+        n_devices: p,
+        n_chunks: 1,
+        n_microbatches: m,
+        n_sliced: sliced,
+        devices,
+    }
+}
+
+/// Megatron-LM's interleaved 1F1B schedule with `v` model chunks per device.
+///
+/// Device `d` hosts chunks `c = 0..v`, implementing pipeline stages
+/// `c·p + d`. The forward sequence on every device walks micro-batches in
+/// groups of `p`, cycling through all chunks for one group before advancing
+/// (the canonical Megatron ordering); the backward sequence mirrors it with
+/// chunks reversed. Warmup depth is `2·(p−d−1) + (v−1)·p` chunk-forwards.
+pub fn interleaved(p: usize, v: usize, m: usize) -> Result<Schedule, GenerateError> {
+    if p == 0 || m == 0 || v == 0 {
+        return Err(GenerateError::Empty);
+    }
+    if v == 1 {
+        let mut s = one_f_one_b(p, m);
+        s.kind = ScheduleKind::Interleaved;
+        return Ok(s);
+    }
+    if p < 2 {
+        return Err(GenerateError::TooFewDevices);
+    }
+    if !m.is_multiple_of(p) {
+        return Err(GenerateError::MicrobatchesNotMultipleOfDepth { m, p });
+    }
+
+    let total = m * v; // chunk-level forwards (= backwards) per device
+    let fwd_chunk = |k: usize| (k / p) % v;
+    let fwd_mb = |k: usize| (k / (p * v)) * p + k % p;
+    let bwd_chunk = |j: usize| v - 1 - (j / p) % v;
+    let bwd_mb = |j: usize| (j / (p * v)) * p + j % p;
+
+    let mut devices = Vec::with_capacity(p);
+    for d in 0..p {
+        let warmup = total.min(2 * (p - d - 1) + (v - 1) * p);
+        let mut ops = Vec::new();
+        let emit_fwd = |ops: &mut Vec<Op>, k: usize| {
+            let c = fwd_chunk(k);
+            let mb = fwd_mb(k);
+            let stage = c * p + d;
+            if stage > 0 {
+                let from = if d > 0 { d - 1 } else { p - 1 };
+                ops.push(op(OpKind::RecvAct {
+                    mb,
+                    chunk: c,
+                    part: Part::Full,
+                    from,
+                }));
+            }
+            ops.push(op(OpKind::Fwd {
+                mb,
+                chunk: c,
+                part: Part::Full,
+            }));
+            if stage < p * v - 1 {
+                let to = if d < p - 1 { d + 1 } else { 0 };
+                ops.push(op(OpKind::SendAct {
+                    mb,
+                    chunk: c,
+                    part: Part::Full,
+                    to,
+                }));
+            }
+        };
+        let emit_bwd = |ops: &mut Vec<Op>, j: usize| {
+            let c = bwd_chunk(j);
+            let mb = bwd_mb(j);
+            let stage = c * p + d;
+            if stage < p * v - 1 {
+                let from = if d < p - 1 { d + 1 } else { 0 };
+                ops.push(op(OpKind::RecvGrad { mb, chunk: c, from }));
+            }
+            ops.push(op(OpKind::Bwd { mb, chunk: c }));
+            if stage > 0 {
+                let to = if d > 0 { d - 1 } else { p - 1 };
+                ops.push(op(OpKind::SendGrad { mb, chunk: c, to }));
+            }
+        };
+        for k in 0..warmup {
+            emit_fwd(&mut ops, k);
+        }
+        let steady = total - warmup;
+        for t in 0..steady {
+            emit_fwd(&mut ops, warmup + t);
+            emit_bwd(&mut ops, t);
+        }
+        for j in steady..total {
+            emit_bwd(&mut ops, j);
+        }
+        devices.push(ops);
+    }
+    Ok(Schedule {
+        kind: ScheduleKind::Interleaved,
+        n_devices: p,
+        n_chunks: v,
+        n_microbatches: m,
+        n_sliced: 0,
+        devices,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_kind(s: &Schedule, pred: impl Fn(&OpKind) -> bool) -> usize {
+        s.devices
+            .iter()
+            .flatten()
+            .filter(|o| pred(&o.kind))
+            .count()
+    }
+
+    #[test]
+    fn one_f_one_b_op_counts() {
+        let p = 4;
+        let m = 8;
+        let s = one_f_one_b(p, m);
+        // Every stage forwards and backwards every micro-batch once.
+        assert_eq!(
+            count_kind(&s, |k| matches!(k, OpKind::Fwd { .. })),
+            p * m
+        );
+        assert_eq!(count_kind(&s, |k| matches!(k, OpKind::Bwd { .. })), p * m);
+        // p-1 boundaries, m activations and m gradients each.
+        assert_eq!(
+            count_kind(&s, |k| matches!(k, OpKind::SendAct { .. })),
+            (p - 1) * m
+        );
+        assert_eq!(
+            count_kind(&s, |k| matches!(k, OpKind::SendGrad { .. })),
+            (p - 1) * m
+        );
+    }
+
+    #[test]
+    fn one_f_one_b_warmup_depth_decreases() {
+        let s = one_f_one_b(4, 8);
+        // Warmup forwards before the first backward on each device.
+        for (x, dev) in s.devices.iter().enumerate() {
+            let first_bwd = dev
+                .iter()
+                .position(|o| matches!(o.kind, OpKind::Bwd { .. }))
+                .unwrap();
+            let warmup_fwds = dev[..first_bwd]
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Fwd { .. }))
+                .count();
+            assert_eq!(warmup_fwds, 4 - x, "device {x}");
+        }
+    }
+
+    #[test]
+    fn one_f_one_b_handles_fewer_microbatches_than_stages() {
+        let s = one_f_one_b(4, 2);
+        assert_eq!(count_kind(&s, |k| matches!(k, OpKind::Fwd { .. })), 8);
+        assert_eq!(count_kind(&s, |k| matches!(k, OpKind::Bwd { .. })), 8);
+    }
+
+    #[test]
+    fn gpipe_backwards_run_in_reverse() {
+        let s = gpipe(3, 4);
+        let bwd_mbs: Vec<usize> = s.devices[2]
+            .iter()
+            .filter_map(|o| match o.kind {
+                OpKind::Bwd { mb, .. } => Some(mb),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(bwd_mbs, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn sliced_schedule_splits_leading_microbatches() {
+        let s = sliced_1f1b(4, 8, 2);
+        assert_eq!(s.n_sliced, 2);
+        // Micro-batch 0 (non-aggregated): separate half sends on stage 0.
+        let d0 = &s.devices[0];
+        let half_sends = d0
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::SendAct {
+                        mb: 0,
+                        part: Part::Half1 | Part::Half2,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(half_sends, 2);
+        // Micro-batch 1 is the last sliced one: aggregated single send.
+        let both_sends = d0
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::SendAct {
+                        mb: 1,
+                        part: Part::Both,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(both_sends, 1);
+    }
+
+    #[test]
+    fn sliced_zero_equals_plain_1f1b() {
+        let a = sliced_1f1b(4, 8, 0);
+        let b = one_f_one_b(4, 8);
+        assert_eq!(a.devices, b.devices);
+    }
+
+    #[test]
+    fn sliced_single_microbatch_has_no_aggregation() {
+        let s = sliced_1f1b(4, 8, 1);
+        let any_both = s
+            .devices
+            .iter()
+            .flatten()
+            .any(|o| matches!(o.kind, OpKind::SendAct { part: Part::Both, .. }));
+        assert!(!any_both);
+    }
+
+    #[test]
+    fn fwd_fractions_sum_to_one_per_stage_microbatch() {
+        for sliced in 0..4 {
+            let s = sliced_1f1b(4, 8, sliced);
+            for (x, dev) in s.devices.iter().enumerate() {
+                for mb in 0..8 {
+                    let frac: f64 = dev
+                        .iter()
+                        .filter_map(|o| match o.kind {
+                            OpKind::Fwd { mb: om, part, .. } if om == mb => Some(part.frac()),
+                            _ => None,
+                        })
+                        .sum();
+                    assert!(
+                        (frac - 1.0).abs() < 1e-12,
+                        "stage {x} mb {mb} sliced {sliced}: frac {frac}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_requires_multiple_of_depth() {
+        assert!(matches!(
+            interleaved(4, 2, 6),
+            Err(GenerateError::MicrobatchesNotMultipleOfDepth { .. })
+        ));
+        assert!(interleaved(4, 2, 8).is_ok());
+    }
+
+    #[test]
+    fn interleaved_chunk_op_counts() {
+        let p = 4;
+        let v = 2;
+        let m = 8;
+        let s = interleaved(p, v, m).unwrap();
+        // Every device runs m*v chunk forwards and backwards.
+        for dev in &s.devices {
+            let f = dev
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Fwd { .. }))
+                .count();
+            let b = dev
+                .iter()
+                .filter(|o| matches!(o.kind, OpKind::Bwd { .. }))
+                .count();
+            assert_eq!(f, m * v);
+            assert_eq!(b, m * v);
+        }
+    }
+
+    #[test]
+    fn interleaved_v1_is_plain_1f1b() {
+        let a = interleaved(4, 1, 8).unwrap();
+        let b = one_f_one_b(4, 8);
+        assert_eq!(a.devices, b.devices);
+        assert_eq!(a.kind, ScheduleKind::Interleaved);
+    }
+
+    #[test]
+    fn interleaved_forward_order_cycles_chunks_per_group() {
+        let s = interleaved(2, 2, 4).unwrap();
+        // Device 0 forward (chunk, mb) order: group {0,1} through chunk 0,
+        // then chunk 1, then group {2,3}.
+        let fwds: Vec<(usize, usize)> = s.devices[0]
+            .iter()
+            .filter_map(|o| match o.kind {
+                OpKind::Fwd { mb, chunk, .. } => Some((chunk, mb)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            fwds,
+            vec![
+                (0, 0),
+                (0, 1),
+                (1, 0),
+                (1, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3)
+            ]
+        );
+    }
+}

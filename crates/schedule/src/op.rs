@@ -1,0 +1,151 @@
+//! Schedule operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Which portion of a micro-batch an op carries. The AutoPipe Slicer splits
+/// a micro-batch "evenly into an appropriate number of pieces" — always two
+/// halves in the paper — so the IR models exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Part {
+    /// The whole micro-batch.
+    Full,
+    /// First half of a sliced micro-batch.
+    Half1,
+    /// Second half of a sliced micro-batch.
+    Half2,
+    /// Both halves shipped in one message — the aggregated communication for
+    /// the last sliced micro-batch (§III-C: "we cancel the communication of
+    /// first half and aggregate it with the communication of second half").
+    /// Only ever appears on Send/Recv ops, never on compute ops.
+    Both,
+}
+
+impl Part {
+    /// Fraction of the full micro-batch this part represents, for scaling
+    /// compute durations and message volumes.
+    pub fn frac(self) -> f64 {
+        match self {
+            Part::Full | Part::Both => 1.0,
+            Part::Half1 | Part::Half2 => 0.5,
+        }
+    }
+
+    /// True if this is one of the two halves.
+    pub fn is_half(self) -> bool {
+        matches!(self, Part::Half1 | Part::Half2)
+    }
+}
+
+/// One operation in a device program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// Forward pass of `part` of micro-batch `mb` through model chunk
+    /// `chunk` on this device.
+    Fwd { mb: usize, chunk: usize, part: Part },
+    /// Backward pass of micro-batch `mb` through chunk `chunk`. Backwards
+    /// are never sliced: slicing only reschedules Warmup-phase forwards.
+    Bwd { mb: usize, chunk: usize },
+    /// Ship the output activation of (`mb`, `chunk`, `part`) to device `to`.
+    SendAct {
+        mb: usize,
+        chunk: usize,
+        part: Part,
+        to: usize,
+    },
+    /// Wait for the input activation of (`mb`, `chunk`, `part`) from device
+    /// `from`. `chunk` names the *receiving* chunk.
+    RecvAct {
+        mb: usize,
+        chunk: usize,
+        part: Part,
+        from: usize,
+    },
+    /// Ship the input gradient of (`mb`, `chunk`) to device `to`.
+    SendGrad { mb: usize, chunk: usize, to: usize },
+    /// Wait for the output gradient of (`mb`, `chunk`) from device `from`.
+    RecvGrad { mb: usize, chunk: usize, from: usize },
+}
+
+/// An op plus nothing else (a struct so the IR can grow metadata without
+/// touching every consumer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Op {
+    /// The operation.
+    pub kind: OpKind,
+}
+
+impl Op {
+    /// Construct from a kind.
+    pub fn new(kind: OpKind) -> Self {
+        Op { kind }
+    }
+
+    /// Is this a compute op (forward or backward)?
+    pub fn is_compute(&self) -> bool {
+        matches!(self.kind, OpKind::Fwd { .. } | OpKind::Bwd { .. })
+    }
+
+    /// Is this a communication op?
+    pub fn is_comm(&self) -> bool {
+        !self.is_compute()
+    }
+
+    /// Micro-batch this op concerns.
+    pub fn mb(&self) -> usize {
+        match self.kind {
+            OpKind::Fwd { mb, .. }
+            | OpKind::Bwd { mb, .. }
+            | OpKind::SendAct { mb, .. }
+            | OpKind::RecvAct { mb, .. }
+            | OpKind::SendGrad { mb, .. }
+            | OpKind::RecvGrad { mb, .. } => mb,
+        }
+    }
+
+    /// Model chunk this op concerns.
+    pub fn chunk(&self) -> usize {
+        match self.kind {
+            OpKind::Fwd { chunk, .. }
+            | OpKind::Bwd { chunk, .. }
+            | OpKind::SendAct { chunk, .. }
+            | OpKind::RecvAct { chunk, .. }
+            | OpKind::SendGrad { chunk, .. }
+            | OpKind::RecvGrad { chunk, .. } => chunk,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part_fractions() {
+        assert_eq!(Part::Full.frac(), 1.0);
+        assert_eq!(Part::Both.frac(), 1.0);
+        assert_eq!(Part::Half1.frac(), 0.5);
+        assert_eq!(Part::Half2.frac(), 0.5);
+        assert!(Part::Half1.is_half());
+        assert!(!Part::Both.is_half());
+    }
+
+    #[test]
+    fn op_accessors() {
+        let op = Op::new(OpKind::SendAct {
+            mb: 3,
+            chunk: 1,
+            part: Part::Full,
+            to: 2,
+        });
+        assert_eq!(op.mb(), 3);
+        assert_eq!(op.chunk(), 1);
+        assert!(op.is_comm());
+        assert!(!op.is_compute());
+        let f = Op::new(OpKind::Fwd {
+            mb: 0,
+            chunk: 0,
+            part: Part::Half1,
+        });
+        assert!(f.is_compute());
+    }
+}

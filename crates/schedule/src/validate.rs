@@ -1,0 +1,296 @@
+//! Schedule validation: structural checks plus an executability check.
+//!
+//! The executability check is a timeless replay: devices advance through
+//! their programs in order; a receive may complete only after its matching
+//! send has executed. If no device can advance and the schedule is not
+//! finished, the schedule would deadlock on a real cluster (with adequately
+//! buffered, non-blocking sends) and validation fails.
+
+use std::collections::HashMap;
+
+use crate::op::{OpKind, Part};
+use crate::Schedule;
+
+/// Why a schedule failed validation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ValidationError {
+    /// Replay stalled: no device could advance. Contains per-device program
+    /// counters at the stall point.
+    Deadlock { counters: Vec<usize> },
+    /// A send had no matching receive (message would be leaked).
+    UnmatchedSend { device: usize, description: String },
+    /// A (stage, micro-batch) pair's forward fractions do not sum to 1.
+    BadForwardCoverage { stage: usize, mb: usize, frac: f64 },
+    /// A (stage, micro-batch) pair does not have exactly one backward.
+    BadBackwardCoverage { stage: usize, mb: usize, count: usize },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::Deadlock { counters } => {
+                write!(f, "schedule deadlocks; program counters {counters:?}")
+            }
+            ValidationError::UnmatchedSend {
+                device,
+                description,
+            } => write!(f, "unmatched send on device {device}: {description}"),
+            ValidationError::BadForwardCoverage { stage, mb, frac } => write!(
+                f,
+                "stage {stage} micro-batch {mb}: forward fractions sum to {frac}, want 1.0"
+            ),
+            ValidationError::BadBackwardCoverage { stage, mb, count } => write!(
+                f,
+                "stage {stage} micro-batch {mb}: {count} backwards, want exactly 1"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Message identity used to pair sends with receives. `dst_stage` is the
+/// pipeline stage that consumes the message: for activations the receiver's
+/// stage, for gradients the stage below the sender. This disambiguates
+/// multiple chunks flowing between the same device pair in the interleaved
+/// schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MsgKey {
+    is_grad: bool,
+    mb: usize,
+    part: Part,
+    dst_stage: usize,
+}
+
+/// Validate a schedule: forward/backward coverage per (stage, micro-batch),
+/// then deadlock-freedom of the replay, then absence of orphan sends.
+pub fn validate(s: &Schedule) -> Result<(), ValidationError> {
+    check_coverage(s)?;
+    replay(s)
+}
+
+fn check_coverage(s: &Schedule) -> Result<(), ValidationError> {
+    let n_stages = s.n_stages();
+    let m = s.n_microbatches;
+    let mut fwd = vec![vec![0.0_f64; m]; n_stages];
+    let mut bwd = vec![vec![0usize; m]; n_stages];
+    for (d, dev) in s.devices.iter().enumerate() {
+        for o in dev {
+            match o.kind {
+                OpKind::Fwd { mb, chunk, part } => {
+                    fwd[s.stage_of(d, chunk)][mb] += part.frac();
+                }
+                OpKind::Bwd { mb, chunk } => {
+                    bwd[s.stage_of(d, chunk)][mb] += 1;
+                }
+                _ => {}
+            }
+        }
+    }
+    for stage in 0..n_stages {
+        for mb in 0..m {
+            let frac = fwd[stage][mb];
+            if (frac - 1.0).abs() > 1e-9 {
+                return Err(ValidationError::BadForwardCoverage { stage, mb, frac });
+            }
+            if bwd[stage][mb] != 1 {
+                return Err(ValidationError::BadBackwardCoverage {
+                    stage,
+                    mb,
+                    count: bwd[stage][mb],
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn replay(s: &Schedule) -> Result<(), ValidationError> {
+    let p = s.n_devices;
+    let mut pc = vec![0usize; p];
+    // Messages sent but not yet consumed, per destination device.
+    let mut mailbox: Vec<HashMap<MsgKey, usize>> = vec![HashMap::new(); p];
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for d in 0..p {
+            // Let a device run as far as it can in one sweep.
+            while pc[d] < s.devices[d].len() {
+                let o = &s.devices[d][pc[d]];
+                match o.kind {
+                    OpKind::Fwd { .. } | OpKind::Bwd { .. } => {}
+                    OpKind::SendAct {
+                        mb, chunk, part, to, ..
+                    } => {
+                        let dst_stage = s.stage_of(d, chunk) + 1;
+                        *mailbox[to]
+                            .entry(MsgKey {
+                                is_grad: false,
+                                mb,
+                                part,
+                                dst_stage,
+                            })
+                            .or_insert(0) += 1;
+                    }
+                    OpKind::SendGrad { mb, chunk, to } => {
+                        let dst_stage = s.stage_of(d, chunk) - 1;
+                        *mailbox[to]
+                            .entry(MsgKey {
+                                is_grad: true,
+                                mb,
+                                part: Part::Full,
+                                dst_stage,
+                            })
+                            .or_insert(0) += 1;
+                    }
+                    OpKind::RecvAct {
+                        mb, chunk, part, ..
+                    } => {
+                        let key = MsgKey {
+                            is_grad: false,
+                            mb,
+                            part,
+                            dst_stage: s.stage_of(d, chunk),
+                        };
+                        if !consume(&mut mailbox[d], key) {
+                            break;
+                        }
+                    }
+                    OpKind::RecvGrad { mb, chunk, .. } => {
+                        let key = MsgKey {
+                            is_grad: true,
+                            mb,
+                            part: Part::Full,
+                            dst_stage: s.stage_of(d, chunk),
+                        };
+                        if !consume(&mut mailbox[d], key) {
+                            break;
+                        }
+                    }
+                }
+                pc[d] += 1;
+                progressed = true;
+            }
+            if pc[d] < s.devices[d].len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            return Err(ValidationError::Deadlock { counters: pc });
+        }
+    }
+
+    for (d, mbx) in mailbox.iter().enumerate() {
+        if let Some((key, n)) = mbx.iter().find(|(_, &n)| n > 0) {
+            return Err(ValidationError::UnmatchedSend {
+                device: d,
+                description: format!("{n} undelivered message(s) {key:?} addressed to device {d}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn consume(mbx: &mut HashMap<MsgKey, usize>, key: MsgKey) -> bool {
+    match mbx.get_mut(&key) {
+        Some(n) if *n > 0 => {
+            *n -= 1;
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
+    use crate::op::Op;
+
+    #[test]
+    fn all_generators_validate() {
+        for p in [1, 2, 3, 4, 8] {
+            for m in [1, 2, 4, 8, 16] {
+                validate(&one_f_one_b(p, m)).unwrap_or_else(|e| panic!("1f1b p={p} m={m}: {e}"));
+                validate(&gpipe(p, m)).unwrap_or_else(|e| panic!("gpipe p={p} m={m}: {e}"));
+                for sliced in 0..p.min(m) {
+                    validate(&sliced_1f1b(p, m, sliced))
+                        .unwrap_or_else(|e| panic!("sliced p={p} m={m} s={sliced}: {e}"));
+                }
+            }
+        }
+        for p in [2, 4] {
+            for v in [2, 3] {
+                for m in [p, 2 * p, 4 * p] {
+                    validate(&interleaved(p, v, m).unwrap())
+                        .unwrap_or_else(|e| panic!("interleaved p={p} v={v} m={m}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn detects_deadlock() {
+        // Two devices each waiting for the other to send first.
+        let mut s = one_f_one_b(2, 1);
+        // Rewrite device 0's program to recv before device 1 could ever send.
+        s.devices[0] = vec![
+            Op::new(OpKind::RecvGrad {
+                mb: 0,
+                chunk: 0,
+                from: 1,
+            }),
+            Op::new(OpKind::Fwd {
+                mb: 0,
+                chunk: 0,
+                part: Part::Full,
+            }),
+            Op::new(OpKind::SendAct {
+                mb: 0,
+                chunk: 0,
+                part: Part::Full,
+                to: 1,
+            }),
+            Op::new(OpKind::Bwd { mb: 0, chunk: 0 }),
+        ];
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_forward_coverage() {
+        let mut s = one_f_one_b(2, 2);
+        // Drop a forward on device 1.
+        let idx = s.devices[1]
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::Fwd { .. }))
+            .unwrap();
+        s.devices[1].remove(idx);
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::BadForwardCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_unmatched_send() {
+        let mut s = one_f_one_b(2, 1);
+        // Device 0 sends an extra bogus activation nobody receives.
+        s.devices[0].push(Op::new(OpKind::SendAct {
+            mb: 0,
+            chunk: 0,
+            part: Part::Half1,
+            to: 1,
+        }));
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::UnmatchedSend { .. })
+        ));
+    }
+}

@@ -1,0 +1,586 @@
+//! The AutoPipe pipeline simulator (§III-B.1).
+//!
+//! Simulates the synchronous 1F1B schedule for a partition scheme described
+//! by [`StageCosts`], producing the iteration time, per-op start times, the
+//! unique critical path and the master stage.
+//!
+//! Two engines:
+//!
+//! * [`simulate_replay`] — exact per-op dependency replay. Every forward and
+//!   backward of every micro-batch on every stage is an op; an op starts at
+//!   the max of its intra-stage predecessor's end and its cross-stage
+//!   dependency's end plus `Comm`. This is the physically precise model and
+//!   the one the Planner consumes.
+//! * [`recurrence`] — the paper's closed-form equations: 1F1B blocks
+//!   renumbered per stage (`max(0, m−n+k+1)` blocks at stage `k`), the
+//!   `t(x,y,z)` recurrences with `Comm` added after the max (the paper's
+//!   formulation), Cooldown renumbered in reverse, Warmup estimated from an
+//!   unchoked fill. Used to cross-validate the replay and to reproduce the
+//!   paper's exact arithmetic.
+
+use serde::{Deserialize, Serialize};
+
+use crate::partition::StageCosts;
+
+/// Forward or backward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpClass {
+    /// Forward pass.
+    Fwd,
+    /// Backward pass.
+    Bwd,
+}
+
+/// Which pipeline phase an op belongs to (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Leading forwards before the first backward.
+    Warmup,
+    /// Steady alternation of one forward and one backward.
+    OneFOneB,
+    /// Trailing backwards.
+    Cooldown,
+}
+
+/// One simulated operation with its timing and dependency bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpTime {
+    /// Pipeline stage executing the op.
+    pub stage: usize,
+    /// Forward or backward.
+    pub class: OpClass,
+    /// Micro-batch index.
+    pub mb: usize,
+    /// Phase classification.
+    pub phase: Phase,
+    /// Start time, seconds from iteration start.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// Earliest start permitted by the same stage's previous op.
+    pub intra_ready: f64,
+    /// Earliest start permitted by the cross-stage dependency (+Comm).
+    pub cross_ready: f64,
+    /// Index of the intra-stage predecessor in the op arena.
+    pub intra_pred: Option<usize>,
+    /// Index of the cross-stage dependency in the op arena.
+    pub cross_pred: Option<usize>,
+}
+
+/// Output of the analytic simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticResult {
+    /// End-to-end iteration time (start of first forward to end of last
+    /// backward), seconds.
+    pub iteration_time: f64,
+    /// Startup overhead: when the last stage has received the activations
+    /// of the first micro-batch (§II-B).
+    pub startup_overhead: f64,
+    /// The master stage: the stage the critical path traverses during the
+    /// 1F1B phase — the heaviest stage, which drives the pipeline.
+    pub master_stage: usize,
+    /// Critical path as op-arena indices, from iteration start to end.
+    pub critical_path: Vec<usize>,
+    /// All simulated ops.
+    pub ops: Vec<OpTime>,
+    /// Per-stage total busy time (`m · (f_x + b_x)`).
+    pub stage_busy: Vec<f64>,
+}
+
+impl AnalyticResult {
+    /// Execution time per micro-batch — the quantity Fig. 11 plots.
+    pub fn per_microbatch_time(&self, m: usize) -> f64 {
+        self.iteration_time / m as f64
+    }
+}
+
+/// Warmup forward count at `stage` of an `n`-stage pipeline with `m`
+/// micro-batches.
+fn warmup_count(stage: usize, n: usize, m: usize) -> usize {
+    (n - 1 - stage).min(m)
+}
+
+/// 1F1B block count at `stage` — the paper's `max(0, m − n + k + 1)`.
+pub fn block_count(stage: usize, n: usize, m: usize) -> usize {
+    (m + stage + 1).saturating_sub(n)
+}
+
+/// Exact per-op replay of the 1F1B schedule for the given stage costs and
+/// micro-batch count.
+pub fn simulate_replay(costs: &StageCosts, m: usize) -> AnalyticResult {
+    let n = costs.n_stages();
+    assert!(m >= 1, "need at least one micro-batch");
+
+    // Build per-stage programs and the op arena.
+    let mut ops: Vec<OpTime> = Vec::with_capacity(2 * n * m);
+    let mut programs: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let mut fwd_idx = vec![vec![usize::MAX; m]; n];
+    let mut bwd_idx = vec![vec![usize::MAX; m]; n];
+    for x in 0..n {
+        let w = warmup_count(x, n, m);
+        let blocks = m - w;
+        let mut prog = Vec::with_capacity(2 * m);
+        let mut push = |class: OpClass, mb: usize, phase: Phase, prog: &mut Vec<usize>| {
+            let idx = ops.len();
+            ops.push(OpTime {
+                stage: x,
+                class,
+                mb,
+                phase,
+                start: 0.0,
+                end: 0.0,
+                intra_ready: 0.0,
+                cross_ready: 0.0,
+                intra_pred: None,
+                cross_pred: None,
+            });
+            match class {
+                OpClass::Fwd => fwd_idx[x][mb] = idx,
+                OpClass::Bwd => bwd_idx[x][mb] = idx,
+            }
+            prog.push(idx);
+        };
+        for i in 0..w {
+            push(OpClass::Fwd, i, Phase::Warmup, &mut prog);
+        }
+        for j in 0..blocks {
+            push(OpClass::Fwd, w + j, Phase::OneFOneB, &mut prog);
+            push(OpClass::Bwd, j, Phase::OneFOneB, &mut prog);
+        }
+        for j in blocks..m {
+            push(OpClass::Bwd, j, Phase::Cooldown, &mut prog);
+        }
+        programs.push(prog);
+    }
+
+    // Replay with per-stage program counters.
+    let mut pc = vec![0usize; n];
+    let mut done = vec![false; ops.len()];
+    let mut dev_free = vec![0.0_f64; n];
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for x in 0..n {
+            while pc[x] < programs[x].len() {
+                let idx = programs[x][pc[x]];
+                let (class, mb) = (ops[idx].class, ops[idx].mb);
+                let cross = match class {
+                    OpClass::Fwd if x > 0 => Some(fwd_idx[x - 1][mb]),
+                    OpClass::Bwd if x < n - 1 => Some(bwd_idx[x + 1][mb]),
+                    _ => None,
+                };
+                if let Some(c) = cross {
+                    if !done[c] {
+                        break;
+                    }
+                }
+                let intra_pred = if pc[x] > 0 {
+                    Some(programs[x][pc[x] - 1])
+                } else {
+                    None
+                };
+                let intra_ready = dev_free[x];
+                let cross_ready = cross.map_or(0.0, |c| ops[c].end + costs.comm);
+                let start = intra_ready.max(cross_ready);
+                let dur = match class {
+                    OpClass::Fwd => costs.f[x],
+                    OpClass::Bwd => costs.b[x],
+                };
+                let o = &mut ops[idx];
+                o.intra_pred = intra_pred;
+                o.cross_pred = cross;
+                o.intra_ready = intra_ready;
+                o.cross_ready = cross_ready;
+                o.start = start;
+                o.end = start + dur;
+                dev_free[x] = o.end;
+                done[idx] = true;
+                pc[x] += 1;
+                progressed = true;
+            }
+            if pc[x] < programs[x].len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        assert!(progressed, "1F1B replay stalled — internal bug");
+    }
+
+    let iteration_time = ops.iter().map(|o| o.end).fold(0.0, f64::max);
+    let startup_overhead = if n == 1 {
+        0.0
+    } else {
+        ops[fwd_idx[n - 1][0]].cross_ready
+    };
+    let critical_path = backtrack_critical_path(&ops);
+    let master_stage = find_master_stage(&ops, &critical_path, costs);
+    let stage_busy = (0..n).map(|x| m as f64 * costs.work(x)).collect();
+
+    AnalyticResult {
+        iteration_time,
+        startup_overhead,
+        master_stage,
+        critical_path,
+        ops,
+        stage_busy,
+    }
+}
+
+/// Backtrack the unique critical path. Among zero-slack predecessors, pick
+/// the one at the highest stage — the paper's tie rule ("the one closest to
+/// the last pipeline stage in the 1F1B phase", Fig. 4).
+fn backtrack_critical_path(ops: &[OpTime]) -> Vec<usize> {
+    let mut cur = ops
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.end.total_cmp(&b.1.end))
+        .map(|(i, _)| i)
+        .unwrap();
+    let mut path = vec![cur];
+    loop {
+        let o = &ops[cur];
+        let mut best: Option<usize> = None;
+        // Candidate predecessors whose readiness equals the start (no slack).
+        // `start = max(intra_ready, cross_ready)` makes equality exact.
+        if let Some(c) = o.cross_pred {
+            if o.cross_ready == o.start {
+                best = Some(c);
+            }
+        }
+        if let Some(i) = o.intra_pred {
+            if o.intra_ready == o.start {
+                best = match best {
+                    Some(c) if ops[c].stage >= ops[i].stage => Some(c),
+                    _ => Some(i),
+                };
+            }
+        }
+        match best {
+            Some(p) => {
+                path.push(p);
+                cur = p;
+            }
+            None => break,
+        }
+    }
+    path.reverse();
+    path
+}
+
+/// The master stage: the stage the critical path traverses horizontally in
+/// the 1F1B phase (§III-B, "the stage that the critical path passes in 1F1B
+/// phase ... it has the heaviest load and dominates the pipeline").
+fn find_master_stage(ops: &[OpTime], path: &[usize], costs: &StageCosts) -> usize {
+    let n = costs.n_stages();
+    let mut count = vec![0usize; n];
+    for &i in path {
+        if ops[i].phase == Phase::OneFOneB {
+            count[ops[i].stage] += 1;
+        }
+    }
+    // Highest count wins; ties go to the stage closest to the end of the
+    // pipeline (the paper's uniqueness rule).
+    let mut master = None;
+    let mut best = 0usize;
+    for (x, &c) in count.iter().enumerate() {
+        if c >= best && c > 0 {
+            best = c;
+            master = Some(x);
+        }
+    }
+    master.unwrap_or_else(|| {
+        // Degenerate pipelines (m < n can leave no 1F1B ops on the path):
+        // fall back to the heaviest stage.
+        (0..n)
+            .max_by(|&a, &b| costs.work(a).total_cmp(&costs.work(b)))
+            .unwrap()
+    })
+}
+
+/// The paper's closed-form recurrence engine.
+pub mod recurrence {
+    use super::*;
+
+    /// Result of the closed-form evaluation.
+    #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+    pub struct RecurrenceResult {
+        /// Iteration time from the recurrences.
+        pub iteration_time: f64,
+        /// The paper's Warmup estimate: total forward time of one
+        /// micro-batch.
+        pub warmup_estimate: f64,
+    }
+
+    /// Evaluate the paper's `t(x, y, z)` 1F1B recurrences plus the reverse-
+    /// renumbered Cooldown recurrence. Requires `m ≥ n` (the paper always
+    /// runs at least as many micro-batches as stages).
+    pub fn simulate(costs: &StageCosts, m: usize) -> RecurrenceResult {
+        let n = costs.n_stages();
+        assert!(m >= n, "recurrence engine requires m >= n (got m={m}, n={n})");
+        let f = &costs.f;
+        let b = &costs.b;
+        let comm = costs.comm;
+
+        // Unchoked warmup fill: arrival of micro-batch 0 at stage x, then
+        // back-to-back warmup forwards ("Processing of the first micro-batch
+        // in the pipeline is hardly choked due to the balanced partition").
+        let mut arrive = vec![0.0_f64; n];
+        for x in 1..n {
+            arrive[x] = arrive[x - 1] + f[x - 1] + comm;
+        }
+        let w_end: Vec<f64> = (0..n)
+            .map(|x| arrive[x] + warmup_count(x, n, m) as f64 * f[x])
+            .collect();
+
+        // t[x][y][z]: start of the z-th op (0 = FP, 1 = BP) of block y at
+        // stage x. Stage x owns `block_count(x, n, m)` blocks.
+        let blocks: Vec<usize> = (0..n).map(|x| block_count(x, n, m)).collect();
+        let mut tf: Vec<Vec<f64>> = (0..n).map(|x| vec![0.0; blocks[x]]).collect();
+        let mut tb: Vec<Vec<f64>> = (0..n).map(|x| vec![0.0; blocks[x]]).collect();
+
+        let max_blocks = blocks[n - 1];
+        for y in 0..max_blocks {
+            // Forwards, increasing stage.
+            for x in 0..n {
+                if y >= blocks[x] {
+                    continue;
+                }
+                if y == 0 {
+                    tf[x][0] = if x == 0 {
+                        w_end[0]
+                    } else {
+                        w_end[x].max(w_end[x - 1] + comm)
+                    };
+                } else {
+                    let from_prev_stage = if x > 0 { tf[x - 1][y - 1] + f[x - 1] } else { 0.0 };
+                    let from_own_bwd = tb[x][y - 1] + b[x];
+                    let mut t = from_prev_stage.max(from_own_bwd);
+                    if x != 0 {
+                        t += comm; // the paper adds Comm after the max
+                    }
+                    tf[x][y] = t;
+                }
+            }
+            // Backwards, decreasing stage.
+            for x in (0..n).rev() {
+                if y >= blocks[x] {
+                    continue;
+                }
+                let from_next_stage = if x < n - 1 { tb[x + 1][y] + b[x + 1] } else { 0.0 };
+                let from_own_fwd = tf[x][y] + f[x];
+                let mut t = from_next_stage.max(from_own_fwd);
+                if x != n - 1 {
+                    t += comm;
+                }
+                tb[x][y] = t;
+            }
+        }
+
+        // Cooldown, renumbered in reverse: ct[x][y] is the start of the BP
+        // of micro-batch m−1−y at stage x. Stage x has m − blocks[x]
+        // cooldown backwards; the last stage has none.
+        let cool: Vec<usize> = (0..n).map(|x| m - blocks[x]).collect();
+        let mut ct: Vec<Vec<f64>> = (0..n).map(|x| vec![0.0; cool[x]]).collect();
+        // Start of the BP of micro-batch `mb` at stage x, wherever it lives.
+        let bwd_start = |ct: &[Vec<f64>], x: usize, mb: usize| -> f64 {
+            if mb < blocks[x] {
+                tb[x][mb]
+            } else {
+                ct[x][m - 1 - mb]
+            }
+        };
+        for x in (0..n).rev() {
+            for y in (0..cool[x]).rev() {
+                let mb = m - 1 - y;
+                let same = bwd_start(&ct, x, mb - 1) + b[x];
+                let below = bwd_start(&ct, x + 1, mb) + b[x + 1];
+                ct[x][y] = same.max(below) + comm;
+            }
+        }
+
+        let iteration_time = if cool[0] > 0 {
+            ct[0][0] + b[0]
+        } else {
+            tb[0][m - 1] + b[0]
+        };
+        RecurrenceResult {
+            iteration_time,
+            warmup_estimate: f.iter().sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(f: Vec<f64>, b: Vec<f64>, comm: f64) -> StageCosts {
+        StageCosts::new(f, b, comm)
+    }
+
+    #[test]
+    fn single_stage_is_back_to_back() {
+        let c = costs(vec![2.0], vec![4.0], 0.5);
+        let r = simulate_replay(&c, 5);
+        assert_eq!(r.iteration_time, 5.0 * 6.0);
+        assert_eq!(r.startup_overhead, 0.0);
+        assert_eq!(r.master_stage, 0);
+    }
+
+    #[test]
+    fn balanced_pipeline_iteration_time() {
+        // n balanced stages, m micro-batches, zero comm: the classic 1F1B
+        // bound T = (n-1)·f + m·(f+b) + (n-1)·b.
+        let n = 4;
+        let m = 8;
+        let f = 1.0;
+        let b = 2.0;
+        let c = costs(vec![f; n], vec![b; n], 0.0);
+        let r = simulate_replay(&c, m);
+        let want = (n as f64 - 1.0) * f + m as f64 * (f + b) + (n as f64 - 1.0) * b;
+        assert!(
+            (r.iteration_time - want).abs() < 1e-9,
+            "{} vs {}",
+            r.iteration_time,
+            want
+        );
+    }
+
+    #[test]
+    fn startup_overhead_is_fill_time() {
+        let c = costs(vec![1.0, 1.5, 2.0, 1.0], vec![2.0; 4], 0.25);
+        let r = simulate_replay(&c, 8);
+        // arrival at last stage = f0 + f1 + f2 + 3 comm
+        let want = 1.0 + 1.5 + 2.0 + 3.0 * 0.25;
+        assert!((r.startup_overhead - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heavy_stage_becomes_master() {
+        for heavy in 0..4 {
+            let mut f = vec![1.0; 4];
+            let mut b = vec![2.0; 4];
+            f[heavy] = 1.6;
+            b[heavy] = 3.2;
+            let c = costs(f, b, 0.01);
+            let r = simulate_replay(&c, 12);
+            assert_eq!(r.master_stage, heavy, "heavy stage {heavy}");
+        }
+    }
+
+    #[test]
+    fn balanced_master_is_last_stage() {
+        // With perfectly equal stages, every stage's 1F1B run ties; the
+        // uniqueness rule picks the one closest to the end.
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0);
+        let r = simulate_replay(&c, 8);
+        assert_eq!(r.master_stage, 3);
+    }
+
+    #[test]
+    fn critical_path_is_contiguous_and_zero_slack() {
+        let c = costs(vec![1.0, 1.3, 0.9, 1.1], vec![2.0, 2.6, 1.8, 2.2], 0.05);
+        let r = simulate_replay(&c, 10);
+        assert!(!r.critical_path.is_empty());
+        // Path ends at the op with the global max end.
+        let last = *r.critical_path.last().unwrap();
+        assert_eq!(r.ops[last].end, r.iteration_time);
+        for w in r.critical_path.windows(2) {
+            let (a, b) = (&r.ops[w[0]], &r.ops[w[1]]);
+            // Adjacent path ops are on the same or neighbouring stages.
+            assert!(a.stage.abs_diff(b.stage) <= 1);
+            // No slack: successor starts exactly when the predecessor
+            // (plus comm if crossing stages) allows.
+            let ready = if a.stage == b.stage {
+                a.end
+            } else {
+                a.end + c.comm
+            };
+            assert!(
+                (b.start - ready).abs() < 1e-12 || b.start == b.intra_ready.max(b.cross_ready),
+                "slack on path: {a:?} -> {b:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn iteration_dominated_by_heaviest_stage() {
+        // With a clearly heaviest stage k, iteration ≈ fill + m * work(k).
+        let c = costs(vec![1.0, 2.0, 1.0], vec![2.0, 4.0, 2.0], 0.0);
+        let m = 16;
+        let r = simulate_replay(&c, m);
+        assert!(r.iteration_time >= m as f64 * 6.0);
+        assert!(r.iteration_time <= m as f64 * 6.0 + 3.0 * 9.0);
+    }
+
+    #[test]
+    fn recurrence_matches_replay_zero_comm_balanced() {
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0);
+        for m in [4, 8, 16] {
+            let r = simulate_replay(&c, m);
+            let q = recurrence::simulate(&c, m);
+            assert!(
+                (r.iteration_time - q.iteration_time).abs() < 1e-9,
+                "m={m}: replay {} vs recurrence {}",
+                r.iteration_time,
+                q.iteration_time
+            );
+        }
+    }
+
+    #[test]
+    fn recurrence_close_to_replay_with_comm() {
+        // The paper adds Comm after the max (over-charging intra-stage
+        // paths) and estimates warmup without choke; the gap stays bounded
+        // by a few comm units per pipeline wave.
+        let c = costs(
+            vec![1.0, 1.2, 0.9, 1.1],
+            vec![2.1, 2.4, 1.8, 2.2],
+            0.02,
+        );
+        for m in [4, 8, 16] {
+            let r = simulate_replay(&c, m);
+            let q = recurrence::simulate(&c, m);
+            // The paper adds Comm after the max, over-charging the
+            // intra-stage chain twice per 1F1B block in the worst case.
+            let tol = (2.0 * m as f64 + 2.0 * 4.0) * c.comm + 1e-9;
+            assert!(
+                (r.iteration_time - q.iteration_time).abs() <= tol,
+                "m={m}: replay {} vs recurrence {} tol {}",
+                r.iteration_time,
+                q.iteration_time,
+                tol
+            );
+            let rel = (r.iteration_time - q.iteration_time).abs() / r.iteration_time;
+            assert!(rel < 0.05, "relative gap {rel}");
+        }
+    }
+
+    #[test]
+    fn more_microbatches_amortise_bubbles() {
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.01);
+        let r8 = simulate_replay(&c, 8);
+        let r32 = simulate_replay(&c, 32);
+        let eff = |r: &AnalyticResult, m: f64| (m * 3.0) / r.iteration_time;
+        assert!(eff(&r32, 32.0) > eff(&r8, 8.0));
+    }
+
+    #[test]
+    fn handles_fewer_microbatches_than_stages() {
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0);
+        let r = simulate_replay(&c, 2);
+        // fill 3 fwd + 2 per-stage... just sanity: finite, larger than the
+        // serial time of one micro-batch, smaller than fully serial.
+        assert!(r.iteration_time > 3.0 + 3.0);
+        assert!(r.iteration_time <= 2.0 * 4.0 * 3.0);
+    }
+
+    #[test]
+    fn per_microbatch_time_divides_iteration() {
+        let c = costs(vec![1.0; 2], vec![2.0; 2], 0.0);
+        let r = simulate_replay(&c, 10);
+        assert!((r.per_microbatch_time(10) - r.iteration_time / 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,517 @@
+//! Discrete-event cluster simulator.
+//!
+//! Executes any [`Schedule`] against per-stage compute costs and an α+β link
+//! model. Devices are sequential executors; sends are asynchronous (the
+//! device enqueues at zero cost, a per-directed-edge FIFO link delivers);
+//! receives block until the message has arrived. Compute ops may carry a
+//! fixed launch overhead and multiplicative jitter, which is how the
+//! "actual run" of Fig. 11 is synthesised.
+
+use std::collections::HashMap;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use autopipe_schedule::{Op, OpKind, Part, Schedule};
+
+/// Compute and communication costs for an event-simulated pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventCosts {
+    /// Forward time per stage for one full micro-batch.
+    pub f: Vec<f64>,
+    /// Backward time per stage for one full micro-batch.
+    pub b: Vec<f64>,
+    /// Per-message latency (α).
+    pub latency: f64,
+    /// Full-micro-batch volume transfer time (bytes/β); halves pay half.
+    pub volume: f64,
+}
+
+impl EventCosts {
+    /// Build from a [`crate::partition::StageCosts`], splitting its flat
+    /// `comm` into latency and volume given the hardware latency.
+    pub fn from_stage_costs(sc: &crate::partition::StageCosts, latency: f64) -> EventCosts {
+        EventCosts {
+            f: sc.f.clone(),
+            b: sc.b.clone(),
+            latency: latency.min(sc.comm),
+            volume: (sc.comm - latency).max(0.0),
+        }
+    }
+
+    /// Transfer time of a message carrying `part` of a micro-batch.
+    pub fn transfer(&self, part: Part) -> f64 {
+        self.latency + part.frac() * self.volume
+    }
+}
+
+/// Event simulator knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventConfig {
+    /// Fixed overhead added to every compute op (kernel launch, dispatch).
+    pub kernel_overhead: f64,
+    /// Multiplicative log-free jitter σ on compute durations (0 = exact).
+    pub jitter_sigma: f64,
+    /// RNG seed for jitter.
+    pub seed: u64,
+    /// Efficiency penalty on half-micro-batch compute ops: a half batch
+    /// does not run at half time on a real accelerator (lower occupancy),
+    /// so its duration is `f/2 × half_efficiency`. 1.0 = ideal. This is
+    /// what makes micro-batch slicing "unsuitable for a shallow pipeline"
+    /// (Fig. 10): at depth 2 the fill-time gain is too small to cover it.
+    pub half_efficiency: f64,
+}
+
+impl Default for EventConfig {
+    fn default() -> Self {
+        EventConfig {
+            kernel_overhead: 0.0,
+            jitter_sigma: 0.0,
+            seed: 0xE5E17,
+            half_efficiency: 1.0,
+        }
+    }
+}
+
+impl EventConfig {
+    /// The high-fidelity profile used as the "actual run" stand-in: per-op
+    /// launch overhead, small run-to-run jitter, and realistic half-batch
+    /// efficiency.
+    pub fn actual_run(hw_kernel_overhead: f64, seed: u64) -> EventConfig {
+        EventConfig {
+            kernel_overhead: hw_kernel_overhead,
+            jitter_sigma: 0.015,
+            seed,
+            half_efficiency: 1.25,
+        }
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// Replay stalled (schedule deadlocks).
+    Stalled { counters: Vec<usize> },
+    /// Schedule inconsistent with the provided costs.
+    BadSchedule(String),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Stalled { counters } => {
+                write!(f, "event simulation stalled at counters {counters:?}")
+            }
+            SimError::BadSchedule(s) => write!(f, "bad schedule: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One executed op with its device-time interval.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpRecord {
+    /// The op executed.
+    pub op: Op,
+    /// Device-time start.
+    pub start: f64,
+    /// Device-time end.
+    pub end: f64,
+}
+
+/// Output of an event simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventResult {
+    /// Iteration time: max end over all devices.
+    pub iteration_time: f64,
+    /// Arrival time of the first activation at the last pipeline stage
+    /// (the paper's startup overhead).
+    pub startup_overhead: f64,
+    /// Per-device compute-busy time.
+    pub device_busy: Vec<f64>,
+    /// Per-device op timelines.
+    pub timeline: Vec<Vec<OpRecord>>,
+}
+
+impl EventResult {
+    /// Mean device utilisation (busy / iteration).
+    pub fn utilisation(&self) -> f64 {
+        if self.iteration_time == 0.0 {
+            return 0.0;
+        }
+        let mean: f64 = self.device_busy.iter().sum::<f64>() / self.device_busy.len() as f64;
+        mean / self.iteration_time
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct MsgKey {
+    is_grad: bool,
+    mb: usize,
+    part: Part,
+    dst_stage: usize,
+}
+
+/// Run `sched` against `costs`. `costs.f/b` must cover all
+/// `sched.n_stages()` stages.
+pub fn run_schedule(
+    sched: &Schedule,
+    costs: &EventCosts,
+    cfg: &EventConfig,
+) -> Result<EventResult, SimError> {
+    let n_stages = sched.n_stages();
+    if costs.f.len() != n_stages || costs.b.len() != n_stages {
+        return Err(SimError::BadSchedule(format!(
+            "costs cover {} stages, schedule has {}",
+            costs.f.len(),
+            n_stages
+        )));
+    }
+    let p = sched.n_devices;
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    // Pre-draw jitter per (device, op index) lazily via a closure over rng
+    // is awkward inside the sweep; draw on use (deterministic order because
+    // each op executes exactly once, but sweep order is deterministic too).
+    let mut pc = vec![0usize; p];
+    let mut dev_free = vec![0.0_f64; p];
+    let mut device_busy = vec![0.0_f64; p];
+    let mut timeline: Vec<Vec<OpRecord>> = vec![Vec::new(); p];
+    // arrival times of messages, keyed per destination device
+    let mut mailbox: Vec<HashMap<MsgKey, Vec<f64>>> = vec![HashMap::new(); p];
+    let mut link_free: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut startup: Option<f64> = None;
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for d in 0..p {
+            while pc[d] < sched.devices[d].len() {
+                let op = sched.devices[d][pc[d]];
+                let (start, end) = match op.kind {
+                    OpKind::Fwd { chunk, part, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let eff = if part.is_half() {
+                            cfg.half_efficiency
+                        } else {
+                            1.0
+                        };
+                        let dur = duration(costs.f[stage] * part.frac() * eff, cfg, &mut rng);
+                        let s = dev_free[d];
+                        device_busy[d] += dur;
+                        (s, s + dur)
+                    }
+                    OpKind::Bwd { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let dur = duration(costs.b[stage], cfg, &mut rng);
+                        let s = dev_free[d];
+                        device_busy[d] += dur;
+                        (s, s + dur)
+                    }
+                    OpKind::SendAct {
+                        mb, chunk, part, to,
+                    } => {
+                        let dst_stage = sched.stage_of(d, chunk) + 1;
+                        let arrival =
+                            send(&mut link_free, d, to, dev_free[d], costs.transfer(part));
+                        mailbox[to]
+                            .entry(MsgKey {
+                                is_grad: false,
+                                mb,
+                                part,
+                                dst_stage,
+                            })
+                            .or_default()
+                            .push(arrival);
+                        (dev_free[d], dev_free[d])
+                    }
+                    OpKind::SendGrad { mb, chunk, to } => {
+                        let dst_stage = sched.stage_of(d, chunk) - 1;
+                        let arrival =
+                            send(&mut link_free, d, to, dev_free[d], costs.transfer(Part::Full));
+                        mailbox[to]
+                            .entry(MsgKey {
+                                is_grad: true,
+                                mb,
+                                part: Part::Full,
+                                dst_stage,
+                            })
+                            .or_default()
+                            .push(arrival);
+                        (dev_free[d], dev_free[d])
+                    }
+                    OpKind::RecvAct {
+                        mb, chunk, part, ..
+                    } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let key = MsgKey {
+                            is_grad: false,
+                            mb,
+                            part,
+                            dst_stage: stage,
+                        };
+                        match pop_arrival(&mut mailbox[d], key) {
+                            Some(arrival) => {
+                                let s = dev_free[d];
+                                let e = s.max(arrival);
+                                // Startup overhead: when the last *device*
+                                // first receives activations (§II-B). With
+                                // the interleaved schedule the last device
+                                // hosts an early chunk, which is exactly why
+                                // interleaving shortens startup.
+                                if d == p - 1 && startup.is_none() {
+                                    startup = Some(arrival);
+                                }
+                                (s, e)
+                            }
+                            None => break,
+                        }
+                    }
+                    OpKind::RecvGrad { mb, chunk, .. } => {
+                        let key = MsgKey {
+                            is_grad: true,
+                            mb,
+                            part: Part::Full,
+                            dst_stage: sched.stage_of(d, chunk),
+                        };
+                        match pop_arrival(&mut mailbox[d], key) {
+                            Some(arrival) => (dev_free[d], dev_free[d].max(arrival)),
+                            None => break,
+                        }
+                    }
+                };
+                dev_free[d] = end;
+                timeline[d].push(OpRecord { op, start, end });
+                pc[d] += 1;
+                progressed = true;
+            }
+            if pc[d] < sched.devices[d].len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            return Err(SimError::Stalled { counters: pc });
+        }
+    }
+
+    let iteration_time = dev_free.iter().copied().fold(0.0, f64::max);
+    Ok(EventResult {
+        iteration_time,
+        startup_overhead: if n_stages == 1 {
+            0.0
+        } else {
+            startup.unwrap_or(0.0)
+        },
+        device_busy,
+        timeline,
+    })
+}
+
+fn duration(base: f64, cfg: &EventConfig, rng: &mut ChaCha8Rng) -> f64 {
+    let jitter = if cfg.jitter_sigma > 0.0 {
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let g = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (1.0 + cfg.jitter_sigma * g).max(0.2)
+    } else {
+        1.0
+    };
+    base * jitter + cfg.kernel_overhead
+}
+
+fn send(
+    link_free: &mut HashMap<(usize, usize), f64>,
+    from: usize,
+    to: usize,
+    enqueue: f64,
+    transfer: f64,
+) -> f64 {
+    let free = link_free.entry((from, to)).or_insert(0.0);
+    let start = free.max(enqueue);
+    let arrival = start + transfer;
+    *free = arrival;
+    arrival
+}
+
+fn pop_arrival(mbx: &mut HashMap<MsgKey, Vec<f64>>, key: MsgKey) -> Option<f64> {
+    let q = mbx.get_mut(&key)?;
+    if q.is_empty() {
+        None
+    } else {
+        Some(q.remove(0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytic::simulate_replay;
+    use crate::partition::StageCosts;
+    use autopipe_schedule::generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
+
+    fn costs(f: Vec<f64>, b: Vec<f64>, latency: f64, volume: f64) -> EventCosts {
+        EventCosts {
+            f,
+            b,
+            latency,
+            volume,
+        }
+    }
+
+    #[test]
+    fn event_matches_analytic_replay_for_1f1b() {
+        // Zero-latency comm: the event sim's explicit send/recv ops and the
+        // analytic replay's implicit comm must agree exactly.
+        let f = vec![1.0, 1.3, 0.9, 1.1];
+        let b = vec![2.0, 2.6, 1.8, 2.2];
+        for m in [4, 8, 12] {
+            let sc = StageCosts::new(f.clone(), b.clone(), 0.05);
+            let a = simulate_replay(&sc, m);
+            let e = run_schedule(
+                &one_f_one_b(4, m),
+                &costs(f.clone(), b.clone(), 0.0, 0.05),
+                &EventConfig::default(),
+            )
+            .unwrap();
+            assert!(
+                (a.iteration_time - e.iteration_time).abs() < 1e-9,
+                "m={m}: analytic {} vs event {}",
+                a.iteration_time,
+                e.iteration_time
+            );
+            assert!(
+                (a.startup_overhead - e.startup_overhead).abs() < 1e-9,
+                "startup m={m}: {} vs {}",
+                a.startup_overhead,
+                e.startup_overhead
+            );
+        }
+    }
+
+    #[test]
+    fn gpipe_matches_1f1b_time_for_balanced_stages() {
+        // For balanced stages and free communication, GPipe and 1F1B have
+        // identical iteration time — (p−1)(f+b) fill/drain plus m(f+b).
+        // GPipe's real cost is memory (all m micro-batches stashed), which
+        // the memcheck tests cover.
+        let f = vec![1.0; 4];
+        let b = vec![2.0; 4];
+        let c = costs(f, b, 0.0, 0.0);
+        let g = run_schedule(&gpipe(4, 8), &c, &EventConfig::default()).unwrap();
+        let o = run_schedule(&one_f_one_b(4, 8), &c, &EventConfig::default()).unwrap();
+        assert!((g.iteration_time - o.iteration_time).abs() < 1e-9);
+        let want = 3.0 * 3.0 + 8.0 * 3.0;
+        assert!((o.iteration_time - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slicing_halves_startup_overhead() {
+        let f = vec![1.0; 4];
+        let b = vec![2.0; 4];
+        let c = costs(f, b, 0.0, 0.1);
+        let plain = run_schedule(&one_f_one_b(4, 8), &c, &EventConfig::default()).unwrap();
+        let sliced = run_schedule(&sliced_1f1b(4, 8, 2), &c, &EventConfig::default()).unwrap();
+        // Startup = fill time; halves fill in half the compute time.
+        assert!(
+            sliced.startup_overhead < 0.62 * plain.startup_overhead,
+            "sliced {} vs plain {}",
+            sliced.startup_overhead,
+            plain.startup_overhead
+        );
+    }
+
+    #[test]
+    fn slicing_does_not_slow_iteration_on_deep_pipelines() {
+        let p = 8;
+        let m = 16;
+        let f = vec![1.0; p];
+        let b = vec![2.0; p];
+        let c = costs(f, b, 0.001, 0.02);
+        let plain = run_schedule(&one_f_one_b(p, m), &c, &EventConfig::default()).unwrap();
+        let sliced = run_schedule(&sliced_1f1b(p, m, 3), &c, &EventConfig::default()).unwrap();
+        assert!(sliced.iteration_time <= plain.iteration_time + 1e-9);
+    }
+
+    #[test]
+    fn interleaved_halves_startup_like_the_paper_says() {
+        // v=2 chunks: the first activation reaches the last *stage* after
+        // traversing chunk-sized (half-stage) hops — roughly half the fill.
+        let p = 4;
+        let v = 2;
+        let m = 8;
+        // 8 chunk-stages each half as heavy as the 4 full stages.
+        let cf = vec![0.5; p * v];
+        let cb = vec![1.0; p * v];
+        let ci = costs(cf, cb, 0.0, 0.02);
+        let int = run_schedule(&interleaved(p, v, m).unwrap(), &ci, &EventConfig::default())
+            .unwrap();
+        let cp = costs(vec![1.0; p], vec![2.0; p], 0.0, 0.02);
+        let plain = run_schedule(&one_f_one_b(p, m), &cp, &EventConfig::default()).unwrap();
+        assert!(
+            int.startup_overhead < 0.7 * plain.startup_overhead,
+            "interleaved {} vs plain {}",
+            int.startup_overhead,
+            plain.startup_overhead
+        );
+    }
+
+    #[test]
+    fn jitter_changes_times_but_stays_close() {
+        let f = vec![1.0; 4];
+        let b = vec![2.0; 4];
+        let c = costs(f, b, 0.0, 0.01);
+        let exact = run_schedule(&one_f_one_b(4, 8), &c, &EventConfig::default()).unwrap();
+        let noisy = run_schedule(
+            &one_f_one_b(4, 8),
+            &c,
+            &EventConfig {
+                jitter_sigma: 0.02,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_ne!(exact.iteration_time, noisy.iteration_time);
+        let rel = (exact.iteration_time - noisy.iteration_time).abs() / exact.iteration_time;
+        assert!(rel < 0.1, "rel {rel}");
+    }
+
+    #[test]
+    fn kernel_overhead_adds_per_op() {
+        let f = vec![1.0];
+        let b = vec![2.0];
+        let c = costs(f, b, 0.0, 0.0);
+        let m = 5;
+        let r = run_schedule(
+            &one_f_one_b(1, m),
+            &c,
+            &EventConfig {
+                kernel_overhead: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // 2 compute ops per micro-batch, each +0.1.
+        assert!((r.iteration_time - (m as f64 * 3.0 + 2.0 * m as f64 * 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilisation_increases_with_microbatches() {
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0, 0.01);
+        let r4 = run_schedule(&one_f_one_b(4, 4), &c, &EventConfig::default()).unwrap();
+        let r32 = run_schedule(&one_f_one_b(4, 32), &c, &EventConfig::default()).unwrap();
+        assert!(r32.utilisation() > r4.utilisation());
+    }
+
+    #[test]
+    fn rejects_mismatched_costs() {
+        let c = costs(vec![1.0; 3], vec![2.0; 3], 0.0, 0.0);
+        assert!(matches!(
+            run_schedule(&one_f_one_b(4, 4), &c, &EventConfig::default()),
+            Err(SimError::BadSchedule(_))
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! Pipeline simulators.
+//!
+//! Two simulators live here, mirroring the paper's methodology:
+//!
+//! * [`analytic`] — the **AutoPipe pipeline simulator** (§III-B.1). Given a
+//!   partition scheme's per-stage forward/backward times and a communication
+//!   cost, it computes the start time of every operation of the synchronous
+//!   1F1B schedule, the iteration time, the **critical path** (unique, ties
+//!   broken toward the last stage) and the **master stage**. It has two
+//!   engines: an exact per-op `replay`, and the paper's closed-form
+//!   `recurrence` (block-renumbered 1F1B equations + reverse-renumbered
+//!   Cooldown equations + Warmup estimated from one micro-batch's total
+//!   forward time). The two agree up to the paper's own approximations.
+//!
+//! * [`event`] — a **discrete-event cluster simulator** that executes any
+//!   [`autopipe_schedule::Schedule`] (1F1B, GPipe, interleaved, sliced)
+//!   against a cost database, with per-device compute engines, per-edge
+//!   FIFO links (α+β cost), optional per-op jitter and launch overhead, and
+//!   static memory feasibility checks. This is the stand-in for the paper's
+//!   16-GPU testbed: all "measured" numbers in the experiment harness come
+//!   from here.
+
+pub mod analytic;
+pub mod event;
+pub mod memcheck;
+pub mod memtrace;
+pub mod metrics;
+pub mod partition;
+pub mod trace;
+
+pub use analytic::{simulate_replay, AnalyticResult, OpClass, OpTime, Phase};
+pub use event::{run_schedule, EventConfig, EventResult, SimError};
+pub use partition::{Partition, StageCosts};

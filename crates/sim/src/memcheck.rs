@@ -1,0 +1,186 @@
+//! Static memory feasibility checks for (partition, schedule) pairs.
+//!
+//! Planners and the experiment harness need to know whether a configuration
+//! OOMs *before* (or instead of) simulating it — exactly like the paper's
+//! Table IV "OOM" entries and Fig. 14's OOM columns. The per-device formula
+//! lives in [`autopipe_cost::memory`]; this module maps schedules onto it:
+//! 1F1B-family schedules keep `p − stage` micro-batches in flight, GPipe
+//! keeps all of them, and the interleaved schedule keeps
+//! Megatron's warmup count of chunk-forwards alive per device.
+
+use autopipe_cost::{
+    memory::{
+        in_flight_1f1b, in_flight_interleaved_chunks, stage_memory, ACT_FRAG_MULT,
+        INTERLEAVED_FRAG_MULT,
+    },
+    CostDb, Hardware, MemoryBreakdown,
+};
+use autopipe_schedule::{Schedule, ScheduleKind};
+
+use crate::partition::Partition;
+
+/// A device exceeded its memory budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OomError {
+    /// Offending device.
+    pub device: usize,
+    /// Bytes the device would need.
+    pub required: u64,
+    /// Usable budget.
+    pub budget: u64,
+    /// Itemised usage.
+    pub breakdown: MemoryBreakdown,
+}
+
+impl std::fmt::Display for OomError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "OOM on device {}: needs {:.2} GB, budget {:.2} GB",
+            self.device,
+            self.required as f64 / 1e9,
+            self.budget as f64 / 1e9
+        )
+    }
+}
+
+impl std::error::Error for OomError {}
+
+/// Compute per-device memory for a partitioned model under `sched`.
+/// `partition` must have exactly `sched.n_stages()` stages (for the
+/// interleaved schedule: one partition stage per chunk-stage).
+pub fn device_memory(
+    partition: &Partition,
+    db: &CostDb,
+    sched: &Schedule,
+) -> Vec<MemoryBreakdown> {
+    let p = sched.n_devices;
+    let v = sched.n_chunks;
+    let m = sched.n_microbatches;
+    assert_eq!(partition.n_stages(), sched.n_stages());
+    (0..p)
+        .map(|d| match sched.kind {
+            ScheduleKind::Interleaved if v > 1 => {
+                // Merge the device's chunks into one virtual block list and
+                // charge Megatron's chunk-level in-flight count, averaged
+                // over the device's chunks.
+                let mut blocks = Vec::new();
+                for c in 0..v {
+                    blocks.extend_from_slice(&db.blocks[partition.range(sched.stage_of(d, c))]);
+                }
+                let chunk_in_flight = in_flight_interleaved_chunks(d, p, v, m);
+                // stage_memory multiplies the *whole* checkpoint set by
+                // in_flight; we hold chunk_in_flight/v stage-equivalents.
+                let equiv = (chunk_in_flight as f64 / v as f64).ceil() as usize;
+                stage_memory(&blocks, 2 * db.comm_bytes, equiv.max(1), INTERLEAVED_FRAG_MULT)
+            }
+            ScheduleKind::GPipe => stage_memory(
+                &db.blocks[partition.range(d)],
+                db.comm_bytes,
+                m,
+                ACT_FRAG_MULT,
+            ),
+            _ => stage_memory(
+                &db.blocks[partition.range(d)],
+                db.comm_bytes,
+                in_flight_1f1b(d, p, m),
+                ACT_FRAG_MULT,
+            ),
+        })
+        .collect()
+}
+
+/// Check that every device fits; returns the per-device breakdowns.
+pub fn check_memory(
+    partition: &Partition,
+    db: &CostDb,
+    sched: &Schedule,
+    hw: &Hardware,
+) -> Result<Vec<MemoryBreakdown>, OomError> {
+    let usage = device_memory(partition, db, sched);
+    for (device, bd) in usage.iter().enumerate() {
+        if !bd.fits(hw) {
+            return Err(OomError {
+                device,
+                required: bd.total(),
+                budget: hw.mem_budget(),
+                breakdown: *bd,
+            });
+        }
+    }
+    Ok(usage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_model::{zoo, Granularity};
+    use autopipe_schedule::generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
+
+    fn db(mbs: usize) -> CostDb {
+        CostDb::build(
+            &zoo::gpt2_345m(),
+            &Hardware::rtx3090_cluster(),
+            mbs,
+            true,
+            Granularity::SubLayer,
+        )
+    }
+
+    #[test]
+    fn gpipe_needs_more_memory_than_1f1b() {
+        let d = db(8);
+        let part = Partition::even(d.len(), 4);
+        let g = device_memory(&part, &d, &gpipe(4, 8));
+        let o = device_memory(&part, &d, &one_f_one_b(4, 8));
+        // GPipe stashes all 8 micro-batches on every stage.
+        for (gd, od) in g.iter().zip(&o) {
+            assert!(gd.checkpoints >= od.checkpoints);
+        }
+        assert!(g[3].checkpoints > o[3].checkpoints);
+    }
+
+    #[test]
+    fn sliced_uses_no_extra_memory() {
+        // The Slicer's selling point: startup halved "without affecting
+        // pipeline balance or introducing additional memory consumption".
+        let d = db(8);
+        let part = Partition::even(d.len(), 4);
+        let plain = device_memory(&part, &d, &one_f_one_b(4, 8));
+        let sliced = device_memory(&part, &d, &sliced_1f1b(4, 8, 2));
+        assert_eq!(plain, sliced);
+    }
+
+    #[test]
+    fn interleaved_oom_at_mbs_32_but_not_plain() {
+        // The Fig. 14a OOM column.
+        let hw = Hardware::rtx3090_cluster();
+        let d = db(32);
+        let plain_part = Partition::even(d.len(), 4);
+        assert!(check_memory(&plain_part, &d, &one_f_one_b(4, 8), &hw).is_ok());
+        let int = interleaved(4, 2, 8).unwrap();
+        let int_part = Partition::even(d.len(), 8);
+        assert!(check_memory(&int_part, &d, &int, &hw).is_err());
+    }
+
+    #[test]
+    fn interleaved_fits_at_small_mbs() {
+        let hw = Hardware::rtx3090_cluster();
+        let d = db(4);
+        let int = interleaved(4, 2, 8).unwrap();
+        let int_part = Partition::even(d.len(), 8);
+        assert!(check_memory(&int_part, &d, &int, &hw).is_ok());
+    }
+
+    #[test]
+    fn oom_error_reports_device_and_sizes() {
+        let hw = Hardware::rtx3090_cluster();
+        let d = db(32);
+        // Whole model on one device at mbs 32: OOM (Table IV precondition).
+        let part = Partition::even(d.len(), 1);
+        let err = check_memory(&part, &d, &one_f_one_b(1, 8), &hw).unwrap_err();
+        assert!(err.required > err.budget);
+        let msg = err.to_string();
+        assert!(msg.contains("OOM"), "{msg}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Pipeline partition schemes.
+
+use serde::{Deserialize, Serialize};
+
+use autopipe_cost::CostDb;
+
+/// A contiguous partition of a model's block sequence into pipeline stages.
+///
+/// `boundaries` has `n_stages + 1` entries; stage `s` owns blocks
+/// `boundaries[s] .. boundaries[s+1]`. Every stage is non-empty.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Partition {
+    boundaries: Vec<usize>,
+}
+
+impl Partition {
+    /// Build from explicit boundaries. Panics if boundaries are not strictly
+    /// increasing starting at 0 — planners must never emit empty stages.
+    pub fn new(boundaries: Vec<usize>) -> Partition {
+        assert!(boundaries.len() >= 2, "need at least one stage");
+        assert_eq!(boundaries[0], 0, "first boundary must be 0");
+        assert!(
+            boundaries.windows(2).all(|w| w[0] < w[1]),
+            "stage boundaries must be strictly increasing (no empty stages): {boundaries:?}"
+        );
+        Partition { boundaries }
+    }
+
+    /// Build from per-stage block counts.
+    pub fn from_sizes(sizes: &[usize]) -> Partition {
+        let mut boundaries = Vec::with_capacity(sizes.len() + 1);
+        let mut acc = 0;
+        boundaries.push(0);
+        for &s in sizes {
+            acc += s;
+            boundaries.push(acc);
+        }
+        Partition::new(boundaries)
+    }
+
+    /// Even split of `n_blocks` into `p` stages (remainder spread over the
+    /// leading stages) — the shape of Megatron-LM's uniform partition.
+    pub fn even(n_blocks: usize, p: usize) -> Partition {
+        assert!(p >= 1 && p <= n_blocks);
+        let base = n_blocks / p;
+        let rem = n_blocks % p;
+        let sizes: Vec<usize> = (0..p).map(|s| base + usize::from(s < rem)).collect();
+        Partition::from_sizes(&sizes)
+    }
+
+    /// Number of pipeline stages.
+    pub fn n_stages(&self) -> usize {
+        self.boundaries.len() - 1
+    }
+
+    /// Total number of blocks partitioned.
+    pub fn n_blocks(&self) -> usize {
+        *self.boundaries.last().unwrap()
+    }
+
+    /// Block range of stage `s`.
+    pub fn range(&self, s: usize) -> std::ops::Range<usize> {
+        self.boundaries[s]..self.boundaries[s + 1]
+    }
+
+    /// Per-stage block counts.
+    pub fn sizes(&self) -> Vec<usize> {
+        (0..self.n_stages()).map(|s| self.range(s).len()).collect()
+    }
+
+    /// Raw boundaries (read-only).
+    pub fn boundaries(&self) -> &[usize] {
+        &self.boundaries
+    }
+
+    /// Which stage owns block `b`.
+    pub fn stage_of_block(&self, b: usize) -> usize {
+        debug_assert!(b < self.n_blocks());
+        match self.boundaries.binary_search(&b) {
+            Ok(i) if i == self.n_stages() => i - 1,
+            Ok(i) => i,
+            Err(i) => i - 1,
+        }
+    }
+
+    /// Extract per-stage forward/backward times and the boundary comm cost.
+    pub fn stage_costs(&self, db: &CostDb) -> StageCosts {
+        assert_eq!(
+            self.n_blocks(),
+            db.len(),
+            "partition covers {} blocks but cost db has {}",
+            self.n_blocks(),
+            db.len()
+        );
+        let mut f = Vec::with_capacity(self.n_stages());
+        let mut b = Vec::with_capacity(self.n_stages());
+        for s in 0..self.n_stages() {
+            let r = self.range(s);
+            f.push(db.blocks[r.clone()].iter().map(|c| c.fwd).sum());
+            b.push(db.blocks[r].iter().map(|c| c.bwd).sum());
+        }
+        StageCosts {
+            f,
+            b,
+            comm: db.comm,
+        }
+    }
+
+    /// Per-stage transformer-layer-equivalents — Table II's reporting
+    /// convention (`.5` per lone sub-layer block).
+    pub fn layer_counts(&self, db: &CostDb) -> Vec<f64> {
+        (0..self.n_stages())
+            .map(|s| db.blocks[self.range(s)].iter().map(|c| c.layer_weight).sum())
+            .collect()
+    }
+
+    /// Per-stage parameter counts.
+    pub fn stage_params(&self, db: &CostDb) -> Vec<u64> {
+        (0..self.n_stages())
+            .map(|s| db.blocks[self.range(s)].iter().map(|c| c.params).sum())
+            .collect()
+    }
+}
+
+/// Per-stage costs of a partition: the `f_x`, `b_x` and `Comm` of the
+/// paper's recurrences.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageCosts {
+    /// Forward time per stage for one micro-batch, seconds.
+    pub f: Vec<f64>,
+    /// Backward time per stage (includes checkpoint recompute), seconds.
+    pub b: Vec<f64>,
+    /// Single boundary communication cost, seconds.
+    pub comm: f64,
+}
+
+impl StageCosts {
+    /// Number of stages.
+    pub fn n_stages(&self) -> usize {
+        self.f.len()
+    }
+
+    /// `f_x + b_x` for stage `x` — the per-micro-batch load Algorithm 1
+    /// balances.
+    pub fn work(&self, x: usize) -> f64 {
+        self.f[x] + self.b[x]
+    }
+
+    /// Construct directly (tests, synthetic pipelines).
+    pub fn new(f: Vec<f64>, b: Vec<f64>, comm: f64) -> StageCosts {
+        assert_eq!(f.len(), b.len());
+        assert!(!f.is_empty());
+        StageCosts { f, b, comm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_cost::Hardware;
+    use autopipe_model::{zoo, Granularity};
+
+    fn db() -> CostDb {
+        CostDb::build(
+            &zoo::gpt2_345m(),
+            &Hardware::rtx3090_cluster(),
+            4,
+            true,
+            Granularity::SubLayer,
+        )
+    }
+
+    #[test]
+    fn even_partition_covers_everything() {
+        let p = Partition::even(51, 4);
+        assert_eq!(p.n_stages(), 4);
+        assert_eq!(p.n_blocks(), 51);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 51);
+        // remainder goes to leading stages
+        assert_eq!(p.sizes(), vec![13, 13, 13, 12]);
+    }
+
+    #[test]
+    fn stage_of_block_is_consistent_with_ranges() {
+        let p = Partition::from_sizes(&[3, 5, 2]);
+        for s in 0..p.n_stages() {
+            for b in p.range(s) {
+                assert_eq!(p.stage_of_block(b), s, "block {b}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty stages")]
+    fn empty_stage_rejected() {
+        Partition::new(vec![0, 3, 3, 5]);
+    }
+
+    #[test]
+    fn stage_costs_sum_to_model_totals() {
+        let d = db();
+        let p = Partition::even(d.len(), 4);
+        let sc = p.stage_costs(&d);
+        let f_sum: f64 = sc.f.iter().sum();
+        let b_sum: f64 = sc.b.iter().sum();
+        assert!((f_sum - d.total_fwd()).abs() < 1e-12);
+        assert!((f_sum + b_sum - d.total_work()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layer_counts_sum_to_model_layers() {
+        let d = db();
+        let p = Partition::even(d.len(), 4);
+        let total: f64 = p.layer_counts(&d).iter().sum();
+        assert_eq!(total, 24.0);
+    }
+
+    #[test]
+    fn params_partition_exactly() {
+        let d = db();
+        let p = Partition::from_sizes(&[10, 10, 10, 21]);
+        let total: u64 = p.stage_params(&d).iter().sum();
+        assert_eq!(total, d.total_params());
+    }
+}

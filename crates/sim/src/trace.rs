@@ -1,0 +1,201 @@
+//! Timeline analysis and Chrome-trace export for event-simulation results.
+//!
+//! `chrome://tracing` / Perfetto can load the JSON emitted by
+//! [`chrome_trace`]; [`analyze`] decomposes each device's iteration into
+//! compute, communication-wait and bubble time — the quantities the paper's
+//! Fig. 1 shades grey.
+
+use serde_json::{json, Value};
+
+use autopipe_schedule::{OpKind, Part};
+
+use crate::event::EventResult;
+
+/// Per-device time decomposition of one simulated iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceBreakdown {
+    /// Device index.
+    pub device: usize,
+    /// Time spent in forward compute.
+    pub fwd: f64,
+    /// Time spent in backward compute.
+    pub bwd: f64,
+    /// Time spent blocked in receives (waiting on upstream/downstream).
+    pub wait: f64,
+    /// Residual idle time (`iteration − fwd − bwd − wait`).
+    pub idle: f64,
+}
+
+impl DeviceBreakdown {
+    /// Busy fraction of the iteration.
+    pub fn utilisation(&self, iteration: f64) -> f64 {
+        if iteration <= 0.0 {
+            return 0.0;
+        }
+        (self.fwd + self.bwd) / iteration
+    }
+}
+
+/// Decompose every device's timeline.
+pub fn analyze(result: &EventResult) -> Vec<DeviceBreakdown> {
+    result
+        .timeline
+        .iter()
+        .enumerate()
+        .map(|(device, ops)| {
+            let mut fwd = 0.0;
+            let mut bwd = 0.0;
+            let mut wait = 0.0;
+            for r in ops {
+                let dur = r.end - r.start;
+                match r.op.kind {
+                    OpKind::Fwd { .. } => fwd += dur,
+                    OpKind::Bwd { .. } => bwd += dur,
+                    OpKind::RecvAct { .. } | OpKind::RecvGrad { .. } => wait += dur,
+                    _ => {}
+                }
+            }
+            let idle = (result.iteration_time - fwd - bwd - wait).max(0.0);
+            DeviceBreakdown {
+                device,
+                fwd,
+                bwd,
+                wait,
+                idle,
+            }
+        })
+        .collect()
+}
+
+/// Aggregate bubble fraction across devices: 1 − mean compute utilisation.
+pub fn bubble_fraction(result: &EventResult) -> f64 {
+    let decomposed = analyze(result);
+    if decomposed.is_empty() || result.iteration_time <= 0.0 {
+        return 0.0;
+    }
+    let mean: f64 = decomposed
+        .iter()
+        .map(|d| d.utilisation(result.iteration_time))
+        .sum::<f64>()
+        / decomposed.len() as f64;
+    (1.0 - mean).max(0.0)
+}
+
+/// Render the timeline as a Chrome-trace JSON document (`traceEvents`
+/// array with complete events; timestamps in microseconds).
+pub fn chrome_trace(result: &EventResult) -> Value {
+    let mut events = Vec::new();
+    for (device, ops) in result.timeline.iter().enumerate() {
+        for r in ops {
+            let (name, cat) = describe(&r.op.kind);
+            if r.end <= r.start {
+                continue; // zero-width enqueue ops clutter the view
+            }
+            events.push(json!({
+                "name": name,
+                "cat": cat,
+                "ph": "X",
+                "ts": r.start * 1e6,
+                "dur": (r.end - r.start) * 1e6,
+                "pid": 0,
+                "tid": device,
+            }));
+        }
+    }
+    json!({
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    })
+}
+
+fn describe(kind: &OpKind) -> (String, &'static str) {
+    match kind {
+        OpKind::Fwd { mb, part, .. } => (
+            match part {
+                Part::Full => format!("F{mb}"),
+                Part::Half1 => format!("F{mb}a"),
+                Part::Half2 => format!("F{mb}b"),
+                Part::Both => format!("F{mb}ab"),
+            },
+            "fwd",
+        ),
+        OpKind::Bwd { mb, .. } => (format!("B{mb}"), "bwd"),
+        OpKind::RecvAct { mb, .. } => (format!("recv-act {mb}"), "wait"),
+        OpKind::RecvGrad { mb, .. } => (format!("recv-grad {mb}"), "wait"),
+        OpKind::SendAct { mb, .. } => (format!("send-act {mb}"), "comm"),
+        OpKind::SendGrad { mb, .. } => (format!("send-grad {mb}"), "comm"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{run_schedule, EventConfig, EventCosts};
+    use autopipe_schedule::one_f_one_b;
+
+    fn result(p: usize, m: usize) -> EventResult {
+        let c = EventCosts {
+            f: vec![1.0; p],
+            b: vec![2.0; p],
+            latency: 0.0,
+            volume: 0.01,
+        };
+        run_schedule(&one_f_one_b(p, m), &c, &EventConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn decomposition_accounts_for_the_whole_iteration() {
+        let r = result(4, 8);
+        for d in analyze(&r) {
+            let total = d.fwd + d.bwd + d.wait + d.idle;
+            assert!(
+                (total - r.iteration_time).abs() < 1e-9,
+                "device {}: {} vs {}",
+                d.device,
+                total,
+                r.iteration_time
+            );
+        }
+    }
+
+    #[test]
+    fn compute_time_matches_schedule_math() {
+        let m = 8;
+        let r = result(4, m);
+        for d in analyze(&r) {
+            assert!((d.fwd - m as f64 * 1.0).abs() < 1e-9);
+            assert!((d.bwd - m as f64 * 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn bubble_fraction_shrinks_with_more_microbatches() {
+        let b8 = bubble_fraction(&result(4, 8));
+        let b32 = bubble_fraction(&result(4, 32));
+        assert!(b32 < b8, "{b32} vs {b8}");
+        assert!((0.0..1.0).contains(&b8));
+    }
+
+    #[test]
+    fn single_device_has_no_bubbles() {
+        let b = bubble_fraction(&result(1, 4));
+        assert!(b < 1e-9, "bubble {b}");
+    }
+
+    #[test]
+    fn chrome_trace_is_wellformed() {
+        let r = result(2, 4);
+        let v = chrome_trace(&r);
+        let events = v["traceEvents"].as_array().unwrap();
+        // 2 devices x (4 F + 4 B) compute events at least, plus waits.
+        assert!(events.len() >= 16);
+        for e in events {
+            assert!(e["ts"].as_f64().unwrap() >= 0.0);
+            assert!(e["dur"].as_f64().unwrap() > 0.0);
+            assert!(e["tid"].as_u64().unwrap() < 2);
+        }
+        // Serialises to valid JSON text.
+        let text = serde_json::to_string(&v).unwrap();
+        assert!(text.contains("traceEvents"));
+    }
+}

@@ -1,0 +1,16 @@
+//! Minimal f32 tensor library with manual autograd, built for the AutoPipe
+//! runtime substrate.
+//!
+//! The paper's training back-end is PyTorch + CUDA; this crate is the
+//! laptop-scale stand-in: dense row-major f32 tensors, a thread-parallel
+//! GEMM, and hand-written forward/backward pairs for every operation a
+//! GPT-2/BERT block needs (linear, layer-norm, GELU, softmax, multi-head
+//! attention, embedding lookup, fused softmax-cross-entropy). Every
+//! backward is validated against finite differences in the test suite.
+
+pub mod nn;
+pub mod ops;
+pub mod optim;
+pub mod tensor;
+
+pub use tensor::Tensor;

@@ -1,0 +1,351 @@
+//! Dense row-major f32 tensors.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major f32 tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Tensor {
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Tensor from raw data; panics if sizes disagree.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Tensor {
+        assert_eq!(
+            shape.iter().product::<usize>(),
+            data.len(),
+            "shape {shape:?} incompatible with {} elements",
+            data.len()
+        );
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Gaussian init scaled by `std`.
+    pub fn randn<R: Rng>(shape: &[usize], std: f32, rng: &mut R) -> Tensor {
+        let n = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Box–Muller
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            data.push((-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos() * std);
+        }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Reinterpret with a new shape of the same element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(shape.iter().product::<usize>(), self.len());
+        Tensor {
+            shape: shape.to_vec(),
+            data: self.data.clone(),
+        }
+    }
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape, other.shape);
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape);
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise scale.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|a| a * alpha).collect(),
+        }
+    }
+
+    /// Sum of all elements (f64 accumulator).
+    pub fn sum(&self) -> f64 {
+        self.data.iter().map(|&x| x as f64).sum()
+    }
+
+    /// Max absolute element.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0_f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Matrix multiply: `self [m,k] × other [k,n] → [m,n]`, thread-parallel
+    /// over row blocks for large problems.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be 2-D");
+        assert_eq!(other.shape.len(), 2, "matmul rhs must be 2-D");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims {k} vs {k2}");
+        let mut out = vec![0.0_f32; m * n];
+        gemm(&self.data, &other.data, &mut out, m, k, n);
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `selfᵀ × other`: `[k,m]ᵀ·[k,n] → [m,n]` without materialising the
+    /// transpose (weight-gradient shape).
+    pub fn t_matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (k, m) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2);
+        let mut out = vec![0.0_f32; m * n];
+        for kk in 0..k {
+            let a_row = &self.data[kk * m..(kk + 1) * m];
+            let b_row = &other.data[kk * n..(kk + 1) * n];
+            for i in 0..m {
+                let a = a_row[i];
+                if a == 0.0 {
+                    continue;
+                }
+                let o = &mut out[i * n..(i + 1) * n];
+                for (oj, bj) in o.iter_mut().zip(b_row) {
+                    *oj += a * bj;
+                }
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+
+    /// `self × otherᵀ`: `[m,k]·[n,k]ᵀ → [m,n]` (input-gradient shape).
+    pub fn matmul_t(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.len(), 2);
+        assert_eq!(other.shape.len(), 2);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (n, k2) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2);
+        let mut out = vec![0.0_f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o = &mut out[i * n..(i + 1) * n];
+            for (j, oj) in o.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0_f32;
+                for (av, bv) in a_row.iter().zip(b_row) {
+                    acc += av * bv;
+                }
+                *oj = acc;
+            }
+        }
+        Tensor {
+            shape: vec![m, n],
+            data: out,
+        }
+    }
+}
+
+/// Row-blocked GEMM; splits rows across threads above a work threshold.
+fn gemm(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let work = m * k * n;
+    let threads = if work < 1 << 18 {
+        1
+    } else {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(8)
+            .min(m)
+    };
+    if threads <= 1 {
+        gemm_rows(a, b, out, 0, m, k, n);
+        return;
+    }
+    let rows_per = m.div_ceil(threads);
+    let chunks: Vec<(usize, &mut [f32])> = out
+        .chunks_mut(rows_per * n)
+        .enumerate()
+        .map(|(i, c)| (i * rows_per, c))
+        .collect();
+    std::thread::scope(|s| {
+        for (row0, chunk) in chunks {
+            s.spawn(move || {
+                let rows = chunk.len() / n;
+                gemm_block(&a[row0 * k..(row0 + rows) * k], b, chunk, rows, k, n);
+            });
+        }
+    });
+}
+
+fn gemm_rows(a: &[f32], b: &[f32], out: &mut [f32], row0: usize, row1: usize, k: usize, n: usize) {
+    gemm_block(
+        &a[row0 * k..row1 * k],
+        b,
+        &mut out[row0 * n..row1 * n],
+        row1 - row0,
+        k,
+        n,
+    );
+}
+
+/// ikj-order kernel: streams B rows, vectorises the inner j loop.
+fn gemm_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o = &mut out[i * n..(i + 1) * n];
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..(kk + 1) * n];
+            for (oj, bj) in o.iter_mut().zip(b_row) {
+                *oj += av * bj;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Tensor::from_vec(&[3, 2], vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transposed_matmuls_agree_with_explicit_transpose() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Tensor::randn(&[4, 5], 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 3], 1.0, &mut rng);
+        // aᵀ·b via t_matmul vs manual transpose.
+        let at = {
+            let mut t = Tensor::zeros(&[5, 4]);
+            for i in 0..4 {
+                for j in 0..5 {
+                    t.data_mut()[j * 4 + i] = a.data()[i * 5 + j];
+                }
+            }
+            t
+        };
+        let want = at.matmul(&b);
+        let got = a.t_matmul(&b);
+        for (w, g) in want.data().iter().zip(got.data()) {
+            assert!((w - g).abs() < 1e-5);
+        }
+        // a·cᵀ via matmul_t.
+        let c = Tensor::randn(&[7, 5], 1.0, &mut rng);
+        let ct = {
+            let mut t = Tensor::zeros(&[5, 7]);
+            for i in 0..7 {
+                for j in 0..5 {
+                    t.data_mut()[j * 7 + i] = c.data()[i * 5 + j];
+                }
+            }
+            t
+        };
+        let want2 = a.matmul(&ct);
+        let got2 = a.matmul_t(&c);
+        for (w, g) in want2.data().iter().zip(got2.data()) {
+            assert!((w - g).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_matches_serial() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // Big enough to trigger the threaded path.
+        let a = Tensor::randn(&[128, 96], 1.0, &mut rng);
+        let b = Tensor::randn(&[96, 80], 1.0, &mut rng);
+        let big = a.matmul(&b);
+        // Serial reference.
+        let mut serial = vec![0.0_f32; 128 * 80];
+        gemm_rows(a.data(), b.data(), &mut serial, 0, 128, 96, 80);
+        for (x, y) in big.data().iter().zip(&serial) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![1.0, 1.0, 1.0]);
+        a.axpy(2.0, &b);
+        assert_eq!(a.data(), &[3.0, 4.0, 5.0]);
+        assert_eq!(a.scale(0.5).data(), &[1.5, 2.0, 2.5]);
+    }
+
+    #[test]
+    fn randn_is_deterministic_per_seed() {
+        let mut r1 = ChaCha8Rng::seed_from_u64(42);
+        let mut r2 = ChaCha8Rng::seed_from_u64(42);
+        assert_eq!(
+            Tensor::randn(&[10], 0.02, &mut r1),
+            Tensor::randn(&[10], 0.02, &mut r2)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "incompatible")]
+    fn from_vec_checks_size() {
+        Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+}

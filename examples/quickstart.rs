@@ -1,0 +1,43 @@
+//! Quickstart: plan pipeline-parallel training for GPT-2 345M on 4 GPUs.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use autopipe_core::{AutoPipe, PlanRequest};
+use autopipe_model::zoo;
+
+fn main() {
+    // Describe the job: model, cluster size, micro-batch and global batch.
+    let request = PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128);
+
+    // AutoPipe: model configs -> Planner -> Slicer -> executable plan.
+    let plan = AutoPipe::plan(&request).expect("planning failed");
+
+    println!("model            : {}", request.model.name);
+    println!("devices          : {}", request.n_devices);
+    println!(
+        "strategy         : {} pipeline stage(s) x {} data-parallel",
+        plan.stages, plan.dp
+    );
+    println!("micro-batches    : {} per replica per iteration", plan.microbatches);
+    println!("layers per stage : {:?}", plan.layer_counts);
+    println!("sliced warmup mbs: {}", plan.n_sliced);
+    println!(
+        "est. iteration   : {:.1} ms (pipeline {:.1} ms + grad sync {:.1} ms)",
+        plan.est_iteration_time() * 1e3,
+        plan.est_pipeline_time * 1e3,
+        plan.grad_sync * 1e3
+    );
+    println!(
+        "planner explored : {} schemes in {:.2} ms",
+        plan.schemes_explored,
+        plan.search_seconds * 1e3
+    );
+    println!(
+        "schedule         : {:?}, {} ops across {} devices",
+        plan.schedule.kind,
+        plan.schedule.total_ops(),
+        plan.schedule.n_devices
+    );
+}

@@ -1,0 +1,16 @@
+//! Workspace-root crate for the AutoPipe reproduction.
+//!
+//! This crate carries the repository's runnable examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). The library surface itself just
+//! re-exports the member crates so examples and tests can use one import
+//! root.
+
+pub use autopipe_core as core;
+pub use autopipe_cost as cost;
+pub use autopipe_model as model;
+pub use autopipe_planner as planner;
+pub use autopipe_runtime as runtime;
+pub use autopipe_schedule as schedule;
+pub use autopipe_sim as sim;
+pub use autopipe_slicer as slicer;
+pub use autopipe_tensor as tensor;

@@ -1,0 +1,89 @@
+//! Cross-crate integration: plan → validate → simulate → execute.
+
+use autopipe_core::{AutoPipe, PlanRequest};
+use autopipe_model::zoo;
+use autopipe_runtime::{BatchSet, Pipeline, PipelineConfig, ReferenceModel};
+use autopipe_schedule::validate;
+use autopipe_sim::event::{run_schedule, EventConfig, EventCosts};
+
+/// The full AutoPipe front-end output is executable on the event simulator.
+#[test]
+fn planned_schedule_simulates() {
+    let req = PlanRequest {
+        fixed_stages: Some(4),
+        ..PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)
+    };
+    let plan = AutoPipe::plan(&req).unwrap();
+    validate(&plan.schedule).unwrap();
+    let db = AutoPipe::cost_db(&req);
+    let sc = plan.partition.stage_costs(&db);
+    let ev = EventCosts::from_stage_costs(&sc, req.hardware.link_latency);
+    let r = run_schedule(&plan.schedule, &ev, &EventConfig::default()).unwrap();
+    assert!(r.iteration_time > 0.0);
+    // The event simulation should land near the planner's own estimate.
+    let rel = (r.iteration_time - plan.est_pipeline_time).abs() / plan.est_pipeline_time;
+    assert!(rel < 0.05, "event vs planner estimate diverge by {rel}");
+}
+
+/// Plan for every benchmark model at several depths; everything validates.
+#[test]
+fn plans_for_all_benchmark_models_validate() {
+    for model in zoo::benchmark_models() {
+        for p in [2usize, 4] {
+            let req = PlanRequest {
+                fixed_stages: Some(p),
+                ..PlanRequest::new(model.clone(), p, 4, 64)
+            };
+            let plan = AutoPipe::plan(&req)
+                .unwrap_or_else(|e| panic!("{} p={p}: {e}", model.name));
+            assert_eq!(plan.stages, p);
+            validate(&plan.schedule).unwrap();
+            let total_layers: f64 = plan.layer_counts.iter().sum();
+            assert_eq!(total_layers, model.num_layers as f64);
+        }
+    }
+}
+
+/// A plan produced by the real front-end drives the threaded runtime on a
+/// tiny model, and the result matches single-device training.
+#[test]
+fn planned_tiny_model_trains_correctly() {
+    let model = zoo::gpt2_tiny();
+    let req = PlanRequest {
+        fixed_stages: Some(2),
+        ..PlanRequest::new(model.clone(), 2, 4, 16)
+    };
+    let plan = AutoPipe::plan(&req).unwrap();
+    assert_eq!(plan.microbatches, 4);
+    let mut pipe = Pipeline::new(&PipelineConfig {
+        model: model.clone(),
+        partition: plan.partition.clone(),
+        schedule: plan.schedule.clone(),
+        lr: 1e-3,
+        seed: 4,
+        checkpointing: true,
+    });
+    let mut reference = ReferenceModel::new(&model, 4, 1e-3, true);
+    let batch = BatchSet::synthetic(21, plan.microbatches, 4, model.seq_len, model.vocab_size);
+    for _ in 0..2 {
+        let a = pipe.train_iteration(&batch).loss;
+        let r = reference.train_iteration(&batch);
+        assert!((a - r).abs() < 1e-3, "pipeline {a} vs reference {r}");
+    }
+}
+
+/// Strategy selection reproduces Table III/IV behaviour end-to-end through
+/// the public facade.
+#[test]
+fn facade_strategy_matches_paper_choices() {
+    // Low memory: complete data parallelism.
+    let low = AutoPipe::plan(&PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)).unwrap();
+    assert_eq!(low.stages, 1);
+    assert_eq!(low.dp, 4);
+    // High memory: 2-stage pipeline for 345M at mbs 32.
+    let high = AutoPipe::plan(&PlanRequest::new(zoo::gpt2_345m(), 4, 32, 512)).unwrap();
+    assert_eq!(high.stages, 2);
+    // 1.3B at mbs 16: 4-stage.
+    let big = AutoPipe::plan(&PlanRequest::new(zoo::gpt2_1_3b(), 4, 16, 512)).unwrap();
+    assert_eq!(big.stages, 4);
+}

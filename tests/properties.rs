@@ -1,0 +1,109 @@
+//! Cross-crate property tests.
+
+use proptest::prelude::*;
+
+use autopipe_planner::balanced_partition;
+use autopipe_schedule::{gpipe, one_f_one_b, sliced_1f1b, validate};
+use autopipe_sim::analytic::{recurrence, simulate_replay};
+use autopipe_sim::event::{run_schedule, EventConfig, EventCosts};
+use autopipe_sim::StageCosts;
+
+fn stage_costs_strategy() -> impl Strategy<Value = (StageCosts, usize)> {
+    (2usize..=6, 1usize..=24, 0usize..=50).prop_flat_map(|(p, m_extra, comm_milli)| {
+        (
+            proptest::collection::vec(0.1f64..3.0, p),
+            proptest::collection::vec(0.2f64..6.0, p),
+            Just(p),
+            Just(m_extra),
+            Just(comm_milli),
+        )
+            .prop_map(move |(f, b, p, m_extra, comm_milli)| {
+                let costs = StageCosts::new(f, b, comm_milli as f64 * 1e-3);
+                let m = p + m_extra; // m >= n for the recurrence engine
+                (costs, m)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The analytic replay and the event simulator agree exactly on plain
+    /// 1F1B schedules (with the comm split as pure volume).
+    #[test]
+    fn replay_equals_event_sim((costs, m) in stage_costs_strategy()) {
+        let p = costs.n_stages();
+        let a = simulate_replay(&costs, m);
+        let ev = EventCosts { f: costs.f.clone(), b: costs.b.clone(), latency: 0.0, volume: costs.comm };
+        let e = run_schedule(&one_f_one_b(p, m), &ev, &EventConfig::default()).unwrap();
+        prop_assert!((a.iteration_time - e.iteration_time).abs() < 1e-9,
+            "analytic {} vs event {}", a.iteration_time, e.iteration_time);
+        prop_assert!((a.startup_overhead - e.startup_overhead).abs() < 1e-9);
+    }
+
+    /// The paper's closed-form recurrences stay within their documented
+    /// tolerance of the exact replay.
+    #[test]
+    fn recurrence_tracks_replay((costs, m) in stage_costs_strategy()) {
+        let a = simulate_replay(&costs, m);
+        let r = recurrence::simulate(&costs, m);
+        let tol = (2.0 * m as f64 + 2.0 * costs.n_stages() as f64 + 2.0) * costs.comm
+            + 0.02 * a.iteration_time + 1e-9;
+        prop_assert!((a.iteration_time - r.iteration_time).abs() <= tol,
+            "replay {} vs recurrence {} (tol {})", a.iteration_time, r.iteration_time, tol);
+    }
+
+    /// Iteration time is bounded below by the heaviest stage's serial work
+    /// and above by fully serial execution.
+    #[test]
+    fn iteration_time_bounds((costs, m) in stage_costs_strategy()) {
+        let a = simulate_replay(&costs, m);
+        let max_work = (0..costs.n_stages()).map(|x| costs.work(x)).fold(0.0, f64::max);
+        let total: f64 = (0..costs.n_stages()).map(|x| costs.work(x)).sum();
+        prop_assert!(a.iteration_time >= m as f64 * max_work - 1e-9);
+        let serial = m as f64 * total + 2.0 * (costs.n_stages() * m) as f64 * costs.comm;
+        prop_assert!(a.iteration_time <= serial + 1e-9, "{} > serial {}", a.iteration_time, serial);
+    }
+
+    /// Every generated schedule validates, for every slicing degree.
+    #[test]
+    fn schedules_always_validate(p in 1usize..=8, m in 1usize..=16) {
+        validate(&one_f_one_b(p, m)).unwrap();
+        validate(&gpipe(p, m)).unwrap();
+        for k in 0..=p.min(m).saturating_sub(1) {
+            validate(&sliced_1f1b(p, m, k)).unwrap();
+        }
+    }
+
+    /// Slicing never increases the startup overhead and never slows the
+    /// ideal-cost pipeline down.
+    #[test]
+    fn slicing_is_safe((costs, m) in stage_costs_strategy()) {
+        let p = costs.n_stages();
+        let ev = EventCosts { f: costs.f.clone(), b: costs.b.clone(), latency: 0.0, volume: costs.comm };
+        let plain = run_schedule(&one_f_one_b(p, m), &ev, &EventConfig::default()).unwrap();
+        let k = autopipe_slicer::solve_sliced_count(&costs).min(m).min(p - 1);
+        let sliced = run_schedule(&sliced_1f1b(p, m, k), &ev, &EventConfig::default()).unwrap();
+        prop_assert!(sliced.startup_overhead <= plain.startup_overhead + 1e-9);
+        prop_assert!(sliced.iteration_time <= plain.iteration_time + 1e-9,
+            "sliced {} vs plain {} (k={k})", sliced.iteration_time, plain.iteration_time);
+    }
+
+    /// Algorithm 1 dominates the Megatron-style even block split in max
+    /// stage weight.
+    #[test]
+    fn balanced_partition_beats_even_split(
+        weights in proptest::collection::vec(0.05f64..5.0, 6..40),
+        p_seed in 0usize..100,
+    ) {
+        let p = 2 + p_seed % (weights.len() / 2);
+        let dp = balanced_partition(&weights, p);
+        let even = autopipe_sim::Partition::even(weights.len(), p);
+        let maxw = |part: &autopipe_sim::Partition| {
+            (0..part.n_stages())
+                .map(|s| part.range(s).map(|b| weights[b]).sum::<f64>())
+                .fold(0.0, f64::max)
+        };
+        prop_assert!(maxw(&dp) <= maxw(&even) + 1e-9);
+    }
+}
