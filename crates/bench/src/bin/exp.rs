@@ -33,8 +33,20 @@ fn run_one(name: &str) {
         "trace" => exps::trace::run(),
         "all" => {
             for e in [
-                "table1", "table2", "fig9", "fig10", "fig11", "table3", "table4", "fig12",
-                "fig13", "fig14a", "fig14b", "ablations", "scaling", "trace",
+                "table1",
+                "table2",
+                "fig9",
+                "fig10",
+                "fig11",
+                "table3",
+                "table4",
+                "fig12",
+                "fig13",
+                "fig14a",
+                "fig14b",
+                "ablations",
+                "scaling",
+                "trace",
             ] {
                 run_one(e);
             }

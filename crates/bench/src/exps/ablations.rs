@@ -109,7 +109,13 @@ pub fn bandwidth_sweep() -> Vec<(f64, f64)> {
 pub fn run() {
     let mut records = Vec::new();
 
-    let mut t = Table::new(&["Model", "stages", "layer-gran (ms)", "sub-layer (ms)", "gain"]);
+    let mut t = Table::new(&[
+        "Model",
+        "stages",
+        "layer-gran (ms)",
+        "sub-layer (ms)",
+        "gain",
+    ]);
     for (model, p, l, s) in granularity_ablation() {
         t.row(vec![
             model.clone(),
@@ -118,12 +124,20 @@ pub fn run() {
             format!("{:.1}", s * 1e3),
             format!("{:.2}x", l / s),
         ]);
-        records.push(json!({"ablation": "granularity", "model": model, "stages": p,
-                            "layer_s": l, "sublayer_s": s}));
+        records.push(
+            json!({"ablation": "granularity", "model": model, "stages": p,
+                            "layer_s": l, "sublayer_s": s}),
+        );
     }
     t.print("Ablation: planning granularity (Fig. 3's claim)");
 
-    let mut t = Table::new(&["Model", "stages", "Alg.1 seed (ms)", "heuristic (ms)", "gain"]);
+    let mut t = Table::new(&[
+        "Model",
+        "stages",
+        "Alg.1 seed (ms)",
+        "heuristic (ms)",
+        "gain",
+    ]);
     for (model, p, seed, full) in heuristic_ablation() {
         t.row(vec![
             model.clone(),
@@ -144,10 +158,16 @@ pub fn run() {
             k.to_string(),
             format!("{:.1}", iter * 1e3),
             format!("{:.1}", startup * 1e3),
-            if *k == chosen { "<- Algorithm 2".into() } else { String::new() },
+            if *k == chosen {
+                "<- Algorithm 2".into()
+            } else {
+                String::new()
+            },
         ]);
-        records.push(json!({"ablation": "slice_sweep", "k": k, "iteration_s": iter,
-                            "startup_s": startup, "chosen": chosen}));
+        records.push(
+            json!({"ablation": "slice_sweep", "k": k, "iteration_s": iter,
+                            "startup_s": startup, "chosen": chosen}),
+        );
     }
     t.print("Ablation: slice-count sweep (GPT-2 345M, 8 stages, 16 micro-batches)");
 
@@ -168,10 +188,7 @@ mod tests {
     #[test]
     fn sublayer_never_loses_to_layer_granularity() {
         for (model, p, l, s) in granularity_ablation() {
-            assert!(
-                s <= l + 1e-9,
-                "{model} p={p}: sub-layer {s} vs layer {l}"
-            );
+            assert!(s <= l + 1e-9, "{model} p={p}: sub-layer {s} vs layer {l}");
         }
     }
 

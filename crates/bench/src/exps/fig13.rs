@@ -22,8 +22,10 @@ pub fn balances() -> Vec<(usize, [f64; 3])> {
     let hw = Hardware::rtx3090_cluster();
     let mbs = 32;
     let truth = cost_db(&zoo::gpt2_345m(), &hw, mbs);
-    let profiled =
-        autopipe_cost::profiler::profile(&truth, &autopipe_cost::profiler::ProfilerConfig::default());
+    let profiled = autopipe_cost::profiler::profile(
+        &truth,
+        &autopipe_cost::profiler::ProfilerConfig::default(),
+    );
     let gbs = 512;
     [4usize, 8]
         .iter()

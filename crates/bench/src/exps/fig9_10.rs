@@ -26,7 +26,14 @@ pub fn run_fig9() {
     ];
     let mut records = Vec::new();
     for (model, mbs_list) in cases {
-        let mut t = Table::new(&["mbs", "Megatron-LM", "Slicer", "Planner", "AutoPipe", "speedup"]);
+        let mut t = Table::new(&[
+            "mbs",
+            "Megatron-LM",
+            "Slicer",
+            "Planner",
+            "AutoPipe",
+            "speedup",
+        ]);
         // Fig. 9's 762M runs 9 stages? No — Fig. 9 fixes 4 stages for all.
         let p = 4;
         let m = 8;

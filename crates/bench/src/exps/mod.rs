@@ -9,13 +9,13 @@ pub mod fig9_10;
 pub mod planner_tables;
 pub mod scaling;
 pub mod table1;
-pub mod trace;
 pub mod table2;
+pub mod trace;
 
 use autopipe_cost::{CommModel, CostDb, Hardware};
+use autopipe_planner::autopipe::AutoPipeConfig;
 use autopipe_planner::baselines::{dapple, piper, replicated};
 use autopipe_planner::types::{HybridPlan, PlanError};
-use autopipe_planner::autopipe::AutoPipeConfig;
 
 /// Run a named planner ("D", "P" or "A") and return its hybrid plan.
 /// AutoPipe's uniform strategy is wrapped into the same [`HybridPlan`]

@@ -17,7 +17,12 @@ fn planner_rows(
 ) -> Table {
     let hw = Hardware::rtx3090_cluster();
     let db = cost_db(model, &hw, mbs);
-    let mut header = vec!["Model".to_string(), "Mbs".into(), "# GPUs".into(), "Alg".into()];
+    let mut header = vec![
+        "Model".to_string(),
+        "Mbs".into(),
+        "# GPUs".into(),
+        "Alg".into(),
+    ];
     for gbs in gbs_list {
         header.push(format!("Gbs={gbs}"));
     }
@@ -37,7 +42,8 @@ fn planner_rows(
                     .map_err(|e| e.to_string())
                     .and_then(|plan| evaluate_plan(&plan, &db, &hw, gbs, mbs));
                 cells.push(ms(&v));
-                per_gbs.push(json!({ "gbs": gbs, "iteration_s": v.clone().ok(), "marker": v.err() }));
+                per_gbs
+                    .push(json!({ "gbs": gbs, "iteration_s": v.clone().ok(), "marker": v.err() }));
             }
             records.push(json!({
                 "model": model.name, "mbs": mbs, "gpus": g, "alg": alg, "results": per_gbs,

@@ -44,7 +44,12 @@ pub fn depth_scaling() -> Vec<(usize, usize, f64, usize, f64)> {
 pub fn width_scaling() -> Vec<(String, usize, f64, f64)> {
     let hw = Hardware::rtx3090_cluster();
     let mut out = Vec::new();
-    for model in [zoo::gpt2_345m(), zoo::gpt2_1_3b(), zoo::gpt3_2_7b(), zoo::gpt3_6_7b()] {
+    for model in [
+        zoo::gpt2_345m(),
+        zoo::gpt2_1_3b(),
+        zoo::gpt3_2_7b(),
+        zoo::gpt3_6_7b(),
+    ] {
         let db = cost_db(&model, &hw, 4);
         let p = 8;
         let t0 = Instant::now();
@@ -62,7 +67,13 @@ pub fn width_scaling() -> Vec<(String, usize, f64, f64)> {
 /// Print the scaling study.
 pub fn run() {
     let mut records = Vec::new();
-    let mut t = Table::new(&["layers", "stages", "search (ms)", "schemes", "max/mean load"]);
+    let mut t = Table::new(&[
+        "layers",
+        "stages",
+        "search (ms)",
+        "schemes",
+        "max/mean load",
+    ]);
     for (layers, p, secs, schemes, imb) in depth_scaling() {
         t.row(vec![
             layers.to_string(),

@@ -32,8 +32,7 @@ pub fn run() {
     ] {
         let sc = part.stage_costs(&db);
         let ev = EventCosts::from_stage_costs(&sc, hw.link_latency);
-        let r = run_schedule(&sched, &ev, &EventConfig::actual_run(hw.kernel_overhead, 1))
-            .unwrap();
+        let r = run_schedule(&sched, &ev, &EventConfig::actual_run(hw.kernel_overhead, 1)).unwrap();
         let file = format!("trace_{name}");
         save_json(&file, &chrome_trace(&r));
         t.row(vec![

@@ -71,8 +71,7 @@ pub fn measure(
             (part, one_f_one_b(p, m))
         }
         System::Interleaved(v) => {
-            let part =
-                megatron::interleaved_partition(db, p, v).map_err(|_| "X".to_string())?;
+            let part = megatron::interleaved_partition(db, p, v).map_err(|_| "X".to_string())?;
             let sched = interleaved(p, v, m).map_err(|_| "X".to_string())?;
             (part, sched)
         }
@@ -99,15 +98,11 @@ pub fn measure(
 
 /// Run a (partition, schedule) pair on the event simulator with the
 /// actual-run fidelity profile. Deterministic seed derived from the shape.
-pub fn run_measured(
-    partition: &Partition,
-    schedule: &Schedule,
-    db: &CostDb,
-    hw: &Hardware,
-) -> Obs {
+pub fn run_measured(partition: &Partition, schedule: &Schedule, db: &CostDb, hw: &Hardware) -> Obs {
     let sc = stage_costs_for(partition, schedule, db);
     let costs = EventCosts::from_stage_costs(&sc, hw.link_latency);
-    let seed = 0xC0FFEE ^ (schedule.n_devices as u64) << 32
+    let seed = 0xC0FFEE
+        ^ (schedule.n_devices as u64) << 32
         ^ (schedule.n_microbatches as u64) << 8
         ^ partition.n_blocks() as u64;
     let cfg = EventConfig::actual_run(hw.kernel_overhead, seed);

@@ -141,13 +141,7 @@ impl AutoPipe {
 
     /// The cost database a request plans against.
     pub fn cost_db(req: &PlanRequest) -> CostDb {
-        let db = CostDb::build(
-            &req.model,
-            &req.hardware,
-            req.mbs,
-            true,
-            req.granularity,
-        );
+        let db = CostDb::build(&req.model, &req.hardware, req.mbs, true, req.granularity);
         match &req.profiler {
             Some(p) => autopipe_cost::profiler::profile(&db, p),
             None => db,

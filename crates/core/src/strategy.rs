@@ -138,8 +138,7 @@ mod tests {
         let hw = Hardware::rtx3090_cluster();
         let d = db(&zoo::gpt2_345m(), 4);
         for g in [4, 16] {
-            let c = choose_strategy(&d, &hw, g, 128, 4, None, &AutoPipeConfig::default())
-                .unwrap();
+            let c = choose_strategy(&d, &hw, g, 128, 4, None, &AutoPipeConfig::default()).unwrap();
             assert_eq!(c.stages, 1, "g={g}");
             assert_eq!(c.dp, g);
         }
@@ -178,8 +177,7 @@ mod tests {
     fn fixed_depth_is_respected() {
         let hw = Hardware::rtx3090_cluster();
         let d = db(&zoo::gpt2_345m(), 4);
-        let c = choose_strategy(&d, &hw, 4, 128, 4, Some(4), &AutoPipeConfig::default())
-            .unwrap();
+        let c = choose_strategy(&d, &hw, 4, 128, 4, Some(4), &AutoPipeConfig::default()).unwrap();
         assert_eq!(c.stages, 4);
         assert_eq!(c.dp, 1);
         assert_eq!(c.microbatches, 32);
@@ -201,9 +199,8 @@ mod tests {
         // notice and drop the pipeline.
         let small = Hardware::rtx3090_cluster();
         let big = Hardware::a100_cluster();
-        let mk = |hw: &Hardware| {
-            CostDb::build(&zoo::gpt2_345m(), hw, 32, true, Granularity::SubLayer)
-        };
+        let mk =
+            |hw: &Hardware| CostDb::build(&zoo::gpt2_345m(), hw, 32, true, Granularity::SubLayer);
         let c_small = choose_strategy(
             &mk(&small),
             &small,
@@ -232,11 +229,9 @@ mod tests {
     fn grad_sync_only_with_replication() {
         let hw = Hardware::rtx3090_cluster();
         let d = db(&zoo::gpt2_345m(), 4);
-        let c = choose_strategy(&d, &hw, 4, 128, 4, Some(4), &AutoPipeConfig::default())
-            .unwrap();
+        let c = choose_strategy(&d, &hw, 4, 128, 4, Some(4), &AutoPipeConfig::default()).unwrap();
         assert_eq!(c.grad_sync, 0.0);
-        let c2 = choose_strategy(&d, &hw, 4, 128, 4, Some(2), &AutoPipeConfig::default())
-            .unwrap();
+        let c2 = choose_strategy(&d, &hw, 4, 128, 4, Some(2), &AutoPipeConfig::default()).unwrap();
         assert!(c2.grad_sync > 0.0);
     }
 }

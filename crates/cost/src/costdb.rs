@@ -107,9 +107,7 @@ impl CostDb {
             BlockKind::Embedding => (0, bsh),
             BlockKind::Attention => (bsh, 5 * bsh + 2 * b * nh * s * s),
             BlockKind::Ffn => (bsh, (2 * m + 1) * bsh),
-            BlockKind::TransformerLayer => {
-                (bsh, (5 + 2 * m + 1) * bsh + 2 * b * nh * s * s)
-            }
+            BlockKind::TransformerLayer => (bsh, (5 + 2 * m + 1) * bsh + 2 * b * nh * s * s),
             BlockKind::FinalLayerNorm => (bsh, bsh),
             BlockKind::LmHead => (bsh, b * s * v + bsh),
             BlockKind::Pooler => (bsh, b * h),

@@ -66,9 +66,7 @@ pub fn block_fwd_flops(cfg: &ModelConfig, block: &Block, mbs: usize) -> f64 {
         BlockKind::Embedding => embedding_fwd_flops(cfg, mbs),
         BlockKind::Attention => attention_fwd_flops(cfg, mbs),
         BlockKind::Ffn => ffn_fwd_flops(cfg, mbs),
-        BlockKind::TransformerLayer => {
-            attention_fwd_flops(cfg, mbs) + ffn_fwd_flops(cfg, mbs)
-        }
+        BlockKind::TransformerLayer => attention_fwd_flops(cfg, mbs) + ffn_fwd_flops(cfg, mbs),
         BlockKind::FinalLayerNorm => final_ln_fwd_flops(cfg, mbs),
         BlockKind::LmHead => lm_head_fwd_flops(cfg, mbs),
         BlockKind::Pooler => pooler_fwd_flops(cfg, mbs),

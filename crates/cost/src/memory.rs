@@ -21,7 +21,6 @@
 
 use serde::{Deserialize, Serialize};
 
-
 use crate::costdb::BlockCost;
 use crate::hardware::Hardware;
 

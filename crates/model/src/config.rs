@@ -89,7 +89,9 @@ impl ModelConfig {
 
     /// Total parameter count of the model.
     pub fn total_params(&self) -> u64 {
-        self.embedding_params() + (self.num_layers as u64) * self.layer_params() + self.head_params()
+        self.embedding_params()
+            + (self.num_layers as u64) * self.layer_params()
+            + self.head_params()
     }
 
     /// Size in elements of the activation flowing between any two transformer

@@ -140,8 +140,8 @@ fn cooldown_adjust(
     for s in (i + 1)..(p - 1) {
         let budget = (s - i) as f64 * sc.b[i];
         let stages_left_after = p - 1 - s; // stages s+1..p-1
-        // Take at least one block; keep taking while under budget and while
-        // enough blocks remain for the stages behind us.
+                                           // Take at least one block; keep taking while under budget and while
+                                           // enough blocks remain for the stages behind us.
         let mut taken = 0usize;
         while cursor < n - stages_left_after {
             let w = weights[cursor];
@@ -235,10 +235,7 @@ mod tests {
         let d = db(Granularity::SubLayer);
         let m = 8;
         let out = plan(&d, 4, m, &AutoPipeConfig::default());
-        let seed = balanced_partition(
-            &d.blocks.iter().map(|b| b.work()).collect::<Vec<_>>(),
-            4,
-        );
+        let seed = balanced_partition(&d.blocks.iter().map(|b| b.work()).collect::<Vec<_>>(), 4);
         let seed_res = simulate_replay(&seed.stage_costs(&d), m);
         assert!(out.analytic.iteration_time <= seed_res.iteration_time + 1e-12);
         // Balance should be decent: within 20% of perfectly even.

@@ -71,7 +71,13 @@ mod tests {
     use autopipe_model::{zoo, Granularity};
 
     fn db(model: &autopipe_model::ModelConfig) -> CostDb {
-        CostDb::build(model, &Hardware::rtx3090_cluster(), 4, true, Granularity::SubLayer)
+        CostDb::build(
+            model,
+            &Hardware::rtx3090_cluster(),
+            4,
+            true,
+            Granularity::SubLayer,
+        )
     }
 
     #[test]

@@ -91,8 +91,7 @@ pub fn plan(db: &CostDb, g: usize, m_total: usize, hw: &Hardware) -> Result<Hybr
         dp: Vec<usize>,
         partition: Partition,
     }
-    let mut best_per_depth: Vec<Option<Cand>> =
-        (0..=g.min(n_groups)).map(|_| None).collect();
+    let mut best_per_depth: Vec<Option<Cand>> = (0..=g.min(n_groups)).map(|_| None).collect();
     let max_stages = g.min(n_groups);
     for s in 1..=max_stages {
         let mut splits: Vec<Vec<usize>> = Vec::new();

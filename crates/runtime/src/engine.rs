@@ -4,19 +4,30 @@
 //! AutoPipe's sliced 1F1B, and Megatron-LM's interleaved schedule (each
 //! device hosting `v` model chunks, with wrap-around links between the last
 //! and first devices).
+//!
+//! Message movement and telemetry ride the shared executor spine
+//! ([`autopipe_exec`]): links are a [`ChannelEndpoint`] mesh (stash-based
+//! keyed receive included), and every iteration emits the same [`Timeline`]
+//! format the discrete-event simulator produces, so a real threaded run can
+//! be compared op for op against a simulated one (see
+//! [`Pipeline::last_timeline`]).
 
-use std::collections::HashMap;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
+use autopipe_exec::{
+    channel_mesh, op_key, schedule_edges, ChannelEndpoint, Timeline, TraceEvent, WallClock,
+};
 use autopipe_model::ModelConfig;
-use autopipe_schedule::{OpKind, Part, Schedule};
+use autopipe_schedule::{Op, OpKind, Part, Schedule};
 use autopipe_sim::Partition;
 use autopipe_tensor::Tensor;
 
 use crate::data::BatchSet;
-use crate::stage::{build_modules, StageInput, StageModel, StageOutput};
+use crate::stage::{
+    build_modules, concat_halves, split_halves, StageInput, StageModel, StageOutput,
+};
+
+use std::collections::HashMap;
 
 /// Configuration of a pipeline runtime.
 #[derive(Debug, Clone)]
@@ -41,24 +52,9 @@ pub struct PipelineConfig {
 pub struct IterationStats {
     /// Mean loss over the iteration's micro-batches.
     pub loss: f32,
-    /// Wall-clock time of the pipelined section.
+    /// Wall-clock time of the pipelined section (derived from the
+    /// iteration's [`Timeline`]).
     pub wall: Duration,
-}
-
-/// Message identity for stash-based receive (multiple chunks can share one
-/// directed link under the interleaved schedule).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct MsgKey {
-    is_grad: bool,
-    mb: usize,
-    part: Part,
-    dst_stage: usize,
-}
-
-#[derive(Debug)]
-struct Msg {
-    key: MsgKey,
-    tensor: Tensor,
 }
 
 /// A pipeline-parallel training run: per-device chunk stages plus the
@@ -68,6 +64,7 @@ pub struct Pipeline {
     stages: Vec<Vec<StageModel>>,
     schedule: Schedule,
     seq: usize,
+    last_timeline: Option<Timeline>,
 }
 
 impl Pipeline {
@@ -102,6 +99,7 @@ impl Pipeline {
             stages,
             schedule: cfg.schedule.clone(),
             seq: cfg.model.seq_len,
+            last_timeline: None,
         }
     }
 
@@ -119,63 +117,61 @@ impl Pipeline {
         let m = batch.n_microbatches();
         assert_eq!(m, self.schedule.n_microbatches);
         if self.schedule.n_sliced > 0 {
-            assert!(batch.mbs >= 2, "slicing needs at least 2 samples per micro-batch");
+            assert!(
+                batch.mbs >= 2,
+                "slicing needs at least 2 samples per micro-batch"
+            );
         }
         let p = self.schedule.n_devices;
         let seq = self.seq;
         let grad_scale = 1.0 / m as f32;
 
         // One channel per directed device pair used by the schedule.
-        let mut edges: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
-        for (d, ops) in self.schedule.devices.iter().enumerate() {
-            for op in ops {
-                match op.kind {
-                    OpKind::SendAct { to, .. } | OpKind::SendGrad { to, .. } => {
-                        edges.insert((d, to));
-                    }
-                    _ => {}
-                }
-            }
-        }
-        let mut txs: Vec<HashMap<usize, Sender<Msg>>> = (0..p).map(|_| HashMap::new()).collect();
-        let mut rxs: Vec<Vec<Receiver<Msg>>> = (0..p).map(|_| Vec::new()).collect();
-        for &(from, to) in &edges {
-            let (tx, rx) = unbounded::<Msg>();
-            txs[from].insert(to, tx);
-            rxs[to].push(rx);
-        }
+        let endpoints = channel_mesh::<Tensor>(p, schedule_edges(&self.schedule));
 
         let schedule = &self.schedule;
-        let t0 = Instant::now();
-        let losses: Vec<f32> = std::thread::scope(|scope| {
+        let clock = WallClock::start();
+        let outcomes: Vec<(f32, Vec<TraceEvent>)> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            let mut txs = txs.drain(..);
-            let mut rxs = rxs.drain(..);
+            let mut endpoints = endpoints.into_iter();
             for (d, chunks) in self.stages.iter_mut().enumerate() {
-                let ops = &schedule.devices[d];
-                let my_tx = txs.next().unwrap();
-                let my_rx = rxs.next().unwrap();
+                let ep = endpoints.next().unwrap();
                 handles.push(scope.spawn(move || {
                     run_device(DeviceCtx {
                         device: d,
-                        n_devices: p,
+                        schedule,
                         chunks,
-                        ops,
                         batch,
                         seq,
                         grad_scale,
-                        tx: my_tx,
-                        rx: my_rx,
+                        ep,
+                        clock,
                     })
                 }));
             }
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
-        let wall = t0.elapsed();
+        let mut losses = Vec::with_capacity(p);
+        let mut events = Vec::with_capacity(p);
+        for (loss, evs) in outcomes {
+            losses.push(loss);
+            events.push(evs);
+        }
+        let timeline = Timeline::from_events(events);
+        let wall = Duration::from_secs_f64(timeline.iteration_time());
+        self.last_timeline = Some(timeline);
         IterationStats {
             loss: losses.iter().sum::<f32>() / m as f32,
             wall,
         }
+    }
+
+    /// The unified-format timeline of the most recent
+    /// [`forward_backward`](Pipeline::forward_backward) — wall-clock seconds
+    /// from the iteration's start, directly comparable (op orderings) with
+    /// the event simulator's timeline for the same schedule.
+    pub fn last_timeline(&self) -> Option<&Timeline> {
+        self.last_timeline.as_ref()
     }
 
     /// Optimiser step on every stage.
@@ -268,80 +264,43 @@ pub fn data_parallel_step(replicas: &mut [Pipeline]) {
 
 struct DeviceCtx<'a> {
     device: usize,
-    n_devices: usize,
+    schedule: &'a Schedule,
     chunks: &'a mut [StageModel],
-    ops: &'a [autopipe_schedule::Op],
     batch: &'a BatchSet,
     seq: usize,
     grad_scale: f32,
-    tx: HashMap<usize, Sender<Msg>>,
-    rx: Vec<Receiver<Msg>>,
+    ep: ChannelEndpoint<Tensor>,
+    clock: WallClock,
 }
 
-fn run_device(ctx: DeviceCtx<'_>) -> f32 {
-    let p = ctx.n_devices;
+fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
     let d = ctx.device;
-    let stage_of = |chunk: usize| chunk * p + d;
-    let mut stash: HashMap<MsgKey, Tensor> = HashMap::new();
+    let sched = ctx.schedule;
+    let ops: &[Op] = &sched.devices[d];
+    let mut ep = ctx.ep;
     let mut pending_acts: HashMap<(usize, usize, Part), Tensor> = HashMap::new();
     let mut pending_grads: HashMap<(usize, usize), Tensor> = HashMap::new();
     let mut fwd_out: HashMap<(usize, usize, Part), Tensor> = HashMap::new();
     let mut bwd_out: HashMap<(usize, usize), Tensor> = HashMap::new();
     let mut loss_sum = 0.0_f32;
+    let mut events: Vec<TraceEvent> = Vec::with_capacity(ops.len());
 
-    // Blocking receive with stash: messages for other (chunk, mb) pairs
-    // sharing this device's links are parked until their op comes up.
-    let recv_key = |key: MsgKey, stash: &mut HashMap<MsgKey, Tensor>, rx: &[Receiver<Msg>]| -> Tensor {
-        if let Some(t) = stash.remove(&key) {
-            return t;
-        }
-        // With at most a couple of inbound links, round-robin blocking
-        // receive via select would be ideal; a simple loop over try_recv
-        // with a blocking fallback keeps this dependency-free.
-        loop {
-            let mut any = false;
-            for r in rx {
-                if let Ok(msg) = r.try_recv() {
-                    any = true;
-                    if msg.key == key {
-                        return msg.tensor;
-                    }
-                    stash.insert(msg.key, msg.tensor);
-                }
-            }
-            if let Some(t) = stash.remove(&key) {
-                return t;
-            }
-            if !any {
-                std::thread::yield_now();
-            }
-        }
-    };
-
-    for op in ctx.ops {
+    for op in ops {
+        let start = ctx.clock.now();
+        let mut ready = start;
         match op.kind {
             OpKind::RecvAct {
                 mb, chunk, part, ..
             } => {
-                let key = MsgKey {
-                    is_grad: false,
-                    mb,
-                    part,
-                    dst_stage: stage_of(chunk),
-                };
-                let tensor = recv_key(key, &mut stash, &ctx.rx);
+                let (key, _) = op_key(sched, d, op).expect("recv op has a key");
+                let tensor = ep.recv(key);
+                ready = ctx.clock.now();
                 if part == Part::Both {
-                    let h = *tensor.shape().last().unwrap();
-                    let rows = tensor.len() / h;
-                    let half = rows / 2;
-                    pending_acts.insert(
-                        (mb, chunk, Part::Half1),
-                        Tensor::from_vec(&[half, h], tensor.data()[..half * h].to_vec()),
-                    );
-                    pending_acts.insert(
-                        (mb, chunk, Part::Half2),
-                        Tensor::from_vec(&[rows - half, h], tensor.data()[half * h..].to_vec()),
-                    );
+                    // Aggregated last-sliced-micro-batch message: unpack the
+                    // two halves (§III-C).
+                    let (h1, h2) = split_halves(&tensor);
+                    pending_acts.insert((mb, chunk, Part::Half1), h1);
+                    pending_acts.insert((mb, chunk, Part::Half2), h2);
                 } else {
                     pending_acts.insert((mb, chunk, part), tensor);
                 }
@@ -374,40 +333,31 @@ fn run_device(ctx: DeviceCtx<'_>) -> f32 {
                 }
             }
             OpKind::SendAct {
-                mb, chunk, part, to,
+                mb,
+                chunk,
+                part,
+                to,
             } => {
                 let tensor = if part == Part::Both {
-                    let t1 = fwd_out.remove(&(mb, chunk, Part::Half1)).expect("half1 out");
-                    let t2 = fwd_out.remove(&(mb, chunk, Part::Half2)).expect("half2 out");
-                    let h = *t1.shape().last().unwrap();
-                    let rows = t1.len() / h + t2.len() / h;
-                    let mut data = Vec::with_capacity(rows * h);
-                    data.extend_from_slice(t1.data());
-                    data.extend_from_slice(t2.data());
-                    Tensor::from_vec(&[rows, h], data)
+                    let t1 = fwd_out
+                        .remove(&(mb, chunk, Part::Half1))
+                        .expect("half1 out");
+                    let t2 = fwd_out
+                        .remove(&(mb, chunk, Part::Half2))
+                        .expect("half2 out");
+                    concat_halves(&t1, &t2)
                 } else {
                     fwd_out.remove(&(mb, chunk, part)).unwrap_or_else(|| {
                         panic!("device {d} chunk {chunk}: missing fwd out {mb} {part:?}")
                     })
                 };
-                let key = MsgKey {
-                    is_grad: false,
-                    mb,
-                    part,
-                    dst_stage: stage_of(chunk) + 1,
-                };
-                ctx.tx[&to]
-                    .send(Msg { key, tensor })
-                    .expect("activation channel closed");
+                let (key, _) = op_key(sched, d, op).expect("send op has a key");
+                ep.send_to(to, key, tensor);
             }
             OpKind::RecvGrad { mb, chunk, .. } => {
-                let key = MsgKey {
-                    is_grad: true,
-                    mb,
-                    part: Part::Full,
-                    dst_stage: stage_of(chunk),
-                };
-                let tensor = recv_key(key, &mut stash, &ctx.rx);
+                let (key, _) = op_key(sched, d, op).expect("recv op has a key");
+                let tensor = ep.recv(key);
+                ready = ctx.clock.now();
                 pending_grads.insert((mb, chunk), tensor);
             }
             OpKind::Bwd { mb, chunk } => {
@@ -427,19 +377,19 @@ fn run_device(ctx: DeviceCtx<'_>) -> f32 {
                 let tensor = bwd_out
                     .remove(&(mb, chunk))
                     .unwrap_or_else(|| panic!("device {d} chunk {chunk}: missing bwd out {mb}"));
-                let key = MsgKey {
-                    is_grad: true,
-                    mb,
-                    part: Part::Full,
-                    dst_stage: stage_of(chunk) - 1,
-                };
-                ctx.tx[&to]
-                    .send(Msg { key, tensor })
-                    .expect("gradient channel closed");
+                let (key, _) = op_key(sched, d, op).expect("send op has a key");
+                ep.send_to(to, key, tensor);
             }
         }
+        events.push(TraceEvent {
+            device: d,
+            op: *op,
+            start,
+            ready,
+            end: ctx.clock.now(),
+        });
     }
-    loss_sum
+    (loss_sum, events)
 }
 
 #[cfg(test)]
@@ -526,7 +476,12 @@ mod tests {
         let pl = pipe.train_iteration(&batch).loss;
         let rl = reference.train_iteration(&batch);
         close(pl as f64, rl as f64, 1e-4, "loss");
-        close(pipe.param_checksum(), reference.param_checksum(), 1e-5, "params");
+        close(
+            pipe.param_checksum(),
+            reference.param_checksum(),
+            1e-5,
+            "params",
+        );
     }
 
     #[test]
@@ -542,7 +497,12 @@ mod tests {
             let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
             let pl = pipe.train_iteration(&batch).loss;
             let rl = reference.train_iteration(&batch);
-            close(pl as f64, rl as f64, 1e-4, &format!("loss sliced={n_sliced}"));
+            close(
+                pl as f64,
+                rl as f64,
+                1e-4,
+                &format!("loss sliced={n_sliced}"),
+            );
             close(
                 pipe.param_checksum(),
                 reference.param_checksum(),
@@ -578,7 +538,12 @@ mod tests {
         for it in 0..2 {
             let pl = pipe.train_iteration(&batch).loss;
             let rl = reference.train_iteration(&batch);
-            close(pl as f64, rl as f64, 1e-4, &format!("interleaved loss iter {it}"));
+            close(
+                pl as f64,
+                rl as f64,
+                1e-4,
+                &format!("interleaved loss iter {it}"),
+            );
         }
         close(
             pipe.param_checksum(),
@@ -598,7 +563,12 @@ mod tests {
         let lp = plain.train_iteration(&batch).loss;
         let lc = ckpt.train_iteration(&batch).loss;
         close(lp as f64, lc as f64, 1e-5, "loss");
-        close(plain.param_checksum(), ckpt.param_checksum(), 1e-6, "params");
+        close(
+            plain.param_checksum(),
+            ckpt.param_checksum(),
+            1e-6,
+            "params",
+        );
     }
 
     #[test]
@@ -637,8 +607,18 @@ mod tests {
         let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
         let rl = reference.train_iteration(&full);
         close(((l0 + l1) / 2.0) as f64, rl as f64, 1e-4, "hybrid loss");
-        close(reps[0].param_checksum(), reference.param_checksum(), 1e-5, "replica 0 params");
-        close(reps[1].param_checksum(), reps[0].param_checksum(), 1e-9, "replicas agree");
+        close(
+            reps[0].param_checksum(),
+            reference.param_checksum(),
+            1e-5,
+            "replica 0 params",
+        );
+        close(
+            reps[1].param_checksum(),
+            reps[0].param_checksum(),
+            1e-9,
+            "replicas agree",
+        );
     }
 
     #[test]
@@ -656,5 +636,32 @@ mod tests {
             last = pipe.train_iteration(&batch).loss;
         }
         assert!(last < first, "{first} -> {last}");
+    }
+
+    #[test]
+    fn runtime_emits_a_wellformed_timeline() {
+        let model = tiny();
+        let m = 4;
+        let sched = sliced_1f1b(2, m, 2);
+        let batch = BatchSet::synthetic(12, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::new(&cfg(sched.clone(), partition2(), false));
+        assert!(pipe.last_timeline().is_none());
+        let stats = pipe.forward_backward(&batch);
+        let tl = pipe.last_timeline().expect("timeline after an iteration");
+        // Every scheduled op appears, in program order, with sane times.
+        assert_eq!(tl.n_devices(), 2);
+        for (d, ops) in sched.devices.iter().enumerate() {
+            assert_eq!(tl.op_order(d), *ops, "device {d} order");
+            for e in tl.device(d) {
+                assert!(e.start >= 0.0 && e.end >= e.start && e.ready >= e.start);
+            }
+        }
+        // Wall time is derived from the same timeline.
+        assert!(
+            (stats.wall.as_secs_f64() - tl.iteration_time()).abs() < 1e-12,
+            "wall {:?} vs timeline {}",
+            stats.wall,
+            tl.iteration_time()
+        );
     }
 }

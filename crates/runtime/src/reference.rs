@@ -39,7 +39,8 @@ impl ReferenceModel {
         let scale = 1.0 / m as f32;
         let mut loss_sum = 0.0_f32;
         for mb in 0..m {
-            self.stage.set_targets(mb, Part::Full, batch.targets[mb].clone());
+            self.stage
+                .set_targets(mb, Part::Full, batch.targets[mb].clone());
             match self
                 .stage
                 .forward(mb, Part::Full, StageInput::Tokens(batch.ids[mb].clone()))

@@ -69,9 +69,12 @@ pub fn build_modules(cfg: &ModelConfig, seed: u64) -> Vec<Module> {
                 cfg.hidden_size,
                 &mut rng,
             )),
-            BlockKind::Attention => {
-                Module::Attn(AttentionBlock::init(cfg.hidden_size, cfg.num_heads, causal, &mut rng))
-            }
+            BlockKind::Attention => Module::Attn(AttentionBlock::init(
+                cfg.hidden_size,
+                cfg.num_heads,
+                causal,
+                &mut rng,
+            )),
             BlockKind::Ffn => Module::Ffn(FfnBlock::init(cfg.hidden_size, cfg.ffn_mult, &mut rng)),
             BlockKind::FinalLayerNorm => Module::FinalLn(FinalLn::init(cfg.hidden_size)),
             BlockKind::LmHead => {
@@ -101,6 +104,30 @@ pub enum StageOutput {
     Hidden(Tensor),
     /// Weighted loss contribution of this (micro-batch, part).
     Loss(f32),
+}
+
+/// Split an aggregated `[rows, h]` activation back into its two halves —
+/// the receiving side of the last sliced micro-batch's `Part::Both` message
+/// (§III-C).
+pub fn split_halves(t: &Tensor) -> (Tensor, Tensor) {
+    let h = *t.shape().last().unwrap();
+    let rows = t.len() / h;
+    let half = rows / 2;
+    (
+        Tensor::from_vec(&[half, h], t.data()[..half * h].to_vec()),
+        Tensor::from_vec(&[rows - half, h], t.data()[half * h..].to_vec()),
+    )
+}
+
+/// Concatenate two half activations row-wise into one aggregated message —
+/// the sending side of `Part::Both`.
+pub fn concat_halves(t1: &Tensor, t2: &Tensor) -> Tensor {
+    let h = *t1.shape().last().unwrap();
+    let rows = t1.len() / h + t2.len() / h;
+    let mut data = Vec::with_capacity(rows * h);
+    data.extend_from_slice(t1.data());
+    data.extend_from_slice(t2.data());
+    Tensor::from_vec(&[rows, h], data)
 }
 
 #[derive(Debug, Clone)]
@@ -198,7 +225,11 @@ impl StageModel {
         out
     }
 
-    fn run_forward(&self, key: (usize, PartKey), input: StageInput) -> (StageOutput, Vec<ModCache>) {
+    fn run_forward(
+        &self,
+        key: (usize, PartKey),
+        input: StageInput,
+    ) -> (StageOutput, Vec<ModCache>) {
         let mut caches = Vec::with_capacity(self.modules.len());
         let mut hidden: Option<Tensor> = match input {
             StageInput::Hidden(t) => Some(t),
@@ -403,8 +434,11 @@ impl StageModel {
 
     /// Apply the accumulated gradients with Adam and reset them.
     pub fn step(&mut self) {
-        let mut params: Vec<&mut Tensor> =
-            self.modules.iter_mut().flat_map(|m| m.params_mut()).collect();
+        let mut params: Vec<&mut Tensor> = self
+            .modules
+            .iter_mut()
+            .flat_map(|m| m.params_mut())
+            .collect();
         let grads: Vec<&Tensor> = self.grads.iter().collect();
         self.adam.step(&mut params, &grads);
         for g in &mut self.grads {
@@ -436,8 +470,11 @@ impl StageModel {
 
     /// Overwrite all parameters from a snapshot (shapes must match).
     pub fn restore_params(&mut self, params: &[Tensor]) {
-        let mut mine: Vec<&mut Tensor> =
-            self.modules.iter_mut().flat_map(|m| m.params_mut()).collect();
+        let mut mine: Vec<&mut Tensor> = self
+            .modules
+            .iter_mut()
+            .flat_map(|m| m.params_mut())
+            .collect();
         assert_eq!(mine.len(), params.len(), "parameter count mismatch");
         for (dst, src) in mine.iter_mut().zip(params) {
             assert_eq!(dst.shape(), src.shape(), "parameter shape mismatch");
@@ -501,6 +538,17 @@ mod tests {
     }
 
     #[test]
+    fn halves_round_trip_through_aggregation() {
+        let t = Tensor::from_vec(&[5, 3], (0..15).map(|i| i as f32).collect());
+        let (h1, h2) = split_halves(&t);
+        assert_eq!(h1.shape(), &[2, 3]);
+        assert_eq!(h2.shape(), &[3, 3]);
+        let back = concat_halves(&h1, &h2);
+        assert_eq!(back.shape(), t.shape());
+        assert_eq!(back.data(), t.data());
+    }
+
+    #[test]
     fn module_list_matches_block_sequence() {
         let cfg = tiny();
         let mods = build_modules(&cfg, 7);
@@ -516,10 +564,7 @@ mod tests {
         let a = build_modules(&cfg, 9);
         let b = build_modules(&cfg, 9);
         let sum = |mods: &[Module]| -> f64 {
-            mods.iter()
-                .flat_map(|m| m.params())
-                .map(|p| p.sum())
-                .sum()
+            mods.iter().flat_map(|m| m.params()).map(|p| p.sum()).sum()
         };
         assert_eq!(sum(&a), sum(&b));
     }
@@ -552,7 +597,9 @@ mod tests {
         let part = Partition::new(vec![0, mods.len()]);
         let run = |ckpt: bool| -> f64 {
             let mut stage = StageModel::new(&mods, &part, 0, cfg.seq_len, 1e-3, ckpt);
-            let ids: Vec<usize> = (0..2 * cfg.seq_len).map(|i| (i * 3) % cfg.vocab_size).collect();
+            let ids: Vec<usize> = (0..2 * cfg.seq_len)
+                .map(|i| (i * 3) % cfg.vocab_size)
+                .collect();
             let targets: Vec<usize> = ids.iter().map(|&t| (t + 1) % cfg.vocab_size).collect();
             stage.set_targets(0, Part::Full, targets);
             stage.forward(0, Part::Full, StageInput::Tokens(ids));
@@ -573,7 +620,9 @@ mod tests {
         let mods = build_modules(&cfg, 5);
         let part = Partition::new(vec![0, mods.len()]);
         let mbs = 4;
-        let ids: Vec<usize> = (0..mbs * cfg.seq_len).map(|i| (i * 7) % cfg.vocab_size).collect();
+        let ids: Vec<usize> = (0..mbs * cfg.seq_len)
+            .map(|i| (i * 7) % cfg.vocab_size)
+            .collect();
         let targets: Vec<usize> = ids.iter().map(|&t| (t + 1) % cfg.vocab_size).collect();
 
         // Full micro-batch.

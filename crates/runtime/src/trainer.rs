@@ -117,13 +117,15 @@ pub fn train_copy_task(
 ) -> Vec<TrainStep> {
     let mut trainer = Trainer::new(pipe_cfg, cfg);
     let batch = BatchSet::copy_task(7, m, mbs, model.seq_len, model.vocab_size);
-    (0..iters).map(|_| trainer.train_iteration(&batch)).collect()
+    (0..iters)
+        .map(|_| trainer.train_iteration(&batch))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autopipe_model::{ModelFamily, ModelConfig};
+    use autopipe_model::{ModelConfig, ModelFamily};
     use autopipe_schedule::sliced_1f1b;
     use autopipe_sim::Partition;
 
@@ -184,7 +186,10 @@ mod tests {
         );
         let first = steps.first().unwrap().loss;
         let last = steps.last().unwrap().loss;
-        assert!(first > 2.5, "initial loss should be near chance, got {first}");
+        assert!(
+            first > 2.5,
+            "initial loss should be near chance, got {first}"
+        );
         assert!(
             last < first * 0.5,
             "copy task should be learnable: {first} -> {last}"

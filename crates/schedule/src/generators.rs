@@ -327,11 +327,7 @@ mod tests {
     use super::*;
 
     fn count_kind(s: &Schedule, pred: impl Fn(&OpKind) -> bool) -> usize {
-        s.devices
-            .iter()
-            .flatten()
-            .filter(|o| pred(&o.kind))
-            .count()
+        s.devices.iter().flatten().filter(|o| pred(&o.kind)).count()
     }
 
     #[test]
@@ -340,10 +336,7 @@ mod tests {
         let m = 8;
         let s = one_f_one_b(p, m);
         // Every stage forwards and backwards every micro-batch once.
-        assert_eq!(
-            count_kind(&s, |k| matches!(k, OpKind::Fwd { .. })),
-            p * m
-        );
+        assert_eq!(count_kind(&s, |k| matches!(k, OpKind::Fwd { .. })), p * m);
         assert_eq!(count_kind(&s, |k| matches!(k, OpKind::Bwd { .. })), p * m);
         // p-1 boundaries, m activations and m gradients each.
         assert_eq!(
@@ -440,11 +433,15 @@ mod tests {
     #[test]
     fn sliced_single_microbatch_has_no_aggregation() {
         let s = sliced_1f1b(4, 8, 1);
-        let any_both = s
-            .devices
-            .iter()
-            .flatten()
-            .any(|o| matches!(o.kind, OpKind::SendAct { part: Part::Both, .. }));
+        let any_both = s.devices.iter().flatten().any(|o| {
+            matches!(
+                o.kind,
+                OpKind::SendAct {
+                    part: Part::Both,
+                    ..
+                }
+            )
+        });
         assert!(!any_both);
     }
 

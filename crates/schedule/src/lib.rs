@@ -61,11 +61,13 @@ impl Schedule {
     /// Pipeline stage index implemented by `chunk` on `device`. With the
     /// interleaved schedule, chunk `c` of device `d` is stage `c·p + d`;
     /// otherwise stage = device.
+    #[inline]
     pub fn stage_of(&self, device: usize, chunk: usize) -> usize {
         chunk * self.n_devices + device
     }
 
     /// Total number of pipeline stages (`devices × chunks`).
+    #[inline]
     pub fn n_stages(&self) -> usize {
         self.n_devices * self.n_chunks
     }

@@ -63,7 +63,11 @@ pub enum OpKind {
     /// Ship the input gradient of (`mb`, `chunk`) to device `to`.
     SendGrad { mb: usize, chunk: usize, to: usize },
     /// Wait for the output gradient of (`mb`, `chunk`) from device `from`.
-    RecvGrad { mb: usize, chunk: usize, from: usize },
+    RecvGrad {
+        mb: usize,
+        chunk: usize,
+        from: usize,
+    },
 }
 
 /// An op plus nothing else (a struct so the IR can grow metadata without
@@ -76,21 +80,25 @@ pub struct Op {
 
 impl Op {
     /// Construct from a kind.
+    #[inline]
     pub fn new(kind: OpKind) -> Self {
         Op { kind }
     }
 
     /// Is this a compute op (forward or backward)?
+    #[inline]
     pub fn is_compute(&self) -> bool {
         matches!(self.kind, OpKind::Fwd { .. } | OpKind::Bwd { .. })
     }
 
     /// Is this a communication op?
+    #[inline]
     pub fn is_comm(&self) -> bool {
         !self.is_compute()
     }
 
     /// Micro-batch this op concerns.
+    #[inline]
     pub fn mb(&self) -> usize {
         match self.kind {
             OpKind::Fwd { mb, .. }
@@ -103,6 +111,7 @@ impl Op {
     }
 
     /// Model chunk this op concerns.
+    #[inline]
     pub fn chunk(&self) -> usize {
         match self.kind {
             OpKind::Fwd { chunk, .. }

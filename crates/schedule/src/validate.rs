@@ -22,7 +22,11 @@ pub enum ValidationError {
     /// A (stage, micro-batch) pair's forward fractions do not sum to 1.
     BadForwardCoverage { stage: usize, mb: usize, frac: f64 },
     /// A (stage, micro-batch) pair does not have exactly one backward.
-    BadBackwardCoverage { stage: usize, mb: usize, count: usize },
+    BadBackwardCoverage {
+        stage: usize,
+        mb: usize,
+        count: usize,
+    },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -121,7 +125,11 @@ fn replay(s: &Schedule) -> Result<(), ValidationError> {
                 match o.kind {
                     OpKind::Fwd { .. } | OpKind::Bwd { .. } => {}
                     OpKind::SendAct {
-                        mb, chunk, part, to, ..
+                        mb,
+                        chunk,
+                        part,
+                        to,
+                        ..
                     } => {
                         let dst_stage = s.stage_of(d, chunk) + 1;
                         *mailbox[to]
@@ -275,6 +283,123 @@ mod tests {
         assert!(matches!(
             validate(&s),
             Err(ValidationError::BadForwardCoverage { .. })
+        ));
+    }
+
+    #[test]
+    fn single_device_pipelines_have_no_comm_ops() {
+        // p = 1 degenerates to plain gradient accumulation: every schedule
+        // kind must still validate and must not emit a single send/recv.
+        let scheds = [
+            one_f_one_b(1, 1),
+            one_f_one_b(1, 8),
+            sliced_1f1b(1, 4, 1),
+            sliced_1f1b(1, 4, 2),
+        ];
+        for s in &scheds {
+            validate(s).unwrap();
+            assert_eq!(s.n_devices, 1);
+            assert!(
+                s.devices[0].iter().all(|o| o.is_compute()),
+                "single-device schedule contains comm ops"
+            );
+        }
+    }
+
+    #[test]
+    fn sliced_zero_is_plain_1f1b() {
+        // sliced = 0 must both validate and be the identical program, not
+        // merely an equivalent one.
+        for (p, m) in [(2, 4), (4, 8)] {
+            let sliced = sliced_1f1b(p, m, 0);
+            validate(&sliced).unwrap();
+            assert_eq!(sliced.devices, one_f_one_b(p, m).devices, "p={p} m={m}");
+        }
+    }
+
+    #[test]
+    fn last_sliced_microbatch_sends_one_aggregated_message() {
+        // §III-C: of the `sliced` Warmup micro-batches, only the LAST one
+        // aggregates its two halves into a single `Part::Both` transfer;
+        // the earlier ones ship Half1/Half2 separately.
+        let (p, m, n_sliced) = (4, 8, 3);
+        let s = sliced_1f1b(p, m, n_sliced);
+        validate(&s).unwrap();
+        let last = n_sliced - 1;
+        for d in 0..p - 1 {
+            // Exactly one aggregated send of the last sliced micro-batch...
+            let both: Vec<_> = s.devices[d]
+                .iter()
+                .filter(|o| {
+                    matches!(o.kind, OpKind::SendAct { mb, part: Part::Both, .. } if mb == last)
+                })
+                .collect();
+            assert_eq!(both.len(), 1, "device {d}: aggregated sends");
+            // ...and no half-sends of it.
+            assert!(
+                !s.devices[d].iter().any(|o| matches!(
+                    o.kind,
+                    OpKind::SendAct { mb, part: Part::Half1 | Part::Half2, .. } if mb == last
+                )),
+                "device {d}: last sliced micro-batch must not ship halves"
+            );
+            // Earlier sliced micro-batches ship both halves separately.
+            for mb in 0..last {
+                for part in [Part::Half1, Part::Half2] {
+                    assert_eq!(
+                        s.devices[d]
+                            .iter()
+                            .filter(|o| matches!(o.kind,
+                                OpKind::SendAct { mb: smb, part: sp, .. } if smb == mb && sp == part))
+                            .count(),
+                        1,
+                        "device {d} mb {mb} {part:?}"
+                    );
+                }
+            }
+            // The downstream device receives the aggregate as one message.
+            assert_eq!(
+                s.devices[d + 1]
+                    .iter()
+                    .filter(|o| matches!(o.kind,
+                        OpKind::RecvAct { mb, part: Part::Both, .. } if mb == last))
+                    .count(),
+                1,
+                "device {} aggregated recvs",
+                d + 1
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_aggregation_part_deadlocks() {
+        // Downgrading an aggregated send to Half2 leaves the downstream
+        // `Part::Both` receive unsatisfiable — the replay must stall.
+        let s0 = sliced_1f1b(4, 8, 3);
+        let mut s = s0.clone();
+        let idx = s.devices[0]
+            .iter()
+            .position(|o| {
+                matches!(
+                    o.kind,
+                    OpKind::SendAct {
+                        part: Part::Both,
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        if let OpKind::SendAct { mb, chunk, to, .. } = s.devices[0][idx].kind {
+            s.devices[0][idx] = Op::new(OpKind::SendAct {
+                mb,
+                chunk,
+                part: Part::Half2,
+                to,
+            });
+        }
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::Deadlock { .. })
         ));
     }
 

@@ -1,0 +1,159 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Mirrors the API surface the workspace benches use — `Criterion`,
+//! `benchmark_group`/`sample_size`/`bench_function`/`finish`,
+//! `BenchmarkId::new`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — with a plain
+//! warmup-then-measure loop that prints mean time per iteration. No
+//! statistics, plots or baselines; good enough to compare orders of
+//! magnitude and to keep `cargo bench` runnable offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_id}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to the closure under bench; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    mean: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Warmup: one call to touch caches/allocators.
+        black_box(payload());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(payload());
+        }
+        self.mean = start.elapsed() / self.samples as u32;
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!(
+        "bench {name:<40} {:>12.3?} /iter ({samples} samples)",
+        b.mean
+    );
+}
+
+/// Top-level bench driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().id, 10, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_one(&full, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_works() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut hits = 0;
+        g.bench_function(BenchmarkId::new("count", 1), |b| {
+            b.iter(|| {
+                hits += 1;
+            })
+        });
+        g.finish();
+        assert!(hits >= 3);
+        c.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+    }
+}

@@ -1,0 +1,94 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! the thin slice of the rand 0.8 API it actually uses: the [`RngCore`] /
+//! [`Rng`] / [`SeedableRng`] traits and uniform range sampling over
+//! `Range<f32>`, `Range<f64>` and `Range<usize>`. Streams are deterministic
+//! per seed but make no claim of bit-compatibility with crates.io rand.
+
+use std::ops::Range;
+
+/// Minimal core RNG interface: a source of uniform 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling interface, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Sample uniformly from a half-open range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that knows how to sample itself from an RNG.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let frac = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        debug_assert!(self.start < self.end, "empty range");
+        // 24 uniform mantissa bits in [0, 1).
+        let frac = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + frac * (self.end - self.start)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> usize {
+        debug_assert!(self.start < self.end, "empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + (rng.next_u64() % span) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+            self.0
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&x));
+            let y: f32 = rng.gen_range(f32::EPSILON..1.0);
+            assert!((f32::EPSILON..1.0).contains(&y));
+            let k: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&k));
+        }
+    }
+}

@@ -318,7 +318,10 @@ pub mod recurrence {
     /// runs at least as many micro-batches as stages).
     pub fn simulate(costs: &StageCosts, m: usize) -> RecurrenceResult {
         let n = costs.n_stages();
-        assert!(m >= n, "recurrence engine requires m >= n (got m={m}, n={n})");
+        assert!(
+            m >= n,
+            "recurrence engine requires m >= n (got m={m}, n={n})"
+        );
         let f = &costs.f;
         let b = &costs.b;
         let comm = costs.comm;
@@ -354,7 +357,11 @@ pub mod recurrence {
                         w_end[x].max(w_end[x - 1] + comm)
                     };
                 } else {
-                    let from_prev_stage = if x > 0 { tf[x - 1][y - 1] + f[x - 1] } else { 0.0 };
+                    let from_prev_stage = if x > 0 {
+                        tf[x - 1][y - 1] + f[x - 1]
+                    } else {
+                        0.0
+                    };
                     let from_own_bwd = tb[x][y - 1] + b[x];
                     let mut t = from_prev_stage.max(from_own_bwd);
                     if x != 0 {
@@ -368,7 +375,11 @@ pub mod recurrence {
                 if y >= blocks[x] {
                     continue;
                 }
-                let from_next_stage = if x < n - 1 { tb[x + 1][y] + b[x + 1] } else { 0.0 };
+                let from_next_stage = if x < n - 1 {
+                    tb[x + 1][y] + b[x + 1]
+                } else {
+                    0.0
+                };
                 let from_own_fwd = tf[x][y] + f[x];
                 let mut t = from_next_stage.max(from_own_fwd);
                 if x != n - 1 {
@@ -535,11 +546,7 @@ mod tests {
         // The paper adds Comm after the max (over-charging intra-stage
         // paths) and estimates warmup without choke; the gap stays bounded
         // by a few comm units per pipeline wave.
-        let c = costs(
-            vec![1.0, 1.2, 0.9, 1.1],
-            vec![2.1, 2.4, 1.8, 2.2],
-            0.02,
-        );
+        let c = costs(vec![1.0, 1.2, 0.9, 1.1], vec![2.1, 2.4, 1.8, 2.2], 0.02);
         for m in [4, 8, 16] {
             let r = simulate_replay(&c, m);
             let q = recurrence::simulate(&c, m);

@@ -6,14 +6,24 @@
 //! receives block until the message has arrived. Compute ops may carry a
 //! fixed launch overhead and multiplicative jitter, which is how the
 //! "actual run" of Fig. 11 is synthesised.
-
-use std::collections::HashMap;
+//!
+//! Message movement and trace emission live in the shared executor spine
+//! ([`autopipe_exec`]): the sweep here is generic over any
+//! [`Transport`] carrying `()` payloads (so latency/jitter faults can be
+//! injected via [`VirtualTransport::with_fault`]) and any
+//! [`TraceSink`] (so benches can replay schedules without materialising
+//! events — see [`run_schedule_untraced`]).
+//!
+//! [`VirtualTransport::with_fault`]: autopipe_exec::VirtualTransport::with_fault
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
-use autopipe_schedule::{Op, OpKind, Part, Schedule};
+use autopipe_exec::{
+    op_key, LinkCost, NoTrace, OpTimes, Recorder, Timeline, TraceSink, Transport, VirtualTransport,
+};
+use autopipe_schedule::{OpKind, Part, Schedule};
 
 /// Compute and communication costs for an event-simulated pipeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -43,6 +53,12 @@ impl EventCosts {
     /// Transfer time of a message carrying `part` of a micro-batch.
     pub fn transfer(&self, part: Part) -> f64 {
         self.latency + part.frac() * self.volume
+    }
+}
+
+impl LinkCost for EventCosts {
+    fn transfer(&self, _from: usize, _to: usize, part: Part) -> f64 {
+        EventCosts::transfer(self, part)
     }
 }
 
@@ -110,17 +126,6 @@ impl std::fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
-/// One executed op with its device-time interval.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct OpRecord {
-    /// The op executed.
-    pub op: Op,
-    /// Device-time start.
-    pub start: f64,
-    /// Device-time end.
-    pub end: f64,
-}
-
 /// Output of an event simulation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EventResult {
@@ -131,8 +136,9 @@ pub struct EventResult {
     pub startup_overhead: f64,
     /// Per-device compute-busy time.
     pub device_busy: Vec<f64>,
-    /// Per-device op timelines.
-    pub timeline: Vec<Vec<OpRecord>>,
+    /// Per-device op timeline — the unified format shared with the threaded
+    /// runtime (`autopipe-runtime`).
+    pub timeline: Timeline,
 }
 
 impl EventResult {
@@ -146,12 +152,16 @@ impl EventResult {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-struct MsgKey {
-    is_grad: bool,
-    mb: usize,
-    part: Part,
-    dst_stage: usize,
+/// The scalar outputs of a simulation, without the per-op timeline (what
+/// [`run_schedule_untraced`] returns).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventSummary {
+    /// Iteration time: max end over all devices.
+    pub iteration_time: f64,
+    /// Arrival time of the first activation at the last pipeline stage.
+    pub startup_overhead: f64,
+    /// Per-device compute-busy time.
+    pub device_busy: Vec<f64>,
 }
 
 /// Run `sched` against `costs`. `costs.f/b` must cover all
@@ -161,6 +171,53 @@ pub fn run_schedule(
     costs: &EventCosts,
     cfg: &EventConfig,
 ) -> Result<EventResult, SimError> {
+    let mut transport = VirtualTransport::new(sched.n_devices, costs);
+    run_schedule_on(sched, costs, cfg, &mut transport)
+}
+
+/// Run `sched` over a caller-supplied transport — the hook for injecting
+/// link faults (latency spikes, jitter) via
+/// [`autopipe_exec::VirtualTransport::with_fault`] or for substituting a
+/// different link model entirely.
+pub fn run_schedule_on<T: Transport<Payload = ()>>(
+    sched: &Schedule,
+    costs: &EventCosts,
+    cfg: &EventConfig,
+    transport: &mut T,
+) -> Result<EventResult, SimError> {
+    let mut recorder = Recorder::for_programs(&sched.devices);
+    let summary = sweep(sched, costs, cfg, transport, &mut recorder)?;
+    Ok(EventResult {
+        iteration_time: summary.iteration_time,
+        startup_overhead: summary.startup_overhead,
+        device_busy: summary.device_busy,
+        timeline: recorder.finish(),
+    })
+}
+
+/// Run `sched` without materialising a timeline: identical numbers to
+/// [`run_schedule`], none of the trace-emission cost. For hot loops
+/// (planner search, benches).
+pub fn run_schedule_untraced(
+    sched: &Schedule,
+    costs: &EventCosts,
+    cfg: &EventConfig,
+) -> Result<EventSummary, SimError> {
+    let mut transport = VirtualTransport::new(sched.n_devices, costs);
+    sweep(sched, costs, cfg, &mut transport, &mut NoTrace)
+}
+
+/// The sweep: advance every device through its program as far as it can,
+/// repeatedly, until all programs finish (or nothing can advance: deadlock).
+/// Generic over the transport (how messages move) and the sink (whether a
+/// timeline is kept).
+fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
+    sched: &Schedule,
+    costs: &EventCosts,
+    cfg: &EventConfig,
+    transport: &mut T,
+    sink: &mut S,
+) -> Result<EventSummary, SimError> {
     let n_stages = sched.n_stages();
     if costs.f.len() != n_stages || costs.b.len() != n_stages {
         return Err(SimError::BadSchedule(format!(
@@ -171,24 +228,26 @@ pub fn run_schedule(
     }
     let p = sched.n_devices;
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-    // Pre-draw jitter per (device, op index) lazily via a closure over rng
-    // is awkward inside the sweep; draw on use (deterministic order because
-    // each op executes exactly once, but sweep order is deterministic too).
+    // Jitter is drawn on use; the sweep order is deterministic and each op
+    // executes exactly once, so a seed fully determines a run.
     let mut pc = vec![0usize; p];
     let mut dev_free = vec![0.0_f64; p];
     let mut device_busy = vec![0.0_f64; p];
-    let mut timeline: Vec<Vec<OpRecord>> = vec![Vec::new(); p];
-    // arrival times of messages, keyed per destination device
-    let mut mailbox: Vec<HashMap<MsgKey, Vec<f64>>> = vec![HashMap::new(); p];
-    let mut link_free: HashMap<(usize, usize), f64> = HashMap::new();
     let mut startup: Option<f64> = None;
+    // Times for the current device's run of ops, flushed to the sink as one
+    // block when the device yields. The buffer stays hot across the sweep,
+    // which is what keeps tracing cheap (see the `trace_overhead` bench).
+    let tracing = sink.enabled();
+    let mut burst: Vec<OpTimes> = Vec::new();
 
     loop {
         let mut progressed = false;
         let mut all_done = true;
         for d in 0..p {
+            burst.clear();
             while pc[d] < sched.devices[d].len() {
                 let op = sched.devices[d][pc[d]];
+                let mut ready = dev_free[d];
                 let (start, end) = match op.kind {
                     OpKind::Fwd { chunk, part, .. } => {
                         let stage = sched.stage_of(d, chunk);
@@ -209,52 +268,18 @@ pub fn run_schedule(
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
-                    OpKind::SendAct {
-                        mb, chunk, part, to,
-                    } => {
-                        let dst_stage = sched.stage_of(d, chunk) + 1;
-                        let arrival =
-                            send(&mut link_free, d, to, dev_free[d], costs.transfer(part));
-                        mailbox[to]
-                            .entry(MsgKey {
-                                is_grad: false,
-                                mb,
-                                part,
-                                dst_stage,
-                            })
-                            .or_default()
-                            .push(arrival);
+                    OpKind::SendAct { to, .. } | OpKind::SendGrad { to, .. } => {
+                        let (key, _) = op_key(sched, d, &op).expect("send op has a key");
+                        // Sends are asynchronous: zero device time.
+                        transport.send(d, to, key, (), dev_free[d]);
                         (dev_free[d], dev_free[d])
                     }
-                    OpKind::SendGrad { mb, chunk, to } => {
-                        let dst_stage = sched.stage_of(d, chunk) - 1;
-                        let arrival =
-                            send(&mut link_free, d, to, dev_free[d], costs.transfer(Part::Full));
-                        mailbox[to]
-                            .entry(MsgKey {
-                                is_grad: true,
-                                mb,
-                                part: Part::Full,
-                                dst_stage,
-                            })
-                            .or_default()
-                            .push(arrival);
-                        (dev_free[d], dev_free[d])
-                    }
-                    OpKind::RecvAct {
-                        mb, chunk, part, ..
-                    } => {
-                        let stage = sched.stage_of(d, chunk);
-                        let key = MsgKey {
-                            is_grad: false,
-                            mb,
-                            part,
-                            dst_stage: stage,
-                        };
-                        match pop_arrival(&mut mailbox[d], key) {
-                            Some(arrival) => {
+                    OpKind::RecvAct { .. } => {
+                        let (key, _) = op_key(sched, d, &op).expect("recv op has a key");
+                        match transport.try_recv(d, key) {
+                            Some(((), arrival)) => {
                                 let s = dev_free[d];
-                                let e = s.max(arrival);
+                                ready = arrival;
                                 // Startup overhead: when the last *device*
                                 // first receives activations (§II-B). With
                                 // the interleaved schedule the last device
@@ -263,28 +288,31 @@ pub fn run_schedule(
                                 if d == p - 1 && startup.is_none() {
                                     startup = Some(arrival);
                                 }
-                                (s, e)
+                                (s, s.max(arrival))
                             }
                             None => break,
                         }
                     }
-                    OpKind::RecvGrad { mb, chunk, .. } => {
-                        let key = MsgKey {
-                            is_grad: true,
-                            mb,
-                            part: Part::Full,
-                            dst_stage: sched.stage_of(d, chunk),
-                        };
-                        match pop_arrival(&mut mailbox[d], key) {
-                            Some(arrival) => (dev_free[d], dev_free[d].max(arrival)),
+                    OpKind::RecvGrad { .. } => {
+                        let (key, _) = op_key(sched, d, &op).expect("recv op has a key");
+                        match transport.try_recv(d, key) {
+                            Some(((), arrival)) => {
+                                ready = arrival;
+                                (dev_free[d], dev_free[d].max(arrival))
+                            }
                             None => break,
                         }
                     }
                 };
                 dev_free[d] = end;
-                timeline[d].push(OpRecord { op, start, end });
+                if tracing {
+                    burst.push(OpTimes { start, ready, end });
+                }
                 pc[d] += 1;
                 progressed = true;
+            }
+            if !burst.is_empty() {
+                sink.record_run(d, &burst);
             }
             if pc[d] < sched.devices[d].len() {
                 all_done = false;
@@ -299,7 +327,7 @@ pub fn run_schedule(
     }
 
     let iteration_time = dev_free.iter().copied().fold(0.0, f64::max);
-    Ok(EventResult {
+    Ok(EventSummary {
         iteration_time,
         startup_overhead: if n_stages == 1 {
             0.0
@@ -307,7 +335,6 @@ pub fn run_schedule(
             startup.unwrap_or(0.0)
         },
         device_busy,
-        timeline,
     })
 }
 
@@ -321,29 +348,6 @@ fn duration(base: f64, cfg: &EventConfig, rng: &mut ChaCha8Rng) -> f64 {
         1.0
     };
     base * jitter + cfg.kernel_overhead
-}
-
-fn send(
-    link_free: &mut HashMap<(usize, usize), f64>,
-    from: usize,
-    to: usize,
-    enqueue: f64,
-    transfer: f64,
-) -> f64 {
-    let free = link_free.entry((from, to)).or_insert(0.0);
-    let start = free.max(enqueue);
-    let arrival = start + transfer;
-    *free = arrival;
-    arrival
-}
-
-fn pop_arrival(mbx: &mut HashMap<MsgKey, Vec<f64>>, key: MsgKey) -> Option<f64> {
-    let q = mbx.get_mut(&key)?;
-    if q.is_empty() {
-        None
-    } else {
-        Some(q.remove(0))
-    }
 }
 
 #[cfg(test)]
@@ -447,8 +451,8 @@ mod tests {
         let cf = vec![0.5; p * v];
         let cb = vec![1.0; p * v];
         let ci = costs(cf, cb, 0.0, 0.02);
-        let int = run_schedule(&interleaved(p, v, m).unwrap(), &ci, &EventConfig::default())
-            .unwrap();
+        let int =
+            run_schedule(&interleaved(p, v, m).unwrap(), &ci, &EventConfig::default()).unwrap();
         let cp = costs(vec![1.0; p], vec![2.0; p], 0.0, 0.02);
         let plain = run_schedule(&one_f_one_b(p, m), &cp, &EventConfig::default()).unwrap();
         assert!(
@@ -513,5 +517,50 @@ mod tests {
             run_schedule(&one_f_one_b(4, 4), &c, &EventConfig::default()),
             Err(SimError::BadSchedule(_))
         ));
+    }
+
+    #[test]
+    fn untraced_run_matches_traced_numbers() {
+        let c = costs(
+            vec![1.0, 1.4, 0.9, 1.2],
+            vec![2.0, 2.8, 1.8, 2.4],
+            0.001,
+            0.03,
+        );
+        let sched = sliced_1f1b(4, 8, 2);
+        let traced = run_schedule(&sched, &c, &EventConfig::default()).unwrap();
+        let bare = run_schedule_untraced(&sched, &c, &EventConfig::default()).unwrap();
+        assert_eq!(traced.iteration_time, bare.iteration_time);
+        assert_eq!(traced.startup_overhead, bare.startup_overhead);
+        assert_eq!(traced.device_busy, bare.device_busy);
+        // The timeline agrees with the scalar summary it travels with. Busy
+        // time is re-derived from span widths (`end - start`), which can
+        // differ from the sweep's direct `+= dur` accumulation by an ulp.
+        assert!((traced.timeline.iteration_time() - bare.iteration_time).abs() < 1e-12);
+        for (tl, sc) in traced.timeline.device_busy().iter().zip(&bare.device_busy) {
+            assert!((tl - sc).abs() < 1e-9, "timeline busy {tl} vs sweep {sc}");
+        }
+        assert!((traced.timeline.startup_overhead() - bare.startup_overhead).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_injection_delays_the_iteration() {
+        use autopipe_exec::VirtualTransport;
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0, 0.01);
+        let sched = one_f_one_b(4, 8);
+        let clean = run_schedule(&sched, &c, &EventConfig::default()).unwrap();
+        // Degrade the 1→2 link by a flat 0.5 per message.
+        let mut slow_link = VirtualTransport::new(sched.n_devices, &c)
+            .with_fault(|from, to, _key, _now| if (from, to) == (1, 2) { 0.5 } else { 0.0 });
+        let degraded =
+            run_schedule_on(&sched, &c, &EventConfig::default(), &mut slow_link).unwrap();
+        assert!(
+            degraded.iteration_time > clean.iteration_time + 0.4,
+            "degraded {} vs clean {}",
+            degraded.iteration_time,
+            clean.iteration_time
+        );
+        // Op orderings are untouched by link faults.
+        clean.timeline.same_op_order(&degraded.timeline).unwrap();
     }
 }

@@ -29,5 +29,8 @@ pub mod partition;
 pub mod trace;
 
 pub use analytic::{simulate_replay, AnalyticResult, OpClass, OpTime, Phase};
-pub use event::{run_schedule, EventConfig, EventResult, SimError};
+pub use event::{
+    run_schedule, run_schedule_on, run_schedule_untraced, EventConfig, EventCosts, EventResult,
+    EventSummary, SimError,
+};
 pub use partition::{Partition, StageCosts};

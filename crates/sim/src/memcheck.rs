@@ -49,11 +49,7 @@ impl std::error::Error for OomError {}
 /// Compute per-device memory for a partitioned model under `sched`.
 /// `partition` must have exactly `sched.n_stages()` stages (for the
 /// interleaved schedule: one partition stage per chunk-stage).
-pub fn device_memory(
-    partition: &Partition,
-    db: &CostDb,
-    sched: &Schedule,
-) -> Vec<MemoryBreakdown> {
+pub fn device_memory(partition: &Partition, db: &CostDb, sched: &Schedule) -> Vec<MemoryBreakdown> {
     let p = sched.n_devices;
     let v = sched.n_chunks;
     let m = sched.n_microbatches;
@@ -72,7 +68,12 @@ pub fn device_memory(
                 // stage_memory multiplies the *whole* checkpoint set by
                 // in_flight; we hold chunk_in_flight/v stage-equivalents.
                 let equiv = (chunk_in_flight as f64 / v as f64).ceil() as usize;
-                stage_memory(&blocks, 2 * db.comm_bytes, equiv.max(1), INTERLEAVED_FRAG_MULT)
+                stage_memory(
+                    &blocks,
+                    2 * db.comm_bytes,
+                    equiv.max(1),
+                    INTERLEAVED_FRAG_MULT,
+                )
             }
             ScheduleKind::GPipe => stage_memory(
                 &db.blocks[partition.range(d)],

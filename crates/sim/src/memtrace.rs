@@ -85,7 +85,7 @@ pub fn dynamic_peaks(
             .map(|c| quanta[sched.stage_of(d, c)].param_state)
             .sum();
         let mut edges: Vec<(f64, bool, i64)> = Vec::new();
-        for r in &result.timeline[d] {
+        for r in result.timeline.device(d) {
             match r.op.kind {
                 OpKind::Fwd { chunk, part, .. } => {
                     let q = &quanta[sched.stage_of(d, chunk)];
@@ -192,9 +192,8 @@ mod tests {
         // Subtract persistent state and the (stage-specific) working set —
         // the last stage's LM-head logits dwarf everything — to compare
         // pure checkpoint pressure.
-        let act = |pk: &DevicePeak| {
-            pk.peak - quanta[pk.device].param_state - quanta[pk.device].working
-        };
+        let act =
+            |pk: &DevicePeak| pk.peak - quanta[pk.device].param_state - quanta[pk.device].working;
         assert!(
             act(&peaks[0]) > act(&peaks[3]),
             "stage 0 should stash more than the last stage: {} vs {}",

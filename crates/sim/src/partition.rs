@@ -110,7 +110,12 @@ impl Partition {
     /// convention (`.5` per lone sub-layer block).
     pub fn layer_counts(&self, db: &CostDb) -> Vec<f64> {
         (0..self.n_stages())
-            .map(|s| db.blocks[self.range(s)].iter().map(|c| c.layer_weight).sum())
+            .map(|s| {
+                db.blocks[self.range(s)]
+                    .iter()
+                    .map(|c| c.layer_weight)
+                    .sum()
+            })
             .collect()
     }
 

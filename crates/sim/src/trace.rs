@@ -1,130 +1,35 @@
 //! Timeline analysis and Chrome-trace export for event-simulation results.
 //!
-//! `chrome://tracing` / Perfetto can load the JSON emitted by
-//! [`chrome_trace`]; [`analyze`] decomposes each device's iteration into
-//! compute, communication-wait and bubble time — the quantities the paper's
-//! Fig. 1 shades grey.
+//! The heavy lifting lives on the shared [`Timeline`] type in
+//! [`autopipe_exec`] — the same metrics work on threaded-runtime timelines.
+//! This module keeps the historical `&EventResult` entry points:
+//! [`analyze`] decomposes each device's iteration into compute,
+//! communication-wait and bubble time (the quantities the paper's Fig. 1
+//! shades grey); [`chrome_trace`] emits JSON loadable in `chrome://tracing`
+//! or Perfetto.
+//!
+//! [`Timeline`]: autopipe_exec::Timeline
 
-use serde_json::{json, Value};
+use serde_json::Value;
 
-use autopipe_schedule::{OpKind, Part};
+pub use autopipe_exec::DeviceBreakdown;
 
 use crate::event::EventResult;
 
-/// Per-device time decomposition of one simulated iteration.
-#[derive(Debug, Clone, PartialEq)]
-pub struct DeviceBreakdown {
-    /// Device index.
-    pub device: usize,
-    /// Time spent in forward compute.
-    pub fwd: f64,
-    /// Time spent in backward compute.
-    pub bwd: f64,
-    /// Time spent blocked in receives (waiting on upstream/downstream).
-    pub wait: f64,
-    /// Residual idle time (`iteration − fwd − bwd − wait`).
-    pub idle: f64,
-}
-
-impl DeviceBreakdown {
-    /// Busy fraction of the iteration.
-    pub fn utilisation(&self, iteration: f64) -> f64 {
-        if iteration <= 0.0 {
-            return 0.0;
-        }
-        (self.fwd + self.bwd) / iteration
-    }
-}
-
 /// Decompose every device's timeline.
 pub fn analyze(result: &EventResult) -> Vec<DeviceBreakdown> {
-    result
-        .timeline
-        .iter()
-        .enumerate()
-        .map(|(device, ops)| {
-            let mut fwd = 0.0;
-            let mut bwd = 0.0;
-            let mut wait = 0.0;
-            for r in ops {
-                let dur = r.end - r.start;
-                match r.op.kind {
-                    OpKind::Fwd { .. } => fwd += dur,
-                    OpKind::Bwd { .. } => bwd += dur,
-                    OpKind::RecvAct { .. } | OpKind::RecvGrad { .. } => wait += dur,
-                    _ => {}
-                }
-            }
-            let idle = (result.iteration_time - fwd - bwd - wait).max(0.0);
-            DeviceBreakdown {
-                device,
-                fwd,
-                bwd,
-                wait,
-                idle,
-            }
-        })
-        .collect()
+    result.timeline.breakdown()
 }
 
 /// Aggregate bubble fraction across devices: 1 − mean compute utilisation.
 pub fn bubble_fraction(result: &EventResult) -> f64 {
-    let decomposed = analyze(result);
-    if decomposed.is_empty() || result.iteration_time <= 0.0 {
-        return 0.0;
-    }
-    let mean: f64 = decomposed
-        .iter()
-        .map(|d| d.utilisation(result.iteration_time))
-        .sum::<f64>()
-        / decomposed.len() as f64;
-    (1.0 - mean).max(0.0)
+    result.timeline.bubble_ratio()
 }
 
 /// Render the timeline as a Chrome-trace JSON document (`traceEvents`
 /// array with complete events; timestamps in microseconds).
 pub fn chrome_trace(result: &EventResult) -> Value {
-    let mut events = Vec::new();
-    for (device, ops) in result.timeline.iter().enumerate() {
-        for r in ops {
-            let (name, cat) = describe(&r.op.kind);
-            if r.end <= r.start {
-                continue; // zero-width enqueue ops clutter the view
-            }
-            events.push(json!({
-                "name": name,
-                "cat": cat,
-                "ph": "X",
-                "ts": r.start * 1e6,
-                "dur": (r.end - r.start) * 1e6,
-                "pid": 0,
-                "tid": device,
-            }));
-        }
-    }
-    json!({
-        "traceEvents": events,
-        "displayTimeUnit": "ms",
-    })
-}
-
-fn describe(kind: &OpKind) -> (String, &'static str) {
-    match kind {
-        OpKind::Fwd { mb, part, .. } => (
-            match part {
-                Part::Full => format!("F{mb}"),
-                Part::Half1 => format!("F{mb}a"),
-                Part::Half2 => format!("F{mb}b"),
-                Part::Both => format!("F{mb}ab"),
-            },
-            "fwd",
-        ),
-        OpKind::Bwd { mb, .. } => (format!("B{mb}"), "bwd"),
-        OpKind::RecvAct { mb, .. } => (format!("recv-act {mb}"), "wait"),
-        OpKind::RecvGrad { mb, .. } => (format!("recv-grad {mb}"), "wait"),
-        OpKind::SendAct { mb, .. } => (format!("send-act {mb}"), "comm"),
-        OpKind::SendGrad { mb, .. } => (format!("send-grad {mb}"), "comm"),
-    }
+    result.timeline.chrome_trace()
 }
 
 #[cfg(test)]
@@ -180,6 +85,14 @@ mod tests {
     fn single_device_has_no_bubbles() {
         let b = bubble_fraction(&result(1, 4));
         assert!(b < 1e-9, "bubble {b}");
+    }
+
+    #[test]
+    fn bubble_fraction_agrees_with_scalar_utilisation() {
+        // The Timeline-derived bubble must match the sweep's own busy
+        // accounting — one telemetry source, two views.
+        let r = result(4, 8);
+        assert!((bubble_fraction(&r) - (1.0 - r.utilisation())).abs() < 1e-9);
     }
 
     #[test]

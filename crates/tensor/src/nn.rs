@@ -199,7 +199,9 @@ impl FfnBlock {
 
     /// Parameter references, in gradient order.
     pub fn params(&self) -> Vec<&Tensor> {
-        vec![&self.ln_g, &self.ln_b, &self.w1, &self.b1, &self.w2, &self.b2]
+        vec![
+            &self.ln_g, &self.ln_b, &self.w1, &self.b1, &self.w2, &self.b2,
+        ]
     }
 
     /// Mutable parameter references.
@@ -370,11 +372,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn finite_diff_block(
-        x: &Tensor,
-        probe: &Tensor,
-        f: &dyn Fn(&Tensor) -> Tensor,
-    ) -> Tensor {
+    fn finite_diff_block(x: &Tensor, probe: &Tensor, f: &dyn Fn(&Tensor) -> Tensor) -> Tensor {
         let eps = 1e-2_f32;
         let mut g = Tensor::zeros(x.shape());
         for i in 0..x.len() {
@@ -411,7 +409,10 @@ mod tests {
         assert_eq!(grads.len(), blk.params().len());
         let fd = finite_diff_block(&x, &probe, &|x| blk.forward(x, batch, seq).0);
         for (i, (a, b)) in dx.data().iter().zip(fd.data()).enumerate() {
-            assert!((a - b).abs() < 5e-2 * (1.0 + a.abs()), "dx[{i}]: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 5e-2 * (1.0 + a.abs()),
+                "dx[{i}]: {a} vs {b}"
+            );
         }
     }
 

@@ -101,11 +101,7 @@ pub fn layernorm_fwd(x: &Tensor, gamma: &Tensor, beta: &Tensor) -> (Tensor, LnCa
 }
 
 /// Backward of [`layernorm_fwd`]: returns `(dx, dgamma, dbeta)`.
-pub fn layernorm_bwd(
-    cache: &LnCache,
-    gamma: &Tensor,
-    dy: &Tensor,
-) -> (Tensor, Tensor, Tensor) {
+pub fn layernorm_bwd(cache: &LnCache, gamma: &Tensor, dy: &Tensor) -> (Tensor, Tensor, Tensor) {
     let d = *dy.shape().last().unwrap();
     let rows = dy.len() / d;
     let mut dx = Tensor::zeros(dy.shape());
@@ -191,12 +187,7 @@ pub fn embedding_fwd(ids: &[usize], seq: usize, wte: &Tensor, wpe: &Tensor) -> T
 }
 
 /// Backward of [`embedding_fwd`]: returns `(dwte, dwpe)`.
-pub fn embedding_bwd(
-    ids: &[usize],
-    seq: usize,
-    vocab: usize,
-    dy: &Tensor,
-) -> (Tensor, Tensor) {
+pub fn embedding_bwd(ids: &[usize], seq: usize, vocab: usize, dy: &Tensor) -> (Tensor, Tensor) {
     let h = *dy.shape().last().unwrap();
     let mut dwte = Tensor::zeros(&[vocab, h]);
     let mut dwpe = Tensor::zeros(&[seq, h]);
@@ -229,10 +220,7 @@ pub fn cross_entropy_logits(logits: &Tensor, targets: &[usize]) -> (f32, Tensor)
         dl.data_mut()[r * v + t] -= 1.0;
     }
     let scale = 1.0 / n as f32;
-    (
-        (loss / n as f64) as f32,
-        dl.scale(scale),
-    )
+    ((loss / n as f64) as f32, dl.scale(scale))
 }
 
 // ---------------------------------------------------------------- attention
@@ -330,7 +318,15 @@ fn slice_head(x: &Tensor, b: usize, head: usize, seq: usize, h: usize, dh: usize
     out
 }
 
-fn write_head(x: &mut Tensor, hslice: &Tensor, b: usize, head: usize, seq: usize, h: usize, dh: usize) {
+fn write_head(
+    x: &mut Tensor,
+    hslice: &Tensor,
+    b: usize,
+    head: usize,
+    seq: usize,
+    h: usize,
+    dh: usize,
+) {
     for s in 0..seq {
         let dst =
             &mut x.data_mut()[(b * seq + s) * h + head * dh..(b * seq + s) * h + (head + 1) * dh];
@@ -345,11 +341,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     /// Central finite difference on a scalar loss `sum(f(x) * probe)`.
-    fn finite_diff(
-        x: &Tensor,
-        probe: &Tensor,
-        f: &dyn Fn(&Tensor) -> Tensor,
-    ) -> Tensor {
+    fn finite_diff(x: &Tensor, probe: &Tensor, f: &dyn Fn(&Tensor) -> Tensor) -> Tensor {
         let eps = 1e-3_f32;
         let mut g = Tensor::zeros(x.shape());
         for i in 0..x.len() {

@@ -41,7 +41,10 @@ fn main() {
         }
     };
     let plans: Vec<(&str, HybridPlan)> = vec![
-        ("DAPPLE", dapple::plan(&db, g, m_total, &hw).expect("dapple")),
+        (
+            "DAPPLE",
+            dapple::plan(&db, g, m_total, &hw).expect("dapple"),
+        ),
         ("Piper", piper::plan(&db, g, m_total, &hw).expect("piper")),
         ("AutoPipe", autopipe),
     ];
@@ -51,7 +54,10 @@ fn main() {
         let balance = balance_stddev(&sc, m_total);
         let achieved = replicated::evaluate_plan(plan, &db, m_total, hw.elem_bytes, &comm);
         println!("{name:>9}: {} stage(s), widths {:?}", plan.stages, plan.dp);
-        println!("           layers/stage {:?}", plan.partition.layer_counts(&db));
+        println!(
+            "           layers/stage {:?}",
+            plan.partition.layer_counts(&db)
+        );
         println!(
             "           balance sigma {:.1} ms, measured iteration {:.1} ms, search {:.2} ms \
              ({} schemes)",

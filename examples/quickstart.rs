@@ -20,7 +20,10 @@ fn main() {
         "strategy         : {} pipeline stage(s) x {} data-parallel",
         plan.stages, plan.dp
     );
-    println!("micro-batches    : {} per replica per iteration", plan.microbatches);
+    println!(
+        "micro-batches    : {} per replica per iteration",
+        plan.microbatches
+    );
     println!("layers per stage : {:?}", plan.layer_counts);
     println!("sliced warmup mbs: {}", plan.n_sliced);
     println!(

@@ -78,7 +78,10 @@ fn main() {
         );
         assert!((a.loss - r).abs() < 1e-3, "1F1B diverged from reference");
         assert!((b.loss - r).abs() < 1e-3, "sliced diverged from reference");
-        assert!((c.loss - r).abs() < 1e-3, "interleaved diverged from reference");
+        assert!(
+            (c.loss - r).abs() < 1e-3,
+            "interleaved diverged from reference"
+        );
     }
     println!("\nall four trainers agree — pipeline execution is exact.");
 }

@@ -34,8 +34,7 @@ fn plans_for_all_benchmark_models_validate() {
                 fixed_stages: Some(p),
                 ..PlanRequest::new(model.clone(), p, 4, 64)
             };
-            let plan = AutoPipe::plan(&req)
-                .unwrap_or_else(|e| panic!("{} p={p}: {e}", model.name));
+            let plan = AutoPipe::plan(&req).unwrap_or_else(|e| panic!("{} p={p}: {e}", model.name));
             assert_eq!(plan.stages, p);
             validate(&plan.schedule).unwrap();
             let total_layers: f64 = plan.layer_counts.iter().sum();
