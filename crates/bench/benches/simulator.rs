@@ -6,7 +6,7 @@ use autopipe_bench::systems::cost_db;
 use autopipe_cost::Hardware;
 use autopipe_model::zoo;
 use autopipe_schedule::one_f_one_b;
-use autopipe_sim::analytic::{recurrence, simulate_replay};
+use autopipe_sim::analytic::{recurrence, simulate_replay, simulate_time, SimScratch};
 use autopipe_sim::event::{run_schedule, EventConfig, EventCosts};
 use autopipe_sim::Partition;
 
@@ -19,6 +19,10 @@ fn bench_simulators(c: &mut Criterion) {
     for m in [16usize, 64] {
         g.bench_function(BenchmarkId::new("analytic-replay", m), |b| {
             b.iter(|| simulate_replay(&sc, m))
+        });
+        let mut scratch = SimScratch::new();
+        g.bench_function(BenchmarkId::new("analytic-fast", m), |b| {
+            b.iter(|| simulate_time(&sc, m, &mut scratch))
         });
         g.bench_function(BenchmarkId::new("recurrence", m), |b| {
             b.iter(|| recurrence::simulate(&sc, m))

@@ -1,0 +1,264 @@
+//! Planner speed baseline: measures the fast-tier simulator against the full
+//! replay and the wave-search planner against a faithful reproduction of the
+//! pre-wave serial search, then emits the machine-readable record
+//! `results/BENCH_planner.json` so regressions in search speed are visible
+//! across commits.
+//!
+//! The workload is fixed (GPT-2 345M, p=8, m=16) so numbers are comparable
+//! run to run. `--smoke` shrinks repetition counts to validate the emitter
+//! in CI without meaningful measurement.
+
+use std::collections::{HashSet, VecDeque};
+use std::hint::black_box;
+use std::time::Instant;
+
+use autopipe_bench::report::save_json;
+use autopipe_bench::systems::cost_db;
+use autopipe_cost::{CostDb, Hardware};
+use autopipe_model::zoo;
+use autopipe_planner::autopipe::{plan, AutoPipeConfig, SimTier};
+use autopipe_planner::balanced_partition;
+use autopipe_sim::analytic::{simulate_replay, simulate_time, SimScratch};
+use autopipe_sim::{Partition, StageCosts};
+use serde_json::json;
+
+const P: usize = 8;
+const M: usize = 16;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sim_reps, plan_reps) = if smoke { (50, 2) } else { (20_000, 50) };
+
+    let model = zoo::gpt2_345m();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 4);
+    let sc = Partition::even(db.len(), P).stage_costs(&db);
+
+    // Per-simulation cost of the two tiers on one fixed scheme.
+    let mut sink = 0.0;
+    let t0 = Instant::now();
+    for _ in 0..sim_reps {
+        sink += simulate_replay(black_box(&sc), M).iteration_time;
+    }
+    let replay_us = t0.elapsed().as_secs_f64() / sim_reps as f64 * 1e6;
+
+    let mut scratch = SimScratch::new();
+    let t0 = Instant::now();
+    for _ in 0..sim_reps {
+        sink += simulate_time(black_box(&sc), M, &mut scratch).iteration_time;
+    }
+    let fast_us = t0.elapsed().as_secs_f64() / sim_reps as f64 * 1e6;
+    black_box(sink);
+
+    // Whole-search cost: the pre-PR serial/replay loop (reproduced below
+    // from public APIs) vs today's fast-tier wave search.
+    let t0 = Instant::now();
+    let mut reference = None;
+    for _ in 0..plan_reps {
+        reference = Some(black_box(plan_reference(&db, P, M, 512)));
+    }
+    let reference_s = t0.elapsed().as_secs_f64() / plan_reps as f64;
+    let (ref_part, ref_schemes) = reference.unwrap();
+
+    let t0 = Instant::now();
+    let mut fast = None;
+    for _ in 0..plan_reps {
+        fast = Some(black_box(plan(&db, P, M, &AutoPipeConfig::default())));
+    }
+    let fast_s = t0.elapsed().as_secs_f64() / plan_reps as f64;
+    let fast_plan = fast.unwrap();
+
+    assert_eq!(
+        fast_plan.partition, ref_part,
+        "wave search must reproduce the serial search's plan"
+    );
+    assert_eq!(fast_plan.schemes_explored, ref_schemes);
+
+    // Determinism contract: bit-identical plan at any thread count, and the
+    // replay tier agrees with the fast tier.
+    let wave4 = plan(
+        &db,
+        P,
+        M,
+        &AutoPipeConfig {
+            threads: 4,
+            ..Default::default()
+        },
+    );
+    let replay_tier = plan(
+        &db,
+        P,
+        M,
+        &AutoPipeConfig {
+            sim_tier: SimTier::Replay,
+            ..Default::default()
+        },
+    );
+    let bit_identical = fast_plan.partition == wave4.partition
+        && fast_plan.analytic.iteration_time.to_bits() == wave4.analytic.iteration_time.to_bits()
+        && fast_plan.schemes_explored == wave4.schemes_explored
+        && fast_plan.partition == replay_tier.partition;
+
+    let workload = json!({"model": model.name, "p": P, "m": M, "mbs": 4});
+    let per_sim = json!({
+        "replay_us": replay_us,
+        "fast_us": fast_us,
+        "speedup": replay_us / fast_us,
+    });
+    let plan_rec = json!({
+        "pre_pr_serial_replay_s": reference_s,
+        "fast_wave_s": fast_s,
+        "speedup": reference_s / fast_s,
+        "schemes": ref_schemes,
+        "schemes_per_sec_pre_pr": ref_schemes as f64 / reference_s,
+        "schemes_per_sec_fast": ref_schemes as f64 / fast_s,
+    });
+    let determinism = json!({"threads4_bit_identical": bit_identical});
+    let record = json!({
+        "workload": workload,
+        "per_sim": per_sim,
+        "plan": plan_rec,
+        "determinism": determinism,
+        "smoke": smoke,
+    });
+    save_json("BENCH_planner", &record);
+
+    println!(
+        "per-sim: replay {replay_us:.2}us vs fast {fast_us:.2}us ({:.1}x)",
+        replay_us / fast_us
+    );
+    println!(
+        "plan:    pre-PR serial/replay {:.3}ms vs fast wave {:.3}ms ({:.1}x), {ref_schemes} schemes",
+        reference_s * 1e3,
+        fast_s * 1e3,
+        reference_s / fast_s
+    );
+    println!("wave search threads=4 bit-identical: {bit_identical}");
+    assert!(bit_identical, "wave search determinism contract violated");
+}
+
+/// The planner search exactly as it was before the wave-search PR: serial
+/// FIFO BFS, a fresh `StageCosts` and a full `simulate_replay` per
+/// candidate, and a fresh Algorithm-1 DP per re-balanced shift. Kept here
+/// (not in the planner) purely as the benchmark's baseline.
+fn plan_reference(db: &CostDb, p: usize, m: usize, max_schemes: usize) -> (Partition, usize) {
+    let weights: Vec<f64> = db.blocks.iter().map(|b| b.work()).collect();
+    let init = balanced_partition(&weights, p);
+    let mut visited: HashSet<Vec<usize>> = HashSet::new();
+    let mut queue: VecDeque<Partition> = VecDeque::new();
+    visited.insert(init.boundaries().to_vec());
+    queue.push_back(init);
+
+    let mut best: Option<(Partition, f64)> = None;
+    let mut explored = 0usize;
+
+    while let Some(part) = queue.pop_front() {
+        if explored >= max_schemes {
+            break;
+        }
+        let sc = part.stage_costs(db);
+        let res = simulate_replay(&sc, m);
+        explored += 1;
+        let i = res.master_stage;
+
+        let better = match &best {
+            None => true,
+            Some((_, b)) => res.iteration_time < *b,
+        };
+        if better {
+            best = Some((part.clone(), res.iteration_time));
+        }
+
+        let mut push = |cand: Partition, queue: &mut VecDeque<Partition>| {
+            if visited.insert(cand.boundaries().to_vec()) {
+                queue.push_back(cand);
+            }
+        };
+
+        if i + 1 < p {
+            if let Some(adj) = reference_cooldown_adjust(&part, &sc, &weights, i) {
+                push(adj, &mut queue);
+            }
+        }
+        if i > 0 {
+            for cand in reference_shift_candidates(&part, &weights, i) {
+                push(cand, &mut queue);
+            }
+        }
+    }
+    let (partition, _) = best.unwrap();
+    (partition, explored)
+}
+
+fn reference_cooldown_adjust(
+    part: &Partition,
+    sc: &StageCosts,
+    weights: &[f64],
+    i: usize,
+) -> Option<Partition> {
+    let p = part.n_stages();
+    let n = part.n_blocks();
+    let first = part.boundaries()[i + 1];
+    let tail_blocks = n - first;
+    let tail_stages = p - i - 1;
+    if tail_blocks < tail_stages {
+        return None;
+    }
+    let mut bounds = part.boundaries()[..=i + 1].to_vec();
+    let mut cursor = first;
+    let mut cum = 0.0;
+    for s in (i + 1)..(p - 1) {
+        let budget = (s - i) as f64 * sc.b[i];
+        let stages_left_after = p - 1 - s;
+        let mut taken = 0usize;
+        while cursor < n - stages_left_after {
+            let w = weights[cursor];
+            if taken >= 1 && cum + w > budget {
+                break;
+            }
+            cum += w;
+            cursor += 1;
+            taken += 1;
+        }
+        bounds.push(cursor);
+    }
+    bounds.push(n);
+    if bounds == part.boundaries() {
+        None
+    } else {
+        Some(Partition::new(bounds))
+    }
+}
+
+fn reference_shift_candidates(part: &Partition, weights: &[f64], i: usize) -> Vec<Partition> {
+    let b = part.boundaries();
+    let p = part.n_stages();
+    let mut out = Vec::with_capacity(4);
+    if b[i] + 1 < b[i + 1] {
+        let mut nb = b.to_vec();
+        nb[i] += 1;
+        out.push(Partition::new(nb.clone()));
+        if i >= 1 && nb[i] >= i {
+            let pre = balanced_partition(&weights[..nb[i]], i);
+            let mut nb2 = pre.boundaries().to_vec();
+            nb2.extend_from_slice(&nb[i + 1..]);
+            if nb2 != b {
+                out.push(Partition::new(nb2));
+            }
+        }
+    }
+    if i + 1 < p && b[i + 1] - 1 > b[i] {
+        let mut nb = b.to_vec();
+        nb[i + 1] -= 1;
+        out.push(Partition::new(nb.clone()));
+        if nb[i + 1] > i {
+            let pre = balanced_partition(&weights[..nb[i + 1]], i + 1);
+            let mut nb2 = pre.boundaries().to_vec();
+            nb2.extend_from_slice(&nb[i + 2..]);
+            if nb2 != b {
+                out.push(Partition::new(nb2));
+            }
+        }
+    }
+    out
+}

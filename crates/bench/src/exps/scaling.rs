@@ -3,11 +3,10 @@
 //! benchmarks — the regime the paper motivates with ("Megatron-LM uses 3072
 //! accelerators ... but its pipeline depth is only 64").
 
-use std::time::Instant;
-
 use autopipe_cost::Hardware;
 use autopipe_model::zoo;
 use autopipe_planner::autopipe::{plan, AutoPipeConfig};
+use autopipe_sim::metrics::max_mean_imbalance;
 use serde_json::json;
 
 use crate::report::{save_json, Table};
@@ -26,14 +25,10 @@ pub fn depth_scaling() -> Vec<(usize, usize, f64, usize, f64)> {
                 continue;
             }
             let m = 2 * p;
-            let t0 = Instant::now();
             let outcome = plan(&db, p, m, &AutoPipeConfig::default());
-            let secs = t0.elapsed().as_secs_f64();
-            let sc = outcome.partition.stage_costs(&db);
-            let works: Vec<f64> = (0..p).map(|x| sc.work(x)).collect();
-            let mean = works.iter().sum::<f64>() / p as f64;
-            let max = works.iter().copied().fold(0.0, f64::max);
-            out.push((layers, p, secs, outcome.schemes_explored, max / mean));
+            let secs = outcome.search_time.as_secs_f64();
+            let imb = max_mean_imbalance(&outcome.partition.stage_costs(&db));
+            out.push((layers, p, secs, outcome.schemes_explored, imb));
         }
     }
     out
@@ -52,14 +47,10 @@ pub fn width_scaling() -> Vec<(String, usize, f64, f64)> {
     ] {
         let db = cost_db(&model, &hw, 4);
         let p = 8;
-        let t0 = Instant::now();
         let outcome = plan(&db, p, 2 * p, &AutoPipeConfig::default());
-        let secs = t0.elapsed().as_secs_f64();
-        let sc = outcome.partition.stage_costs(&db);
-        let works: Vec<f64> = (0..p).map(|x| sc.work(x)).collect();
-        let mean = works.iter().sum::<f64>() / p as f64;
-        let max = works.iter().copied().fold(0.0, f64::max);
-        out.push((model.name.clone(), p, secs, max / mean));
+        let secs = outcome.search_time.as_secs_f64();
+        let imb = max_mean_imbalance(&outcome.partition.stage_costs(&db));
+        out.push((model.name.clone(), p, secs, imb));
     }
     out
 }

@@ -56,6 +56,18 @@ pub struct CostDb {
     pub checkpointing: bool,
     /// Planning granularity the block sequence was lowered at.
     pub granularity: Granularity,
+    /// Prefix sums over `blocks` (entry `i` = sum over `blocks[..i]`,
+    /// `len() + 1` entries each) so planners extract per-stage aggregates in
+    /// O(1) per stage instead of rescanning blocks per candidate scheme.
+    /// Derived data: anyone mutating `blocks` must call
+    /// [`CostDb::recompute_prefixes`] afterwards.
+    pub fwd_prefix: Vec<f64>,
+    /// Prefix sums of `BlockCost::bwd`.
+    pub bwd_prefix: Vec<f64>,
+    /// Prefix sums of `BlockCost::params`.
+    pub params_prefix: Vec<u64>,
+    /// Prefix sums of `BlockCost::layer_weight`.
+    pub layer_prefix: Vec<f64>,
 }
 
 impl CostDb {
@@ -73,7 +85,7 @@ impl CostDb {
             .map(|b| Self::block_cost(cfg, hw, b, mbs, checkpointing))
             .collect();
         let comm_bytes = cfg.boundary_activation_elems(mbs) * hw.elem_bytes;
-        CostDb {
+        let mut db = CostDb {
             model: cfg.name.clone(),
             blocks: costs,
             comm: hw.transfer_time(comm_bytes),
@@ -81,6 +93,41 @@ impl CostDb {
             mbs,
             checkpointing,
             granularity,
+            fwd_prefix: Vec::new(),
+            bwd_prefix: Vec::new(),
+            params_prefix: Vec::new(),
+            layer_prefix: Vec::new(),
+        };
+        db.recompute_prefixes();
+        db
+    }
+
+    /// Rebuild the prefix-sum tables from `blocks`. Must be called after any
+    /// in-place mutation of the block costs (e.g. the synthetic profiler).
+    pub fn recompute_prefixes(&mut self) {
+        let k = self.blocks.len();
+        self.fwd_prefix.clear();
+        self.fwd_prefix.reserve(k + 1);
+        self.bwd_prefix.clear();
+        self.bwd_prefix.reserve(k + 1);
+        self.params_prefix.clear();
+        self.params_prefix.reserve(k + 1);
+        self.layer_prefix.clear();
+        self.layer_prefix.reserve(k + 1);
+        let (mut f, mut b, mut p, mut l) = (0.0_f64, 0.0_f64, 0u64, 0.0_f64);
+        self.fwd_prefix.push(f);
+        self.bwd_prefix.push(b);
+        self.params_prefix.push(p);
+        self.layer_prefix.push(l);
+        for c in &self.blocks {
+            f += c.fwd;
+            b += c.bwd;
+            p += c.params;
+            l += c.layer_weight;
+            self.fwd_prefix.push(f);
+            self.bwd_prefix.push(b);
+            self.params_prefix.push(p);
+            self.layer_prefix.push(l);
         }
     }
 
@@ -126,6 +173,36 @@ impl CostDb {
             full_act_bytes: full_elems * eb,
             layer_weight: block.layer_weight(),
         }
+    }
+
+    /// Forward time of one micro-batch through blocks `r`, O(1).
+    #[inline]
+    pub fn range_fwd(&self, r: std::ops::Range<usize>) -> f64 {
+        debug_assert_eq!(
+            self.fwd_prefix.len(),
+            self.blocks.len() + 1,
+            "stale prefixes"
+        );
+        self.fwd_prefix[r.end] - self.fwd_prefix[r.start]
+    }
+
+    /// Backward time of one micro-batch through blocks `r`, O(1).
+    #[inline]
+    pub fn range_bwd(&self, r: std::ops::Range<usize>) -> f64 {
+        self.bwd_prefix[r.end] - self.bwd_prefix[r.start]
+    }
+
+    /// Parameters held by blocks `r`, O(1).
+    #[inline]
+    pub fn range_params(&self, r: std::ops::Range<usize>) -> u64 {
+        self.params_prefix[r.end] - self.params_prefix[r.start]
+    }
+
+    /// Transformer-layer-equivalents of blocks `r`, O(1). Exact because
+    /// layer weights are dyadic (0, 0.5 or 1).
+    #[inline]
+    pub fn range_layers(&self, r: std::ops::Range<usize>) -> f64 {
+        self.layer_prefix[r.end] - self.layer_prefix[r.start]
     }
 
     /// Total forward time of one micro-batch through the whole model — the
@@ -225,6 +302,29 @@ mod tests {
             db(8, true, Granularity::SubLayer).comm_bytes,
             2 * db(4, true, Granularity::SubLayer).comm_bytes
         );
+    }
+
+    #[test]
+    fn prefix_sums_match_block_scans() {
+        let d = db(4, true, Granularity::SubLayer);
+        assert_eq!(d.fwd_prefix.len(), d.len() + 1);
+        for (lo, hi) in [(0, d.len()), (3, 17), (10, 11), (5, 5)] {
+            let fwd: f64 = d.blocks[lo..hi].iter().map(|b| b.fwd).sum();
+            let bwd: f64 = d.blocks[lo..hi].iter().map(|b| b.bwd).sum();
+            let params: u64 = d.blocks[lo..hi].iter().map(|b| b.params).sum();
+            assert!((d.range_fwd(lo..hi) - fwd).abs() < 1e-12);
+            assert!((d.range_bwd(lo..hi) - bwd).abs() < 1e-12);
+            assert_eq!(d.range_params(lo..hi), params);
+        }
+    }
+
+    #[test]
+    fn recompute_prefixes_tracks_mutation() {
+        let mut d = db(4, true, Granularity::SubLayer);
+        d.blocks[0].fwd += 1.0;
+        d.recompute_prefixes();
+        let fwd: f64 = d.blocks.iter().map(|b| b.fwd).sum();
+        assert!((d.range_fwd(0..d.len()) - fwd).abs() < 1e-12);
     }
 
     #[test]

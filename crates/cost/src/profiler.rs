@@ -56,6 +56,7 @@ pub fn profile(db: &CostDb, cfg: &ProfilerConfig) -> CostDb {
         b.fwd = (b.fwd * cfg.bias * jf.max(0.5) + cfg.op_overhead).max(0.0);
         b.bwd = (b.bwd * cfg.bias * jb.max(0.5) + cfg.op_overhead).max(0.0);
     }
+    out.recompute_prefixes();
     out
 }
 

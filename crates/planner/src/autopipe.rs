@@ -18,26 +18,63 @@
 //! A visited set plus a scheme budget bounds the search; in practice it
 //! explores tens of schemes (the paper's point: the master stage range is
 //! the pipeline depth, tiny compared to the cluster size).
+//!
+//! # Wave evaluation
+//!
+//! The loop is organised as a *deterministic wave search*: the whole frontier
+//! is drained into a batch, every candidate in the batch is scored (fast-tier
+//! simulation, optionally across threads), and the results are merged back
+//! **in submission order**. Because successor generation, visited-set updates
+//! and best-scheme tie-breaking all happen during the sequential merge, the
+//! explored set, the tie-breaking and the chosen plan are bit-identical to
+//! the serial FIFO search at any thread count. See DESIGN.md.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use autopipe_cost::CostDb;
-use autopipe_sim::analytic::{simulate_replay, AnalyticResult};
+use autopipe_sim::analytic::{simulate_replay, simulate_time, AnalyticResult, SimScratch};
 use autopipe_sim::partition::{Partition, StageCosts};
 
 use crate::balanced::balanced_partition;
+
+/// Which analytic engine scores candidate schemes during the search.
+///
+/// Both tiers produce bit-identical iteration times and master stages (see
+/// `autopipe_sim::analytic`); [`SimTier::Fast`] just skips the per-op trace
+/// arena, so it is allocation-free per candidate and much cheaper. The final
+/// winning scheme is always re-run through the full replay so the outcome
+/// carries a complete [`AnalyticResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimTier {
+    /// Allocation-free fast path ([`simulate_time`]) for every candidate.
+    #[default]
+    Fast,
+    /// Full per-op replay ([`simulate_replay`]) for every candidate — the
+    /// pre-wave-search behaviour, kept for benchmark comparison.
+    Replay,
+}
 
 /// Search knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct AutoPipeConfig {
     /// Maximum number of schemes to simulate before stopping.
     pub max_schemes: usize,
+    /// Worker threads for wave evaluation: `1` scores candidates inline,
+    /// `0` uses one thread per available core. The plan is bit-identical at
+    /// every setting.
+    pub threads: usize,
+    /// Simulation engine used to score candidates during the search.
+    pub sim_tier: SimTier,
 }
 
 impl Default for AutoPipeConfig {
     fn default() -> Self {
-        AutoPipeConfig { max_schemes: 512 }
+        AutoPipeConfig {
+            max_schemes: 512,
+            threads: 1,
+            sim_tier: SimTier::Fast,
+        }
     }
 }
 
@@ -54,6 +91,44 @@ pub struct AutoPipeOutcome {
     pub search_time: Duration,
 }
 
+/// What the merge step needs to know about a scored candidate: the ranking
+/// key, the master stage for successor generation, and `b_i` of that master
+/// for Eq. 1's Cooldown budget.
+#[derive(Debug, Clone, Copy, Default)]
+struct Score {
+    iteration_time: f64,
+    master_stage: usize,
+    b_master: f64,
+}
+
+/// Score one candidate with the configured engine, reusing the caller's
+/// scratch buffers so the per-candidate cost is allocation-free.
+fn score(
+    part: &Partition,
+    db: &CostDb,
+    m: usize,
+    tier: SimTier,
+    scratch: &mut SimScratch,
+    sc: &mut StageCosts,
+) -> Score {
+    part.stage_costs_into(db, sc);
+    let (iteration_time, master_stage) = match tier {
+        SimTier::Fast => {
+            let r = simulate_time(sc, m, scratch);
+            (r.iteration_time, r.master_stage)
+        }
+        SimTier::Replay => {
+            let r = simulate_replay(sc, m);
+            (r.iteration_time, r.master_stage)
+        }
+    };
+    Score {
+        iteration_time,
+        master_stage,
+        b_master: sc.b[master_stage],
+    }
+}
+
 /// Plan a `p`-stage pipeline for the model in `db` running `m` micro-batches
 /// per iteration.
 pub fn plan(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> AutoPipeOutcome {
@@ -61,53 +136,105 @@ pub fn plan(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> AutoPipeOu
     let weights: Vec<f64> = db.blocks.iter().map(|b| b.work()).collect();
     assert!(p >= 1 && p <= weights.len());
 
+    let threads = match cfg.threads {
+        0 => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        t => t,
+    };
+
     let init = balanced_partition(&weights, p);
     let mut visited: HashSet<Vec<usize>> = HashSet::new();
     let mut queue: VecDeque<Partition> = VecDeque::new();
     visited.insert(init.boundaries().to_vec());
     queue.push_back(init);
 
-    let mut best: Option<(Partition, AnalyticResult)> = None;
+    let mut best: Option<(Partition, f64)> = None;
     let mut explored = 0usize;
+    let mut memo: PrefixMemo = HashMap::new();
 
-    while let Some(part) = queue.pop_front() {
-        if explored >= cfg.max_schemes {
-            break;
-        }
-        let sc = part.stage_costs(db);
-        let res = simulate_replay(&sc, m);
-        explored += 1;
-        let i = res.master_stage;
+    // Reused across waves: the drained frontier, its scores, and one
+    // (simulator scratch, stage-cost buffer) pair per worker.
+    let mut wave: Vec<Partition> = Vec::new();
+    let mut scores: Vec<Score> = Vec::new();
+    let mut workers: Vec<(SimScratch, StageCosts)> = (0..threads)
+        .map(|_| (SimScratch::new(), StageCosts::default()))
+        .collect();
 
-        let better = match &best {
-            None => true,
-            Some((_, b)) => res.iteration_time < b.iteration_time,
-        };
-        if better {
-            best = Some((part.clone(), res));
-        }
+    while !queue.is_empty() && explored < cfg.max_schemes {
+        // Drain the frontier — capped at the remaining scheme budget so the
+        // explored set matches the serial search exactly.
+        let take = (cfg.max_schemes - explored).min(queue.len());
+        wave.clear();
+        wave.extend(queue.drain(..take));
+        scores.clear();
+        scores.resize(wave.len(), Score::default());
 
-        let mut push = |cand: Partition, queue: &mut VecDeque<Partition>| {
-            if visited.insert(cand.boundaries().to_vec()) {
-                queue.push_back(cand);
+        if threads == 1 || wave.len() == 1 {
+            let (scratch, sc) = &mut workers[0];
+            for (part, out) in wave.iter().zip(scores.iter_mut()) {
+                *out = score(part, db, m, cfg.sim_tier, scratch, sc);
             }
-        };
-
-        // Step 2: eliminate Cooldown bubbles behind the master stage.
-        if i + 1 < p {
-            if let Some(adj) = cooldown_adjust(&part, &sc, &weights, i) {
-                push(adj, &mut queue);
-            }
+        } else {
+            // Contiguous chunks: worker k owns wave[k*chunk..], writes its
+            // own slice of `scores`, and never touches shared search state.
+            let chunk = wave.len().div_ceil(threads);
+            std::thread::scope(|s| {
+                for ((wchunk, ochunk), (scratch, sc)) in wave
+                    .chunks(chunk)
+                    .zip(scores.chunks_mut(chunk))
+                    .zip(workers.iter_mut())
+                {
+                    s.spawn(move || {
+                        for (part, out) in wchunk.iter().zip(ochunk.iter_mut()) {
+                            *out = score(part, db, m, cfg.sim_tier, scratch, sc);
+                        }
+                    });
+                }
+            });
         }
-        // Step 3: shift the master stage forward.
-        if i > 0 {
-            for cand in shift_candidates(&part, &weights, i) {
-                push(cand, &mut queue);
+
+        // Merge in submission order. Successor generation and the visited
+        // set evolve exactly as they would have under the FIFO pop loop, so
+        // tie-breaking (strict `<` keeps the earliest-submitted best) and
+        // the frontier ordering are thread-count independent.
+        for (part, s) in wave.drain(..).zip(scores.drain(..)) {
+            explored += 1;
+            let i = s.master_stage;
+
+            let better = match &best {
+                None => true,
+                Some((_, b)) => s.iteration_time < *b,
+            };
+            if better {
+                best = Some((part.clone(), s.iteration_time));
+            }
+
+            let mut push = |cand: Partition, queue: &mut VecDeque<Partition>| {
+                if visited.insert(cand.boundaries().to_vec()) {
+                    queue.push_back(cand);
+                }
+            };
+
+            // Step 2: eliminate Cooldown bubbles behind the master stage.
+            if i + 1 < p {
+                if let Some(adj) = cooldown_adjust(&part, s.b_master, &weights, i) {
+                    push(adj, &mut queue);
+                }
+            }
+            // Step 3: shift the master stage forward.
+            if i > 0 {
+                for cand in shift_candidates(&part, &weights, i, &mut memo) {
+                    push(cand, &mut queue);
+                }
             }
         }
     }
 
-    let (partition, analytic) = best.expect("at least the seed scheme was simulated");
+    let (partition, _) = best.expect("at least the seed scheme was simulated");
+    // Full-fidelity tier for the winner only: the outcome carries the
+    // complete per-op trace and critical path.
+    let analytic = simulate_replay(&partition.stage_costs(db), m);
     AutoPipeOutcome {
         partition,
         analytic,
@@ -117,14 +244,10 @@ pub fn plan(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> AutoPipeOu
 }
 
 /// Redistribute the blocks behind master stage `i` so Eq. 1 holds: greedily
-/// fill each stage `s > i` up to the cumulative budget `(s−i)·b_i`, leaving
-/// the remainder to the last stage. Returns `None` if nothing changed.
-fn cooldown_adjust(
-    part: &Partition,
-    sc: &StageCosts,
-    weights: &[f64],
-    i: usize,
-) -> Option<Partition> {
+/// fill each stage `s > i` up to the cumulative budget `(s−i)·b_i` (where
+/// `b_i` is the master stage's backward time), leaving the remainder to the
+/// last stage. Returns `None` if nothing changed.
+fn cooldown_adjust(part: &Partition, b_i: f64, weights: &[f64], i: usize) -> Option<Partition> {
     let p = part.n_stages();
     let n = part.n_blocks();
     let first = part.boundaries()[i + 1]; // first block behind the master
@@ -138,7 +261,7 @@ fn cooldown_adjust(
     let mut cursor = first;
     let mut cum = 0.0;
     for s in (i + 1)..(p - 1) {
-        let budget = (s - i) as f64 * sc.b[i];
+        let budget = (s - i) as f64 * b_i;
         let stages_left_after = p - 1 - s; // stages s+1..p-1
                                            // Take at least one block; keep taking while under budget and while
                                            // enough blocks remain for the stages behind us.
@@ -162,8 +285,33 @@ fn cooldown_adjust(
     }
 }
 
+/// Memo of Algorithm-1 prefix re-balances keyed by (prefix length, stages).
+/// The DP is deterministic, so caching changes nothing but speed: step 3
+/// re-balances the same few prefixes for most schemes the search visits,
+/// and the O(n²·p) DP would otherwise dominate the whole search.
+type PrefixMemo = HashMap<(usize, usize), Vec<usize>>;
+
+/// Boundaries of `balanced_partition(&weights[..len], stages)`, cached.
+fn balanced_prefix<'a>(
+    memo: &'a mut PrefixMemo,
+    weights: &[f64],
+    len: usize,
+    stages: usize,
+) -> &'a [usize] {
+    memo.entry((len, stages)).or_insert_with(|| {
+        balanced_partition(&weights[..len], stages)
+            .boundaries()
+            .to_vec()
+    })
+}
+
 /// The four master-shifting candidates of step 3.
-fn shift_candidates(part: &Partition, weights: &[f64], i: usize) -> Vec<Partition> {
+fn shift_candidates(
+    part: &Partition,
+    weights: &[f64],
+    i: usize,
+    memo: &mut PrefixMemo,
+) -> Vec<Partition> {
     let b = part.boundaries();
     let p = part.n_stages();
     let mut out = Vec::with_capacity(4);
@@ -175,8 +323,8 @@ fn shift_candidates(part: &Partition, weights: &[f64], i: usize) -> Vec<Partitio
         out.push(Partition::new(nb.clone()));
         // With Algorithm 1 re-applied to the prefix ahead of stage i.
         if i >= 1 && nb[i] >= i {
-            let pre = balanced_partition(&weights[..nb[i]], i);
-            let mut nb2 = pre.boundaries().to_vec();
+            let pre = balanced_prefix(memo, weights, nb[i], i);
+            let mut nb2 = pre.to_vec();
             nb2.extend_from_slice(&nb[i + 1..]);
             if nb2 != b {
                 out.push(Partition::new(nb2));
@@ -190,8 +338,8 @@ fn shift_candidates(part: &Partition, weights: &[f64], i: usize) -> Vec<Partitio
         out.push(Partition::new(nb.clone()));
         // With Algorithm 1 re-applied to the prefix through stage i.
         if nb[i + 1] > i {
-            let pre = balanced_partition(&weights[..nb[i + 1]], i + 1);
-            let mut nb2 = pre.boundaries().to_vec();
+            let pre = balanced_prefix(memo, weights, nb[i + 1], i + 1);
+            let mut nb2 = pre.to_vec();
             nb2.extend_from_slice(&nb[i + 2..]);
             if nb2 != b {
                 out.push(Partition::new(nb2));
@@ -291,5 +439,60 @@ mod tests {
         let out = plan(&d, 1, 8, &AutoPipeConfig::default());
         assert_eq!(out.partition.n_stages(), 1);
         assert_eq!(out.schemes_explored, 1);
+    }
+
+    #[test]
+    fn wave_search_is_bit_identical_across_thread_counts() {
+        let d = db(Granularity::SubLayer);
+        let serial = plan(&d, 8, 16, &AutoPipeConfig::default());
+        for threads in [2, 3, 4, 0] {
+            let par = plan(
+                &d,
+                8,
+                16,
+                &AutoPipeConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(par.partition, serial.partition, "threads={threads}");
+            assert_eq!(par.schemes_explored, serial.schemes_explored);
+            assert_eq!(
+                par.analytic.iteration_time.to_bits(),
+                serial.analytic.iteration_time.to_bits(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn fast_tier_plans_identically_to_replay_tier() {
+        let d = db(Granularity::SubLayer);
+        for (p, m) in [(4, 8), (8, 16), (2, 4)] {
+            let fast = plan(
+                &d,
+                p,
+                m,
+                &AutoPipeConfig {
+                    sim_tier: SimTier::Fast,
+                    ..Default::default()
+                },
+            );
+            let replay = plan(
+                &d,
+                p,
+                m,
+                &AutoPipeConfig {
+                    sim_tier: SimTier::Replay,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(fast.partition, replay.partition, "p={p} m={m}");
+            assert_eq!(fast.schemes_explored, replay.schemes_explored);
+            assert_eq!(
+                fast.analytic.iteration_time.to_bits(),
+                replay.analytic.iteration_time.to_bits()
+            );
+        }
     }
 }

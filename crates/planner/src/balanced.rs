@@ -20,27 +20,36 @@ pub fn balanced_partition(weights: &[f64], p: usize) -> Partition {
         prefix[i + 1] = prefix[i] + weights[i];
     }
 
-    // time[i][j]: best max-stage-weight for the first i blocks in j stages.
+    // time[i][j]: best max-stage-weight for the first i blocks in j stages,
+    // flattened row-major over a (n+1)×(p+1) grid — the planner's search
+    // loop calls this DP per candidate scheme, so two flat buffers beat a
+    // vec-of-vecs by an order of magnitude in allocator traffic.
     let inf = f64::INFINITY;
-    let mut time = vec![vec![inf; p + 1]; n + 1];
+    let w = p + 1;
+    let mut time = vec![inf; (n + 1) * w];
     // parent[i][j]: the k at which the optimum splits the last stage.
-    let mut parent = vec![vec![0usize; p + 1]; n + 1];
-    time[0][0] = 0.0;
+    let mut parent = vec![0usize; (n + 1) * w];
+    time[0] = 0.0;
     for i in 1..=n {
         let maxj = p.min(i);
         for j in 1..=maxj {
             // Stage j takes blocks k..i; the first j-1 stages need >= j-1
             // blocks, and every stage is non-empty so k >= j-1 and k < i.
+            let mut best = inf;
+            let mut best_k = 0usize;
             for k in (j - 1)..i {
-                if time[k][j - 1] == inf {
+                let sub = time[k * w + j - 1];
+                if sub == inf {
                     continue;
                 }
-                let cand = time[k][j - 1].max(prefix[i] - prefix[k]);
-                if cand < time[i][j] {
-                    time[i][j] = cand;
-                    parent[i][j] = k;
+                let cand = sub.max(prefix[i] - prefix[k]);
+                if cand < best {
+                    best = cand;
+                    best_k = k;
                 }
             }
+            time[i * w + j] = best;
+            parent[i * w + j] = best_k;
         }
     }
 
@@ -49,7 +58,7 @@ pub fn balanced_partition(weights: &[f64], p: usize) -> Partition {
     boundaries[p] = n;
     let mut i = n;
     for j in (1..=p).rev() {
-        let k = parent[i][j];
+        let k = parent[i * w + j];
         boundaries[j - 1] = k;
         i = k;
     }

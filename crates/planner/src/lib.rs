@@ -27,6 +27,6 @@ pub mod balanced;
 pub mod baselines;
 pub mod types;
 
-pub use autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome};
+pub use autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome, SimTier};
 pub use balanced::balanced_partition;
 pub use types::{HybridPlan, PlanError};

@@ -4,13 +4,21 @@
 //! by [`StageCosts`], producing the iteration time, per-op start times, the
 //! unique critical path and the master stage.
 //!
-//! Two engines:
+//! Three engines:
 //!
 //! * [`simulate_replay`] — exact per-op dependency replay. Every forward and
 //!   backward of every micro-batch on every stage is an op; an op starts at
 //!   the max of its intra-stage predecessor's end and its cross-stage
-//!   dependency's end plus `Comm`. This is the physically precise model and
-//!   the one the Planner consumes.
+//!   dependency's end plus `Comm`. This is the physically precise model,
+//!   and the full-fidelity tier: it materialises the op arena, per-op
+//!   readiness bookkeeping and the explicit critical path.
+//! * [`simulate_time`] — the fast tier: the *same* dependency replay, same
+//!   arithmetic, same tie rules, but carrying only flat `f64` end-time
+//!   arrays inside a caller-owned [`SimScratch`]. After the first call with
+//!   a given problem size it performs zero heap allocations, and it returns
+//!   only the scalars a search loop needs ([`FastResult`]). Bit-identical
+//!   to [`simulate_replay`] on iteration time, startup overhead and master
+//!   stage (property-tested in `tests/fast_sim_equivalence.rs`).
 //! * [`recurrence`] — the paper's closed-form equations: 1F1B blocks
 //!   renumbered per stage (`max(0, m−n+k+1)` blocks at stage `k`), the
 //!   `t(x,y,z)` recurrences with `Comm` added after the max (the paper's
@@ -225,6 +233,275 @@ pub fn simulate_replay(costs: &StageCosts, m: usize) -> AnalyticResult {
         critical_path,
         ops,
         stage_busy,
+    }
+}
+
+/// Scalar output of the fast-tier simulator [`simulate_time`].
+///
+/// Carries exactly what a search loop ranks candidates by; the winning
+/// scheme is re-run through [`simulate_replay`] for the op arena, critical
+/// path and trace hand-off.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FastResult {
+    /// End-to-end iteration time, seconds. Bit-identical to
+    /// [`AnalyticResult::iteration_time`].
+    pub iteration_time: f64,
+    /// Startup overhead (arrival of micro-batch 0 at the last stage).
+    pub startup_overhead: f64,
+    /// The master stage, under the same tie rules as the replay.
+    pub master_stage: usize,
+}
+
+/// Caller-owned, reusable working memory for [`simulate_time`].
+///
+/// All per-candidate state lives here as flat arrays sized `2·n·m` floats
+/// plus a few `n`-length vectors; buffers grow monotonically, so after the
+/// first call at the largest problem size the fast path performs **zero**
+/// heap allocations (asserted by `tests/fast_sim_alloc.rs`).
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    /// End time of the forward of micro-batch `mb` at stage `x`, at `x*m+mb`.
+    fwd_end: Vec<f64>,
+    /// End time of the backward, same layout.
+    bwd_end: Vec<f64>,
+    /// Per-stage device-free time (end of the stage's last executed op).
+    dev_free: Vec<f64>,
+    /// Per-stage count of 1F1B-phase ops on the critical path.
+    path_count: Vec<usize>,
+    /// Per-stage total busy time `m · (f_x + b_x)`, filled by each call.
+    stage_busy: Vec<f64>,
+    /// Stage count of the last simulation (bounds [`Self::stage_busy`]).
+    n: usize,
+}
+
+impl SimScratch {
+    /// Empty scratch; buffers are sized lazily by the first simulation.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// Per-stage busy time of the last simulated candidate.
+    pub fn stage_busy(&self) -> &[f64] {
+        &self.stage_busy[..self.n]
+    }
+}
+
+/// Where the op at program position `i` of a stage with `w` warmup forwards
+/// and `blocks` 1F1B blocks (of an `m`-micro-batch program) lands.
+#[inline]
+fn decode_op(w: usize, blocks: usize, i: usize) -> (OpClass, usize, Phase) {
+    if i < w {
+        (OpClass::Fwd, i, Phase::Warmup)
+    } else if i < w + 2 * blocks {
+        let j = i - w;
+        if j.is_multiple_of(2) {
+            (OpClass::Fwd, w + j / 2, Phase::OneFOneB)
+        } else {
+            (OpClass::Bwd, (j - 1) / 2, Phase::OneFOneB)
+        }
+    } else {
+        (OpClass::Bwd, i - w - blocks, Phase::Cooldown)
+    }
+}
+
+/// Program position of the forward of `mb` on a stage with `w` warmups.
+#[inline]
+fn fwd_pos(w: usize, mb: usize) -> usize {
+    if mb < w {
+        mb
+    } else {
+        w + 2 * (mb - w)
+    }
+}
+
+/// Program position of the backward of `mb` on a stage with `w` warmups and
+/// `blocks` 1F1B blocks.
+#[inline]
+fn bwd_pos(w: usize, blocks: usize, mb: usize) -> usize {
+    if mb < blocks {
+        w + 2 * mb + 1
+    } else {
+        w + blocks + mb
+    }
+}
+
+/// Fast-tier 1F1B replay: the exact dependency replay of
+/// [`simulate_replay`] over flat end-time arrays, no per-op structs, no
+/// allocation after `scratch` warmup.
+///
+/// Every float is produced by the same expression in the same order as the
+/// full replay, so `iteration_time` and `startup_overhead` are bit-identical
+/// and `master_stage` follows the identical critical-path tie rules.
+pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> FastResult {
+    let n = costs.n_stages();
+    assert!(m >= 1, "need at least one micro-batch");
+    let comm = costs.comm;
+    let prog_len = 2 * m;
+
+    let SimScratch {
+        fwd_end,
+        bwd_end,
+        dev_free,
+        path_count,
+        stage_busy,
+        n: scratch_n,
+    } = scratch;
+    *scratch_n = n;
+    fwd_end.clear();
+    fwd_end.resize(n * m, 0.0);
+    bwd_end.clear();
+    bwd_end.resize(n * m, 0.0);
+    dev_free.clear();
+    dev_free.resize(n, 0.0);
+    path_count.clear();
+    path_count.resize(n, 0);
+    stage_busy.clear();
+    stage_busy.extend((0..n).map(|x| m as f64 * costs.work(x)));
+
+    // Single-pass topological sweep over program indices. For the 1F1B
+    // program the dependency of a forward at index `i` of stage `x` sits at
+    // index ≤ `i` of stage `x−1` (equality only while both are in Warmup),
+    // and the dependency of a backward sits at index ≤ `i` of stage `x+1`
+    // (equality in Cooldown and at the 1F1B/Cooldown seam). So visiting each
+    // index with forwards in ascending and backwards in descending stage
+    // order executes every op after its dependencies in ONE pass — no
+    // work-list retries. Each end time is produced by the exact expression
+    // of `simulate_replay`'s loop, so all floats stay bit-identical.
+    for i in 0..prog_len {
+        for x in 0..n {
+            let w = warmup_count(x, n, m);
+            let (class, mb, _) = decode_op(w, m - w, i);
+            if class != OpClass::Fwd {
+                continue;
+            }
+            let cross_ready = if x > 0 {
+                fwd_end[(x - 1) * m + mb] + comm
+            } else {
+                0.0
+            };
+            let start = dev_free[x].max(cross_ready);
+            let e = start + costs.f[x];
+            fwd_end[x * m + mb] = e;
+            dev_free[x] = e;
+        }
+        for x in (0..n).rev() {
+            let w = warmup_count(x, n, m);
+            let (class, mb, _) = decode_op(w, m - w, i);
+            if class != OpClass::Bwd {
+                continue;
+            }
+            let cross_ready = if x < n - 1 {
+                bwd_end[(x + 1) * m + mb] + comm
+            } else {
+                0.0
+            };
+            let start = dev_free[x].max(cross_ready);
+            let e = start + costs.b[x];
+            bwd_end[x * m + mb] = e;
+            dev_free[x] = e;
+        }
+    }
+
+    let end_of = |x: usize, i: usize| -> f64 {
+        let w = warmup_count(x, n, m);
+        let (class, mb, _) = decode_op(w, m - w, i);
+        match class {
+            OpClass::Fwd => fwd_end[x * m + mb],
+            OpClass::Bwd => bwd_end[x * m + mb],
+        }
+    };
+
+    // Iteration end and the backtrack anchor: the arena-order scan of the
+    // replay (`max_by` keeps the *last* maximal op; arena order is stage-
+    // major, program-minor).
+    let mut iteration_time = 0.0_f64;
+    let (mut cx, mut ci) = (0usize, 0usize);
+    let mut anchor_end = f64::NEG_INFINITY;
+    for x in 0..n {
+        for i in 0..prog_len {
+            let e = end_of(x, i);
+            iteration_time = iteration_time.max(e);
+            if e.total_cmp(&anchor_end) != std::cmp::Ordering::Less {
+                anchor_end = e;
+                cx = x;
+                ci = i;
+            }
+        }
+    }
+
+    // Backtrack the unique critical path, counting 1F1B-phase visits per
+    // stage — predecessors and tie rules recomputed exactly as stored by
+    // the full replay (start = max(intra_ready, cross_ready); ties among
+    // zero-slack predecessors go to the higher stage).
+    loop {
+        let w = warmup_count(cx, n, m);
+        let blocks = m - w;
+        let (class, mb, phase) = decode_op(w, blocks, ci);
+        if phase == Phase::OneFOneB {
+            path_count[cx] += 1;
+        }
+        // (cross stage, cross readiness) of this op, if it has a cross dep.
+        let cross = match class {
+            OpClass::Fwd if cx > 0 => Some((cx - 1, fwd_end[(cx - 1) * m + mb] + comm)),
+            OpClass::Bwd if cx < n - 1 => Some((cx + 1, bwd_end[(cx + 1) * m + mb] + comm)),
+            _ => None,
+        };
+        let intra_ready = if ci > 0 { end_of(cx, ci - 1) } else { 0.0 };
+        let cross_ready = cross.map_or(0.0, |(_, r)| r);
+        let start = intra_ready.max(cross_ready);
+
+        let mut follow_cross = cross.is_some() && cross_ready == start;
+        let mut follow_intra = false;
+        if ci > 0 && intra_ready == start {
+            match cross {
+                Some((cs, _)) if follow_cross && cs >= cx => {} // cross wins the tie
+                _ => {
+                    follow_cross = false;
+                    follow_intra = true;
+                }
+            }
+        }
+        if follow_cross {
+            let (cs, _) = cross.unwrap();
+            let ws = warmup_count(cs, n, m);
+            ci = match class {
+                OpClass::Fwd => fwd_pos(ws, mb),
+                OpClass::Bwd => bwd_pos(ws, m - ws, mb),
+            };
+            cx = cs;
+        } else if follow_intra {
+            ci -= 1;
+        } else {
+            break;
+        }
+    }
+
+    // Master selection: highest 1F1B count, ties to the latest stage; the
+    // same degenerate-pipeline fallback (heaviest stage) as the replay.
+    let mut master = None;
+    let mut best = 0usize;
+    for (x, &c) in path_count.iter().take(n).enumerate() {
+        if c >= best && c > 0 {
+            best = c;
+            master = Some(x);
+        }
+    }
+    let master_stage = master.unwrap_or_else(|| {
+        (0..n)
+            .max_by(|&a, &b| costs.work(a).total_cmp(&costs.work(b)))
+            .unwrap()
+    });
+
+    let startup_overhead = if n == 1 {
+        0.0
+    } else {
+        fwd_end[(n - 2) * m] + comm
+    };
+
+    FastResult {
+        iteration_time,
+        startup_overhead,
+        master_stage,
     }
 }
 
@@ -582,6 +859,55 @@ mod tests {
         // serial time of one micro-batch, smaller than fully serial.
         assert!(r.iteration_time > 3.0 + 3.0);
         assert!(r.iteration_time <= 2.0 * 4.0 * 3.0);
+    }
+
+    #[test]
+    fn fast_tier_matches_replay_bit_for_bit() {
+        let cases = [
+            (vec![2.0], vec![4.0], 0.5, 5),
+            (vec![1.0; 4], vec![2.0; 4], 0.0, 8),
+            (vec![1.0, 1.5, 2.0, 1.0], vec![2.0; 4], 0.25, 8),
+            (vec![1.0, 1.3, 0.9, 1.1], vec![2.0, 2.6, 1.8, 2.2], 0.05, 10),
+            (vec![1.0; 4], vec![2.0; 4], 0.0, 2), // m < n
+            (vec![0.0, 1.0, 0.0], vec![0.0, 2.0, 0.0], 0.01, 6), // degenerate
+        ];
+        let mut scratch = SimScratch::new();
+        for (f, b, comm, m) in cases {
+            let c = costs(f, b, comm);
+            let full = simulate_replay(&c, m);
+            let fast = simulate_time(&c, m, &mut scratch);
+            assert_eq!(fast.iteration_time, full.iteration_time);
+            assert_eq!(fast.startup_overhead, full.startup_overhead);
+            assert_eq!(fast.master_stage, full.master_stage);
+            assert_eq!(scratch.stage_busy(), &full.stage_busy[..]);
+        }
+    }
+
+    #[test]
+    fn fast_tier_scratch_survives_shrinking_and_growing_problems() {
+        let mut scratch = SimScratch::new();
+        for (n, m) in [(4usize, 16usize), (2, 4), (8, 32), (1, 1), (6, 12)] {
+            let c = costs(vec![1.0; n], vec![2.0; n], 0.01);
+            let full = simulate_replay(&c, m);
+            let fast = simulate_time(&c, m, &mut scratch);
+            assert_eq!(fast.iteration_time, full.iteration_time, "n={n} m={m}");
+            assert_eq!(fast.master_stage, full.master_stage, "n={n} m={m}");
+            assert_eq!(scratch.stage_busy().len(), n);
+        }
+    }
+
+    #[test]
+    fn fast_tier_heavy_stage_becomes_master() {
+        let mut scratch = SimScratch::new();
+        for heavy in 0..4 {
+            let mut f = vec![1.0; 4];
+            let mut b = vec![2.0; 4];
+            f[heavy] = 1.6;
+            b[heavy] = 3.2;
+            let c = costs(f, b, 0.01);
+            let r = simulate_time(&c, 12, &mut scratch);
+            assert_eq!(r.master_stage, heavy, "heavy stage {heavy}");
+        }
     }
 
     #[test]

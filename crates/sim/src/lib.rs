@@ -6,11 +6,14 @@
 //!   partition scheme's per-stage forward/backward times and a communication
 //!   cost, it computes the start time of every operation of the synchronous
 //!   1F1B schedule, the iteration time, the **critical path** (unique, ties
-//!   broken toward the last stage) and the **master stage**. It has two
-//!   engines: an exact per-op `replay`, and the paper's closed-form
-//!   `recurrence` (block-renumbered 1F1B equations + reverse-renumbered
-//!   Cooldown equations + Warmup estimated from one micro-batch's total
-//!   forward time). The two agree up to the paper's own approximations.
+//!   broken toward the last stage) and the **master stage**. It has three
+//!   engines: an exact per-op `replay`, the allocation-free fast tier
+//!   `simulate_time` (bit-identical times over reusable [`SimScratch`]
+//!   buffers — the planner's per-candidate engine), and the paper's
+//!   closed-form `recurrence` (block-renumbered 1F1B equations +
+//!   reverse-renumbered Cooldown equations + Warmup estimated from one
+//!   micro-batch's total forward time), which agrees up to the paper's own
+//!   approximations.
 //!
 //! * [`event`] — a **discrete-event cluster simulator** that executes any
 //!   [`autopipe_schedule::Schedule`] (1F1B, GPipe, interleaved, sliced)
@@ -28,7 +31,9 @@ pub mod metrics;
 pub mod partition;
 pub mod trace;
 
-pub use analytic::{simulate_replay, AnalyticResult, OpClass, OpTime, Phase};
+pub use analytic::{
+    simulate_replay, simulate_time, AnalyticResult, FastResult, OpClass, OpTime, Phase, SimScratch,
+};
 pub use event::{
     run_schedule, run_schedule_on, run_schedule_untraced, EventConfig, EventCosts, EventResult,
     EventSummary, SimError,

@@ -21,6 +21,26 @@ pub fn stddev(xs: &[f64]) -> f64 {
     var.sqrt()
 }
 
+/// Per-stage per-micro-batch loads `f_x + b_x` — the works the balance
+/// metrics summarise.
+pub fn stage_works(costs: &StageCosts) -> Vec<f64> {
+    (0..costs.n_stages()).map(|x| costs.work(x)).collect()
+}
+
+/// Max/mean stage-load imbalance: the heaviest stage's `f_x + b_x` over the
+/// mean. 1.0 is perfectly balanced; the scaling and ablation experiments
+/// report this per plan.
+pub fn max_mean_imbalance(costs: &StageCosts) -> f64 {
+    let works = stage_works(costs);
+    let mean = works.iter().sum::<f64>() / works.len() as f64;
+    let max = works.iter().copied().fold(0.0, f64::max);
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
 /// Pipeline bubble ratio: idle fraction of total device time given an
 /// iteration time and per-stage busy times.
 pub fn bubble_ratio(iteration_time: f64, stage_busy: &[f64]) -> f64 {
@@ -66,5 +86,14 @@ mod tests {
     #[test]
     fn speedup_is_ratio() {
         assert_eq!(speedup(2.0, 1.0), 2.0);
+    }
+
+    #[test]
+    fn imbalance_is_one_when_even_and_grows_with_skew() {
+        let even = StageCosts::new(vec![1.0; 4], vec![2.0; 4], 0.0);
+        assert!((max_mean_imbalance(&even) - 1.0).abs() < 1e-12);
+        let skew = StageCosts::new(vec![0.5, 1.0, 1.0, 1.5], vec![1.0, 2.0, 2.0, 3.0], 0.0);
+        assert!((max_mean_imbalance(&skew) - 4.5 / 3.0).abs() < 1e-12);
+        assert_eq!(stage_works(&skew), vec![1.5, 3.0, 3.0, 4.5]);
     }
 }

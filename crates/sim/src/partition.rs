@@ -84,7 +84,21 @@ impl Partition {
     }
 
     /// Extract per-stage forward/backward times and the boundary comm cost.
+    /// O(p) via the cost database's prefix sums.
     pub fn stage_costs(&self, db: &CostDb) -> StageCosts {
+        let mut out = StageCosts {
+            f: Vec::new(),
+            b: Vec::new(),
+            comm: 0.0,
+        };
+        self.stage_costs_into(db, &mut out);
+        out
+    }
+
+    /// [`Self::stage_costs`] into a caller-owned buffer — reuses the `f`/`b`
+    /// vectors so per-candidate extraction in a search loop stays
+    /// allocation-free after warmup.
+    pub fn stage_costs_into(&self, db: &CostDb, out: &mut StageCosts) {
         assert_eq!(
             self.n_blocks(),
             db.len(),
@@ -92,44 +106,37 @@ impl Partition {
             self.n_blocks(),
             db.len()
         );
-        let mut f = Vec::with_capacity(self.n_stages());
-        let mut b = Vec::with_capacity(self.n_stages());
+        out.f.clear();
+        out.b.clear();
         for s in 0..self.n_stages() {
-            let r = self.range(s);
-            f.push(db.blocks[r.clone()].iter().map(|c| c.fwd).sum());
-            b.push(db.blocks[r].iter().map(|c| c.bwd).sum());
+            out.f.push(db.range_fwd(self.range(s)));
+            out.b.push(db.range_bwd(self.range(s)));
         }
-        StageCosts {
-            f,
-            b,
-            comm: db.comm,
-        }
+        out.comm = db.comm;
     }
 
     /// Per-stage transformer-layer-equivalents — Table II's reporting
     /// convention (`.5` per lone sub-layer block).
     pub fn layer_counts(&self, db: &CostDb) -> Vec<f64> {
         (0..self.n_stages())
-            .map(|s| {
-                db.blocks[self.range(s)]
-                    .iter()
-                    .map(|c| c.layer_weight)
-                    .sum()
-            })
+            .map(|s| db.range_layers(self.range(s)))
             .collect()
     }
 
     /// Per-stage parameter counts.
     pub fn stage_params(&self, db: &CostDb) -> Vec<u64> {
         (0..self.n_stages())
-            .map(|s| db.blocks[self.range(s)].iter().map(|c| c.params).sum())
+            .map(|s| db.range_params(self.range(s)))
             .collect()
     }
 }
 
 /// Per-stage costs of a partition: the `f_x`, `b_x` and `Comm` of the
 /// paper's recurrences.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Default` yields an empty buffer suitable only as a target for
+/// [`Partition::stage_costs_into`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct StageCosts {
     /// Forward time per stage for one micro-batch, seconds.
     pub f: Vec<f64>,

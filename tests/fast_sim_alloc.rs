@@ -1,0 +1,90 @@
+//! The fast-tier simulator's zero-allocation contract.
+//!
+//! `SimScratch` promises that once its buffers have grown to the largest
+//! problem size seen, further `simulate_time` calls perform **zero** heap
+//! allocations. This file installs a counting global allocator (so it must
+//! stay its own integration-test binary) and measures the fast path
+//! directly. Counting is gated on a const-initialised thread-local so the
+//! test harness's own threads (which allocate freely) never pollute the
+//! measurement window.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use autopipe_sim::analytic::{simulate_time, SimScratch};
+use autopipe_sim::StageCosts;
+
+thread_local! {
+    /// True only on the test thread, only inside the measurement window.
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+fn record() {
+    if COUNTING.with(|c| c.get()) {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// `System`, with every allocation and reallocation on the measured thread
+/// counted.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        record();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        record();
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+#[test]
+fn simulate_time_is_allocation_free_after_warmup() {
+    let p = 8;
+    let m = 16;
+    let costs = StageCosts::new(
+        (0..p).map(|x| 1.0 + 0.13 * x as f64).collect(),
+        (0..p).map(|x| 2.0 + 0.07 * x as f64).collect(),
+        3e-3,
+    );
+    let small = StageCosts::new(vec![1.0, 2.5], vec![2.0, 3.5], 1e-3);
+
+    let mut scratch = SimScratch::new();
+    // Warmup: the first call at the largest problem size grows the buffers.
+    let reference = simulate_time(&costs, m, &mut scratch);
+
+    COUNTING.with(|c| c.set(true));
+    let mut sink = 0.0;
+    for _ in 0..100 {
+        // Same-size calls and strictly smaller ones both fit the warmed
+        // buffers; none of them may touch the allocator.
+        sink += simulate_time(&costs, m, &mut scratch).iteration_time;
+        sink += simulate_time(&small, 4, &mut scratch).iteration_time;
+    }
+    COUNTING.with(|c| c.set(false));
+    let counted = ALLOCS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        counted, 0,
+        "fast path allocated {counted} times after warmup"
+    );
+    assert!(sink > 0.0);
+    // And the warmed-up runs still compute the same answer.
+    let again = simulate_time(&costs, m, &mut scratch);
+    assert_eq!(again, reference);
+}

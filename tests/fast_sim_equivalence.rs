@@ -1,0 +1,135 @@
+//! Equivalence of the fast-tier simulator with the full replay (and, where
+//! its assumptions hold, the paper's closed-form recurrences).
+//!
+//! The contract `simulate_time` ships with is *bit-exactness*: every end
+//! time is produced by the same float expressions in the same order as
+//! `simulate_replay`, so iteration time and startup overhead match to the
+//! last bit and the master stage follows the identical tie rules. These
+//! properties drive randomized pipelines through both engines — including
+//! degenerate near-zero stages, m < n pipelines and zero communication —
+//! and require agreement far below the issue's 1e-12 bar.
+
+use proptest::prelude::*;
+
+use autopipe_sim::analytic::{recurrence, simulate_replay, simulate_time, SimScratch};
+use autopipe_sim::StageCosts;
+
+/// Fully random pipelines: any depth 1..=8, any m 1..=32 (including m < n),
+/// stage times spanning four orders of magnitude down to near-zero.
+fn wild_costs() -> impl Strategy<Value = (StageCosts, usize)> {
+    (1usize..=8, 1usize..=32, 0usize..=100).prop_flat_map(|(p, m, comm_tenths_ms)| {
+        (
+            proptest::collection::vec(1e-4f64..3.0, p),
+            proptest::collection::vec(1e-4f64..6.0, p),
+            Just(m),
+            Just(comm_tenths_ms),
+        )
+            .prop_map(move |(f, b, m, comm_tenths_ms)| {
+                (StageCosts::new(f, b, comm_tenths_ms as f64 * 1e-4), m)
+            })
+    })
+}
+
+/// Pipelines with some stages squashed to (near-)zero work — the degenerate
+/// shapes that exercise the master-stage fallback paths.
+fn degenerate_costs() -> impl Strategy<Value = (StageCosts, usize)> {
+    (2usize..=6, 1usize..=16, 0usize..=63).prop_flat_map(|(p, m, mask)| {
+        (
+            proptest::collection::vec(0.5f64..2.0, p),
+            proptest::collection::vec(0.5f64..2.0, p),
+            Just(m),
+            Just(mask),
+        )
+            .prop_map(move |(mut f, mut b, m, mask)| {
+                for x in 0..f.len() {
+                    if mask & (1 << x) != 0 {
+                        f[x] = 1e-15;
+                        b[x] = 1e-15;
+                    }
+                }
+                (StageCosts::new(f, b, 0.0), m)
+            })
+    })
+}
+
+/// Well-conditioned pipelines (m ≥ n, bounded imbalance) where the paper's
+/// closed-form recurrence is a valid description of the schedule.
+fn recurrence_friendly_costs() -> impl Strategy<Value = (StageCosts, usize)> {
+    (2usize..=6, 0usize..=16, 0usize..=20).prop_flat_map(|(p, m_extra, comm_milli)| {
+        (
+            proptest::collection::vec(0.5f64..1.5, p),
+            proptest::collection::vec(1.0f64..3.0, p),
+            Just(p + m_extra),
+            Just(comm_milli),
+        )
+            .prop_map(move |(f, b, m, comm_milli)| {
+                (StageCosts::new(f, b, comm_milli as f64 * 1e-3), m)
+            })
+    })
+}
+
+fn assert_fast_matches_replay(costs: &StageCosts, m: usize) -> Result<(), String> {
+    let full = simulate_replay(costs, m);
+    let mut scratch = SimScratch::new();
+    let fast = simulate_time(costs, m, &mut scratch);
+    prop_assert_eq!(
+        fast.iteration_time.to_bits(),
+        full.iteration_time.to_bits(),
+        "iteration time: fast {} vs replay {}",
+        fast.iteration_time,
+        full.iteration_time
+    );
+    prop_assert_eq!(
+        fast.startup_overhead.to_bits(),
+        full.startup_overhead.to_bits()
+    );
+    prop_assert_eq!(fast.master_stage, full.master_stage);
+    prop_assert_eq!(scratch.stage_busy(), &full.stage_busy[..]);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Fast tier ≡ full replay, bitwise, on arbitrary pipelines.
+    #[test]
+    fn fast_tier_is_bit_identical_to_replay((costs, m) in wild_costs()) {
+        assert_fast_matches_replay(&costs, m)?;
+    }
+
+    /// ... including pipelines with degenerate (near-zero) stages.
+    #[test]
+    fn fast_tier_handles_degenerate_stages((costs, m) in degenerate_costs()) {
+        assert_fast_matches_replay(&costs, m)?;
+    }
+
+    /// One scratch buffer survives arbitrary problem-size sequences.
+    #[test]
+    fn scratch_reuse_never_contaminates_results(
+        cases in proptest::collection::vec(wild_costs(), 1..6)
+    ) {
+        let mut scratch = SimScratch::new();
+        for (costs, m) in &cases {
+            let full = simulate_replay(costs, *m);
+            let fast = simulate_time(costs, *m, &mut scratch);
+            prop_assert_eq!(fast.iteration_time.to_bits(), full.iteration_time.to_bits());
+            prop_assert_eq!(fast.master_stage, full.master_stage);
+        }
+    }
+
+    /// Where the closed-form recurrence's assumptions hold (m ≥ n, bounded
+    /// imbalance), the fast tier stays within the recurrence's documented
+    /// tolerance of it — transitively pinning all three engines together.
+    #[test]
+    fn fast_tier_tracks_recurrence((costs, m) in recurrence_friendly_costs()) {
+        let mut scratch = SimScratch::new();
+        let fast = simulate_time(&costs, m, &mut scratch);
+        let r = recurrence::simulate(&costs, m);
+        let tol = (2.0 * m as f64 + 2.0 * costs.n_stages() as f64 + 2.0) * costs.comm
+            + 0.02 * fast.iteration_time + 1e-9;
+        prop_assert!(
+            (fast.iteration_time - r.iteration_time).abs() <= tol,
+            "fast {} vs recurrence {} (tol {})", fast.iteration_time, r.iteration_time, tol
+        );
+    }
+}
