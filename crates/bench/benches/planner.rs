@@ -15,12 +15,12 @@ fn bench_planners(c: &mut Criterion) {
     let mut g = c.benchmark_group("planner-search");
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("autopipe", "345M-p4"), |b| {
-        b.iter(|| autopipe_plan(&db, 4, 16, &AutoPipeConfig::default()))
+        b.iter(|| autopipe_plan(&db, 4, 16, &AutoPipeConfig::default()).unwrap())
     });
     // The issue's reference workload: fast tier vs replay tier, serial vs
     // 4-thread waves, all on the same search space.
     g.bench_function(BenchmarkId::new("autopipe-fast-serial", "345M-p8"), |b| {
-        b.iter(|| autopipe_plan(&db, 8, 16, &AutoPipeConfig::default()))
+        b.iter(|| autopipe_plan(&db, 8, 16, &AutoPipeConfig::default()).unwrap())
     });
     g.bench_function(BenchmarkId::new("autopipe-replay-serial", "345M-p8"), |b| {
         b.iter(|| {
@@ -33,6 +33,7 @@ fn bench_planners(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
+            .unwrap()
         })
     });
     g.bench_function(BenchmarkId::new("autopipe-fast-wave4", "345M-p8"), |b| {
@@ -46,6 +47,7 @@ fn bench_planners(c: &mut Criterion) {
                     ..Default::default()
                 },
             )
+            .unwrap()
         })
     });
     g.bench_function(BenchmarkId::new("piper", "345M-g8"), |b| {

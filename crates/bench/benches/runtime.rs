@@ -28,26 +28,28 @@ fn bench_runtime(c: &mut Criterion) {
     let mut g = c.benchmark_group("runtime");
     g.sample_size(10);
     g.bench_function(BenchmarkId::new("pipeline-1f1b", "p2m4"), |b| {
-        let mut pipe = Pipeline::new(&PipelineConfig {
+        let mut pipe = Pipeline::try_new(&PipelineConfig {
             model: model.clone(),
             partition: part.clone(),
             schedule: one_f_one_b(2, m),
             lr: 1e-3,
             seed: 1,
             checkpointing: false,
-        });
-        b.iter(|| pipe.train_iteration(&batch))
+        })
+        .unwrap();
+        b.iter(|| pipe.train_iteration(&batch).unwrap())
     });
     g.bench_function(BenchmarkId::new("pipeline-sliced", "p2m4"), |b| {
-        let mut pipe = Pipeline::new(&PipelineConfig {
+        let mut pipe = Pipeline::try_new(&PipelineConfig {
             model: model.clone(),
             partition: part.clone(),
             schedule: sliced_1f1b(2, m, 1),
             lr: 1e-3,
             seed: 1,
             checkpointing: false,
-        });
-        b.iter(|| pipe.train_iteration(&batch))
+        })
+        .unwrap();
+        b.iter(|| pipe.train_iteration(&batch).unwrap())
     });
     g.bench_function(BenchmarkId::new("reference", "m4"), |b| {
         let mut reference = ReferenceModel::new(&model, 1, 1e-3, false);

@@ -1,0 +1,265 @@
+//! Fault-tolerance campaign: seeded fault scripts against the event
+//! simulator and the threaded runtime, the watchdog's stall telemetry, and
+//! the straggler re-planning acceptance scenario, emitted as the
+//! machine-readable record `results/BENCH_faults.json`.
+//!
+//! Three sub-campaigns share the file:
+//!
+//! 1. **Simulator** — GPT-2 345M on a 4-stage sliced pipeline under many
+//!    random fault scripts. Every run must complete (zero deadlocks) with
+//!    the per-device op order identical to the fault-free trace: faults move
+//!    time, never the execution order.
+//! 2. **Runtime** — tiny GPT-2 on the 4-stage threaded runtime under the
+//!    same kind of scripts (scaled to microseconds of real sleep). Losses
+//!    and the parameter checksum must stay bit-identical to the fault-free
+//!    run, and an explicit long stall must surface as structured watchdog
+//!    telemetry instead of a hang.
+//! 3. **Re-planning** — the paper-scale straggler scenario: one of four
+//!    345M stages persistently at 2x cost; re-planning must recover at
+//!    least 30% of the lost iteration time.
+//!
+//! `--smoke` shrinks the seed counts so CI can validate the emitter.
+
+use std::time::Duration;
+
+use autopipe_bench::report::save_json;
+use autopipe_bench::systems::cost_db;
+use autopipe_cost::Hardware;
+use autopipe_exec::{FaultPlan, FaultSpec, StageStall};
+use autopipe_model::zoo;
+use autopipe_planner::autopipe::{plan, AutoPipeConfig};
+use autopipe_planner::replan;
+use autopipe_runtime::{BatchSet, Pipeline, PipelineConfig, WatchdogConfig};
+use autopipe_schedule::Schedule;
+use autopipe_sim::event::{run_schedule, run_schedule_faulty, EventConfig, EventCosts};
+use autopipe_sim::Partition;
+use autopipe_slicer::plan_slicing;
+use serde_json::json;
+
+const P: usize = 4;
+const M: usize = 8;
+
+/// Simulator campaign: GPT-2 345M, 4-stage sliced schedule, `n_seeds`
+/// random fault scripts. Returns (record, worst observed slowdown).
+fn sim_campaign(n_seeds: u64) -> serde_json::Value {
+    let model = zoo::gpt2_345m();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 4);
+    let outcome = plan(&db, P, M, &AutoPipeConfig::default()).expect("345M plans at p=4");
+    let costs = outcome.partition.stage_costs(&db);
+    let sp = plan_slicing(&costs, M);
+    let ec = EventCosts::from_stage_costs(&costs, hw.link_latency);
+    let cfg = EventConfig::default();
+    let clean = run_schedule(&sp.schedule, &ec, &cfg).expect("clean simulation");
+    let program_len = sp.schedule.devices.iter().map(Vec::len).max().unwrap_or(0);
+    // Fault magnitudes in units of the mean stage compute time, so the
+    // scripts meaningfully perturb the 345M timeline.
+    let unit = costs.f.iter().sum::<f64>() / P as f64;
+
+    let mut worst_slowdown = 0.0f64;
+    let mut sum_slowdown = 0.0f64;
+    for seed in 0..n_seeds {
+        let script = FaultPlan::random(seed, &FaultSpec::new(P, program_len, unit));
+        // Completing at all is the zero-deadlock criterion; the event
+        // simulator would error (or loop forever) on a lost dependency.
+        let faulty = run_schedule_faulty(&sp.schedule, &ec, &cfg, &script)
+            .unwrap_or_else(|e| panic!("seed {seed} deadlocked: {e}"));
+        clean
+            .timeline
+            .same_op_order(&faulty.timeline)
+            .unwrap_or_else(|e| panic!("seed {seed} reordered ops: {e}"));
+        assert!(
+            faulty.iteration_time >= clean.iteration_time - 1e-9,
+            "seed {seed}: faults sped the pipeline up"
+        );
+        let slowdown = faulty.iteration_time / clean.iteration_time;
+        worst_slowdown = worst_slowdown.max(slowdown);
+        sum_slowdown += slowdown;
+    }
+    println!("simulator : {n_seeds} seeds, 0 deadlocks, worst slowdown {worst_slowdown:.2}x");
+    json!({
+        "model": model.name,
+        "stages": P,
+        "microbatches": M,
+        "n_sliced": sp.n_sliced,
+        "seeds": n_seeds,
+        "deadlocks": 0,
+        "op_order_mismatches": 0,
+        "clean_iteration_ms": clean.iteration_time * 1e3,
+        "mean_slowdown": sum_slowdown / n_seeds as f64,
+        "worst_slowdown": worst_slowdown,
+    })
+}
+
+fn tiny_pipeline(schedule: Schedule, partition: Partition) -> Pipeline {
+    Pipeline::try_new(&PipelineConfig {
+        model: zoo::gpt2_tiny(),
+        partition,
+        schedule,
+        lr: 1e-3,
+        seed: 99,
+        checkpointing: true,
+    })
+    .expect("tiny pipeline is valid")
+}
+
+/// Runtime campaign: tiny GPT-2 on 4 threads; every fault script leaves the
+/// numerics bit-identical, and an explicit stall produces watchdog events.
+fn runtime_campaign(n_seeds: u64) -> serde_json::Value {
+    let model = zoo::gpt2_tiny();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 2);
+    let outcome = plan(&db, P, M, &AutoPipeConfig::default()).expect("tiny plans at p=4");
+    let costs = outcome.partition.stage_costs(&db);
+    let sp = plan_slicing(&costs, M);
+    let program_len = sp.schedule.devices.iter().map(Vec::len).max().unwrap_or(0);
+    let batch = BatchSet::synthetic(99, M, 2, model.seq_len, model.vocab_size);
+
+    let run = |faults: Option<(FaultPlan, f64)>, wd: Option<WatchdogConfig>| {
+        let mut pipe = tiny_pipeline(sp.schedule.clone(), outcome.partition.clone());
+        if let Some((plan, scale)) = faults {
+            pipe.set_faults(plan, scale);
+        }
+        if let Some(w) = wd {
+            pipe.set_watchdog(w);
+        }
+        let mut losses = Vec::new();
+        for _ in 0..2 {
+            losses.push(
+                pipe.train_iteration(&batch)
+                    .expect("iteration completes")
+                    .loss,
+            );
+        }
+        let report = pipe.last_fault_report().cloned();
+        (losses, pipe.param_checksum(), report)
+    };
+
+    let (clean_losses, clean_sum, _) = run(None, None);
+    for seed in 0..n_seeds {
+        // Virtual fault seconds map to ~tens of microseconds of real sleep,
+        // so 50 scripts stay fast while still exercising every fault path.
+        let script = FaultPlan::random(seed, &FaultSpec::new(P, program_len, 1.0));
+        let (losses, sum, report) = run(Some((script, 2e-5)), Some(WatchdogConfig::default()));
+        assert_eq!(
+            clean_losses, losses,
+            "seed {seed}: losses drifted under faults"
+        );
+        assert_eq!(
+            clean_sum.to_bits(),
+            sum.to_bits(),
+            "seed {seed}: params drifted under faults"
+        );
+        if let Some(r) = report {
+            assert!(!r.aborted, "seed {seed}: run aborted");
+        }
+    }
+
+    // Deterministic stall: one long pause mid-program. The watchdog must
+    // fire (structured events, not a hang) and the run must still finish
+    // with clean numerics.
+    let stall = FaultPlan {
+        stalls: vec![StageStall {
+            device: 1,
+            op_index: 3,
+            pause: 1.0,
+        }],
+        ..FaultPlan::none()
+    };
+    let (losses, sum, report) = run(
+        Some((stall, 0.05)), // the stall sleeps ~50 ms
+        Some(WatchdogConfig {
+            base_timeout: Duration::from_millis(5),
+            slack: 4.0,
+            backoff: 2.0,
+            max_retries: 40,
+        }),
+    );
+    let report = report.expect("stall produces a fault report");
+    assert!(
+        !report.events.is_empty(),
+        "watchdog never fired on the stall"
+    );
+    assert!(!report.aborted, "watchdog failed to ride out the stall");
+    assert_eq!(clean_losses, losses, "stall changed the losses");
+    assert_eq!(
+        clean_sum.to_bits(),
+        sum.to_bits(),
+        "stall changed the params"
+    );
+
+    println!(
+        "runtime   : {n_seeds} seeds bit-identical, watchdog fired {} time(s) on the stall",
+        report.events.len()
+    );
+    json!({
+        "model": model.name,
+        "stages": P,
+        "microbatches": M,
+        "seeds": n_seeds,
+        "bit_identical": true,
+        "aborts": 0,
+        "param_checksum": clean_sum,
+        "watchdog_demo": json!({
+            "firings": report.events.len(),
+            "resolved": report.delays(),
+            "unresolved": report.stalls(),
+            "aborted": report.aborted,
+        }),
+    })
+}
+
+/// Re-planning acceptance scenario: persistent 2x straggler on one of four
+/// 345M stages; record how much of the lost time a re-plan wins back.
+fn replan_demo() -> serde_json::Value {
+    let model = zoo::gpt2_345m();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 4);
+    let cfg = AutoPipeConfig::default();
+    let base = plan(&db, P, M, &cfg).expect("345M plans at p=4");
+    let healthy = base.analytic.iteration_time;
+    let ratios = [1.0, 2.0, 1.0, 1.0];
+    let r = replan(&db, &base.partition, &ratios, M, &cfg).expect("replan succeeds");
+    let recovery = r.recovery(healthy);
+    assert!(
+        recovery >= 0.3,
+        "re-planning recovered only {recovery:.2} of the lost time"
+    );
+    println!(
+        "replanning: {:.0} ms degraded -> {:.0} ms replanned (healthy {:.0} ms), recovery {recovery:.2}",
+        r.degraded_time * 1e3,
+        r.outcome.analytic.iteration_time * 1e3,
+        healthy * 1e3,
+    );
+    json!({
+        "model": model.name,
+        "stages": P,
+        "microbatches": M,
+        "straggler_ratios": ratios.to_vec(),
+        "healthy_ms": healthy * 1e3,
+        "degraded_ms": r.degraded_time * 1e3,
+        "replanned_ms": r.outcome.analytic.iteration_time * 1e3,
+        "recovery": recovery,
+        "old_partition": base.partition.sizes(),
+        "new_partition": r.outcome.partition.sizes(),
+    })
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (sim_seeds, runtime_seeds) = if smoke { (8, 4) } else { (50, 50) };
+
+    let sim = sim_campaign(sim_seeds);
+    let runtime = runtime_campaign(runtime_seeds);
+    let replanning = replan_demo();
+
+    let record = json!({
+        "bench": "faults",
+        "smoke": smoke,
+        "simulator": sim,
+        "runtime": runtime,
+        "replanning": replanning,
+    });
+    save_json("BENCH_faults", &record);
+    println!("wrote results/BENCH_faults.json");
+}

@@ -63,7 +63,9 @@ fn main() {
     let t0 = Instant::now();
     let mut fast = None;
     for _ in 0..plan_reps {
-        fast = Some(black_box(plan(&db, P, M, &AutoPipeConfig::default())));
+        fast = Some(black_box(
+            plan(&db, P, M, &AutoPipeConfig::default()).unwrap(),
+        ));
     }
     let fast_s = t0.elapsed().as_secs_f64() / plan_reps as f64;
     let fast_plan = fast.unwrap();
@@ -84,7 +86,8 @@ fn main() {
             threads: 4,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let replay_tier = plan(
         &db,
         P,
@@ -93,7 +96,8 @@ fn main() {
             sim_tier: SimTier::Replay,
             ..Default::default()
         },
-    );
+    )
+    .unwrap();
     let bit_identical = fast_plan.partition == wave4.partition
         && fast_plan.analytic.iteration_time.to_bits() == wave4.analytic.iteration_time.to_bits()
         && fast_plan.schemes_explored == wave4.schemes_explored

@@ -31,8 +31,8 @@ pub fn granularity_ablation() -> Vec<(String, usize, f64, f64)> {
             let m = 2 * p;
             let layer_db = CostDb::build(&model, &hw, 4, true, Granularity::Layer);
             let sub_db = CostDb::build(&model, &hw, 4, true, Granularity::SubLayer);
-            let l = plan(&layer_db, p, m, &AutoPipeConfig::default());
-            let s = plan(&sub_db, p, m, &AutoPipeConfig::default());
+            let l = plan(&layer_db, p, m, &AutoPipeConfig::default()).unwrap();
+            let s = plan(&sub_db, p, m, &AutoPipeConfig::default()).unwrap();
             out.push((
                 model.name.clone(),
                 p,
@@ -55,7 +55,7 @@ pub fn heuristic_ablation() -> Vec<(String, usize, f64, f64)> {
             let weights: Vec<f64> = db.blocks.iter().map(|b| b.work()).collect();
             let seed = balanced_partition(&weights, p);
             let seed_time = simulate_replay(&seed.stage_costs(&db), m).iteration_time;
-            let full = plan(&db, p, m, &AutoPipeConfig::default());
+            let full = plan(&db, p, m, &AutoPipeConfig::default()).unwrap();
             out.push((
                 model.name.clone(),
                 p,
@@ -72,7 +72,9 @@ pub fn heuristic_ablation() -> Vec<(String, usize, f64, f64)> {
 pub fn slice_sweep(p: usize, m: usize) -> (Vec<(usize, f64, f64)>, usize) {
     let hw = Hardware::rtx3090_cluster();
     let db = cost_db(&zoo::gpt2_345m(), &hw, 8);
-    let part = plan(&db, p, m, &AutoPipeConfig::default()).partition;
+    let part = plan(&db, p, m, &AutoPipeConfig::default())
+        .unwrap()
+        .partition;
     let sc = part.stage_costs(&db);
     let chosen = solve_sliced_count(&sc);
     let ev = EventCosts::from_stage_costs(&sc, hw.link_latency);

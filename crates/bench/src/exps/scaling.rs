@@ -25,7 +25,7 @@ pub fn depth_scaling() -> Vec<(usize, usize, f64, usize, f64)> {
                 continue;
             }
             let m = 2 * p;
-            let outcome = plan(&db, p, m, &AutoPipeConfig::default());
+            let outcome = plan(&db, p, m, &AutoPipeConfig::default()).unwrap();
             let secs = outcome.search_time.as_secs_f64();
             let imb = max_mean_imbalance(&outcome.partition.stage_costs(&db));
             out.push((layers, p, secs, outcome.schemes_explored, imb));
@@ -47,7 +47,7 @@ pub fn width_scaling() -> Vec<(String, usize, f64, f64)> {
     ] {
         let db = cost_db(&model, &hw, 4);
         let p = 8;
-        let outcome = plan(&db, p, 2 * p, &AutoPipeConfig::default());
+        let outcome = plan(&db, p, 2 * p, &AutoPipeConfig::default()).unwrap();
         let secs = outcome.search_time.as_secs_f64();
         let imb = max_mean_imbalance(&outcome.partition.stage_costs(&db));
         out.push((model.name.clone(), p, secs, imb));

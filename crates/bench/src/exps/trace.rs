@@ -22,7 +22,9 @@ pub fn run() {
     let (p, m) = (4, 8);
 
     let mega_part = megatron::uniform_partition(&db, p).unwrap();
-    let auto_part = plan(&db, p, m, &AutoPipeConfig::default()).partition;
+    let auto_part = plan(&db, p, m, &AutoPipeConfig::default())
+        .unwrap()
+        .partition;
     let auto_sched = plan_slicing(&auto_part.stage_costs(&db), m).schedule;
 
     let mut t = Table::new(&["system", "iteration (ms)", "bubble frac", "trace file"]);

@@ -82,11 +82,13 @@ pub fn measure(
             (part, sp.schedule)
         }
         System::PlannerOnly => {
-            let out = autopipe_plan(db, p, m, &AutoPipeConfig::default());
+            let out =
+                autopipe_plan(db, p, m, &AutoPipeConfig::default()).map_err(|e| e.to_string())?;
             (out.partition, one_f_one_b(p, m))
         }
         System::AutoPipe => {
-            let out = autopipe_plan(db, p, m, &AutoPipeConfig::default());
+            let out =
+                autopipe_plan(db, p, m, &AutoPipeConfig::default()).map_err(|e| e.to_string())?;
             let sc = out.partition.stage_costs(db);
             let sp = plan_slicing(&sc, m);
             (out.partition, sp.schedule)

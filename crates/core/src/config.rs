@@ -1,0 +1,224 @@
+//! One configuration for the whole stack.
+//!
+//! Before this module each layer had its own knob struct — the planner's
+//! [`AutoPipeConfig`], the event simulator's [`EventConfig`], the runtime's
+//! `PipelineConfig` — and callers had to keep them mutually consistent by
+//! hand. [`SessionConfig`] is the single source of truth: it validates once
+//! ([`SessionConfig::validate`]) and *lowers* into each crate's struct
+//! ([`SessionConfig::planner`], [`SessionConfig::event`],
+//! [`SessionConfig::plan_request`]; `autopipe-runtime` adds the
+//! `PipelineConfig` lowering, since it sits above this crate). The per-crate
+//! structs remain the lowering targets, so nothing below the facade changes.
+
+use autopipe_cost::profiler::ProfilerConfig;
+use autopipe_cost::Hardware;
+use autopipe_model::{Granularity, ModelConfig};
+use autopipe_planner::{AutoPipeConfig, SimTier};
+use autopipe_sim::event::EventConfig;
+
+use crate::error::Error;
+use crate::plan::PlanRequest;
+
+/// Everything a profile → plan → slice → simulate → run session needs, in
+/// one validated place.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// The model to train.
+    pub model: ModelConfig,
+    /// The cluster.
+    pub hardware: Hardware,
+    /// Total number of devices.
+    pub n_devices: usize,
+    /// Micro-batch size (samples).
+    pub mbs: usize,
+    /// Global batch size (samples per iteration).
+    pub gbs: usize,
+    /// Planning granularity; AutoPipe's default is sub-layer.
+    pub granularity: Granularity,
+    /// Pin the pipeline depth instead of searching the DP×PP space.
+    pub fixed_stages: Option<usize>,
+    /// Run the AutoPipe Slicer on the planned partition.
+    pub enable_slicer: bool,
+    /// Simulate offline profiling noise on the cost database. `None` plans
+    /// on analytic ground truth.
+    pub profiler: Option<ProfilerConfig>,
+    // -- planner knobs (lower into `AutoPipeConfig`) ----------------------
+    /// Maximum number of schemes the planner simulates.
+    pub max_schemes: usize,
+    /// Planner wave-evaluation threads (`0` = one per core).
+    pub planner_threads: usize,
+    /// Analytic engine scoring candidate schemes.
+    pub sim_tier: SimTier,
+    // -- simulator knobs (lower into `EventConfig`) -----------------------
+    /// Fixed overhead added to every simulated compute op.
+    pub kernel_overhead: f64,
+    /// Multiplicative jitter σ on simulated compute durations.
+    pub jitter_sigma: f64,
+    /// Efficiency penalty on half-micro-batch compute ops (1.0 = ideal).
+    pub half_efficiency: f64,
+    // -- runtime knobs (lower into `PipelineConfig`) ----------------------
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Seed for parameter init, synthetic data and simulator jitter.
+    pub seed: u64,
+    /// Recompute activations in the backward pass.
+    pub checkpointing: bool,
+}
+
+impl SessionConfig {
+    /// A session with AutoPipe's defaults, mirroring [`PlanRequest::new`].
+    pub fn new(model: ModelConfig, n_devices: usize, mbs: usize, gbs: usize) -> Self {
+        let event = EventConfig::default();
+        SessionConfig {
+            model,
+            hardware: Hardware::rtx3090_cluster(),
+            n_devices,
+            mbs,
+            gbs,
+            granularity: Granularity::SubLayer,
+            fixed_stages: None,
+            enable_slicer: true,
+            profiler: None,
+            max_schemes: AutoPipeConfig::default().max_schemes,
+            planner_threads: AutoPipeConfig::default().threads,
+            sim_tier: SimTier::default(),
+            kernel_overhead: event.kernel_overhead,
+            jitter_sigma: event.jitter_sigma,
+            half_efficiency: event.half_efficiency,
+            lr: 1e-3,
+            seed: 0,
+            checkpointing: true,
+        }
+    }
+
+    /// Reject impossible geometry and non-finite knobs with a structured
+    /// [`Error::Config`] instead of letting a deeper layer panic.
+    pub fn validate(&self) -> Result<(), Error> {
+        let fail = |msg: String| Err(Error::Config(msg));
+        if self.n_devices < 1 {
+            return fail("need at least one device".into());
+        }
+        if self.mbs < 1 {
+            return fail("micro-batch size must be at least 1".into());
+        }
+        if self.gbs < self.mbs {
+            return fail(format!(
+                "global batch {} smaller than micro-batch {}",
+                self.gbs, self.mbs
+            ));
+        }
+        if let Some(s) = self.fixed_stages {
+            if s < 1 {
+                return fail("fixed_stages = 0 requested".into());
+            }
+            if !self.n_devices.is_multiple_of(s) {
+                return fail(format!(
+                    "fixed_stages {} does not divide the {} devices",
+                    s, self.n_devices
+                ));
+            }
+        }
+        if self.max_schemes < 1 {
+            return fail("planner needs a scheme budget of at least 1".into());
+        }
+        if !(self.kernel_overhead.is_finite() && self.kernel_overhead >= 0.0) {
+            return fail(format!("bad kernel overhead {}", self.kernel_overhead));
+        }
+        if !(self.jitter_sigma.is_finite() && self.jitter_sigma >= 0.0) {
+            return fail(format!("bad jitter sigma {}", self.jitter_sigma));
+        }
+        if !(self.half_efficiency.is_finite() && self.half_efficiency > 0.0) {
+            return fail(format!("bad half efficiency {}", self.half_efficiency));
+        }
+        if !(self.lr.is_finite() && self.lr > 0.0) {
+            return fail(format!("bad learning rate {}", self.lr));
+        }
+        Ok(())
+    }
+
+    /// Lower into the planner's search knobs.
+    pub fn planner(&self) -> AutoPipeConfig {
+        AutoPipeConfig {
+            max_schemes: self.max_schemes,
+            threads: self.planner_threads,
+            sim_tier: self.sim_tier,
+        }
+    }
+
+    /// Lower into the event simulator's knobs.
+    pub fn event(&self) -> EventConfig {
+        EventConfig {
+            kernel_overhead: self.kernel_overhead,
+            jitter_sigma: self.jitter_sigma,
+            seed: self.seed,
+            half_efficiency: self.half_efficiency,
+        }
+    }
+
+    /// Lower into a [`PlanRequest`] for [`crate::AutoPipe::plan`].
+    pub fn plan_request(&self) -> PlanRequest {
+        PlanRequest {
+            model: self.model.clone(),
+            hardware: self.hardware.clone(),
+            n_devices: self.n_devices,
+            mbs: self.mbs,
+            gbs: self.gbs,
+            granularity: self.granularity,
+            fixed_stages: self.fixed_stages,
+            enable_slicer: self.enable_slicer,
+            profiler: self.profiler,
+            planner: self.planner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_model::zoo;
+
+    fn cfg() -> SessionConfig {
+        SessionConfig::new(zoo::gpt2_tiny(), 2, 4, 16)
+    }
+
+    #[test]
+    fn default_session_validates_and_lowers_consistently() {
+        let c = cfg();
+        c.validate().unwrap();
+        let p = c.planner();
+        assert_eq!(p.max_schemes, AutoPipeConfig::default().max_schemes);
+        let e = c.event();
+        assert_eq!(e.seed, c.seed);
+        let req = c.plan_request();
+        assert_eq!(req.n_devices, 2);
+        assert_eq!(req.mbs, 4);
+        assert_eq!(req.gbs, 16);
+    }
+
+    #[test]
+    fn bad_geometry_is_a_config_error_not_a_panic() {
+        for bad in [
+            SessionConfig {
+                n_devices: 0,
+                ..cfg()
+            },
+            SessionConfig { mbs: 0, ..cfg() },
+            SessionConfig { gbs: 2, ..cfg() },
+            SessionConfig {
+                fixed_stages: Some(3),
+                ..cfg()
+            },
+            SessionConfig {
+                lr: f32::NAN,
+                ..cfg()
+            },
+            SessionConfig {
+                half_efficiency: 0.0,
+                ..cfg()
+            },
+        ] {
+            let err = bad.validate().unwrap_err();
+            assert!(matches!(err, Error::Config(_)), "{err}");
+        }
+    }
+}

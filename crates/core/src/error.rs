@@ -1,0 +1,82 @@
+//! The unified error type of the AutoPipe facade.
+//!
+//! Every fallible public entry point in the workspace terminates in one of
+//! three structured error families: [`PlanError`] (planner / strategy
+//! search), [`SimError`] (event simulation) and the runtime's watchdog
+//! errors. [`Error`] wraps all of them behind one source-chained enum so a
+//! `Session` caller writes a single `?` chain and still gets at the precise
+//! cause via [`std::error::Error::source`].
+
+use std::fmt;
+
+use autopipe_planner::PlanError;
+use autopipe_sim::event::SimError;
+
+/// Anything that can go wrong across a whole profile → plan → slice →
+/// simulate → run session.
+#[derive(Debug)]
+pub enum Error {
+    /// The session configuration is invalid — rejected before any work ran.
+    Config(String),
+    /// Strategy selection or planner search failed.
+    Plan(PlanError),
+    /// The event simulator rejected or stalled on the schedule.
+    Sim(SimError),
+    /// The threaded runtime failed (watchdog abort, bad pipeline wiring).
+    /// Boxed because `autopipe-runtime` sits *above* this crate in the
+    /// dependency graph; that crate provides `From<RuntimeError> for Error`.
+    Runtime(Box<dyn std::error::Error + Send + Sync + 'static>),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Config(msg) => write!(f, "invalid session configuration: {msg}"),
+            Error::Plan(e) => write!(f, "planning failed: {e}"),
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+            Error::Runtime(e) => write!(f, "runtime failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Config(_) => None,
+            Error::Plan(e) => Some(e),
+            Error::Sim(e) => Some(e),
+            Error::Runtime(e) => Some(e.as_ref()),
+        }
+    }
+}
+
+impl From<PlanError> for Error {
+    fn from(e: PlanError) -> Self {
+        Error::Plan(e)
+    }
+}
+
+impl From<SimError> for Error {
+    fn from(e: SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn sources_chain_to_the_underlying_cause() {
+        let e = Error::from(PlanError::Infeasible("too deep".into()));
+        assert!(e.to_string().contains("too deep"));
+        let src = e.source().expect("plan errors carry a source");
+        assert!(src.to_string().contains("too deep"));
+
+        let e = Error::from(SimError::BadSchedule("missing op".into()));
+        assert!(e.source().is_some());
+
+        assert!(Error::Config("bad".into()).source().is_none());
+    }
+}

@@ -9,9 +9,13 @@
 //! the chosen depth, feeds the partition to the Slicer, and returns an
 //! executable [`Plan`] with the sliced 1F1B schedule.
 
+pub mod config;
+pub mod error;
 pub mod plan;
 pub mod strategy;
 pub mod table2;
 
+pub use config::SessionConfig;
+pub use error::Error;
 pub use plan::{AutoPipe, Plan, PlanRequest};
 pub use strategy::{choose_strategy, StrategyChoice};

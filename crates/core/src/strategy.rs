@@ -50,7 +50,11 @@ pub fn choose_strategy(
     fixed_stages: Option<usize>,
     cfg: &AutoPipeConfig,
 ) -> Result<StrategyChoice, PlanError> {
-    assert!(g >= 1 && mbs >= 1 && gbs >= mbs);
+    if g < 1 || mbs < 1 || gbs < mbs {
+        return Err(PlanError::Infeasible(format!(
+            "bad cluster/batch geometry: {g} devices, micro-batch {mbs}, global batch {gbs}"
+        )));
+    }
     let comm = CommModel::from_hardware(hw);
     let m_total = gbs / mbs;
 
@@ -77,7 +81,13 @@ pub fn choose_strategy(
             ));
             continue;
         }
-        let outcome = planner_plan(db, s, m, cfg);
+        let outcome = match planner_plan(db, s, m, cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                last_err = e;
+                continue;
+            }
+        };
         total_explored += outcome.schemes_explored;
         // Real memory feasibility of the planned partition.
         let sched = one_f_one_b(s, m);

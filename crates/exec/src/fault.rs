@@ -1,0 +1,395 @@
+//! Deterministic, seeded fault scripts replayable on both executors.
+//!
+//! A [`FaultPlan`] is a *script*, not a random process: every per-message
+//! decision (jitter draw, congestion spike, drop) is a pure function of the
+//! plan's seed and the message's identity (`from`, `to`, [`MsgKey`]). That
+//! makes the script order-independent — the discrete-event simulator visits
+//! messages in sweep order while the threaded runtime visits them in
+//! wall-clock thread order, yet both observe *exactly* the same faults — so
+//! one script can be replayed on `sim::event` (virtual time) and on
+//! `runtime::engine` (wall time, scaled by a `time_scale`) and compared op
+//! for op.
+//!
+//! Four fault families, mirroring what degrades real training clusters:
+//!
+//! * [`LinkDegrade`] — a directed edge gains flat extra delay, per-message
+//!   uniform jitter, and probabilistic congestion spikes.
+//! * [`MessageDrop`] — a message on an edge is lost with probability `prob`
+//!   and redelivered after a retransmit timeout. Delivery is guaranteed
+//!   (drop-with-redelivery), so faults never change *what* executes — only
+//!   when. This is what keeps numerics bit-identical under any script.
+//! * [`Straggler`] — one pipeline stage's compute runs `factor`× slower.
+//! * [`StageStall`] — one device freezes for `pause` seconds before a
+//!   specific op in its program (a GC pause, a preemption, a hiccup). Stalls
+//!   are finite: the watchdog's job is to *report* them, the schedule still
+//!   completes.
+//!
+//! All delays are in the executor's native time unit (virtual seconds in the
+//! simulator; the runtime multiplies by its `time_scale`).
+
+use serde::{Deserialize, Serialize};
+
+use autopipe_schedule::Part;
+
+use crate::msg::MsgKey;
+use crate::transport::LinkFault;
+
+/// A degraded directed link: every message `from → to` pays extra delay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkDegrade {
+    /// Sending device.
+    pub from: usize,
+    /// Receiving device.
+    pub to: usize,
+    /// Flat extra delay on every message.
+    pub extra: f64,
+    /// Per-message uniform jitter amplitude: each message gains `U[0, jitter)`.
+    pub jitter: f64,
+    /// Probability a message hits a congestion spike.
+    pub spike_prob: f64,
+    /// Spike magnitude (added on top of `extra` + jitter).
+    pub spike: f64,
+}
+
+/// Lossy directed link: messages drop with `prob` and are redelivered after
+/// a retransmit timeout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageDrop {
+    /// Sending device.
+    pub from: usize,
+    /// Receiving device.
+    pub to: usize,
+    /// Per-message drop probability.
+    pub prob: f64,
+    /// Retransmit timeout: a dropped message arrives this much later.
+    pub redelivery: f64,
+}
+
+/// A persistently slow pipeline stage: compute runs `factor`× slower.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Straggler {
+    /// Slow pipeline stage (chunk-stage index for interleaved schedules).
+    pub stage: usize,
+    /// Compute multiplier, ≥ 1.
+    pub factor: f64,
+}
+
+/// A one-off device freeze before a specific op in its program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStall {
+    /// Frozen device.
+    pub device: usize,
+    /// Index into the device's program at which the freeze happens.
+    pub op_index: usize,
+    /// Freeze duration.
+    pub pause: f64,
+}
+
+/// A complete seeded fault script. See the module docs for replay semantics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed all per-message decisions derive from.
+    pub seed: u64,
+    /// Degraded links.
+    pub links: Vec<LinkDegrade>,
+    /// Lossy links.
+    pub drops: Vec<MessageDrop>,
+    /// Slow stages.
+    pub stragglers: Vec<Straggler>,
+    /// Device freezes.
+    pub stalls: Vec<StageStall>,
+}
+
+/// Knobs for [`FaultPlan::random`]: which fault families to draw and how
+/// hard to hit, scaled by a characteristic `time_unit` (e.g. one stage's
+/// forward time) so the same spec works across models.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Devices in the target schedule.
+    pub n_devices: usize,
+    /// Upper bound on program length (for placing stalls).
+    pub program_len: usize,
+    /// Characteristic time unit every delay scales with.
+    pub time_unit: f64,
+    /// Probability each adjacent directed edge is degraded.
+    pub link_prob: f64,
+    /// Probability each adjacent directed edge is lossy.
+    pub drop_prob: f64,
+    /// Probability each stage is a straggler.
+    pub straggler_prob: f64,
+    /// Probability each device suffers one stall.
+    pub stall_prob: f64,
+}
+
+impl FaultSpec {
+    /// A moderate default campaign spec.
+    pub fn new(n_devices: usize, program_len: usize, time_unit: f64) -> FaultSpec {
+        FaultSpec {
+            n_devices,
+            program_len,
+            time_unit,
+            link_prob: 0.5,
+            drop_prob: 0.3,
+            straggler_prob: 0.3,
+            stall_prob: 0.4,
+        }
+    }
+}
+
+/// SplitMix64: the tiny counter-based mixer behind every decision.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn part_tag(part: Part) -> u64 {
+    match part {
+        Part::Full => 0,
+        Part::Half1 => 1,
+        Part::Half2 => 2,
+        Part::Both => 3,
+    }
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) script.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// An empty script carrying a seed, ready for faults to be pushed.
+    pub fn with_seed(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// True when the script injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.links.is_empty()
+            && self.drops.is_empty()
+            && self.stragglers.is_empty()
+            && self.stalls.is_empty()
+    }
+
+    /// Draw a random script from `spec`. Deterministic in `seed`: faults
+    /// land on adjacent-device edges (the edges pipeline schedules use) and
+    /// every magnitude scales with `spec.time_unit`.
+    pub fn random(seed: u64, spec: &FaultSpec) -> FaultPlan {
+        let mut plan = FaultPlan::with_seed(seed);
+        let mut ctr = splitmix64(seed ^ 0xFA17);
+        let mut draw = || {
+            ctr = splitmix64(ctr);
+            unit(ctr)
+        };
+        let u = spec.time_unit;
+        for d in 0..spec.n_devices.saturating_sub(1) {
+            for (from, to) in [(d, d + 1), (d + 1, d)] {
+                if draw() < spec.link_prob {
+                    plan.links.push(LinkDegrade {
+                        from,
+                        to,
+                        extra: u * 0.2 * draw(),
+                        jitter: u * 0.3 * draw(),
+                        spike_prob: 0.1 * draw(),
+                        spike: u * (1.0 + 2.0 * draw()),
+                    });
+                }
+                if draw() < spec.drop_prob {
+                    plan.drops.push(MessageDrop {
+                        from,
+                        to,
+                        prob: 0.05 + 0.1 * draw(),
+                        redelivery: u * (1.0 + 3.0 * draw()),
+                    });
+                }
+            }
+        }
+        for stage in 0..spec.n_devices {
+            if draw() < spec.straggler_prob {
+                plan.stragglers.push(Straggler {
+                    stage,
+                    factor: 1.2 + 1.3 * draw(),
+                });
+            }
+        }
+        for device in 0..spec.n_devices {
+            if draw() < spec.stall_prob {
+                plan.stalls.push(StageStall {
+                    device,
+                    op_index: (draw() * spec.program_len as f64) as usize,
+                    pause: u * (5.0 + 15.0 * draw()),
+                });
+            }
+        }
+        plan
+    }
+
+    /// Hash of one message's identity under this plan's seed. `salt`
+    /// separates decision streams (jitter vs spike vs drop).
+    fn msg_hash(&self, salt: u64, from: usize, to: usize, key: &MsgKey) -> u64 {
+        let mut h = splitmix64(self.seed ^ salt.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+        for v in [
+            from as u64,
+            to as u64,
+            key.is_grad as u64,
+            key.mb as u64,
+            part_tag(key.part),
+            key.dst_stage as u64,
+        ] {
+            h = splitmix64(h ^ v);
+        }
+        h
+    }
+
+    /// Total extra delay injected on one message — flat degradation, jitter,
+    /// spikes and drop-redelivery combined. Pure in (seed, from, to, key).
+    pub fn link_delay(&self, from: usize, to: usize, key: &MsgKey) -> f64 {
+        let mut d = 0.0;
+        for l in &self.links {
+            if (l.from, l.to) != (from, to) {
+                continue;
+            }
+            d += l.extra;
+            if l.jitter > 0.0 {
+                d += l.jitter * unit(self.msg_hash(1, from, to, key));
+            }
+            if l.spike_prob > 0.0 && unit(self.msg_hash(2, from, to, key)) < l.spike_prob {
+                d += l.spike;
+            }
+        }
+        for dr in &self.drops {
+            if (dr.from, dr.to) == (from, to) && unit(self.msg_hash(3, from, to, key)) < dr.prob {
+                d += dr.redelivery;
+            }
+        }
+        d
+    }
+
+    /// Compute multiplier for a stage (≥ 1; stacked if scripted twice).
+    pub fn compute_factor(&self, stage: usize) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.stage == stage)
+            .map(|s| s.factor.max(1.0))
+            .product()
+    }
+
+    /// Freeze duration before op `op_index` on `device` (0 if none).
+    pub fn stall_pause(&self, device: usize, op_index: usize) -> f64 {
+        self.stalls
+            .iter()
+            .filter(|s| s.device == device && s.op_index == op_index)
+            .map(|s| s.pause)
+            .sum()
+    }
+
+    /// Upper bound on the delay any single message or op can suffer — the
+    /// slack a watchdog must budget for when a script is known.
+    pub fn worst_case_delay(&self) -> f64 {
+        let link: f64 = self
+            .links
+            .iter()
+            .map(|l| l.extra + l.jitter + l.spike)
+            .fold(0.0, f64::max);
+        let drop: f64 = self.drops.iter().map(|d| d.redelivery).fold(0.0, f64::max);
+        let stall: f64 = self.stalls.iter().map(|s| s.pause).fold(0.0, f64::max);
+        link + drop + stall
+    }
+
+    /// Adapter for [`crate::VirtualTransport::with_fault`]: a boxed hook
+    /// replaying this script's link faults in the event simulator.
+    pub fn link_fault_hook(&self) -> LinkFault {
+        let plan = self.clone();
+        Box::new(move |from, to, key, _now| plan.link_delay(from, to, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(mb: usize) -> MsgKey {
+        MsgKey::act(mb, Part::Full, 1)
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let plan = FaultPlan::random(42, &FaultSpec::new(4, 40, 1.0));
+        // Query the same messages in two different orders: identical delays.
+        let a: Vec<f64> = (0..8).map(|mb| plan.link_delay(0, 1, &key(mb))).collect();
+        let b: Vec<f64> = (0..8)
+            .rev()
+            .map(|mb| plan.link_delay(0, 1, &key(mb)))
+            .collect();
+        let b_fwd: Vec<f64> = b.into_iter().rev().collect();
+        assert_eq!(a, b_fwd);
+        // And across independent clones of the same script.
+        let again = FaultPlan::random(42, &FaultSpec::new(4, 40, 1.0));
+        assert_eq!(plan, again);
+    }
+
+    #[test]
+    fn different_seeds_give_different_scripts() {
+        let spec = FaultSpec::new(4, 40, 1.0);
+        let a = FaultPlan::random(1, &spec);
+        let b = FaultPlan::random(2, &spec);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.link_delay(0, 1, &key(0)), 0.0);
+        assert_eq!(plan.compute_factor(0), 1.0);
+        assert_eq!(plan.stall_pause(0, 0), 0.0);
+        assert_eq!(plan.worst_case_delay(), 0.0);
+    }
+
+    #[test]
+    fn stragglers_stack_and_clamp() {
+        let mut plan = FaultPlan::with_seed(7);
+        plan.stragglers.push(Straggler {
+            stage: 2,
+            factor: 2.0,
+        });
+        plan.stragglers.push(Straggler {
+            stage: 2,
+            factor: 0.5, // clamped to 1: stragglers never speed things up
+        });
+        assert_eq!(plan.compute_factor(2), 2.0);
+        assert_eq!(plan.compute_factor(0), 1.0);
+    }
+
+    #[test]
+    fn delays_are_nonnegative_and_bounded_by_worst_case() {
+        for seed in 0..20 {
+            let plan = FaultPlan::random(seed, &FaultSpec::new(4, 40, 0.5));
+            let bound = plan.worst_case_delay();
+            for mb in 0..16 {
+                for (from, to) in [(0, 1), (1, 2), (2, 3), (3, 2), (2, 1), (1, 0)] {
+                    let d = plan.link_delay(from, to, &key(mb));
+                    assert!(d >= 0.0 && d <= bound + 1e-12, "delay {d} bound {bound}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scripts_serialise_round_trip() {
+        let plan = FaultPlan::random(9, &FaultSpec::new(4, 40, 1.0));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

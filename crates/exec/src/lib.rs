@@ -26,14 +26,16 @@
 //! IR) and the executors (which consume this crate); it knows nothing about
 //! tensors, models or costs beyond the [`LinkCost`] abstraction.
 
+pub mod fault;
 pub mod msg;
 pub mod recorder;
 pub mod timeline;
 pub mod transport;
 
+pub use fault::{FaultPlan, FaultSpec, LinkDegrade, MessageDrop, StageStall, Straggler};
 pub use msg::{op_key, MsgKey};
 pub use recorder::{NoTrace, Recorder, TraceSink, WallClock};
-pub use timeline::{DeviceBreakdown, OpTimes, PhaseTimes, Timeline, TraceEvent};
+pub use timeline::{DeviceBreakdown, OpTimes, PhaseTimes, Timeline, TraceEvent, TraceMismatch};
 pub use transport::{
     channel_mesh, schedule_edges, AlphaBeta, ChannelEndpoint, LinkCost, LinkFault, Transport,
     VirtualTransport,

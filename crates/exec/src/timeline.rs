@@ -325,27 +325,32 @@ impl Timeline {
 
     /// Compare per-device op orderings against another timeline — the
     /// consistency contract between the event simulator and the threaded
-    /// runtime. Returns the first divergence, described.
-    pub fn same_op_order(&self, other: &Timeline) -> Result<(), String> {
+    /// runtime. Returns the first divergence as a structured
+    /// [`TraceMismatch`].
+    pub fn same_op_order(&self, other: &Timeline) -> Result<(), TraceMismatch> {
         if self.n_devices() != other.n_devices() {
-            return Err(format!(
-                "device counts differ: {} vs {}",
-                self.n_devices(),
-                other.n_devices()
-            ));
+            return Err(TraceMismatch::DeviceCount {
+                left: self.n_devices(),
+                right: other.n_devices(),
+            });
         }
         for d in 0..self.n_devices() {
             let (a, b) = (self.ops_of(d), other.ops_of(d));
             if a.len() != b.len() {
-                return Err(format!(
-                    "device {d}: op counts differ: {} vs {}",
-                    a.len(),
-                    b.len()
-                ));
+                return Err(TraceMismatch::OpCount {
+                    device: d,
+                    left: a.len(),
+                    right: b.len(),
+                });
             }
             for (i, (oa, ob)) in a.iter().zip(b).enumerate() {
                 if oa != ob {
-                    return Err(format!("device {d} op {i}: {:?} vs {:?}", oa.kind, ob.kind));
+                    return Err(TraceMismatch::OpDiverges {
+                        device: d,
+                        index: i,
+                        left: *oa,
+                        right: *ob,
+                    });
                 }
             }
         }
@@ -380,6 +385,58 @@ impl Timeline {
         })
     }
 }
+
+/// First divergence between two timelines' per-device op orderings — the
+/// structured error of [`Timeline::same_op_order`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceMismatch {
+    /// The two timelines cover a different number of devices.
+    DeviceCount { left: usize, right: usize },
+    /// One device executed a different number of ops.
+    OpCount {
+        device: usize,
+        left: usize,
+        right: usize,
+    },
+    /// One device's op sequences diverge at `index`.
+    OpDiverges {
+        device: usize,
+        index: usize,
+        left: Op,
+        right: Op,
+    },
+}
+
+impl std::fmt::Display for TraceMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceMismatch::DeviceCount { left, right } => {
+                write!(f, "device counts differ: {left} vs {right}")
+            }
+            TraceMismatch::OpCount {
+                device,
+                left,
+                right,
+            } => {
+                write!(f, "device {device}: op counts differ: {left} vs {right}")
+            }
+            TraceMismatch::OpDiverges {
+                device,
+                index,
+                left,
+                right,
+            } => {
+                write!(
+                    f,
+                    "device {device} op {index}: {:?} vs {:?}",
+                    left.kind, right.kind
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceMismatch {}
 
 fn describe(kind: &OpKind) -> (String, &'static str) {
     match kind {
@@ -558,11 +615,24 @@ mod tests {
         let lo = b.ends[0];
         b.ops.swap(lo + 1, lo + 2);
         let err = a.same_op_order(&b).unwrap_err();
-        assert!(err.contains("device 1 op 1"), "{err}");
+        assert!(
+            matches!(
+                err,
+                TraceMismatch::OpDiverges {
+                    device: 1,
+                    index: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
         b.ops.pop();
         b.ends[1] -= 1;
         b.times[1].pop();
-        assert!(a.same_op_order(&b).unwrap_err().contains("op counts"));
+        assert!(matches!(
+            a.same_op_order(&b).unwrap_err(),
+            TraceMismatch::OpCount { device: 1, .. }
+        ));
     }
 
     #[test]

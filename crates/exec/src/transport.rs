@@ -108,6 +108,13 @@ impl<C: LinkCost> VirtualTransport<C> {
         self.fault = Some(Box::new(fault));
         self
     }
+
+    /// [`with_fault`](Self::with_fault) for an already-boxed hook, e.g.
+    /// [`crate::FaultPlan::link_fault_hook`].
+    pub fn with_boxed_fault(mut self, fault: LinkFault) -> Self {
+        self.fault = Some(fault);
+        self
+    }
 }
 
 impl<C: LinkCost> Transport for VirtualTransport<C> {

@@ -37,6 +37,7 @@ use autopipe_sim::analytic::{simulate_replay, simulate_time, AnalyticResult, Sim
 use autopipe_sim::partition::{Partition, StageCosts};
 
 use crate::balanced::balanced_partition;
+use crate::types::PlanError;
 
 /// Which analytic engine scores candidate schemes during the search.
 ///
@@ -131,10 +132,32 @@ fn score(
 
 /// Plan a `p`-stage pipeline for the model in `db` running `m` micro-batches
 /// per iteration.
-pub fn plan(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> AutoPipeOutcome {
+///
+/// Errors with [`PlanError::Infeasible`] instead of panicking when the
+/// request cannot be satisfied: zero stages or micro-batches, an empty cost
+/// database, or more stages than blocks to place on them.
+pub fn plan(
+    db: &CostDb,
+    p: usize,
+    m: usize,
+    cfg: &AutoPipeConfig,
+) -> Result<AutoPipeOutcome, PlanError> {
     let t0 = Instant::now();
     let weights: Vec<f64> = db.blocks.iter().map(|b| b.work()).collect();
-    assert!(p >= 1 && p <= weights.len());
+    if p < 1 {
+        return Err(PlanError::Infeasible("0-stage pipeline requested".into()));
+    }
+    if m < 1 {
+        return Err(PlanError::Infeasible(
+            "0 micro-batches per iteration".into(),
+        ));
+    }
+    if p > weights.len() {
+        return Err(PlanError::Infeasible(format!(
+            "{p} stages requested but the cost database only has {} blocks",
+            weights.len()
+        )));
+    }
 
     let threads = match cfg.threads {
         0 => std::thread::available_parallelism()
@@ -235,12 +258,12 @@ pub fn plan(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> AutoPipeOu
     // Full-fidelity tier for the winner only: the outcome carries the
     // complete per-op trace and critical path.
     let analytic = simulate_replay(&partition.stage_costs(db), m);
-    AutoPipeOutcome {
+    Ok(AutoPipeOutcome {
         partition,
         analytic,
         schemes_explored: explored,
         search_time: t0.elapsed(),
-    }
+    })
 }
 
 /// Redistribute the blocks behind master stage `i` so Eq. 1 holds: greedily
@@ -365,7 +388,7 @@ mod tests {
         let d = db(Granularity::SubLayer);
         let m = 8;
         let p = 4;
-        let out = plan(&d, p, m, &AutoPipeConfig::default());
+        let out = plan(&d, p, m, &AutoPipeConfig::default()).unwrap();
         // Megatron: 6 whole layers per stage, embedding with stage 0,
         // final-LN+head with stage 3.
         let mega = Partition::new(vec![0, 13, 25, 37, 51]);
@@ -382,7 +405,7 @@ mod tests {
     fn improves_balance_over_seed() {
         let d = db(Granularity::SubLayer);
         let m = 8;
-        let out = plan(&d, 4, m, &AutoPipeConfig::default());
+        let out = plan(&d, 4, m, &AutoPipeConfig::default()).unwrap();
         let seed = balanced_partition(&d.blocks.iter().map(|b| b.work()).collect::<Vec<_>>(), 4);
         let seed_res = simulate_replay(&seed.stage_costs(&d), m);
         assert!(out.analytic.iteration_time <= seed_res.iteration_time + 1e-12);
@@ -401,8 +424,8 @@ mod tests {
     fn sublayer_granularity_beats_layer_granularity() {
         // The paper's Fig. 3 claim: finer blocks allow better balance.
         let m = 8;
-        let sub = plan(&db(Granularity::SubLayer), 4, m, &AutoPipeConfig::default());
-        let layer = plan(&db(Granularity::Layer), 4, m, &AutoPipeConfig::default());
+        let sub = plan(&db(Granularity::SubLayer), 4, m, &AutoPipeConfig::default()).unwrap();
+        let layer = plan(&db(Granularity::Layer), 4, m, &AutoPipeConfig::default()).unwrap();
         assert!(sub.analytic.iteration_time <= layer.analytic.iteration_time + 1e-12);
     }
 
@@ -411,7 +434,7 @@ mod tests {
         // The paper's selling point: order-of-magnitude faster search. The
         // heuristic should stay in the tens of schemes for a 4-stage plan.
         let d = db(Granularity::SubLayer);
-        let out = plan(&d, 4, 8, &AutoPipeConfig::default());
+        let out = plan(&d, 4, 8, &AutoPipeConfig::default()).unwrap();
         assert!(out.schemes_explored >= 1);
         assert!(
             out.schemes_explored < 200,
@@ -426,7 +449,7 @@ mod tests {
         for cfg in zoo::benchmark_models() {
             let d = CostDb::build(&cfg, &hw, 4, true, Granularity::SubLayer);
             for p in [2, 4, 8] {
-                let out = plan(&d, p, 2 * p, &AutoPipeConfig::default());
+                let out = plan(&d, p, 2 * p, &AutoPipeConfig::default()).unwrap();
                 assert_eq!(out.partition.n_stages(), p, "{} p={p}", cfg.name);
                 assert!(out.analytic.iteration_time > 0.0);
             }
@@ -436,7 +459,7 @@ mod tests {
     #[test]
     fn single_stage_is_trivial() {
         let d = db(Granularity::SubLayer);
-        let out = plan(&d, 1, 8, &AutoPipeConfig::default());
+        let out = plan(&d, 1, 8, &AutoPipeConfig::default()).unwrap();
         assert_eq!(out.partition.n_stages(), 1);
         assert_eq!(out.schemes_explored, 1);
     }
@@ -444,7 +467,7 @@ mod tests {
     #[test]
     fn wave_search_is_bit_identical_across_thread_counts() {
         let d = db(Granularity::SubLayer);
-        let serial = plan(&d, 8, 16, &AutoPipeConfig::default());
+        let serial = plan(&d, 8, 16, &AutoPipeConfig::default()).unwrap();
         for threads in [2, 3, 4, 0] {
             let par = plan(
                 &d,
@@ -454,7 +477,8 @@ mod tests {
                     threads,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             assert_eq!(par.partition, serial.partition, "threads={threads}");
             assert_eq!(par.schemes_explored, serial.schemes_explored);
             assert_eq!(
@@ -477,7 +501,8 @@ mod tests {
                     sim_tier: SimTier::Fast,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             let replay = plan(
                 &d,
                 p,
@@ -486,7 +511,8 @@ mod tests {
                     sim_tier: SimTier::Replay,
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
             assert_eq!(fast.partition, replay.partition, "p={p} m={m}");
             assert_eq!(fast.schemes_explored, replay.schemes_explored);
             assert_eq!(

@@ -22,11 +22,17 @@
 //!   time-per-sample over a *sampled* split space; reproduces the deeper,
 //!   less balanced pipelines of Tables III–IV and Fig. 13.
 
+//! * [`replan`] — **straggler-aware re-planning**: fold observed per-stage
+//!   slowdowns back into the cost database and re-run the AutoPipe planner,
+//!   producing the partition the runtime hot-swaps to.
+
 pub mod autopipe;
 pub mod balanced;
 pub mod baselines;
+pub mod replan;
 pub mod types;
 
 pub use autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome, SimTier};
 pub use balanced::balanced_partition;
+pub use replan::{observed_cost_db, replan, ReplanOutcome};
 pub use types::{HybridPlan, PlanError};

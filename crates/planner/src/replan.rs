@@ -1,0 +1,197 @@
+//! Straggler-aware re-planning: fold *observed* per-stage slowdowns back
+//! into the cost model and re-run the AutoPipe planner.
+//!
+//! When the runtime's `StragglerMonitor` flags a persistently slow stage
+//! (observed/expected compute ratio over threshold for k iterations), the
+//! recorded timeline is the new profile: every block the degraded stage
+//! hosts really does cost `ratio ×` its modelled time on that device. The
+//! re-plan scales those block costs, re-partitions with the ordinary planner
+//! (§III-B.2 heuristics unchanged), and the runtime hot-swaps the result via
+//! `Pipeline::repartition` — shrinking the straggler's stage so every device
+//! finishes together again.
+
+use autopipe_cost::CostDb;
+use autopipe_sim::Partition;
+
+use crate::autopipe::{plan, AutoPipeConfig, AutoPipeOutcome};
+use crate::types::PlanError;
+
+/// Result of a re-plan.
+#[derive(Debug, Clone)]
+pub struct ReplanOutcome {
+    /// The new plan (partition + simulation) under the observed costs.
+    pub outcome: AutoPipeOutcome,
+    /// The straggler-adjusted cost database the plan was computed on (also
+    /// what the new expected stage times should be derived from).
+    pub observed_db: CostDb,
+    /// Simulated iteration time of the *old* partition under the observed
+    /// costs — the degraded baseline the new plan is judged against.
+    pub degraded_time: f64,
+}
+
+impl ReplanOutcome {
+    /// Fraction of the straggler-induced slowdown the new plan recovers:
+    /// `(degraded − replanned) / (degraded − healthy)`. 0 = no help,
+    /// 1 = back to the healthy iteration time.
+    pub fn recovery(&self, healthy_time: f64) -> f64 {
+        let lost = self.degraded_time - healthy_time;
+        if lost <= 0.0 {
+            return 0.0;
+        }
+        (self.degraded_time - self.outcome.analytic.iteration_time) / lost
+    }
+}
+
+/// Scale the block costs of `db` by the observed per-stage compute ratios
+/// under `partition` (ratio ≥ 1 = that stage runs that much slower than
+/// modelled). Blocks inherit the ratio of the stage that hosted them when
+/// the observation was made; prefix sums are rebuilt.
+pub fn observed_cost_db(
+    db: &CostDb,
+    partition: &Partition,
+    ratios: &[f64],
+) -> Result<CostDb, PlanError> {
+    if ratios.len() != partition.n_stages() {
+        return Err(PlanError::Infeasible(format!(
+            "{} ratios for {} stages",
+            ratios.len(),
+            partition.n_stages()
+        )));
+    }
+    if partition.n_blocks() != db.len() {
+        return Err(PlanError::Infeasible(format!(
+            "partition covers {} blocks, cost database has {}",
+            partition.n_blocks(),
+            db.len()
+        )));
+    }
+    if ratios.iter().any(|&r| !(r.is_finite() && r > 0.0)) {
+        return Err(PlanError::Infeasible(format!(
+            "stage ratios must be finite and positive, got {ratios:?}"
+        )));
+    }
+    let mut out = db.clone();
+    for (s, &ratio) in ratios.iter().enumerate() {
+        for b in &mut out.blocks[partition.range(s)] {
+            b.fwd *= ratio;
+            b.bwd *= ratio;
+        }
+    }
+    out.recompute_prefixes();
+    Ok(out)
+}
+
+/// Re-plan a degraded pipeline: scale the cost model by the observed
+/// per-stage ratios, then run the AutoPipe planner on the adjusted costs.
+/// `m` is the micro-batch count per iteration.
+pub fn replan(
+    db: &CostDb,
+    partition: &Partition,
+    ratios: &[f64],
+    m: usize,
+    cfg: &AutoPipeConfig,
+) -> Result<ReplanOutcome, PlanError> {
+    let observed_db = observed_cost_db(db, partition, ratios)?;
+    let p = partition.n_stages();
+    let degraded_time =
+        autopipe_sim::analytic::simulate_replay(&partition.stage_costs(&observed_db), m)
+            .iteration_time;
+    let outcome = plan(&observed_db, p, m, cfg)?;
+    Ok(ReplanOutcome {
+        outcome,
+        observed_db,
+        degraded_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_cost::Hardware;
+    use autopipe_model::{zoo, Granularity};
+    use autopipe_sim::analytic::simulate_replay;
+
+    fn db() -> CostDb {
+        CostDb::build(
+            &zoo::gpt2_345m(),
+            &Hardware::rtx3090_cluster(),
+            4,
+            true,
+            Granularity::SubLayer,
+        )
+    }
+
+    #[test]
+    fn unit_ratios_change_nothing() {
+        let d = db();
+        let cfg = AutoPipeConfig::default();
+        let base = plan(&d, 4, 8, &cfg).unwrap();
+        let adjusted = observed_cost_db(&d, &base.partition, &[1.0; 4]).unwrap();
+        assert_eq!(d, adjusted);
+    }
+
+    #[test]
+    fn ratios_scale_only_their_stage() {
+        let d = db();
+        let part = Partition::even(d.len(), 4);
+        let adjusted = observed_cost_db(&d, &part, &[1.0, 2.0, 1.0, 1.0]).unwrap();
+        for (i, (a, b)) in adjusted.blocks.iter().zip(&d.blocks).enumerate() {
+            let in_stage1 = part.range(1).contains(&i);
+            let factor = if in_stage1 { 2.0 } else { 1.0 };
+            assert_eq!(a.fwd, b.fwd * factor, "block {i} fwd");
+            assert_eq!(a.bwd, b.bwd * factor, "block {i} bwd");
+        }
+        // Prefixes were rebuilt.
+        let total: f64 = adjusted.blocks.iter().map(|b| b.fwd).sum();
+        assert!((adjusted.range_fwd(0..adjusted.len()) - total).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bad_inputs_are_rejected() {
+        let d = db();
+        let part = Partition::even(d.len(), 4);
+        assert!(observed_cost_db(&d, &part, &[1.0; 3]).is_err());
+        assert!(observed_cost_db(&d, &part, &[1.0, -2.0, 1.0, 1.0]).is_err());
+        assert!(observed_cost_db(&d, &Partition::even(d.len() - 1, 4), &[1.0; 4]).is_err());
+    }
+
+    #[test]
+    fn replanning_a_2x_straggler_recovers_most_of_the_loss() {
+        // The acceptance scenario: one of four stages persistently runs at
+        // 2x its modelled cost. Re-planning must recover ≥ 30% of the lost
+        // iteration time (analytically it recovers ~70%+: the planner
+        // shrinks the slow stage until all four balance again).
+        let d = db();
+        let cfg = AutoPipeConfig::default();
+        let m = 8;
+        let base = plan(&d, 4, m, &cfg).unwrap();
+        let healthy = base.analytic.iteration_time;
+        let ratios = [1.0, 2.0, 1.0, 1.0];
+        let r = replan(&d, &base.partition, &ratios, m, &cfg).unwrap();
+        assert!(r.degraded_time > healthy * 1.3, "straggler must hurt");
+        assert!(
+            r.outcome.analytic.iteration_time < r.degraded_time,
+            "replan must help"
+        );
+        let rec = r.recovery(healthy);
+        assert!(rec >= 0.3, "recovery {rec} below the 30% bar");
+        // The new plan gives the degraded stage fewer blocks.
+        let old_sizes = base.partition.sizes();
+        let new_sizes = r.outcome.partition.sizes();
+        assert!(
+            new_sizes[1] < old_sizes[1],
+            "straggler stage should shrink: {old_sizes:?} -> {new_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn recovery_is_measured_against_the_degraded_simulation() {
+        let d = db();
+        let cfg = AutoPipeConfig::default();
+        let m = 8;
+        let base = plan(&d, 4, m, &cfg).unwrap();
+        let r = replan(&d, &base.partition, &[1.0, 2.0, 1.0, 1.0], m, &cfg).unwrap();
+        let manual = simulate_replay(&base.partition.stage_costs(&r.observed_db), m);
+        assert_eq!(manual.iteration_time.to_bits(), r.degraded_time.to_bits());
+    }
+}

@@ -111,7 +111,7 @@ mod tests {
     }
 
     fn pipe(seed: u64) -> Pipeline {
-        Pipeline::new(&PipelineConfig {
+        Pipeline::try_new(&PipelineConfig {
             model: tiny(),
             partition: Partition::new(vec![0, 3, 7]),
             schedule: one_f_one_b(2, 4),
@@ -119,6 +119,7 @@ mod tests {
             seed,
             checkpointing: false,
         })
+        .unwrap()
     }
 
     #[test]
@@ -129,7 +130,7 @@ mod tests {
         // Train 3 iterations, checkpoint, train 2 more.
         let mut a = pipe(5);
         for _ in 0..3 {
-            a.train_iteration(&batch);
+            a.train_iteration(&batch).unwrap();
         }
         let dir = std::env::temp_dir().join("autopipe_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -137,7 +138,7 @@ mod tests {
         Checkpoint::capture(&mut a, "iter3").save(&path).unwrap();
         let mut tail_a = Vec::new();
         for _ in 0..2 {
-            tail_a.push(a.train_iteration(&batch).loss);
+            tail_a.push(a.train_iteration(&batch).unwrap().loss);
         }
 
         // Fresh pipeline with a *different* seed, restored from the
@@ -150,7 +151,7 @@ mod tests {
         assert!((a.param_checksum() - b.param_checksum()).abs() > 0.0);
         let mut tail_b = Vec::new();
         for _ in 0..2 {
-            tail_b.push(b.train_iteration(&batch).loss);
+            tail_b.push(b.train_iteration(&batch).unwrap().loss);
         }
         for (x, y) in tail_a.iter().zip(&tail_b) {
             assert!(
@@ -171,14 +172,15 @@ mod tests {
         let mut a = pipe(1);
         let ck = Checkpoint::capture(&mut a, "x");
         // 4-stage pipeline: different stage count.
-        let mut b = Pipeline::new(&PipelineConfig {
+        let mut b = Pipeline::try_new(&PipelineConfig {
             model: tiny(),
             partition: Partition::new(vec![0, 2, 4, 6, 7]),
             schedule: one_f_one_b(4, 4),
             lr: 1e-3,
             seed: 1,
             checkpointing: false,
-        });
+        })
+        .unwrap();
         ck.restore(&mut b);
     }
 }

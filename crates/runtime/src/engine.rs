@@ -11,20 +11,32 @@
 //! format the discrete-event simulator produces, so a real threaded run can
 //! be compared op for op against a simulated one (see
 //! [`Pipeline::last_timeline`]).
+//!
+//! Fault tolerance: a seeded [`FaultPlan`] replays here in wall time (the
+//! same script the event simulator replays in virtual time), every channel
+//! wait runs under the stall [`watchdog`](crate::watchdog) instead of
+//! blocking indefinitely, and [`Pipeline::repartition`] hot-swaps the
+//! partition between iterations, migrating parameters and Adam moments
+//! stage-to-stage through the checkpoint path.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use autopipe_exec::{
-    channel_mesh, op_key, schedule_edges, ChannelEndpoint, Timeline, TraceEvent, WallClock,
+    channel_mesh, op_key, schedule_edges, ChannelEndpoint, FaultPlan, Timeline, TraceEvent,
+    WallClock,
 };
 use autopipe_model::ModelConfig;
 use autopipe_schedule::{Op, OpKind, Part, Schedule};
 use autopipe_sim::Partition;
-use autopipe_tensor::Tensor;
+use autopipe_tensor::{optim::Adam, Tensor};
 
+use crate::checkpoint::StageState;
 use crate::data::BatchSet;
 use crate::stage::{
-    build_modules, concat_halves, split_halves, StageInput, StageModel, StageOutput,
+    build_modules, concat_halves, split_halves, Module, StageInput, StageModel, StageOutput,
+};
+use crate::watchdog::{
+    deadlines_from_timeline, FaultReport, RuntimeError, Watchdog, WatchdogConfig, WatchdogEvent,
 };
 
 use std::collections::HashMap;
@@ -47,6 +59,27 @@ pub struct PipelineConfig {
     pub checkpointing: bool,
 }
 
+impl PipelineConfig {
+    /// Lower a validated [`autopipe_core::SessionConfig`] plus the planned
+    /// partition/schedule into the runtime's own config struct — the
+    /// runtime-side half of the one-config story (the planner and simulator
+    /// lowerings live in `autopipe-core` itself).
+    pub fn from_session(
+        cfg: &autopipe_core::SessionConfig,
+        partition: Partition,
+        schedule: Schedule,
+    ) -> PipelineConfig {
+        PipelineConfig {
+            model: cfg.model.clone(),
+            partition,
+            schedule,
+            lr: cfg.lr,
+            seed: cfg.seed,
+            checkpointing: cfg.checkpointing,
+        }
+    }
+}
+
 /// Result of one training iteration.
 #[derive(Debug, Clone, Copy)]
 pub struct IterationStats {
@@ -63,22 +96,45 @@ pub struct Pipeline {
     /// `stages[device][chunk]`.
     stages: Vec<Vec<StageModel>>,
     schedule: Schedule,
+    partition: Partition,
     seq: usize,
+    checkpointing: bool,
+    faults: Option<FaultPlan>,
+    /// Wall seconds per virtual fault second.
+    time_scale: f64,
+    watchdog_cfg: WatchdogConfig,
+    deadlines: Option<Vec<Vec<Duration>>>,
     last_timeline: Option<Timeline>,
+    last_report: Option<FaultReport>,
 }
 
 impl Pipeline {
-    /// Build stages from a deterministic full-model initialisation.
-    pub fn new(cfg: &PipelineConfig) -> Pipeline {
+    /// Build stages from a deterministic full-model initialisation,
+    /// validating the configuration instead of panicking on it.
+    pub fn try_new(cfg: &PipelineConfig) -> Result<Pipeline, RuntimeError> {
         let p = cfg.schedule.n_devices;
         let v = cfg.schedule.n_chunks;
-        assert_eq!(
-            cfg.schedule.n_stages(),
-            cfg.partition.n_stages(),
-            "partition must have one entry per chunk-stage"
-        );
+        if cfg.schedule.n_stages() != cfg.partition.n_stages() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "schedule has {} chunk-stages but partition has {}",
+                cfg.schedule.n_stages(),
+                cfg.partition.n_stages()
+            )));
+        }
+        if !(cfg.lr.is_finite() && cfg.lr > 0.0) {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "learning rate must be finite and positive, got {}",
+                cfg.lr
+            )));
+        }
         let all = build_modules(&cfg.model, cfg.seed);
-        assert_eq!(cfg.partition.n_blocks(), all.len());
+        if cfg.partition.n_blocks() != all.len() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "partition covers {} blocks but the model lowers to {}",
+                cfg.partition.n_blocks(),
+                all.len()
+            )));
+        }
         let stages = (0..p)
             .map(|d| {
                 (0..v)
@@ -95,45 +151,106 @@ impl Pipeline {
                     .collect()
             })
             .collect();
-        Pipeline {
+        Ok(Pipeline {
             stages,
             schedule: cfg.schedule.clone(),
+            partition: cfg.partition.clone(),
             seq: cfg.model.seq_len,
+            checkpointing: cfg.checkpointing,
+            faults: None,
+            time_scale: 1.0,
+            watchdog_cfg: WatchdogConfig::default(),
+            deadlines: None,
             last_timeline: None,
-        }
+            last_report: None,
+        })
+    }
+
+    /// Build stages from a deterministic full-model initialisation.
+    #[deprecated(note = "use `Pipeline::try_new`, which reports invalid configurations")]
+    pub fn new(cfg: &PipelineConfig) -> Pipeline {
+        Pipeline::try_new(cfg).expect("invalid pipeline configuration")
+    }
+
+    /// Install a fault script. All the script's delays are in virtual
+    /// seconds; the runtime sleeps `time_scale` wall seconds per virtual
+    /// second, so the same script the event simulator replays exactly can
+    /// be replayed here at laptop-friendly speed.
+    pub fn set_faults(&mut self, plan: FaultPlan, time_scale: f64) {
+        self.faults = Some(plan);
+        self.time_scale = time_scale.max(0.0);
+    }
+
+    /// Remove the installed fault script.
+    pub fn clear_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Replace the watchdog configuration (a default watchdog is always
+    /// active — no channel wait blocks indefinitely).
+    pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
+        self.watchdog_cfg = cfg;
+    }
+
+    /// Derive per-op watchdog deadlines from an expected timeline —
+    /// typically the event simulator's run of this same schedule. Each op's
+    /// budget becomes `slack × time_scale × (expected gap to predecessor)`,
+    /// floored by the watchdog's `base_timeout`. Call after
+    /// [`set_watchdog`](Pipeline::set_watchdog) (the current slack is
+    /// captured here).
+    pub fn set_expected_timeline(&mut self, expected: &Timeline, time_scale: f64) {
+        self.deadlines = Some(deadlines_from_timeline(
+            expected,
+            time_scale,
+            self.watchdog_cfg.slack,
+        ));
     }
 
     /// One full training iteration: pipelined forward/backward over every
     /// micro-batch, then an optimiser step on every stage.
-    pub fn train_iteration(&mut self, batch: &BatchSet) -> IterationStats {
-        let stats = self.forward_backward(batch);
+    pub fn train_iteration(&mut self, batch: &BatchSet) -> Result<IterationStats, RuntimeError> {
+        let stats = self.forward_backward(batch)?;
         self.step_all();
-        stats
+        Ok(stats)
     }
 
     /// Pipelined forward/backward without the optimiser step (gradients
     /// stay accumulated — used by data-parallel replicas).
-    pub fn forward_backward(&mut self, batch: &BatchSet) -> IterationStats {
+    ///
+    /// Errors: [`RuntimeError::InvalidConfig`] when the batch disagrees with
+    /// the schedule, [`RuntimeError::Stalled`] when the watchdog abandons a
+    /// channel wait (the report says which device and op). After a stall the
+    /// pipeline's parameters are unchanged but accumulated gradients are
+    /// partial — step from a checkpoint, repartition, or discard.
+    pub fn forward_backward(&mut self, batch: &BatchSet) -> Result<IterationStats, RuntimeError> {
         let m = batch.n_microbatches();
-        assert_eq!(m, self.schedule.n_microbatches);
-        if self.schedule.n_sliced > 0 {
-            assert!(
-                batch.mbs >= 2,
-                "slicing needs at least 2 samples per micro-batch"
-            );
+        if m != self.schedule.n_microbatches {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "batch has {m} micro-batches, schedule expects {}",
+                self.schedule.n_microbatches
+            )));
+        }
+        if self.schedule.n_sliced > 0 && batch.mbs < 2 {
+            return Err(RuntimeError::InvalidConfig(
+                "slicing needs at least 2 samples per micro-batch".into(),
+            ));
         }
         let p = self.schedule.n_devices;
         let seq = self.seq;
         let grad_scale = 1.0 / m as f32;
 
         // One channel per directed device pair used by the schedule.
-        let endpoints = channel_mesh::<Tensor>(p, schedule_edges(&self.schedule));
+        let endpoints = channel_mesh::<TimedMsg>(p, schedule_edges(&self.schedule));
 
         let schedule = &self.schedule;
+        let watchdog = Watchdog::new(self.watchdog_cfg, self.deadlines.clone());
+        let faults = self.faults.as_ref().filter(|f| !f.is_empty());
+        let time_scale = self.time_scale;
         let clock = WallClock::start();
-        let outcomes: Vec<(f32, Vec<TraceEvent>)> = std::thread::scope(|scope| {
+        let outcomes: Vec<DeviceOutcome> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             let mut endpoints = endpoints.into_iter();
+            let watchdog = &watchdog;
             for (d, chunks) in self.stages.iter_mut().enumerate() {
                 let ep = endpoints.next().unwrap();
                 handles.push(scope.spawn(move || {
@@ -146,24 +263,38 @@ impl Pipeline {
                         grad_scale,
                         ep,
                         clock,
+                        watchdog,
+                        faults,
+                        time_scale,
                     })
                 }));
             }
             handles.into_iter().map(|h| h.join().unwrap()).collect()
         });
+
+        let mut report = FaultReport::default();
         let mut losses = Vec::with_capacity(p);
         let mut events = Vec::with_capacity(p);
-        for (loss, evs) in outcomes {
-            losses.push(loss);
-            events.push(evs);
+        for o in outcomes {
+            report.aborted |= o.aborted;
+            report.counters.push(o.completed);
+            report.events.extend(o.wd_events);
+            losses.push(o.loss);
+            events.push(o.events);
         }
+        if report.aborted {
+            self.last_timeline = None;
+            self.last_report = Some(report.clone());
+            return Err(RuntimeError::Stalled(report));
+        }
+        self.last_report = Some(report);
         let timeline = Timeline::from_events(events);
         let wall = Duration::from_secs_f64(timeline.iteration_time());
         self.last_timeline = Some(timeline);
-        IterationStats {
+        Ok(IterationStats {
             loss: losses.iter().sum::<f32>() / m as f32,
             wall,
-        }
+        })
     }
 
     /// The unified-format timeline of the most recent
@@ -172,6 +303,137 @@ impl Pipeline {
     /// the event simulator's timeline for the same schedule.
     pub fn last_timeline(&self) -> Option<&Timeline> {
         self.last_timeline.as_ref()
+    }
+
+    /// The watchdog's report for the most recent iteration: every firing
+    /// (resolved delays and unresolved stalls). Present after any completed
+    /// or aborted iteration.
+    pub fn last_fault_report(&self) -> Option<&FaultReport> {
+        self.last_report.as_ref()
+    }
+
+    /// The partition currently executing.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// The schedule currently executing.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+
+    /// Hot-swap the partition between iterations: parameters and Adam
+    /// moments migrate stage-to-stage through the checkpoint path
+    /// ([`StageState`] export/import), so training continues bit-exactly —
+    /// the payoff of straggler-aware re-planning is purely in iteration
+    /// time, never in numerics.
+    ///
+    /// The new schedule must cover the same block sequence and micro-batch
+    /// count; the device count may change.
+    pub fn repartition(
+        &mut self,
+        partition: &Partition,
+        schedule: Schedule,
+    ) -> Result<(), RuntimeError> {
+        if schedule.n_stages() != partition.n_stages() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "schedule has {} chunk-stages but partition has {}",
+                schedule.n_stages(),
+                partition.n_stages()
+            )));
+        }
+        if partition.n_blocks() != self.partition.n_blocks() {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "new partition covers {} blocks, model has {}",
+                partition.n_blocks(),
+                self.partition.n_blocks()
+            )));
+        }
+        if schedule.n_microbatches != self.schedule.n_microbatches {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "new schedule runs {} micro-batches, current runs {}",
+                schedule.n_microbatches, self.schedule.n_microbatches
+            )));
+        }
+
+        // 1. Collect the old stages in stage order (devices may interleave).
+        let old_sched = std::mem::replace(&mut self.schedule, schedule);
+        let n_old = old_sched.n_stages();
+        let mut by_stage: Vec<Option<StageModel>> = (0..n_old).map(|_| None).collect();
+        for (d, chunks) in std::mem::take(&mut self.stages).into_iter().enumerate() {
+            for (c, s) in chunks.into_iter().enumerate() {
+                by_stage[old_sched.stage_of(d, c)] = Some(s);
+            }
+        }
+
+        // 2. Flatten through the checkpoint path: per-stage StageState
+        // (params + Adam) concatenates into one global module/param/moment
+        // sequence in block order.
+        let mut modules: Vec<Module> = Vec::new();
+        let mut params: Vec<Tensor> = Vec::new();
+        let mut mom1: Vec<Tensor> = Vec::new();
+        let mut mom2: Vec<Tensor> = Vec::new();
+        let mut step_count: Option<u64> = None;
+        let mut lr = 0.0f32;
+        for s in by_stage {
+            let mut s = s.expect("old schedule covers every stage");
+            let state = s.export_state();
+            lr = state.adam.lr;
+            let (st, m, v) = state.adam.into_moments();
+            let agreed = *step_count.get_or_insert(st);
+            if agreed != st {
+                return Err(RuntimeError::InvalidConfig(
+                    "stages disagree on optimiser step count; step_all before repartitioning"
+                        .into(),
+                ));
+            }
+            params.extend(state.params);
+            mom1.extend(m);
+            mom2.extend(v);
+            modules.extend(s.into_modules());
+        }
+        let step_count = step_count.unwrap_or(0);
+
+        // 3. Re-split along the new boundaries and import the migrated
+        // state into fresh stages.
+        let mut built: Vec<Option<StageModel>> = (0..partition.n_stages()).map(|_| None).collect();
+        let mut mod_iter = modules.into_iter();
+        let mut par_iter = params.into_iter();
+        let mut m_iter = mom1.into_iter();
+        let mut v_iter = mom2.into_iter();
+        for s in 0..partition.n_stages() {
+            let len = partition.range(s).len();
+            let mods: Vec<Module> = mod_iter.by_ref().take(len).collect();
+            let nparams: usize = mods.iter().map(Module::param_count).sum();
+            let stage_params: Vec<Tensor> = par_iter.by_ref().take(nparams).collect();
+            let stage_m: Vec<Tensor> = m_iter.by_ref().take(nparams).collect();
+            let stage_v: Vec<Tensor> = v_iter.by_ref().take(nparams).collect();
+            let mut stage = StageModel::from_parts(mods, self.seq, lr, self.checkpointing);
+            stage.import_state(StageState {
+                params: stage_params,
+                adam: Adam::from_moments(lr, step_count, stage_m, stage_v),
+            });
+            built[s] = Some(stage);
+        }
+        let p = self.schedule.n_devices;
+        let v = self.schedule.n_chunks;
+        self.stages = (0..p)
+            .map(|d| {
+                (0..v)
+                    .map(|c| {
+                        built[self.schedule.stage_of(d, c)]
+                            .take()
+                            .expect("new schedule visits every stage exactly once")
+                    })
+                    .collect()
+            })
+            .collect();
+        self.partition = partition.clone();
+        // Expected deadlines and telemetry were derived for the old plan.
+        self.deadlines = None;
+        self.last_timeline = None;
+        self.last_report = None;
+        Ok(())
     }
 
     /// Optimiser step on every stage.
@@ -234,9 +496,13 @@ impl Pipeline {
 /// Average the accumulated gradients across data-parallel replicas and step
 /// every replica — the NCCL all-reduce + optimiser step of hybrid training.
 /// All replicas must share the same partition.
-pub fn data_parallel_step(replicas: &mut [Pipeline]) {
+pub fn data_parallel_step(replicas: &mut [Pipeline]) -> Result<(), RuntimeError> {
     let r = replicas.len();
-    assert!(r >= 1);
+    if r == 0 {
+        return Err(RuntimeError::InvalidConfig(
+            "data-parallel step needs at least one replica".into(),
+        ));
+    }
     let n_stages: usize = replicas[0].stages.iter().map(|d| d.len()).sum();
     for s in 0..n_stages {
         let mut avg: Vec<Tensor> = {
@@ -260,6 +526,25 @@ pub fn data_parallel_step(replicas: &mut [Pipeline]) {
     for rep in replicas.iter_mut() {
         rep.step_all();
     }
+    Ok(())
+}
+
+/// What travels over a runtime channel: the tensor plus, under fault
+/// injection, the wall instant before which the link "has not delivered"
+/// it — the receiver holds the message until then, so an injected link
+/// delay behaves like a genuinely slow wire (a receiver arriving later
+/// than `due` pays nothing extra).
+struct TimedMsg {
+    tensor: Tensor,
+    due: Option<Instant>,
+}
+
+struct DeviceOutcome {
+    loss: f32,
+    events: Vec<TraceEvent>,
+    wd_events: Vec<WatchdogEvent>,
+    completed: usize,
+    aborted: bool,
 }
 
 struct DeviceCtx<'a> {
@@ -269,32 +554,83 @@ struct DeviceCtx<'a> {
     batch: &'a BatchSet,
     seq: usize,
     grad_scale: f32,
-    ep: ChannelEndpoint<Tensor>,
+    ep: ChannelEndpoint<TimedMsg>,
     clock: WallClock,
+    watchdog: &'a Watchdog,
+    faults: Option<&'a FaultPlan>,
+    time_scale: f64,
 }
 
-fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
-    let d = ctx.device;
-    let sched = ctx.schedule;
+fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
+    let DeviceCtx {
+        device: d,
+        schedule: sched,
+        chunks,
+        batch,
+        seq,
+        grad_scale,
+        mut ep,
+        clock,
+        watchdog: wd,
+        faults,
+        time_scale,
+    } = ctx;
     let ops: &[Op] = &sched.devices[d];
-    let mut ep = ctx.ep;
     let mut pending_acts: HashMap<(usize, usize, Part), Tensor> = HashMap::new();
     let mut pending_grads: HashMap<(usize, usize), Tensor> = HashMap::new();
     let mut fwd_out: HashMap<(usize, usize, Part), Tensor> = HashMap::new();
     let mut bwd_out: HashMap<(usize, usize), Tensor> = HashMap::new();
     let mut loss_sum = 0.0_f32;
     let mut events: Vec<TraceEvent> = Vec::with_capacity(ops.len());
+    let mut wd_events: Vec<WatchdogEvent> = Vec::new();
+    let mut aborted = false;
+    let mut completed = 0usize;
 
-    for op in ops {
-        let start = ctx.clock.now();
+    // Scale a virtual fault delay into a wall sleep.
+    let scaled = |virtual_secs: f64| Duration::from_secs_f64(virtual_secs * time_scale);
+    // Wrap a tensor with its injected link delay, if any.
+    let pack = |tensor: Tensor, delay: f64| TimedMsg {
+        tensor,
+        due: (delay > 0.0).then(|| Instant::now() + scaled(delay)),
+    };
+
+    'program: for (j, op) in ops.iter().enumerate() {
+        if wd.poisoned() {
+            aborted = true;
+            break;
+        }
+        // Injected device freeze before this op (§fault model: finite stage
+        // stalls — the watchdog downstream reports them, the run completes).
+        if let Some(fp) = faults {
+            let pause = fp.stall_pause(d, j);
+            if pause > 0.0 && !wd.sleep(scaled(pause)) {
+                aborted = true;
+                break;
+            }
+        }
+        let start = clock.now();
         let mut ready = start;
         match op.kind {
             OpKind::RecvAct {
                 mb, chunk, part, ..
             } => {
                 let (key, _) = op_key(sched, d, op).expect("recv op has a key");
-                let tensor = ep.recv(key);
-                ready = ctx.clock.now();
+                let msg = match wd.recv(&mut ep, d, j, op, key, &mut wd_events) {
+                    Ok(msg) => msg,
+                    Err(_) => {
+                        aborted = true;
+                        break 'program;
+                    }
+                };
+                if let Some(due) = msg.due {
+                    let now = Instant::now();
+                    if due > now && !wd.sleep(due - now) {
+                        aborted = true;
+                        break 'program;
+                    }
+                }
+                ready = clock.now();
+                let tensor = msg.tensor;
                 if part == Part::Both {
                     // Aggregated last-sliced-micro-batch message: unpack the
                     // two halves (§III-C).
@@ -306,23 +642,22 @@ fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
                 }
             }
             OpKind::Fwd { mb, chunk, part } => {
-                let stage = &mut ctx.chunks[chunk];
+                let compute_started = Instant::now();
+                let stage = &mut chunks[chunk];
                 let input = if stage.has_embedding() {
-                    let rows = ctx.batch.rows_of_part(part);
-                    StageInput::Tokens(
-                        ctx.batch.ids[mb][rows.start * ctx.seq..rows.end * ctx.seq].to_vec(),
-                    )
+                    let rows = batch.rows_of_part(part);
+                    StageInput::Tokens(batch.ids[mb][rows.start * seq..rows.end * seq].to_vec())
                 } else {
                     StageInput::Hidden(pending_acts.remove(&(mb, chunk, part)).unwrap_or_else(
                         || panic!("device {d} chunk {chunk}: missing act {mb} {part:?}"),
                     ))
                 };
                 if stage.has_head() {
-                    let rows = ctx.batch.rows_of_part(part);
+                    let rows = batch.rows_of_part(part);
                     stage.set_targets(
                         mb,
                         part,
-                        ctx.batch.targets[mb][rows.start * ctx.seq..rows.end * ctx.seq].to_vec(),
+                        batch.targets[mb][rows.start * seq..rows.end * seq].to_vec(),
                     );
                 }
                 match stage.forward(mb, part, input) {
@@ -330,6 +665,10 @@ fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
                         fwd_out.insert((mb, chunk, part), t);
                     }
                     StageOutput::Loss(l) => loss_sum += l,
+                }
+                if !straggle(faults, wd, sched.stage_of(d, chunk), compute_started) {
+                    aborted = true;
+                    break 'program;
                 }
             }
             OpKind::SendAct {
@@ -352,16 +691,31 @@ fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
                     })
                 };
                 let (key, _) = op_key(sched, d, op).expect("send op has a key");
-                ep.send_to(to, key, tensor);
+                let delay = faults.map_or(0.0, |f| f.link_delay(d, to, &key));
+                ep.send_to(to, key, pack(tensor, delay));
             }
             OpKind::RecvGrad { mb, chunk, .. } => {
                 let (key, _) = op_key(sched, d, op).expect("recv op has a key");
-                let tensor = ep.recv(key);
-                ready = ctx.clock.now();
-                pending_grads.insert((mb, chunk), tensor);
+                let msg = match wd.recv(&mut ep, d, j, op, key, &mut wd_events) {
+                    Ok(msg) => msg,
+                    Err(_) => {
+                        aborted = true;
+                        break 'program;
+                    }
+                };
+                if let Some(due) = msg.due {
+                    let now = Instant::now();
+                    if due > now && !wd.sleep(due - now) {
+                        aborted = true;
+                        break 'program;
+                    }
+                }
+                ready = clock.now();
+                pending_grads.insert((mb, chunk), msg.tensor);
             }
             OpKind::Bwd { mb, chunk } => {
-                let stage = &mut ctx.chunks[chunk];
+                let compute_started = Instant::now();
+                let stage = &mut chunks[chunk];
                 let d_out = pending_grads.remove(&(mb, chunk));
                 if !stage.has_head() {
                     assert!(
@@ -369,8 +723,12 @@ fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
                         "device {d} chunk {chunk}: missing grad for mb {mb}"
                     );
                 }
-                if let Some(dx) = stage.backward_microbatch(mb, d_out.as_ref(), ctx.grad_scale) {
+                if let Some(dx) = stage.backward_microbatch(mb, d_out.as_ref(), grad_scale) {
                     bwd_out.insert((mb, chunk), dx);
+                }
+                if !straggle(faults, wd, sched.stage_of(d, chunk), compute_started) {
+                    aborted = true;
+                    break 'program;
                 }
             }
             OpKind::SendGrad { mb, chunk, to } => {
@@ -378,7 +736,8 @@ fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
                     .remove(&(mb, chunk))
                     .unwrap_or_else(|| panic!("device {d} chunk {chunk}: missing bwd out {mb}"));
                 let (key, _) = op_key(sched, d, op).expect("send op has a key");
-                ep.send_to(to, key, tensor);
+                let delay = faults.map_or(0.0, |f| f.link_delay(d, to, &key));
+                ep.send_to(to, key, pack(tensor, delay));
             }
         }
         events.push(TraceEvent {
@@ -386,16 +745,43 @@ fn run_device(ctx: DeviceCtx<'_>) -> (f32, Vec<TraceEvent>) {
             op: *op,
             start,
             ready,
-            end: ctx.clock.now(),
+            end: clock.now(),
         });
+        completed = j + 1;
     }
-    (loss_sum, events)
+    DeviceOutcome {
+        loss: loss_sum,
+        events,
+        wd_events,
+        completed,
+        aborted,
+    }
+}
+
+/// Apply an injected straggler to a just-finished compute op: the stage's
+/// real elapsed time stretches by `factor`, so the slowdown self-scales to
+/// whatever the compute actually costs. Returns false if the pipeline was
+/// poisoned during the stretch.
+fn straggle(
+    faults: Option<&FaultPlan>,
+    wd: &Watchdog,
+    stage: usize,
+    compute_started: Instant,
+) -> bool {
+    let Some(fp) = faults else { return true };
+    let factor = fp.compute_factor(stage);
+    if factor <= 1.0 {
+        return true;
+    }
+    let extra = compute_started.elapsed().mul_f64(factor - 1.0);
+    wd.sleep(extra)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::reference::ReferenceModel;
+    use autopipe_exec::FaultSpec;
     use autopipe_model::ModelFamily;
     use autopipe_schedule::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
 
@@ -449,10 +835,10 @@ mod tests {
         let model = tiny();
         let m = 4;
         let batch = BatchSet::synthetic(5, m, 2, model.seq_len, model.vocab_size);
-        let mut pipe = Pipeline::new(&cfg(one_f_one_b(2, m), partition2(), false));
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
         let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
         for it in 0..3 {
-            let pl = pipe.train_iteration(&batch).loss;
+            let pl = pipe.train_iteration(&batch).unwrap().loss;
             let rl = reference.train_iteration(&batch);
             close(pl as f64, rl as f64, 1e-4, &format!("loss iter {it}"));
         }
@@ -471,9 +857,9 @@ mod tests {
         // 7 blocks into 4 stages.
         let part = Partition::new(vec![0, 2, 4, 6, 7]);
         let batch = BatchSet::synthetic(6, m, 2, model.seq_len, model.vocab_size);
-        let mut pipe = Pipeline::new(&cfg(one_f_one_b(4, m), part, false));
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(4, m), part, false)).unwrap();
         let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
-        let pl = pipe.train_iteration(&batch).loss;
+        let pl = pipe.train_iteration(&batch).unwrap().loss;
         let rl = reference.train_iteration(&batch);
         close(pl as f64, rl as f64, 1e-4, "loss");
         close(
@@ -493,9 +879,10 @@ mod tests {
         let part = Partition::new(vec![0, 2, 4, 6, 7]);
         let batch = BatchSet::synthetic(7, m, 4, model.seq_len, model.vocab_size);
         for n_sliced in [1, 2, 3] {
-            let mut pipe = Pipeline::new(&cfg(sliced_1f1b(4, m, n_sliced), part.clone(), false));
+            let mut pipe =
+                Pipeline::try_new(&cfg(sliced_1f1b(4, m, n_sliced), part.clone(), false)).unwrap();
             let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
-            let pl = pipe.train_iteration(&batch).loss;
+            let pl = pipe.train_iteration(&batch).unwrap().loss;
             let rl = reference.train_iteration(&batch);
             close(
                 pl as f64,
@@ -532,11 +919,11 @@ mod tests {
             seed: 77,
             checkpointing: false,
         };
-        let mut pipe = Pipeline::new(&pipe_cfg);
+        let mut pipe = Pipeline::try_new(&pipe_cfg).unwrap();
         let mut reference = ReferenceModel::new(&model, 77, 1e-3, false);
         let batch = BatchSet::synthetic(8, m, 2, model.seq_len, model.vocab_size);
         for it in 0..2 {
-            let pl = pipe.train_iteration(&batch).loss;
+            let pl = pipe.train_iteration(&batch).unwrap().loss;
             let rl = reference.train_iteration(&batch);
             close(
                 pl as f64,
@@ -558,10 +945,10 @@ mod tests {
         let model = tiny();
         let m = 4;
         let batch = BatchSet::synthetic(8, m, 2, model.seq_len, model.vocab_size);
-        let mut plain = Pipeline::new(&cfg(one_f_one_b(2, m), partition2(), false));
-        let mut ckpt = Pipeline::new(&cfg(one_f_one_b(2, m), partition2(), true));
-        let lp = plain.train_iteration(&batch).loss;
-        let lc = ckpt.train_iteration(&batch).loss;
+        let mut plain = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        let mut ckpt = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), true)).unwrap();
+        let lp = plain.train_iteration(&batch).unwrap().loss;
+        let lc = ckpt.train_iteration(&batch).unwrap().loss;
         close(lp as f64, lc as f64, 1e-5, "loss");
         close(
             plain.param_checksum(),
@@ -576,9 +963,9 @@ mod tests {
         let model = tiny();
         let m = 4;
         let batch = BatchSet::synthetic(9, m, 2, model.seq_len, model.vocab_size);
-        let mut pipe = Pipeline::new(&cfg(gpipe(2, m), partition2(), false));
+        let mut pipe = Pipeline::try_new(&cfg(gpipe(2, m), partition2(), false)).unwrap();
         let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
-        let pl = pipe.train_iteration(&batch).loss;
+        let pl = pipe.train_iteration(&batch).unwrap().loss;
         let rl = reference.train_iteration(&batch);
         close(pl as f64, rl as f64, 1e-4, "gpipe loss");
     }
@@ -598,12 +985,15 @@ mod tests {
             seq: full.seq,
         };
         let mut reps = vec![
-            Pipeline::new(&cfg(one_f_one_b(2, m_rep), partition2(), false)),
-            Pipeline::new(&cfg(one_f_one_b(2, m_rep), partition2(), false)),
+            Pipeline::try_new(&cfg(one_f_one_b(2, m_rep), partition2(), false)).unwrap(),
+            Pipeline::try_new(&cfg(one_f_one_b(2, m_rep), partition2(), false)).unwrap(),
         ];
-        let l0 = reps[0].forward_backward(&split(0, m_rep)).loss;
-        let l1 = reps[1].forward_backward(&split(m_rep, m_total)).loss;
-        data_parallel_step(&mut reps);
+        let l0 = reps[0].forward_backward(&split(0, m_rep)).unwrap().loss;
+        let l1 = reps[1]
+            .forward_backward(&split(m_rep, m_total))
+            .unwrap()
+            .loss;
+        data_parallel_step(&mut reps).unwrap();
         let mut reference = ReferenceModel::new(&model, 99, 1e-3, false);
         let rl = reference.train_iteration(&full);
         close(((l0 + l1) / 2.0) as f64, rl as f64, 1e-4, "hybrid loss");
@@ -626,14 +1016,15 @@ mod tests {
         let model = tiny();
         let m = 4;
         let batch = BatchSet::synthetic(11, m, 2, model.seq_len, model.vocab_size);
-        let mut pipe = Pipeline::new(&PipelineConfig {
+        let mut pipe = Pipeline::try_new(&PipelineConfig {
             lr: 3e-3,
             ..cfg(sliced_1f1b(2, m, 1), partition2(), true)
-        });
-        let first = pipe.train_iteration(&batch).loss;
+        })
+        .unwrap();
+        let first = pipe.train_iteration(&batch).unwrap().loss;
         let mut last = first;
         for _ in 0..10 {
-            last = pipe.train_iteration(&batch).loss;
+            last = pipe.train_iteration(&batch).unwrap().loss;
         }
         assert!(last < first, "{first} -> {last}");
     }
@@ -644,9 +1035,9 @@ mod tests {
         let m = 4;
         let sched = sliced_1f1b(2, m, 2);
         let batch = BatchSet::synthetic(12, m, 2, model.seq_len, model.vocab_size);
-        let mut pipe = Pipeline::new(&cfg(sched.clone(), partition2(), false));
+        let mut pipe = Pipeline::try_new(&cfg(sched.clone(), partition2(), false)).unwrap();
         assert!(pipe.last_timeline().is_none());
-        let stats = pipe.forward_backward(&batch);
+        let stats = pipe.forward_backward(&batch).unwrap();
         let tl = pipe.last_timeline().expect("timeline after an iteration");
         // Every scheduled op appears, in program order, with sane times.
         assert_eq!(tl.n_devices(), 2);
@@ -663,5 +1054,201 @@ mod tests {
             stats.wall,
             tl.iteration_time()
         );
+    }
+
+    #[test]
+    fn invalid_configs_are_reported_not_panicked() {
+        // Stage-count mismatch between schedule and partition.
+        let bad = PipelineConfig {
+            partition: Partition::new(vec![0, 2, 4, 7]),
+            ..cfg(one_f_one_b(2, 4), partition2(), false)
+        };
+        assert!(matches!(
+            Pipeline::try_new(&bad),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        // Block-count mismatch with the lowered model.
+        let bad = cfg(one_f_one_b(2, 4), Partition::new(vec![0, 3, 8]), false);
+        assert!(matches!(
+            Pipeline::try_new(&bad),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        // Bad learning rate.
+        let bad = PipelineConfig {
+            lr: f32::NAN,
+            ..cfg(one_f_one_b(2, 4), partition2(), false)
+        };
+        assert!(matches!(
+            Pipeline::try_new(&bad),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+        // Batch / schedule micro-batch mismatch.
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, 4), partition2(), false)).unwrap();
+        let model = tiny();
+        let batch = BatchSet::synthetic(1, 3, 2, model.seq_len, model.vocab_size);
+        assert!(matches!(
+            pipe.forward_backward(&batch),
+            Err(RuntimeError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn injected_faults_change_timing_but_not_numerics() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(21, m, 2, model.seq_len, model.vocab_size);
+        let run = |plan: Option<FaultPlan>| {
+            let mut pipe =
+                Pipeline::try_new(&cfg(sliced_1f1b(2, m, 1), partition2(), false)).unwrap();
+            if let Some(p) = plan {
+                // Tiny time scale: microseconds of real sleep per virtual
+                // second, so the test stays fast.
+                pipe.set_faults(p, 2e-5);
+            }
+            let mut losses = Vec::new();
+            for _ in 0..2 {
+                losses.push(pipe.train_iteration(&batch).unwrap().loss);
+            }
+            (losses, pipe.param_checksum())
+        };
+        let clean = run(None);
+        for seed in [3u64, 17, 404] {
+            let plan = FaultPlan::random(seed, &FaultSpec::new(2, 60, 1.0));
+            let faulty = run(Some(plan));
+            assert_eq!(
+                clean.0, faulty.0,
+                "losses drifted under faults (seed {seed})"
+            );
+            assert_eq!(
+                clean.1.to_bits(),
+                faulty.1.to_bits(),
+                "params drifted under faults (seed {seed})"
+            );
+        }
+    }
+
+    #[test]
+    fn watchdog_reports_an_injected_stall_and_recovers() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(22, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        // One long stage stall on device 0; generous retry budget so the
+        // run completes, but a short base timeout so the watchdog fires.
+        let plan = FaultPlan {
+            stalls: vec![autopipe_exec::StageStall {
+                device: 0,
+                op_index: 2,
+                pause: 1.0,
+            }],
+            ..FaultPlan::none()
+        };
+        pipe.set_faults(plan, 0.08); // stall sleeps ~80ms
+        pipe.set_watchdog(WatchdogConfig {
+            base_timeout: Duration::from_millis(10),
+            slack: 4.0,
+            backoff: 2.0,
+            max_retries: 40,
+        });
+        let stats = pipe.train_iteration(&batch).unwrap();
+        assert!(stats.loss.is_finite());
+        let report = pipe.last_fault_report().expect("report after iteration");
+        assert!(!report.aborted);
+        assert!(
+            report.delays() > 0,
+            "watchdog should log resolved waits opposite the stall: {report}"
+        );
+    }
+
+    #[test]
+    fn unresolvable_stall_aborts_with_a_structured_report() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(23, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        // A stall far longer than the whole watchdog budget: the retries
+        // exhaust and the run aborts instead of deadlocking.
+        let plan = FaultPlan {
+            stalls: vec![autopipe_exec::StageStall {
+                device: 0,
+                op_index: 0,
+                pause: 1.0,
+            }],
+            ..FaultPlan::none()
+        };
+        pipe.set_faults(plan, 10.0); // 10 s stall
+        pipe.set_watchdog(WatchdogConfig {
+            base_timeout: Duration::from_millis(5),
+            slack: 4.0,
+            backoff: 1.5,
+            max_retries: 3,
+        });
+        let start = Instant::now();
+        let err = pipe.train_iteration(&batch).unwrap_err();
+        assert!(
+            start.elapsed() < Duration::from_secs(8),
+            "abort should beat the stall"
+        );
+        match err {
+            RuntimeError::Stalled(report) => {
+                assert!(report.aborted);
+                assert!(report.stalls() > 0, "report must carry the stall: {report}");
+            }
+            other => panic!("expected a stall report, got {other}"),
+        }
+        assert!(pipe.last_timeline().is_none(), "no timeline for an abort");
+    }
+
+    #[test]
+    fn repartition_hot_swap_preserves_training_exactly() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(31, m, 2, model.seq_len, model.vocab_size);
+
+        // Reference: train 4 iterations on the initial (unbalanced) split.
+        let mut fixed = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        let mut ref_losses = Vec::new();
+        for _ in 0..4 {
+            ref_losses.push(fixed.train_iteration(&batch).unwrap().loss);
+        }
+
+        // Same model, but repartitioned after iteration 2 (2 stages -> 4).
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        let mut losses = Vec::new();
+        for _ in 0..2 {
+            losses.push(pipe.train_iteration(&batch).unwrap().loss);
+        }
+        pipe.repartition(&Partition::new(vec![0, 2, 4, 6, 7]), one_f_one_b(4, m))
+            .unwrap();
+        assert_eq!(pipe.partition().n_stages(), 4);
+        for _ in 0..2 {
+            losses.push(pipe.train_iteration(&batch).unwrap().loss);
+        }
+        assert_eq!(ref_losses, losses, "losses must be identical across swap");
+        assert_eq!(
+            fixed.param_checksum().to_bits(),
+            pipe.param_checksum().to_bits(),
+            "hot swap must not perturb parameters"
+        );
+    }
+
+    #[test]
+    fn repartition_rejects_incompatible_shapes() {
+        let m = 4;
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        // Wrong block count.
+        assert!(pipe
+            .repartition(&Partition::new(vec![0, 3, 8]), one_f_one_b(2, m))
+            .is_err());
+        // Wrong micro-batch count.
+        assert!(pipe
+            .repartition(&partition2(), one_f_one_b(2, m + 2))
+            .is_err());
+        // Schedule / partition stage mismatch.
+        assert!(pipe.repartition(&partition2(), one_f_one_b(4, m)).is_err());
+        // Still trainable after the rejected swaps.
+        let model = tiny();
+        let batch = BatchSet::synthetic(32, m, 2, model.seq_len, model.vocab_size);
+        assert!(pipe.train_iteration(&batch).is_ok());
     }
 }

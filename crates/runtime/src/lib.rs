@@ -18,15 +18,27 @@
 //! Scope: sub-layer-granularity GPT-family stages (the interleaved schedule
 //! is evaluated in the discrete-event simulator only).
 
+//!
+//! Fault tolerance (see `DESIGN.md`): injected [`autopipe_exec::FaultPlan`]
+//! scripts replay in wall time, every channel wait runs under a stall
+//! [`watchdog`], persistent stragglers are detected by
+//! [`adaptive::StragglerMonitor`], and
+//! [`Pipeline::repartition`](engine::Pipeline::repartition) hot-swaps plans
+//! between iterations without perturbing training numerics.
+
+pub mod adaptive;
 pub mod checkpoint;
 pub mod data;
 pub mod engine;
 pub mod reference;
 pub mod stage;
 pub mod trainer;
+pub mod watchdog;
 
+pub use adaptive::{stage_compute_times, StragglerConfig, StragglerMonitor, StragglerObservation};
 pub use checkpoint::Checkpoint;
 pub use data::BatchSet;
-pub use engine::{Pipeline, PipelineConfig};
+pub use engine::{data_parallel_step, IterationStats, Pipeline, PipelineConfig};
 pub use reference::ReferenceModel;
 pub use trainer::{Trainer, TrainerConfig};
+pub use watchdog::{FaultReport, RuntimeError, WatchdogConfig, WatchdogEvent};

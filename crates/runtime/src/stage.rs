@@ -41,6 +41,12 @@ impl Module {
         }
     }
 
+    /// Number of parameter tensors this module owns (partition migration
+    /// needs it to re-split a flat parameter stream along new boundaries).
+    pub(crate) fn param_count(&self) -> usize {
+        self.params().len()
+    }
+
     fn params_mut(&mut self) -> Vec<&mut Tensor> {
         match self {
             Module::Embedding(m) => m.params_mut(),
@@ -206,6 +212,40 @@ impl StageModel {
             seq,
             checkpointing,
         }
+    }
+
+    /// Rebuild a stage around an already-built module run — the receiving
+    /// side of a partition hot-swap. Parameters and optimiser moments are
+    /// expected to follow via [`StageModel::import_state`]
+    /// (the fresh Adam built here is placeholder state).
+    pub(crate) fn from_parts(
+        modules: Vec<Module>,
+        seq: usize,
+        lr: f32,
+        checkpointing: bool,
+    ) -> StageModel {
+        let grads: Vec<Tensor> = modules
+            .iter()
+            .flat_map(|m| m.params().into_iter().map(|p| Tensor::zeros(p.shape())))
+            .collect();
+        let param_refs: Vec<&Tensor> = modules.iter().flat_map(|m| m.params()).collect();
+        let adam = Adam::new(lr, &param_refs);
+        StageModel {
+            modules,
+            grads,
+            adam,
+            caches: HashMap::new(),
+            inputs: HashMap::new(),
+            targets: HashMap::new(),
+            seq,
+            checkpointing,
+        }
+    }
+
+    /// Decompose into the owned module run, in block order — the sending
+    /// side of a partition hot-swap.
+    pub(crate) fn into_modules(self) -> Vec<Module> {
+        self.modules
     }
 
     /// Provide the targets for a (micro-batch, part) — only meaningful on

@@ -7,6 +7,7 @@ use autopipe_model::ModelConfig;
 
 use crate::data::BatchSet;
 use crate::engine::{Pipeline, PipelineConfig};
+use crate::watchdog::RuntimeError;
 
 /// Training-loop hyper-parameters.
 #[derive(Debug, Clone, Copy)]
@@ -53,13 +54,19 @@ pub struct Trainer {
 }
 
 impl Trainer {
-    /// Build from a pipeline configuration.
-    pub fn new(pipe_cfg: &PipelineConfig, cfg: TrainerConfig) -> Trainer {
-        Trainer {
-            pipeline: Pipeline::new(pipe_cfg),
+    /// Build from a pipeline configuration, validating it.
+    pub fn try_new(pipe_cfg: &PipelineConfig, cfg: TrainerConfig) -> Result<Trainer, RuntimeError> {
+        Ok(Trainer {
+            pipeline: Pipeline::try_new(pipe_cfg)?,
             cfg,
             step: 0,
-        }
+        })
+    }
+
+    /// Build from a pipeline configuration.
+    #[deprecated(note = "use `Trainer::try_new`, which reports invalid configurations")]
+    pub fn new(pipe_cfg: &PipelineConfig, cfg: TrainerConfig) -> Trainer {
+        Trainer::try_new(pipe_cfg, cfg).expect("invalid pipeline configuration")
     }
 
     /// Current learning rate per the warmup+cosine schedule.
@@ -68,10 +75,10 @@ impl Trainer {
     }
 
     /// One training iteration: forward/backward, clip, schedule LR, step.
-    pub fn train_iteration(&mut self, batch: &BatchSet) -> TrainStep {
+    pub fn train_iteration(&mut self, batch: &BatchSet) -> Result<TrainStep, RuntimeError> {
         let lr = self.current_lr();
         self.pipeline.set_lr(lr);
-        let stats = self.pipeline.forward_backward(batch);
+        let stats = self.pipeline.forward_backward(batch)?;
         let grad_norm = match self.cfg.clip_norm {
             Some(c) => self.pipeline.clip_gradients(c),
             None => 0.0,
@@ -84,12 +91,18 @@ impl Trainer {
             grad_norm,
         };
         self.step += 1;
-        record
+        Ok(record)
     }
 
     /// The underlying pipeline (inspection, checksums).
     pub fn pipeline(&self) -> &Pipeline {
         &self.pipeline
+    }
+
+    /// Mutable access to the underlying pipeline (fault scripts, watchdog
+    /// configuration, repartitioning between iterations).
+    pub fn pipeline_mut(&mut self) -> &mut Pipeline {
+        &mut self.pipeline
     }
 }
 
@@ -114,8 +127,8 @@ pub fn train_copy_task(
     m: usize,
     mbs: usize,
     iters: usize,
-) -> Vec<TrainStep> {
-    let mut trainer = Trainer::new(pipe_cfg, cfg);
+) -> Result<Vec<TrainStep>, RuntimeError> {
+    let mut trainer = Trainer::try_new(pipe_cfg, cfg)?;
     let batch = BatchSet::copy_task(7, m, mbs, model.seq_len, model.vocab_size);
     (0..iters)
         .map(|_| trainer.train_iteration(&batch))
@@ -183,7 +196,8 @@ mod tests {
             4,
             4,
             60,
-        );
+        )
+        .unwrap();
         let first = steps.first().unwrap().loss;
         let last = steps.last().unwrap().loss;
         assert!(
@@ -207,15 +221,16 @@ mod tests {
             seed: 12,
             checkpointing: false,
         };
-        let mut trainer = Trainer::new(
+        let mut trainer = Trainer::try_new(
             &pipe_cfg,
             TrainerConfig {
                 clip_norm: Some(0.05),
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         let batch = BatchSet::copy_task(3, 2, 2, model.seq_len, model.vocab_size);
-        let step = trainer.train_iteration(&batch);
+        let step = trainer.train_iteration(&batch).unwrap();
         // Fresh random model on a hard batch: the raw norm exceeds the clip.
         assert!(step.grad_norm > 0.05, "raw norm {}", step.grad_norm);
     }

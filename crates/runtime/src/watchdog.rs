@@ -1,0 +1,402 @@
+//! Stall watchdog: bounded channel waits instead of indefinite blocking.
+//!
+//! The threaded engine used to block forever on [`ChannelEndpoint::recv`] —
+//! a missing message (peer crash, schedule bug, injected stall) silently
+//! deadlocked the whole `thread::scope`. The watchdog replaces every channel
+//! wait with a deadline loop:
+//!
+//! 1. Poll for the message; on arrival, deliver (recording a
+//!    [`WatchdogEvent`] if any deadline had already expired — a *resolved*
+//!    firing, the signature of an injected stall or straggler upstream).
+//! 2. On an expired deadline, extend the budget by `backoff`× and retry,
+//!    up to `max_retries` times.
+//! 3. When retries are exhausted, set a shared poison flag so every device
+//!    thread bails cooperatively, and report the wait as an *unresolved*
+//!    stall. The iteration returns [`RuntimeError::Stalled`] carrying a
+//!    structured [`FaultReport`] — a silent deadlock becomes data.
+//!
+//! Per-op deadlines derive from the simulator's expected end-times: the
+//! expected *gap* between an op and its predecessor (scaled into wall time)
+//! plus a slack multiplier, floored by `base_timeout`. With no expected
+//! timeline the flat `base_timeout` applies.
+//!
+//! [`ChannelEndpoint::recv`]: autopipe_exec::ChannelEndpoint::recv
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use autopipe_exec::{ChannelEndpoint, MsgKey, Timeline, Transport};
+use autopipe_schedule::Op;
+
+/// Watchdog knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Minimum wait budget per channel wait — the deadline floor.
+    pub base_timeout: Duration,
+    /// Multiplier on the expected (scaled) op gap when an expected timeline
+    /// is installed.
+    pub slack: f64,
+    /// Budget multiplier applied on every retry.
+    pub backoff: f64,
+    /// Expired deadlines tolerated on one wait before the run is aborted.
+    pub max_retries: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        // Generous for laptop-scale pipelines: healthy iterations complete
+        // in milliseconds, so a 500 ms first deadline never fires on a
+        // healthy run, while a true deadlock aborts within
+        // 0.5·(1+2+4+8+16+32) ≈ 32 s instead of hanging forever.
+        WatchdogConfig {
+            base_timeout: Duration::from_millis(500),
+            slack: 4.0,
+            backoff: 2.0,
+            max_retries: 5,
+        }
+    }
+}
+
+/// One watchdog firing: a channel wait that outlived its deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchdogEvent {
+    /// Device that waited.
+    pub device: usize,
+    /// Index of the waiting op in the device's program.
+    pub op_index: usize,
+    /// The waiting op.
+    pub op: Op,
+    /// Total seconds waited when the event was recorded.
+    pub waited: f64,
+    /// How many deadlines expired.
+    pub timeouts: u32,
+    /// Whether the message eventually arrived (`true`: delayed, the run
+    /// continued; `false`: the wait was abandoned and the run aborted).
+    pub resolved: bool,
+}
+
+/// Structured outcome of a watched iteration: every firing plus, on abort,
+/// how far each device got.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// All watchdog firings, resolved and not.
+    pub events: Vec<WatchdogEvent>,
+    /// Whether the iteration was abandoned.
+    pub aborted: bool,
+    /// Per-device program counter reached (ops completed).
+    pub counters: Vec<usize>,
+}
+
+impl FaultReport {
+    /// Firings that never resolved — the actual stalls.
+    pub fn stalls(&self) -> usize {
+        self.events.iter().filter(|e| !e.resolved).count()
+    }
+
+    /// Firings that resolved after a delay (stragglers, slow links).
+    pub fn delays(&self) -> usize {
+        self.events.iter().filter(|e| e.resolved).count()
+    }
+}
+
+impl std::fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} watchdog firing(s) ({} unresolved), aborted: {}, counters {:?}",
+            self.events.len(),
+            self.stalls(),
+            self.aborted,
+            self.counters
+        )
+    }
+}
+
+/// Runtime failure: invalid configuration or a watchdog-detected stall.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// A configuration the engine cannot execute.
+    InvalidConfig(String),
+    /// The watchdog abandoned a channel wait; the report says where.
+    Stalled(FaultReport),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(s) => write!(f, "invalid runtime configuration: {s}"),
+            RuntimeError::Stalled(r) => write!(f, "pipeline stalled: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+// The facade's unified error wraps runtime failures behind a boxed source
+// (this crate sits above `autopipe-core` in the dependency graph, so the
+// conversion has to live here).
+impl From<RuntimeError> for autopipe_core::Error {
+    fn from(e: RuntimeError) -> autopipe_core::Error {
+        autopipe_core::Error::Runtime(Box::new(e))
+    }
+}
+
+/// Shared watchdog state for one iteration: the config, the per-op deadline
+/// table, and the poison flag every device thread checks.
+pub(crate) struct Watchdog {
+    cfg: WatchdogConfig,
+    /// Per-device, per-op wait budget (already in wall time), derived from
+    /// an expected timeline; `None` falls back to `cfg.base_timeout`.
+    deadlines: Option<Vec<Vec<Duration>>>,
+    poison: AtomicBool,
+}
+
+impl Watchdog {
+    pub(crate) fn new(cfg: WatchdogConfig, deadlines: Option<Vec<Vec<Duration>>>) -> Watchdog {
+        Watchdog {
+            cfg,
+            deadlines,
+            poison: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn poisoned(&self) -> bool {
+        self.poison.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn poison(&self) {
+        self.poison.store(true, Ordering::Relaxed);
+    }
+
+    /// First-deadline budget for op `op_index` on `device`.
+    fn budget(&self, device: usize, op_index: usize) -> Duration {
+        let derived = self
+            .deadlines
+            .as_ref()
+            .and_then(|d| d.get(device))
+            .and_then(|lane| lane.get(op_index))
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        derived.max(self.cfg.base_timeout)
+    }
+
+    /// Deadline-looped receive. `Ok` delivers the payload; `Err(true)` means
+    /// this wait was abandoned (and the pipeline poisoned); `Err(false)`
+    /// means another thread poisoned the pipeline while we waited.
+    pub(crate) fn recv<T>(
+        &self,
+        ep: &mut ChannelEndpoint<T>,
+        device: usize,
+        op_index: usize,
+        op: &Op,
+        key: MsgKey,
+        events: &mut Vec<WatchdogEvent>,
+    ) -> Result<T, bool> {
+        let started = Instant::now();
+        let mut budget = self.budget(device, op_index);
+        let mut deadline = started + budget;
+        let mut timeouts = 0u32;
+        loop {
+            if let Some((payload, _)) = ep.try_recv(device, key) {
+                if timeouts > 0 {
+                    events.push(WatchdogEvent {
+                        device,
+                        op_index,
+                        op: *op,
+                        waited: started.elapsed().as_secs_f64(),
+                        timeouts,
+                        resolved: true,
+                    });
+                }
+                return Ok(payload);
+            }
+            if self.poisoned() {
+                return Err(false);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                timeouts += 1;
+                if timeouts > self.cfg.max_retries {
+                    events.push(WatchdogEvent {
+                        device,
+                        op_index,
+                        op: *op,
+                        waited: started.elapsed().as_secs_f64(),
+                        timeouts,
+                        resolved: false,
+                    });
+                    self.poison();
+                    return Err(true);
+                }
+                budget = budget.mul_f64(self.cfg.backoff.max(1.0));
+                deadline = now + budget;
+            }
+            // Stay responsive for fast messages, polite once a deadline has
+            // already slipped.
+            if timeouts == 0 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        }
+    }
+
+    /// Poison-aware sleep (fault injection): sleeps in small chunks so an
+    /// aborting pipeline never waits out a long injected pause. Returns
+    /// false if the pipeline was poisoned mid-sleep.
+    pub(crate) fn sleep(&self, dur: Duration) -> bool {
+        const CHUNK: Duration = Duration::from_millis(5);
+        let deadline = Instant::now() + dur;
+        loop {
+            if self.poisoned() {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return true;
+            }
+            std::thread::sleep((deadline - now).min(CHUNK));
+        }
+    }
+}
+
+/// Derive per-op wait budgets from an expected timeline (typically the event
+/// simulator's run of the same schedule): each op's budget is `slack ×
+/// time_scale × (end_j − end_{j−1})` — the expected wall-clock gap to its
+/// predecessor, which for a recv covers both the upstream compute it waits
+/// on and the link transfer. The engine floors these with `base_timeout`.
+pub(crate) fn deadlines_from_timeline(
+    expected: &Timeline,
+    time_scale: f64,
+    slack: f64,
+) -> Vec<Vec<Duration>> {
+    (0..expected.n_devices())
+        .map(|d| {
+            let mut prev_end = 0.0;
+            expected
+                .device(d)
+                .map(|ev| {
+                    let gap = (ev.end - prev_end).max(0.0);
+                    prev_end = ev.end;
+                    Duration::from_secs_f64(gap * time_scale * slack)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_exec::channel_mesh;
+    use autopipe_schedule::{OpKind, Part};
+
+    fn key(mb: usize) -> MsgKey {
+        MsgKey::act(mb, Part::Full, 1)
+    }
+
+    fn recv_op(mb: usize) -> Op {
+        Op::new(OpKind::RecvAct {
+            mb,
+            chunk: 0,
+            part: Part::Full,
+            from: 0,
+        })
+    }
+
+    fn fast_cfg() -> WatchdogConfig {
+        WatchdogConfig {
+            base_timeout: Duration::from_millis(5),
+            slack: 2.0,
+            backoff: 1.5,
+            max_retries: 2,
+        }
+    }
+
+    #[test]
+    fn prompt_message_passes_without_events() {
+        let mut eps = channel_mesh::<u32>(2, [(0, 1)]);
+        let mut rx = eps.pop().unwrap();
+        let tx = eps.pop().unwrap();
+        tx.send_to(1, key(0), 7);
+        let wd = Watchdog::new(fast_cfg(), None);
+        let mut events = Vec::new();
+        let got = wd.recv(&mut rx, 1, 0, &recv_op(0), key(0), &mut events);
+        assert_eq!(got.unwrap(), 7);
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn late_message_resolves_with_a_recorded_event() {
+        let mut eps = channel_mesh::<u32>(2, [(0, 1)]);
+        let mut rx = eps.pop().unwrap();
+        let tx = eps.pop().unwrap();
+        let sender = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(12));
+            tx.send_to(1, key(0), 9);
+        });
+        let wd = Watchdog::new(fast_cfg(), None);
+        let mut events = Vec::new();
+        let got = wd.recv(&mut rx, 1, 3, &recv_op(0), key(0), &mut events);
+        sender.join().unwrap();
+        assert_eq!(got.unwrap(), 9);
+        assert_eq!(events.len(), 1);
+        assert!(events[0].resolved && events[0].timeouts >= 1);
+        assert_eq!(events[0].op_index, 3);
+        assert!(!wd.poisoned(), "a resolved delay must not poison the run");
+    }
+
+    #[test]
+    fn missing_message_aborts_and_poisons() {
+        let mut eps = channel_mesh::<u32>(2, [(0, 1)]);
+        let mut rx = eps.pop().unwrap();
+        let _tx = eps.pop().unwrap(); // never sends
+        let wd = Watchdog::new(fast_cfg(), None);
+        let mut events = Vec::new();
+        let started = Instant::now();
+        let got = wd.recv(&mut rx, 1, 0, &recv_op(0), key(0), &mut events);
+        assert!(matches!(got, Err(true)));
+        assert!(wd.poisoned());
+        assert_eq!(events.len(), 1);
+        assert!(!events[0].resolved);
+        // 5 + 7.5 + 11.25 ms of budgets: well under a second.
+        assert!(started.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn poisoned_sleep_bails_early() {
+        let wd = Watchdog::new(fast_cfg(), None);
+        wd.poison();
+        let started = Instant::now();
+        assert!(!wd.sleep(Duration::from_secs(10)));
+        assert!(started.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn deadlines_scale_the_expected_gaps() {
+        use autopipe_exec::{OpTimes, Recorder, TraceSink};
+        let programs = vec![vec![recv_op(0), recv_op(1)]];
+        let mut r = Recorder::for_programs(&programs);
+        r.record_run(
+            0,
+            &[
+                OpTimes {
+                    start: 0.0,
+                    ready: 1.0,
+                    end: 1.0,
+                },
+                OpTimes {
+                    start: 1.0,
+                    ready: 4.0,
+                    end: 4.0,
+                },
+            ],
+        );
+        let tl = r.finish();
+        let d = deadlines_from_timeline(&tl, 0.5, 2.0);
+        assert_eq!(d.len(), 1);
+        // Gaps 1.0 and 3.0, × 0.5 scale × 2.0 slack.
+        assert_eq!(d[0][0], Duration::from_secs_f64(1.0));
+        assert_eq!(d[0][1], Duration::from_secs_f64(3.0));
+    }
+}

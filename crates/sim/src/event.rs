@@ -21,7 +21,8 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use autopipe_exec::{
-    op_key, LinkCost, NoTrace, OpTimes, Recorder, Timeline, TraceSink, Transport, VirtualTransport,
+    op_key, FaultPlan, LinkCost, NoTrace, OpTimes, Recorder, Timeline, TraceSink, Transport,
+    VirtualTransport,
 };
 use autopipe_schedule::{OpKind, Part, Schedule};
 
@@ -175,6 +176,28 @@ pub fn run_schedule(
     run_schedule_on(sched, costs, cfg, &mut transport)
 }
 
+/// Replay a seeded [`FaultPlan`] — link degradation/drops through the
+/// transport fault hook, stragglers and stalls in the sweep itself. The
+/// *same* script replays on the threaded runtime (`autopipe-runtime`), so a
+/// simulated faulty iteration can be compared op for op with a real one.
+pub fn run_schedule_faulty(
+    sched: &Schedule,
+    costs: &EventCosts,
+    cfg: &EventConfig,
+    plan: &FaultPlan,
+) -> Result<EventResult, SimError> {
+    let mut transport =
+        VirtualTransport::new(sched.n_devices, costs).with_boxed_fault(plan.link_fault_hook());
+    let mut recorder = Recorder::for_programs(&sched.devices);
+    let summary = sweep(sched, costs, cfg, Some(plan), &mut transport, &mut recorder)?;
+    Ok(EventResult {
+        iteration_time: summary.iteration_time,
+        startup_overhead: summary.startup_overhead,
+        device_busy: summary.device_busy,
+        timeline: recorder.finish(),
+    })
+}
+
 /// Run `sched` over a caller-supplied transport — the hook for injecting
 /// link faults (latency spikes, jitter) via
 /// [`autopipe_exec::VirtualTransport::with_fault`] or for substituting a
@@ -186,7 +209,7 @@ pub fn run_schedule_on<T: Transport<Payload = ()>>(
     transport: &mut T,
 ) -> Result<EventResult, SimError> {
     let mut recorder = Recorder::for_programs(&sched.devices);
-    let summary = sweep(sched, costs, cfg, transport, &mut recorder)?;
+    let summary = sweep(sched, costs, cfg, None, transport, &mut recorder)?;
     Ok(EventResult {
         iteration_time: summary.iteration_time,
         startup_overhead: summary.startup_overhead,
@@ -204,7 +227,7 @@ pub fn run_schedule_untraced(
     cfg: &EventConfig,
 ) -> Result<EventSummary, SimError> {
     let mut transport = VirtualTransport::new(sched.n_devices, costs);
-    sweep(sched, costs, cfg, &mut transport, &mut NoTrace)
+    sweep(sched, costs, cfg, None, &mut transport, &mut NoTrace)
 }
 
 /// The sweep: advance every device through its program as far as it can,
@@ -215,6 +238,7 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
     sched: &Schedule,
     costs: &EventCosts,
     cfg: &EventConfig,
+    faults: Option<&FaultPlan>,
     transport: &mut T,
     sink: &mut S,
 ) -> Result<EventSummary, SimError> {
@@ -248,6 +272,11 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
             while pc[d] < sched.devices[d].len() {
                 let op = sched.devices[d][pc[d]];
                 let mut ready = dev_free[d];
+                // An injected stall freezes the device before this op; it
+                // only takes effect once the op actually executes (a recv
+                // waiting on an absent message re-checks without stalling
+                // twice).
+                let stall = faults.map_or(0.0, |f| f.stall_pause(d, pc[d]));
                 let (start, end) = match op.kind {
                     OpKind::Fwd { chunk, part, .. } => {
                         let stage = sched.stage_of(d, chunk);
@@ -256,23 +285,26 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         } else {
                             1.0
                         };
-                        let dur = duration(costs.f[stage] * part.frac() * eff, cfg, &mut rng);
-                        let s = dev_free[d];
+                        let mut dur = duration(costs.f[stage] * part.frac() * eff, cfg, &mut rng);
+                        dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
+                        let s = dev_free[d] + stall;
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
                     OpKind::Bwd { chunk, .. } => {
                         let stage = sched.stage_of(d, chunk);
-                        let dur = duration(costs.b[stage], cfg, &mut rng);
-                        let s = dev_free[d];
+                        let mut dur = duration(costs.b[stage], cfg, &mut rng);
+                        dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
+                        let s = dev_free[d] + stall;
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
                     OpKind::SendAct { to, .. } | OpKind::SendGrad { to, .. } => {
                         let (key, _) = op_key(sched, d, &op).expect("send op has a key");
                         // Sends are asynchronous: zero device time.
-                        transport.send(d, to, key, (), dev_free[d]);
-                        (dev_free[d], dev_free[d])
+                        let t = dev_free[d] + stall;
+                        transport.send(d, to, key, (), t);
+                        (t, t)
                     }
                     OpKind::RecvAct { .. } => {
                         let (key, _) = op_key(sched, d, &op).expect("recv op has a key");
@@ -288,7 +320,7 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                                 if d == p - 1 && startup.is_none() {
                                     startup = Some(arrival);
                                 }
-                                (s, s.max(arrival))
+                                (s, (s + stall).max(arrival))
                             }
                             None => break,
                         }
@@ -298,7 +330,8 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         match transport.try_recv(d, key) {
                             Some(((), arrival)) => {
                                 ready = arrival;
-                                (dev_free[d], dev_free[d].max(arrival))
+                                let s = dev_free[d];
+                                (s, (s + stall).max(arrival))
                             }
                             None => break,
                         }
@@ -562,5 +595,70 @@ mod tests {
         );
         // Op orderings are untouched by link faults.
         clean.timeline.same_op_order(&degraded.timeline).unwrap();
+    }
+
+    #[test]
+    fn fault_plan_replay_is_deterministic_and_never_stalls() {
+        use autopipe_exec::FaultSpec;
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.01, 0.02);
+        let sched = sliced_1f1b(4, 8, 2);
+        let clean = run_schedule(&sched, &c, &EventConfig::default()).unwrap();
+        for seed in 0..30 {
+            let plan = autopipe_exec::FaultPlan::random(seed, &FaultSpec::new(4, 60, 0.5));
+            let a = run_schedule_faulty(&sched, &c, &EventConfig::default(), &plan).unwrap();
+            let b = run_schedule_faulty(&sched, &c, &EventConfig::default(), &plan).unwrap();
+            assert_eq!(
+                a.iteration_time, b.iteration_time,
+                "seed {seed}: replay must be deterministic"
+            );
+            assert!(
+                a.iteration_time >= clean.iteration_time - 1e-9,
+                "seed {seed}: faults cannot speed things up"
+            );
+            // Faults reschedule, never reorder or drop work.
+            clean.timeline.same_op_order(&a.timeline).unwrap();
+        }
+    }
+
+    #[test]
+    fn straggler_fault_slows_the_iteration_proportionally() {
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0, 0.01);
+        let sched = one_f_one_b(4, 8);
+        let clean = run_schedule(&sched, &c, &EventConfig::default()).unwrap();
+        let mut plan = autopipe_exec::FaultPlan::with_seed(1);
+        plan.stragglers.push(autopipe_exec::Straggler {
+            stage: 1,
+            factor: 2.0,
+        });
+        let slow = run_schedule_faulty(&sched, &c, &EventConfig::default(), &plan).unwrap();
+        // Stage 1 does m·(f+b) = 8·3 of work at 2×: the iteration is
+        // dominated by the straggler.
+        assert!(
+            slow.iteration_time > 1.5 * clean.iteration_time,
+            "slow {} vs clean {}",
+            slow.iteration_time,
+            clean.iteration_time
+        );
+    }
+
+    #[test]
+    fn stall_fault_delays_without_deadlocking() {
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0, 0.01);
+        let sched = one_f_one_b(4, 8);
+        let clean = run_schedule(&sched, &c, &EventConfig::default()).unwrap();
+        let mut plan = autopipe_exec::FaultPlan::with_seed(2);
+        plan.stalls.push(autopipe_exec::StageStall {
+            device: 2,
+            op_index: 5,
+            pause: 10.0,
+        });
+        let stalled = run_schedule_faulty(&sched, &c, &EventConfig::default(), &plan).unwrap();
+        assert!(
+            stalled.iteration_time >= clean.iteration_time + 5.0,
+            "stalled {} vs clean {}",
+            stalled.iteration_time,
+            clean.iteration_time
+        );
+        clean.timeline.same_op_order(&stalled.timeline).unwrap();
     }
 }

@@ -40,6 +40,11 @@ pub fn solve_sliced_count(costs: &StageCosts) -> usize {
     if p < 2 {
         return 0;
     }
+    // Degenerate cost databases (zero/negative/non-finite stage times, e.g.
+    // an unprofiled model) make the recurrence meaningless: don't slice.
+    if !degenerate_free(costs) {
+        return 0;
+    }
     let f = &costs.f;
     let b = &costs.b;
     let comm = costs.comm;
@@ -96,13 +101,25 @@ pub fn solve_sliced_count(costs: &StageCosts) -> usize {
     }
 }
 
+/// Slicing assumes every stage does real work and a sane (possibly zero)
+/// communication cost.
+fn degenerate_free(costs: &StageCosts) -> bool {
+    costs
+        .f
+        .iter()
+        .chain(&costs.b)
+        .all(|&t| t.is_finite() && t > 0.0)
+        && costs.comm.is_finite()
+        && costs.comm >= 0.0
+}
+
 /// Brute-force solver: slice `k = 0..p` micro-batches, run the event
 /// simulator, and return the smallest `k` whose iteration time is within
 /// `1e-9` of the best — the "appropriate number" the paper's Algorithm 2
 /// approximates analytically.
 pub fn solve_sliced_count_empirical(costs: &StageCosts, m: usize, latency: f64) -> usize {
     let p = costs.n_stages();
-    if p < 2 {
+    if p < 2 || m == 0 || !degenerate_free(costs) {
         return 0;
     }
     let ev = EventCosts::from_stage_costs(costs, latency);
@@ -124,6 +141,8 @@ pub fn solve_sliced_count_empirical(costs: &StageCosts, m: usize, latency: f64) 
 /// the schedule, and report startup estimates.
 pub fn plan_slicing(costs: &StageCosts, m: usize) -> SlicedPlan {
     let p = costs.n_stages();
+    // Clamp Algorithm 2's answer to what is executable: never more sliced
+    // micro-batches than exist, never past the Warmup depth.
     let n_sliced = solve_sliced_count(costs).min(m).min(p.saturating_sub(1));
     let schedule = sliced_1f1b(p, m, n_sliced);
     let fill: f64 = costs.f[..p.saturating_sub(1)].iter().sum::<f64>()
@@ -285,6 +304,69 @@ mod tests {
         let c = balanced(8, 1.0, 2.0, 0.01);
         let plan = plan_slicing(&c, 2);
         assert!(plan.n_sliced <= 2);
+    }
+
+    #[test]
+    fn zero_comm_agrees_with_empirical_optimum() {
+        // comm = 0 removes every comm/2 term from the recurrence; the port
+        // must still terminate and land on (or next to) the brute-force
+        // answer instead of under/overflowing the budget comparison.
+        for p in [2, 4, 8] {
+            let c = balanced(p, 1.0, 2.0, 0.0);
+            let analytic = solve_sliced_count(&c);
+            assert!(analytic < p, "p={p}: {analytic}");
+            let empirical = solve_sliced_count_empirical(&c, 2 * p, 0.0);
+            assert!(
+                analytic.abs_diff(empirical) <= 1,
+                "p={p} comm=0: algorithm2 {analytic} vs empirical {empirical}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_stage_agrees_with_empirical_everywhere() {
+        // p = 1: nothing to overlap, both solvers must answer 0 (the
+        // empirical solver would otherwise index an empty schedule edge set).
+        let c = balanced(1, 1.0, 2.0, 0.1);
+        assert_eq!(solve_sliced_count(&c), 0);
+        assert_eq!(solve_sliced_count_empirical(&c, 8, 0.001), 0);
+        let plan = plan_slicing(&c, 8);
+        assert_eq!(plan.n_sliced, 0);
+        assert_eq!(plan.startup_before, plan.startup_after);
+    }
+
+    #[test]
+    fn single_microbatch_is_clamped_and_executable() {
+        // m = 1 on a deep pipeline: Algorithm 2 may *want* several sliced
+        // micro-batches, but only one exists. The plan must clamp and the
+        // schedule must still simulate.
+        let c = balanced(6, 1.0, 2.0, 0.01);
+        assert!(solve_sliced_count(&c) >= 1);
+        let plan = plan_slicing(&c, 1);
+        assert!(plan.n_sliced <= 1);
+        let ev = EventCosts::from_stage_costs(&c, 0.001);
+        let r = run_schedule(&plan.schedule, &ev, &EventConfig::default()).unwrap();
+        assert!(r.iteration_time > 0.0);
+        // The empirical solver also accepts m = 1 (and m = 0 degenerates).
+        assert!(solve_sliced_count_empirical(&c, 1, 0.001) <= 1);
+        assert_eq!(solve_sliced_count_empirical(&c, 0, 0.001), 0);
+    }
+
+    #[test]
+    fn degenerate_costs_never_slice() {
+        // Zero, negative, or non-finite stage times (unprofiled or corrupt
+        // cost databases) must not drive the recurrence.
+        assert_eq!(solve_sliced_count(&balanced(4, 0.0, 0.0, 0.0)), 0);
+        assert_eq!(solve_sliced_count(&balanced(4, -1.0, 2.0, 0.01)), 0);
+        assert_eq!(solve_sliced_count(&balanced(4, f64::NAN, 2.0, 0.01)), 0);
+        assert_eq!(
+            solve_sliced_count(&StageCosts::new(vec![1.0; 4], vec![2.0; 4], f64::INFINITY)),
+            0
+        );
+        assert_eq!(
+            solve_sliced_count_empirical(&balanced(4, 0.0, 0.0, 0.0), 8, 0.0),
+            0
+        );
     }
 
     #[test]

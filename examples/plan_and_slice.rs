@@ -25,7 +25,7 @@ fn main() {
 
     // --- Planner ---------------------------------------------------------
     let mega = megatron::uniform_partition(&db, p).unwrap();
-    let auto = plan(&db, p, m, &AutoPipeConfig::default());
+    let auto = plan(&db, p, m, &AutoPipeConfig::default()).expect("planning failed");
 
     println!("== Planner: Megatron uniform vs AutoPipe sub-layer ==");
     for (name, part) in [("Megatron-LM", &mega), ("AutoPipe", &auto.partition)] {

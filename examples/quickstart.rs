@@ -1,21 +1,26 @@
-//! Quickstart: plan pipeline-parallel training for GPT-2 345M on 4 GPUs.
+//! Quickstart: plan pipeline-parallel training for GPT-2 345M on 4 GPUs
+//! through the [`autopipe::Session`] facade.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use autopipe_core::{AutoPipe, PlanRequest};
+use autopipe::Session;
 use autopipe_model::zoo;
 
-fn main() {
-    // Describe the job: model, cluster size, micro-batch and global batch.
-    let request = PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128);
+fn main() -> Result<(), autopipe::Error> {
+    // Describe the job — model, cluster size, micro-batch and global batch —
+    // then walk the paper's chain: plan, slice, simulate.
+    let planned = Session::for_model(zoo::gpt2_345m())
+        .devices(4)
+        .microbatch_size(4)
+        .global_batch(128)
+        .plan()?
+        .slice()?;
 
-    // AutoPipe: model configs -> Planner -> Slicer -> executable plan.
-    let plan = AutoPipe::plan(&request).expect("planning failed");
-
-    println!("model            : {}", request.model.name);
-    println!("devices          : {}", request.n_devices);
+    let plan = planned.plan();
+    println!("model            : {}", planned.config().model.name);
+    println!("devices          : {}", planned.config().n_devices);
     println!(
         "strategy         : {} pipeline stage(s) x {} data-parallel",
         plan.stages, plan.dp
@@ -43,4 +48,13 @@ fn main() {
         plan.schedule.total_ops(),
         plan.schedule.n_devices
     );
+
+    // The same session drives the discrete-event simulator.
+    let sim = planned.simulate()?;
+    println!(
+        "event simulation : {:.1} ms iteration, {:.2} ms startup",
+        sim.clean.iteration_time * 1e3,
+        sim.clean.startup_overhead * 1e3
+    );
+    Ok(())
 }

@@ -4,17 +4,19 @@
 //! schedule, and the single-device reference — all four must produce the
 //! same losses.
 //!
+//! The partition and baseline schedule come from the [`autopipe::Session`]
+//! facade; the two alternative schedules reuse the same planned partition.
+//!
 //! ```text
 //! cargo run --release --example train_pipeline
 //! ```
 
-use autopipe_model::{zoo, Granularity};
-use autopipe_planner::balanced_partition;
+use autopipe::Session;
+use autopipe_model::zoo;
 use autopipe_runtime::{BatchSet, Pipeline, PipelineConfig, ReferenceModel};
-use autopipe_schedule::{interleaved, one_f_one_b, sliced_1f1b};
-use autopipe_sim::Partition;
+use autopipe_schedule::{interleaved, sliced_1f1b};
 
-fn main() {
+fn main() -> Result<(), autopipe::Error> {
     let model = zoo::gpt2_tiny();
     let p = 2;
     let m = 4;
@@ -23,10 +25,17 @@ fn main() {
     let lr = 1e-3;
     let iterations = 8;
 
-    // Partition the tiny model's sub-layer blocks with Algorithm 1.
-    let blocks = autopipe_model::build_blocks(&model, Granularity::SubLayer);
-    let weights: Vec<f64> = blocks.iter().map(|_| 1.0).collect();
-    let partition: Partition = balanced_partition(&weights, p);
+    // One facade call replaces the hand-rolled Algorithm 1 + schedule
+    // wiring: plan a 2-stage pipeline over the tiny model's sub-layer
+    // blocks.
+    let planned = Session::for_model(model.clone())
+        .stages(p)
+        .microbatches(m)
+        .microbatch_size(mbs)
+        .learning_rate(lr)
+        .seed(seed)
+        .plan()?;
+    let partition = planned.plan().partition.clone();
     println!(
         "model {} ({} params), partition sizes {:?}",
         model.name,
@@ -34,39 +43,28 @@ fn main() {
         partition.sizes()
     );
 
-    let mut plain = Pipeline::new(&PipelineConfig {
-        model: model.clone(),
-        partition: partition.clone(),
-        schedule: one_f_one_b(p, m),
-        lr,
-        seed,
-        checkpointing: true,
-    });
-    let mut sliced = Pipeline::new(&PipelineConfig {
-        model: model.clone(),
-        partition: partition.clone(),
-        schedule: sliced_1f1b(p, m, 1),
-        lr,
-        seed,
-        checkpointing: true,
-    });
+    let pipe_cfg =
+        |schedule| PipelineConfig::from_session(planned.config(), partition.clone(), schedule);
+    let mut plain =
+        Pipeline::try_new(&pipe_cfg(planned.plan().schedule.clone())).expect("valid plan");
+    let mut sliced = Pipeline::try_new(&pipe_cfg(sliced_1f1b(p, m, 1))).expect("valid plan");
     // Interleaved: 2 devices x 2 chunks = 4 chunk-stages over 11 blocks.
-    let mut inter = Pipeline::new(&PipelineConfig {
-        model: model.clone(),
-        partition: autopipe_sim::Partition::new(vec![0, 3, 5, 8, 11]),
-        schedule: interleaved(p, 2, m).expect("4 layers chunk onto 2x2"),
-        lr,
-        seed,
-        checkpointing: true,
-    });
+    let mut inter = Pipeline::try_new(&PipelineConfig::from_session(
+        planned.config(),
+        autopipe_sim::Partition::new(vec![0, 3, 5, 8, 11]),
+        interleaved(p, 2, m).expect("4 layers chunk onto 2x2"),
+    ))
+    .expect("valid plan");
     let mut reference = ReferenceModel::new(&model, seed, lr, true);
 
     println!("\niter   1F1B loss  sliced loss  interleaved  reference   1F1B wall");
     for it in 0..iterations {
         let batch = BatchSet::synthetic(100 + it as u64, m, mbs, model.seq_len, model.vocab_size);
-        let a = plain.train_iteration(&batch);
-        let b = sliced.train_iteration(&batch);
-        let c = inter.train_iteration(&batch);
+        let a = plain.train_iteration(&batch).expect("1F1B iteration");
+        let b = sliced.train_iteration(&batch).expect("sliced iteration");
+        let c = inter
+            .train_iteration(&batch)
+            .expect("interleaved iteration");
         let r = reference.train_iteration(&batch);
         println!(
             "{it:>4}   {:>9.4}  {:>11.4}  {:>11.4}  {:>9.4}   {:>6.1} ms",
@@ -84,4 +82,5 @@ fn main() {
         );
     }
     println!("\nall four trainers agree — pipeline execution is exact.");
+    Ok(())
 }

@@ -1,9 +1,15 @@
 //! Workspace-root crate for the AutoPipe reproduction.
 //!
-//! This crate carries the repository's runnable examples (`examples/`) and
-//! cross-crate integration tests (`tests/`). The library surface itself just
-//! re-exports the member crates so examples and tests can use one import
-//! root.
+//! This crate carries the repository's runnable examples (`examples/`),
+//! cross-crate integration tests (`tests/`), and the [`Session`] facade —
+//! the one front door that chains profile → plan → slice → simulate → run
+//! over the member crates. The rest of the surface re-exports those crates
+//! so examples and tests can use one import root.
+
+pub mod session;
+
+pub use autopipe_core::{Error, SessionConfig};
+pub use session::{PlannedSession, RunReport, Session, SimReport};
 
 pub use autopipe_core as core;
 pub use autopipe_cost as cost;

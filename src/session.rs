@@ -1,0 +1,556 @@
+//! `autopipe::Session` — the one front door to the whole stack.
+//!
+//! The workspace's layers (cost model → planner → slicer → event simulator →
+//! threaded runtime) each have their own entry points; before this module a
+//! caller had to thread partitions, schedules and three config structs
+//! between them by hand. `Session` is a builder that walks the pipeline in
+//! the paper's order — profile → plan → slice → simulate → run — with one
+//! validated [`SessionConfig`] and one [`Error`] type:
+//!
+//! ```no_run
+//! use autopipe::Session;
+//! use autopipe::model::zoo;
+//!
+//! # fn main() -> Result<(), autopipe::Error> {
+//! let report = Session::for_model(zoo::gpt2_tiny())
+//!     .stages(2)
+//!     .microbatches(4)
+//!     .plan()?
+//!     .slice()?
+//!     .run()?;
+//! println!("losses: {:?}", report.losses);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The fault-tolerance machinery rides on the same facade: seeded
+//! [`FaultPlan`] scripts ([`Session::faults`]), the stall watchdog
+//! ([`Session::watchdog`]) and straggler-aware re-planning
+//! ([`Session::adaptive`]) are all wired into [`PlannedSession::run`].
+
+use autopipe_core::{AutoPipe, Error, Plan, SessionConfig};
+use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
+use autopipe_exec::FaultPlan;
+use autopipe_model::ModelConfig;
+use autopipe_planner::replan as planner_replan;
+use autopipe_runtime::{
+    BatchSet, FaultReport, Pipeline, PipelineConfig, StragglerConfig, StragglerMonitor,
+    WatchdogConfig,
+};
+use autopipe_schedule::one_f_one_b;
+use autopipe_sim::event::{run_schedule, run_schedule_faulty, EventCosts, EventResult};
+use autopipe_sim::Partition;
+use autopipe_slicer::plan_slicing;
+
+/// Builder for a training session. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct Session {
+    cfg: SessionConfig,
+    /// Per-replica micro-batch count requested via [`Session::microbatches`]
+    /// (resolved into `cfg.gbs` at plan time).
+    microbatches: Option<usize>,
+    devices_pinned: bool,
+    tolerance: Tolerance,
+}
+
+/// Fault-tolerance knobs shared between the builder and the planned session.
+#[derive(Debug, Clone, Default)]
+struct Tolerance {
+    faults: Option<FaultPlan>,
+    /// Wall seconds per virtual fault second.
+    time_scale: f64,
+    watchdog: Option<WatchdogConfig>,
+    straggler: Option<StragglerConfig>,
+    iterations: usize,
+}
+
+impl Session {
+    /// Start a session for `model` with AutoPipe's defaults: one device,
+    /// micro-batch 4, strategy search over the DP×PP space.
+    pub fn for_model(model: ModelConfig) -> Session {
+        Session {
+            cfg: SessionConfig::new(model, 1, 4, 4),
+            microbatches: None,
+            devices_pinned: false,
+            tolerance: Tolerance {
+                iterations: 2,
+                time_scale: 1.0,
+                ..Tolerance::default()
+            },
+        }
+    }
+
+    /// Use an existing [`SessionConfig`] verbatim.
+    pub fn from_config(cfg: SessionConfig) -> Session {
+        Session {
+            cfg,
+            microbatches: None,
+            devices_pinned: true,
+            tolerance: Tolerance {
+                iterations: 2,
+                time_scale: 1.0,
+                ..Tolerance::default()
+            },
+        }
+    }
+
+    /// Total number of devices in the cluster.
+    pub fn devices(mut self, n: usize) -> Session {
+        self.cfg.n_devices = n;
+        self.devices_pinned = true;
+        self
+    }
+
+    /// Pin the pipeline depth. Unless [`Session::devices`] was called, the
+    /// cluster size follows the depth (one device per stage).
+    pub fn stages(mut self, s: usize) -> Session {
+        self.cfg.fixed_stages = Some(s);
+        if !self.devices_pinned {
+            self.cfg.n_devices = s;
+        }
+        self
+    }
+
+    /// Micro-batches per pipeline replica per iteration.
+    pub fn microbatches(mut self, m: usize) -> Session {
+        self.microbatches = Some(m);
+        self
+    }
+
+    /// Micro-batch size in samples.
+    pub fn microbatch_size(mut self, mbs: usize) -> Session {
+        self.cfg.mbs = mbs;
+        self
+    }
+
+    /// Global batch size in samples (alternative to [`Session::microbatches`]).
+    pub fn global_batch(mut self, gbs: usize) -> Session {
+        self.cfg.gbs = gbs;
+        self.microbatches = None;
+        self
+    }
+
+    /// Target cluster hardware.
+    pub fn hardware(mut self, hw: Hardware) -> Session {
+        self.cfg.hardware = hw;
+        self
+    }
+
+    /// Plan on a noisy offline profile instead of analytic ground truth.
+    pub fn profiled(mut self, p: ProfilerConfig) -> Session {
+        self.cfg.profiler = Some(p);
+        self
+    }
+
+    /// Adam learning rate for [`PlannedSession::run`].
+    pub fn learning_rate(mut self, lr: f32) -> Session {
+        self.cfg.lr = lr;
+        self
+    }
+
+    /// Seed for parameter init, synthetic data and simulator jitter.
+    pub fn seed(mut self, seed: u64) -> Session {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Toggle activation checkpointing.
+    pub fn checkpointing(mut self, on: bool) -> Session {
+        self.cfg.checkpointing = on;
+        self
+    }
+
+    /// Inject a deterministic fault script into simulation and execution.
+    /// `time_scale` maps the script's virtual fault seconds onto wall-clock
+    /// seconds in the threaded runtime (keep it small for tests).
+    pub fn faults(mut self, plan: FaultPlan, time_scale: f64) -> Session {
+        self.tolerance.faults = Some(plan);
+        self.tolerance.time_scale = time_scale;
+        self
+    }
+
+    /// Arm the stall watchdog for [`PlannedSession::run`].
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> Session {
+        self.tolerance.watchdog = Some(cfg);
+        self
+    }
+
+    /// Enable straggler-aware re-planning: when a stage stays slow past the
+    /// monitor's window, the session re-profiles from the recorded timeline,
+    /// re-plans, and hot-swaps the partition between iterations.
+    pub fn adaptive(mut self, cfg: StragglerConfig) -> Session {
+        self.tolerance.straggler = Some(cfg);
+        self
+    }
+
+    /// Training iterations [`PlannedSession::run`] executes (default 2).
+    pub fn iterations(mut self, n: usize) -> Session {
+        self.tolerance.iterations = n;
+        self
+    }
+
+    /// Read access to the assembled configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Validate the configuration and run strategy selection + the AutoPipe
+    /// Planner. The returned [`PlannedSession`] carries an *unsliced* (plain
+    /// 1F1B) schedule; chain [`PlannedSession::slice`] to apply Algorithm 2.
+    pub fn plan(mut self) -> Result<PlannedSession, Error> {
+        if let Some(m) = self.microbatches {
+            if m < 1 {
+                return Err(Error::Config("0 micro-batches requested".into()));
+            }
+            let dp = match self.cfg.fixed_stages {
+                Some(s) if s >= 1 => self.cfg.n_devices / s.max(1),
+                _ => 1,
+            };
+            self.cfg.gbs = m * self.cfg.mbs * dp.max(1);
+        }
+        if self.tolerance.iterations < 1 {
+            return Err(Error::Config("0 training iterations requested".into()));
+        }
+        if !(self.tolerance.time_scale.is_finite() && self.tolerance.time_scale >= 0.0) {
+            return Err(Error::Config(format!(
+                "bad fault time scale {}",
+                self.tolerance.time_scale
+            )));
+        }
+        self.cfg.validate()?;
+        // Planning is always unsliced here; `slice()` is the explicit next
+        // stage of the chain.
+        let mut req = self.cfg.plan_request();
+        req.enable_slicer = false;
+        let plan = AutoPipe::plan(&req)?;
+        let db = AutoPipe::cost_db(&req);
+        Ok(PlannedSession {
+            cfg: self.cfg,
+            db,
+            plan,
+            tolerance: self.tolerance,
+        })
+    }
+}
+
+/// A planned session: the chosen strategy, partition and schedule, ready to
+/// slice, simulate or execute.
+#[derive(Debug, Clone)]
+pub struct PlannedSession {
+    cfg: SessionConfig,
+    db: CostDb,
+    plan: Plan,
+    tolerance: Tolerance,
+}
+
+/// What one simulated iteration looked like.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Fault-free simulation of the planned schedule.
+    pub clean: EventResult,
+    /// The same schedule under the session's fault script, if one is set.
+    pub faulty: Option<EventResult>,
+}
+
+/// What a threaded-runtime run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Mean loss per iteration.
+    pub losses: Vec<f32>,
+    /// Wall-clock seconds per iteration.
+    pub iteration_seconds: Vec<f64>,
+    /// Watchdog/fault telemetry from the last iteration that had any.
+    pub fault_report: Option<FaultReport>,
+    /// How many times straggler-aware re-planning hot-swapped the partition.
+    pub replans: usize,
+    /// The partition the run finished on (differs from the plan's after a
+    /// hot swap).
+    pub final_partition: Partition,
+    /// Checksum over every parameter, for bit-exactness comparisons.
+    pub param_checksum: f64,
+}
+
+impl PlannedSession {
+    /// The plan this session will execute.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Swap in a fault script after planning — a cloned [`PlannedSession`]
+    /// can be re-armed per script without re-running the planner.
+    pub fn faults(mut self, plan: FaultPlan, time_scale: f64) -> PlannedSession {
+        self.tolerance.faults = Some(plan);
+        self.tolerance.time_scale = time_scale;
+        self
+    }
+
+    /// Arm (or re-arm) the stall watchdog after planning.
+    pub fn watchdog(mut self, cfg: WatchdogConfig) -> PlannedSession {
+        self.tolerance.watchdog = Some(cfg);
+        self
+    }
+
+    /// Training iterations [`PlannedSession::run`] executes.
+    pub fn iterations(mut self, n: usize) -> PlannedSession {
+        self.tolerance.iterations = n.max(1);
+        self
+    }
+
+    /// The cost database the plan was computed on.
+    pub fn cost_db(&self) -> &CostDb {
+        &self.db
+    }
+
+    /// The session configuration.
+    pub fn config(&self) -> &SessionConfig {
+        &self.cfg
+    }
+
+    /// Apply the AutoPipe Slicer (Algorithm 2): replace the plain 1F1B
+    /// schedule with the sliced-Warmup variant. A no-op for single-stage
+    /// plans or when slicing is disabled in the config.
+    pub fn slice(mut self) -> Result<PlannedSession, Error> {
+        if self.plan.stages < 2 || !self.cfg.enable_slicer {
+            return Ok(self);
+        }
+        let costs = self.plan.partition.stage_costs(&self.db);
+        let sp = plan_slicing(&costs, self.plan.microbatches);
+        self.plan.schedule = sp.schedule;
+        self.plan.n_sliced = sp.n_sliced;
+        Ok(self)
+    }
+
+    /// Run the planned schedule through the discrete-event simulator —
+    /// fault-free, and additionally under the session's fault script when
+    /// one is configured.
+    pub fn simulate(&self) -> Result<SimReport, Error> {
+        let costs = EventCosts::from_stage_costs(
+            &self.plan.partition.stage_costs(&self.db),
+            self.cfg.hardware.link_latency,
+        );
+        let event_cfg = self.cfg.event();
+        let clean = run_schedule(&self.plan.schedule, &costs, &event_cfg)?;
+        let faulty = match &self.tolerance.faults {
+            Some(fp) => Some(run_schedule_faulty(
+                &self.plan.schedule,
+                &costs,
+                &event_cfg,
+                fp,
+            )?),
+            None => None,
+        };
+        Ok(SimReport { clean, faulty })
+    }
+
+    /// Execute the plan on the threaded runtime with synthetic data: build
+    /// the pipeline, arm the configured faults/watchdog, train the session's
+    /// iterations, and — when [`Session::adaptive`] is on — monitor for
+    /// stragglers and hot-swap the partition the moment one is flagged.
+    pub fn run(self) -> Result<RunReport, Error> {
+        let m = self.plan.microbatches;
+        let mut pipe = Pipeline::try_new(&PipelineConfig::from_session(
+            &self.cfg,
+            self.plan.partition.clone(),
+            self.plan.schedule.clone(),
+        ))?;
+        if let Some(fp) = self.tolerance.faults.clone() {
+            pipe.set_faults(fp, self.tolerance.time_scale);
+        }
+        if let Some(wd) = self.tolerance.watchdog {
+            pipe.set_watchdog(wd);
+        }
+        let batch = BatchSet::synthetic(
+            self.cfg.seed,
+            m,
+            self.cfg.mbs,
+            self.cfg.model.seq_len,
+            self.cfg.model.vocab_size,
+        );
+
+        let mut losses = Vec::new();
+        let mut iteration_seconds = Vec::new();
+        let mut fault_report = None;
+        let mut replans = 0usize;
+        // The monitor self-calibrates: the first iteration's timeline is the
+        // wall-clock expectation the following iterations are judged against
+        // (simulated times are virtual seconds, so they cannot serve as the
+        // wall-clock baseline directly).
+        let mut monitor: Option<StragglerMonitor> = None;
+        for _ in 0..self.tolerance.iterations {
+            let stats = pipe.train_iteration(&batch)?;
+            losses.push(stats.loss);
+            iteration_seconds.push(stats.wall.as_secs_f64());
+            if pipe
+                .last_fault_report()
+                .is_some_and(|r| !r.events.is_empty())
+            {
+                fault_report = pipe.last_fault_report().cloned();
+            }
+            let Some(scfg) = self.tolerance.straggler else {
+                continue;
+            };
+            let Some(tl) = pipe.last_timeline().cloned() else {
+                continue;
+            };
+            match monitor.as_mut() {
+                None => {
+                    monitor = Some(StragglerMonitor::from_timeline(&tl, pipe.schedule(), scfg)?);
+                }
+                Some(mon) => {
+                    let obs = mon.observe(&tl, pipe.schedule());
+                    if obs.flagged.is_empty() {
+                        continue;
+                    }
+                    // Re-profile from the observation, re-plan, hot-swap.
+                    // Ratios below 1 are clamped: a faster-than-expected
+                    // stage is not evidence the cost model overcharges it.
+                    let ratios: Vec<f64> = obs.ratios.iter().map(|&r| r.max(1.0)).collect();
+                    let r = planner_replan(
+                        &self.db,
+                        pipe.partition(),
+                        &ratios,
+                        m,
+                        &self.cfg.planner(),
+                    )?;
+                    let schedule = if self.plan.n_sliced > 0 {
+                        plan_slicing(&r.outcome.partition.stage_costs(&r.observed_db), m).schedule
+                    } else {
+                        one_f_one_b(r.outcome.partition.n_stages(), m)
+                    };
+                    pipe.repartition(&r.outcome.partition, schedule)?;
+                    replans += 1;
+                    monitor = None; // re-calibrate against the new partition
+                }
+            }
+        }
+        Ok(RunReport {
+            losses,
+            iteration_seconds,
+            fault_report,
+            replans,
+            final_partition: pipe.partition().clone(),
+            param_checksum: pipe.param_checksum(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_model::zoo;
+
+    #[test]
+    fn the_headline_chain_plans_slices_and_runs() {
+        let report = Session::for_model(zoo::gpt2_tiny())
+            .stages(2)
+            .microbatches(4)
+            .seed(7)
+            .iterations(2)
+            .plan()
+            .unwrap()
+            .slice()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.losses.len(), 2);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+        assert_eq!(report.replans, 0);
+        assert!(report.param_checksum.is_finite());
+    }
+
+    #[test]
+    fn planning_a_large_model_matches_the_facade() {
+        // Session::plan on GPT-2 345M picks the same strategy as the
+        // paper-facing AutoPipe facade (Table III: complete DP at mbs 4).
+        let planned = Session::for_model(zoo::gpt2_345m())
+            .devices(4)
+            .microbatch_size(4)
+            .global_batch(128)
+            .plan()
+            .unwrap();
+        assert_eq!(planned.plan().stages, 1);
+        assert_eq!(planned.plan().dp, 4);
+    }
+
+    #[test]
+    fn slice_is_a_noop_below_two_stages() {
+        let planned = Session::for_model(zoo::gpt2_345m())
+            .devices(4)
+            .microbatch_size(4)
+            .global_batch(128)
+            .plan()
+            .unwrap()
+            .slice()
+            .unwrap();
+        assert_eq!(planned.plan().n_sliced, 0);
+    }
+
+    #[test]
+    fn simulate_reports_clean_and_faulty_runs() {
+        use autopipe_exec::{FaultPlan, FaultSpec};
+        let session = Session::for_model(zoo::gpt2_345m())
+            .stages(4)
+            .microbatches(8)
+            .microbatch_size(4);
+        let sched_len = |s: &Session| s.clone();
+        let base = sched_len(&session).plan().unwrap().slice().unwrap();
+        let clean = base.simulate().unwrap();
+        assert!(clean.faulty.is_none());
+
+        let spec = FaultSpec::new(4, base.plan().schedule.devices[0].len(), 0.05);
+        let faulty = sched_len(&session)
+            .faults(FaultPlan::random(11, &spec), 0.0)
+            .plan()
+            .unwrap()
+            .slice()
+            .unwrap()
+            .simulate()
+            .unwrap();
+        let f = faulty.faulty.expect("fault script was configured");
+        assert!(
+            f.iteration_time >= clean.clean.iteration_time,
+            "faults cannot speed the pipeline up"
+        );
+        // Same schedule, same per-device op order: faults shift time only.
+        clean.clean.timeline.same_op_order(&f.timeline).unwrap();
+    }
+
+    #[test]
+    fn invalid_sessions_error_instead_of_panicking() {
+        assert!(matches!(
+            Session::for_model(zoo::gpt2_tiny())
+                .devices(0)
+                .plan()
+                .unwrap_err(),
+            Error::Config(_)
+        ));
+        assert!(matches!(
+            Session::for_model(zoo::gpt2_tiny())
+                .stages(2)
+                .microbatches(0)
+                .plan()
+                .unwrap_err(),
+            Error::Config(_)
+        ));
+        assert!(matches!(
+            Session::for_model(zoo::gpt2_tiny())
+                .stages(2)
+                .microbatches(4)
+                .learning_rate(f32::NAN)
+                .plan()
+                .unwrap_err(),
+            Error::Config(_)
+        ));
+        // Deeper-than-the-model pipelines surface as plan errors, not
+        // asserts: tiny has 11 sub-layer blocks, so 16 stages cannot be
+        // placed.
+        assert!(matches!(
+            Session::for_model(zoo::gpt2_tiny())
+                .stages(16)
+                .microbatches(8)
+                .plan()
+                .unwrap_err(),
+            Error::Plan(_)
+        ));
+    }
+}

@@ -1,27 +1,29 @@
-//! Cross-crate integration: plan → validate → simulate → execute.
+//! Cross-crate integration through the `autopipe::Session` facade:
+//! plan → validate → slice → simulate → execute.
 
-use autopipe_core::{AutoPipe, PlanRequest};
+use autopipe::{Error, Session};
 use autopipe_model::zoo;
-use autopipe_runtime::{BatchSet, Pipeline, PipelineConfig, ReferenceModel};
+use autopipe_runtime::{BatchSet, ReferenceModel};
 use autopipe_schedule::validate;
-use autopipe_sim::event::{run_schedule, EventConfig, EventCosts};
 
-/// The full AutoPipe front-end output is executable on the event simulator.
+/// The full AutoPipe front-end output is executable on the event simulator,
+/// and the event simulation lands near the planner's own estimate.
 #[test]
 fn planned_schedule_simulates() {
-    let req = PlanRequest {
-        fixed_stages: Some(4),
-        ..PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)
-    };
-    let plan = AutoPipe::plan(&req).unwrap();
-    validate(&plan.schedule).unwrap();
-    let db = AutoPipe::cost_db(&req);
-    let sc = plan.partition.stage_costs(&db);
-    let ev = EventCosts::from_stage_costs(&sc, req.hardware.link_latency);
-    let r = run_schedule(&plan.schedule, &ev, &EventConfig::default()).unwrap();
-    assert!(r.iteration_time > 0.0);
-    // The event simulation should land near the planner's own estimate.
-    let rel = (r.iteration_time - plan.est_pipeline_time).abs() / plan.est_pipeline_time;
+    let planned = Session::for_model(zoo::gpt2_345m())
+        .devices(4)
+        .stages(4)
+        .microbatch_size(4)
+        .global_batch(128)
+        .plan()
+        .unwrap()
+        .slice()
+        .unwrap();
+    validate(&planned.plan().schedule).unwrap();
+    let sim = planned.simulate().unwrap();
+    assert!(sim.clean.iteration_time > 0.0);
+    let est = planned.plan().est_pipeline_time;
+    let rel = (sim.clean.iteration_time - est).abs() / est;
     assert!(rel < 0.05, "event vs planner estimate diverge by {rel}");
 }
 
@@ -30,11 +32,14 @@ fn planned_schedule_simulates() {
 fn plans_for_all_benchmark_models_validate() {
     for model in zoo::benchmark_models() {
         for p in [2usize, 4] {
-            let req = PlanRequest {
-                fixed_stages: Some(p),
-                ..PlanRequest::new(model.clone(), p, 4, 64)
-            };
-            let plan = AutoPipe::plan(&req).unwrap_or_else(|e| panic!("{} p={p}: {e}", model.name));
+            let planned = Session::for_model(model.clone())
+                .devices(p)
+                .stages(p)
+                .microbatch_size(4)
+                .global_batch(64)
+                .plan()
+                .unwrap_or_else(|e| panic!("{} p={p}: {e}", model.name));
+            let plan = planned.plan();
             assert_eq!(plan.stages, p);
             validate(&plan.schedule).unwrap();
             let total_layers: f64 = plan.layer_counts.iter().sum();
@@ -43,46 +48,73 @@ fn plans_for_all_benchmark_models_validate() {
     }
 }
 
-/// A plan produced by the real front-end drives the threaded runtime on a
+/// A session planned by the real front-end drives the threaded runtime on a
 /// tiny model, and the result matches single-device training.
 #[test]
 fn planned_tiny_model_trains_correctly() {
     let model = zoo::gpt2_tiny();
-    let req = PlanRequest {
-        fixed_stages: Some(2),
-        ..PlanRequest::new(model.clone(), 2, 4, 16)
-    };
-    let plan = AutoPipe::plan(&req).unwrap();
-    assert_eq!(plan.microbatches, 4);
-    let mut pipe = Pipeline::new(&PipelineConfig {
-        model: model.clone(),
-        partition: plan.partition.clone(),
-        schedule: plan.schedule.clone(),
-        lr: 1e-3,
-        seed: 4,
-        checkpointing: true,
-    });
+    let iterations = 2;
+    let report = Session::for_model(model.clone())
+        .stages(2)
+        .microbatches(4)
+        .seed(4)
+        .iterations(iterations)
+        .plan()
+        .unwrap()
+        .slice()
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(report.losses.len(), iterations);
+
+    // Single-device reference on the identical batch stream.
     let mut reference = ReferenceModel::new(&model, 4, 1e-3, true);
-    let batch = BatchSet::synthetic(21, plan.microbatches, 4, model.seq_len, model.vocab_size);
-    for _ in 0..2 {
-        let a = pipe.train_iteration(&batch).loss;
+    let batch = BatchSet::synthetic(4, 4, 4, model.seq_len, model.vocab_size);
+    for (i, &loss) in report.losses.iter().enumerate() {
         let r = reference.train_iteration(&batch);
-        assert!((a - r).abs() < 1e-3, "pipeline {a} vs reference {r}");
+        assert!(
+            (loss - r).abs() < 1e-3,
+            "iter {i}: session {loss} vs reference {r}"
+        );
     }
 }
 
 /// Strategy selection reproduces Table III/IV behaviour end-to-end through
-/// the public facade.
+/// the session facade.
 #[test]
 fn facade_strategy_matches_paper_choices() {
+    let plan_for = |model, mbs: usize, gbs: usize| {
+        Session::for_model(model)
+            .devices(4)
+            .microbatch_size(mbs)
+            .global_batch(gbs)
+            .plan()
+            .unwrap()
+    };
     // Low memory: complete data parallelism.
-    let low = AutoPipe::plan(&PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)).unwrap();
-    assert_eq!(low.stages, 1);
-    assert_eq!(low.dp, 4);
+    let low = plan_for(zoo::gpt2_345m(), 4, 128);
+    assert_eq!(low.plan().stages, 1);
+    assert_eq!(low.plan().dp, 4);
     // High memory: 2-stage pipeline for 345M at mbs 32.
-    let high = AutoPipe::plan(&PlanRequest::new(zoo::gpt2_345m(), 4, 32, 512)).unwrap();
-    assert_eq!(high.stages, 2);
+    let high = plan_for(zoo::gpt2_345m(), 32, 512);
+    assert_eq!(high.plan().stages, 2);
     // 1.3B at mbs 16: 4-stage.
-    let big = AutoPipe::plan(&PlanRequest::new(zoo::gpt2_1_3b(), 4, 16, 512)).unwrap();
-    assert_eq!(big.stages, 4);
+    let big = plan_for(zoo::gpt2_1_3b(), 16, 512);
+    assert_eq!(big.plan().stages, 4);
+}
+
+/// The facade rejects impossible jobs with structured errors end to end.
+#[test]
+fn impossible_jobs_error_cleanly() {
+    // 1.3B at mbs 32 on one 24 GB device: every depth-1 plan OOMs.
+    let err = Session::for_model(zoo::gpt2_1_3b())
+        .devices(1)
+        .microbatch_size(32)
+        .global_batch(64)
+        .plan()
+        .unwrap_err();
+    assert!(matches!(err, Error::Plan(_)), "{err}");
+    // And the source chain reaches the planner's own error.
+    let src = std::error::Error::source(&err).expect("plan errors carry a source");
+    assert!(!src.to_string().is_empty());
 }

@@ -40,15 +40,16 @@ fn runtime_timeline(sched: &Schedule, partition: Vec<usize>, mbs: usize) -> Time
     let model = tiny();
     let m = sched.n_microbatches;
     let batch = BatchSet::synthetic(21, m, mbs, model.seq_len, model.vocab_size);
-    let mut pipe = Pipeline::new(&PipelineConfig {
+    let mut pipe = Pipeline::try_new(&PipelineConfig {
         model,
         partition: Partition::new(partition),
         schedule: sched.clone(),
         lr: 1e-3,
         seed: 42,
         checkpointing: false,
-    });
-    pipe.forward_backward(&batch);
+    })
+    .expect("valid pipeline config");
+    pipe.forward_backward(&batch).expect("iteration completes");
     pipe.last_timeline()
         .expect("timeline after iteration")
         .clone()

@@ -54,7 +54,9 @@ fn recurrence_tracks_replay_on_real_models() {
         let d = db(&model, 4);
         for p in [2usize, 4, 8] {
             let m = 2 * p;
-            let part = plan(&d, p, m, &AutoPipeConfig::default()).partition;
+            let part = plan(&d, p, m, &AutoPipeConfig::default())
+                .unwrap()
+                .partition;
             let sc = part.stage_costs(&d);
             let a = simulate_replay(&sc, m);
             let r = recurrence::simulate(&sc, m);
@@ -96,7 +98,9 @@ fn planner_reduces_bubble_fraction() {
         run_schedule(&one_f_one_b(p, m), &ev, &EventConfig::default()).unwrap()
     };
     let mega = run(&megatron::uniform_partition(&d, p).unwrap());
-    let auto = run(&plan(&d, p, m, &AutoPipeConfig::default()).partition);
+    let auto = run(&plan(&d, p, m, &AutoPipeConfig::default())
+        .unwrap()
+        .partition);
     let bm = bubble_fraction(&mega);
     let ba = bubble_fraction(&auto);
     assert!(ba < bm, "autopipe bubbles {ba:.3} vs megatron {bm:.3}");
@@ -113,7 +117,9 @@ fn planner_reduces_bubble_fraction() {
 fn startup_overhead_agrees_across_simulators() {
     let d = db(&zoo::bert_large(), 16);
     for p in [2usize, 4, 8] {
-        let part = plan(&d, p, 2 * p, &AutoPipeConfig::default()).partition;
+        let part = plan(&d, p, 2 * p, &AutoPipeConfig::default())
+            .unwrap()
+            .partition;
         let sc = part.stage_costs(&d);
         let a = simulate_replay(&sc, 2 * p);
         let ev = EventCosts {
