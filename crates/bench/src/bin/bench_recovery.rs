@@ -1,0 +1,449 @@
+//! Crash-recovery campaign: seeded fail-stop scripts against the threaded
+//! runtime with durable checkpointing armed, emitted as the machine-readable
+//! record `results/BENCH_recovery.json`.
+//!
+//! Four sub-campaigns share the file:
+//!
+//! 1. **Restart-in-place** — tiny GPT-2 on a planner-partitioned 4-stage
+//!    sliced pipeline; each seed kills one random stage thread at a random
+//!    op ([`FaultPlan::random_failstop`]). The coordinator restores the
+//!    newest checkpoint generation and replays with exactly-once step
+//!    semantics: the recorded loss trajectory and the final parameter
+//!    checksum must be **bit-identical** to the uninterrupted run, every
+//!    seed, zero deadlocks (a hang would trip the watchdog, not the CI
+//!    timeout).
+//! 2. **Shrink-and-replan** — the same scripts drawn as device *losses*:
+//!    the real AutoPipe planner re-partitions onto the 3 survivors, the
+//!    Slicer re-solves the warmup for the new depth, and training continues
+//!    through `Pipeline::repartition`. The hot-swap migration is numerically
+//!    exact, so even these trajectories replay the clean losses bit-for-bit,
+//!    and the replanner's predicted iteration time must equal the analytic
+//!    prediction of planning 3 stages from scratch.
+//! 3. **Torn writes** — the kill-9-mid-write guarantee: a fault-injected
+//!    writer that dies between the temp-dir write and the commit rename (or
+//!    that corrupts a committed payload) must leave the newest *valid*
+//!    generation loadable.
+//! 4. **Background writer** — cadence checkpointing off the training thread:
+//!    committed/skipped counters from a short steady-state run.
+//!
+//! `--smoke` shrinks the seed counts so CI can validate the emitter.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use autopipe_bench::report::save_json;
+use autopipe_bench::systems::cost_db;
+use autopipe_core::{Error, RecoveryConfig, RecoveryPolicy};
+use autopipe_cost::{CostDb, Hardware};
+use autopipe_exec::{FaultPlan, FaultSpec};
+use autopipe_model::zoo;
+use autopipe_planner::autopipe::{plan, AutoPipeConfig};
+use autopipe_runtime::{
+    BatchSet, CheckpointStore, FailPoint, Pipeline, PipelineConfig, RecoveryCoordinator, Replanner,
+    RuntimeError, ShrinkPlan, WatchdogConfig,
+};
+use autopipe_schedule::Schedule;
+use autopipe_sim::Partition;
+use autopipe_slicer::{plan_slicing, validate_sliced_count};
+use serde_json::json;
+
+const P: usize = 4;
+const M: usize = 8;
+const STEPS: usize = 4;
+
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("autopipe_bench_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Watchdog tuned for release-build op times: a dead peer is given up in
+/// ~100 ms instead of the default multi-second patience.
+fn snappy() -> WatchdogConfig {
+    WatchdogConfig {
+        base_timeout: Duration::from_millis(25),
+        slack: 4.0,
+        backoff: 2.0,
+        max_retries: 3,
+    }
+}
+
+fn tiny_pipeline(schedule: Schedule, partition: Partition) -> Pipeline {
+    Pipeline::try_new(&PipelineConfig {
+        model: zoo::gpt2_tiny(),
+        partition,
+        schedule,
+        lr: 1e-3,
+        seed: 99,
+        checkpointing: false,
+    })
+    .expect("tiny pipeline is valid")
+}
+
+/// The facade's shrink path, restated on bench's own dependencies: real
+/// planner for the survivor count, Slicer re-solved and re-validated for
+/// the new depth.
+struct PlannerReplanner<'a> {
+    db: &'a CostDb,
+    cfg: AutoPipeConfig,
+}
+
+impl Replanner for PlannerReplanner<'_> {
+    fn replan(
+        &mut self,
+        survivors: usize,
+        _current: &Partition,
+        n_microbatches: usize,
+    ) -> Result<ShrinkPlan, Error> {
+        let out = plan(self.db, survivors, n_microbatches, &self.cfg)?;
+        let costs = out.partition.stage_costs(self.db);
+        let sp = plan_slicing(&costs, n_microbatches);
+        validate_sliced_count(&costs, n_microbatches, sp.n_sliced).map_err(Error::Config)?;
+        Ok(ShrinkPlan {
+            partition: out.partition,
+            schedule: sp.schedule,
+            predicted_iteration: Some(out.analytic.iteration_time),
+        })
+    }
+}
+
+/// Train `STEPS` steps under recovery with exactly-once replay; panics (with
+/// the seed in the message) on anything other than a recovered fail-stop.
+fn train_with_recovery(
+    seed: u64,
+    mut pipe: Pipeline,
+    coord: &mut RecoveryCoordinator,
+    batch: &BatchSet,
+    replanner: &mut dyn Replanner,
+) -> (Vec<f32>, Pipeline) {
+    coord
+        .prime(&mut pipe)
+        .unwrap_or_else(|e| panic!("seed {seed}: priming failed: {e}"));
+    let mut losses: Vec<f32> = Vec::new();
+    while losses.len() < STEPS {
+        match pipe.train_iteration(batch) {
+            Ok(stats) => {
+                losses.push(stats.loss);
+                coord
+                    .maybe_checkpoint(&mut pipe, losses.len() as u64)
+                    .unwrap_or_else(|e| panic!("seed {seed}: checkpoint failed: {e}"));
+            }
+            Err(RuntimeError::StageDown { report, .. }) => {
+                let action = coord
+                    .recover(&mut pipe, &report, replanner)
+                    .unwrap_or_else(|e| panic!("seed {seed}: recovery failed: {e}"));
+                losses.truncate(action.from_step() as usize);
+            }
+            Err(other) => panic!("seed {seed}: deadlock or unrecovered error: {other}"),
+        }
+    }
+    (losses, pipe)
+}
+
+/// Draw one fail-stop script and clamp its op index into every device's
+/// program so the event always fires (devices have unequal program lengths
+/// under sliced schedules).
+fn failstop_script(seed: u64, schedule: &Schedule, lost_prob: f64) -> FaultPlan {
+    let shortest = schedule.devices.iter().map(Vec::len).min().unwrap_or(2);
+    let mut script = FaultPlan::random_failstop(
+        seed,
+        &FaultSpec::new(
+            P,
+            schedule.devices.iter().map(Vec::len).max().unwrap_or(2),
+            1.0,
+        ),
+        lost_prob,
+    );
+    for c in &mut script.crashes {
+        c.at_op = c.at_op.clamp(1, shortest.saturating_sub(1).max(1));
+    }
+    for l in &mut script.lost {
+        l.at_op = l.at_op.clamp(1, shortest.saturating_sub(1).max(1));
+    }
+    script
+}
+
+/// Restart-in-place campaign: every seeded crash replays the clean
+/// trajectory bit-for-bit.
+fn restart_campaign(n_seeds: u64) -> serde_json::Value {
+    let model = zoo::gpt2_tiny();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 2);
+    let outcome = plan(&db, P, M, &AutoPipeConfig::default()).expect("tiny plans at p=4");
+    let costs = outcome.partition.stage_costs(&db);
+    let sp = plan_slicing(&costs, M);
+    let batch = BatchSet::synthetic(99, M, 2, model.seq_len, model.vocab_size);
+
+    let mut clean = tiny_pipeline(sp.schedule.clone(), outcome.partition.clone());
+    let clean_losses: Vec<f32> = (0..STEPS)
+        .map(|_| clean.train_iteration(&batch).expect("clean step").loss)
+        .collect();
+    let clean_sum = clean.param_checksum();
+
+    let mut recoveries = 0usize;
+    for seed in 0..n_seeds {
+        let dir = temp_dir(&format!("restart_{seed}"));
+        let mut coord = RecoveryCoordinator::new(RecoveryConfig {
+            background: false,
+            ..RecoveryConfig::new(&dir)
+        })
+        .expect("store opens");
+        let mut pipe = tiny_pipeline(sp.schedule.clone(), outcome.partition.clone());
+        pipe.set_watchdog(snappy());
+        pipe.set_faults(failstop_script(seed, &sp.schedule, 0.0), 0.0);
+        let mut replanner = PlannerReplanner {
+            db: &db,
+            cfg: AutoPipeConfig::default(),
+        };
+        let (losses, recovered) =
+            train_with_recovery(seed, pipe, &mut coord, &batch, &mut replanner);
+        assert_eq!(coord.recoveries(), 1, "seed {seed}: crash never fired");
+        assert_eq!(
+            clean_losses, losses,
+            "seed {seed}: restart-in-place trajectory drifted"
+        );
+        assert_eq!(
+            clean_sum.to_bits(),
+            recovered.param_checksum().to_bits(),
+            "seed {seed}: final params drifted"
+        );
+        recoveries += coord.recoveries();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!("restart   : {n_seeds} seeds, {recoveries} recoveries, 0 deadlocks, bit-identical");
+    json!({
+        "model": model.name,
+        "stages": P,
+        "microbatches": M,
+        "n_sliced": sp.n_sliced,
+        "steps": STEPS,
+        "seeds": n_seeds,
+        "recoveries": recoveries,
+        "deadlocks": 0,
+        "bit_identical": true,
+        "param_checksum": clean_sum,
+    })
+}
+
+/// Shrink-and-replan campaign: every seeded device loss re-plans onto 3
+/// survivors through the real planner + slicer and still converges on the
+/// clean trajectory.
+fn shrink_campaign(n_seeds: u64) -> serde_json::Value {
+    let model = zoo::gpt2_tiny();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 2);
+    let cfg = AutoPipeConfig::default();
+    let outcome = plan(&db, P, M, &cfg).expect("tiny plans at p=4");
+    let costs = outcome.partition.stage_costs(&db);
+    let sp = plan_slicing(&costs, M);
+    let batch = BatchSet::synthetic(99, M, 2, model.seq_len, model.vocab_size);
+
+    let mut clean = tiny_pipeline(sp.schedule.clone(), outcome.partition.clone());
+    let clean_losses: Vec<f32> = (0..STEPS)
+        .map(|_| clean.train_iteration(&batch).expect("clean step").loss)
+        .collect();
+
+    // The analytic yardstick the shrink must land on: planning 3 stages
+    // from scratch on the same cost model.
+    let shrunk_reference = plan(&db, P - 1, M, &cfg).expect("tiny plans at p=3");
+    let predicted_shrunk = shrunk_reference.analytic.iteration_time;
+    let predicted_healthy = outcome.analytic.iteration_time;
+
+    let mut shrinks = 0usize;
+    let mut max_rel_drift = 0.0f64;
+    for seed in 0..n_seeds {
+        let dir = temp_dir(&format!("shrink_{seed}"));
+        let mut coord = RecoveryCoordinator::new(RecoveryConfig {
+            background: false,
+            policy: RecoveryPolicy::ShrinkAndReplan,
+            ..RecoveryConfig::new(&dir)
+        })
+        .expect("store opens");
+        let mut pipe = tiny_pipeline(sp.schedule.clone(), outcome.partition.clone());
+        pipe.set_watchdog(snappy());
+        // lost_prob 1.0: every script is a DeviceLost.
+        pipe.set_faults(failstop_script(seed, &sp.schedule, 1.0), 0.0);
+        let mut replanner = PlannerReplanner { db: &db, cfg };
+        let (losses, recovered) =
+            train_with_recovery(seed, pipe, &mut coord, &batch, &mut replanner);
+        assert_eq!(coord.recoveries(), 1, "seed {seed}: loss never fired");
+        assert_eq!(
+            recovered.schedule().n_devices,
+            P - 1,
+            "seed {seed}: pipeline did not shrink"
+        );
+        // The migration itself is numerically exact, but the re-sliced
+        // 3-stage schedule sums the loss reduction in a different order, so
+        // the shrunk trajectory tracks the clean one to float round-off
+        // rather than bit-for-bit (that guarantee belongs to
+        // restart-in-place, which replays the *same* schedule).
+        assert_eq!(losses.len(), clean_losses.len(), "seed {seed}: lost steps");
+        for (step, (c, s)) in clean_losses.iter().zip(&losses).enumerate() {
+            let rel = ((c - s).abs() / c.abs().max(1e-12)) as f64;
+            max_rel_drift = max_rel_drift.max(rel);
+            assert!(
+                rel < 1e-4,
+                "seed {seed} step {step}: shrunk trajectory diverged ({c} vs {s})"
+            );
+        }
+        let predicted = match &coord.log()[0].action {
+            autopipe_runtime::RecoveryAction::Shrunk {
+                predicted_iteration,
+                ..
+            } => predicted_iteration.expect("planner predicts"),
+            other => panic!("seed {seed}: expected a shrink, got {other:?}"),
+        };
+        assert_eq!(
+            predicted.to_bits(),
+            predicted_shrunk.to_bits(),
+            "seed {seed}: shrink prediction diverged from the analytic plan"
+        );
+        shrinks += 1;
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!(
+        "shrink    : {n_seeds} seeds, {shrinks} shrinks to p={}, 0 deadlocks, max drift {max_rel_drift:.1e}",
+        P - 1
+    );
+    json!({
+        "model": model.name,
+        "stages": P,
+        "survivors": P - 1,
+        "microbatches": M,
+        "steps": STEPS,
+        "seeds": n_seeds,
+        "shrinks": shrinks,
+        "deadlocks": 0,
+        "max_rel_loss_drift": max_rel_drift,
+        "predicted_healthy_ms": predicted_healthy * 1e3,
+        "predicted_shrunk_ms": predicted_shrunk * 1e3,
+        "predicted_slowdown": predicted_shrunk / predicted_healthy,
+    })
+}
+
+/// The kill-9 guarantee: a writer that dies between the temp write and the
+/// commit rename — or that corrupts a committed payload — must leave the
+/// newest *valid* generation loadable.
+fn torn_write_demo() -> serde_json::Value {
+    let model = zoo::gpt2_tiny();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 2);
+    let outcome = plan(&db, P, M, &AutoPipeConfig::default()).expect("tiny plans at p=4");
+    let mut pipe = tiny_pipeline(
+        autopipe_schedule::one_f_one_b(P, M),
+        outcome.partition.clone(),
+    );
+
+    let dir = temp_dir("torn_write");
+    let mut store = CheckpointStore::open(&dir, 4).expect("store opens");
+    let good = store.save(&pipe.snapshot(1, "good")).expect("clean save");
+
+    // Abort between the temp-dir write and the rename: the commit point was
+    // never reached, so the half-written generation must be invisible.
+    store.fail_next(FailPoint::BeforeRename);
+    let torn_err = store
+        .save(&pipe.snapshot(2, "torn"))
+        .expect_err("injected abort");
+    let (after_torn, _) = store.load_latest().expect("fallback generation loads");
+    assert_eq!(
+        after_torn.generation, good,
+        "torn write leaked a generation"
+    );
+    assert_eq!(after_torn.step, 1);
+
+    // A committed generation whose payload rots: the CRC check rejects it
+    // and the loader falls back to the previous valid one.
+    store.fail_next(FailPoint::CorruptPayload);
+    let corrupt = store.save(&pipe.snapshot(2, "rotten")).expect("commits");
+    let (after_rot, _) = store.load_latest().expect("fallback skips the rot");
+    assert_eq!(
+        after_rot.generation, good,
+        "corrupt generation {corrupt} was not rejected"
+    );
+
+    println!("torn-write: abort-before-rename + payload rot both fall back to gen {good}");
+    let record = json!({
+        "committed_generation": good,
+        "torn_write_error": torn_err.to_string(),
+        "fallback_after_torn_write": after_torn.generation,
+        "corrupt_generation": corrupt,
+        "fallback_after_corruption": after_rot.generation,
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    record
+}
+
+/// Cadence checkpointing off the training thread: the background writer
+/// commits generations while 1F1B keeps stepping.
+fn background_writer_demo() -> serde_json::Value {
+    let model = zoo::gpt2_tiny();
+    let hw = Hardware::rtx3090_cluster();
+    let db = cost_db(&model, &hw, 2);
+    let outcome = plan(&db, P, M, &AutoPipeConfig::default()).expect("tiny plans at p=4");
+    let batch = BatchSet::synthetic(99, M, 2, model.seq_len, model.vocab_size);
+    let mut pipe = tiny_pipeline(
+        autopipe_schedule::one_f_one_b(P, M),
+        outcome.partition.clone(),
+    );
+
+    let dir = temp_dir("background");
+    let cadence = 2usize;
+    let steps = 6usize;
+    let mut coord = RecoveryCoordinator::new(RecoveryConfig {
+        background: true,
+        cadence,
+        ..RecoveryConfig::new(&dir)
+    })
+    .expect("store opens");
+    coord.prime(&mut pipe).expect("baseline commits");
+    let mut offered = 0usize;
+    for step in 1..=steps {
+        pipe.train_iteration(&batch).expect("steady state");
+        if coord
+            .maybe_checkpoint(&mut pipe, step as u64)
+            .expect("offer never errors")
+        {
+            offered += 1;
+        }
+    }
+    coord.drain();
+    let status = coord.writer_status().expect("background mode");
+    assert!(status.last_error.is_none(), "writer failed: {status:?}");
+    assert!(status.written >= 1, "background writer never committed");
+
+    println!(
+        "background: {steps} steps at cadence {cadence}: {} committed, {} skipped",
+        status.written, status.skipped
+    );
+    let record = json!({
+        "steps": steps,
+        "cadence": cadence,
+        "offered": offered,
+        "written": status.written,
+        "skipped_busy": status.skipped,
+        "last_generation": status.last_generation.unwrap_or(0),
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    record
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (restart_seeds, shrink_seeds) = if smoke { (6, 6) } else { (50, 50) };
+
+    let restart = restart_campaign(restart_seeds);
+    let shrink = shrink_campaign(shrink_seeds);
+    let torn = torn_write_demo();
+    let background = background_writer_demo();
+
+    let record = json!({
+        "bench": "recovery",
+        "smoke": smoke,
+        "restart_in_place": restart,
+        "shrink_and_replan": shrink,
+        "torn_writes": torn,
+        "background_writer": background,
+    });
+    save_json("BENCH_recovery", &record);
+    println!("wrote results/BENCH_recovery.json");
+}

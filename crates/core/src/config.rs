@@ -10,6 +10,8 @@
 //! `PipelineConfig` lowering, since it sits above this crate). The per-crate
 //! structs remain the lowering targets, so nothing below the facade changes.
 
+use std::path::PathBuf;
+
 use autopipe_cost::profiler::ProfilerConfig;
 use autopipe_cost::Hardware;
 use autopipe_model::{Granularity, ModelConfig};
@@ -18,6 +20,76 @@ use autopipe_sim::event::EventConfig;
 
 use crate::error::Error;
 use crate::plan::PlanRequest;
+
+/// What the runtime does when a stage suffers a *restartable* fail-stop
+/// crash. (A lost device always forces [`RecoveryPolicy::ShrinkAndReplan`] —
+/// there is nothing left to restart on.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Respawn the dead stage from the last durable checkpoint and replay
+    /// micro-batches from the checkpointed step, with exactly-once step
+    /// semantics: the post-recovery loss trajectory is bit-identical to an
+    /// uninterrupted run.
+    RestartInPlace,
+    /// Re-plan the pipeline onto the surviving devices (planner `replan` at
+    /// p−1 stages), hot-swap via the repartition migration path, and re-run
+    /// the slicer for the new warmup.
+    ShrinkAndReplan,
+}
+
+/// Durable checkpointing and fail-stop recovery knobs, lowered into the
+/// runtime's `RecoveryCoordinator` by the `Session` facade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryConfig {
+    /// Directory holding the checkpoint generations.
+    pub dir: PathBuf,
+    /// Snapshot every `cadence` training steps (1 = every step).
+    pub cadence: usize,
+    /// How many valid generations to keep on disk (older ones are pruned).
+    pub retain: usize,
+    /// Policy applied to restartable stage crashes.
+    pub policy: RecoveryPolicy,
+    /// Give up (surface the runtime error) after this many recoveries in
+    /// one run.
+    pub max_recoveries: usize,
+    /// Write snapshots on a background thread (double-buffered stage-state
+    /// export; the 1F1B steady state never blocks on the disk).
+    pub background: bool,
+}
+
+impl RecoveryConfig {
+    /// Checkpoint into `dir` with snappy defaults: snapshot every step,
+    /// keep 3 generations, restart crashed stages in place, tolerate up to
+    /// 4 recoveries per run.
+    pub fn new(dir: impl Into<PathBuf>) -> RecoveryConfig {
+        RecoveryConfig {
+            dir: dir.into(),
+            cadence: 1,
+            retain: 3,
+            policy: RecoveryPolicy::RestartInPlace,
+            max_recoveries: 4,
+            background: true,
+        }
+    }
+
+    /// Reject degenerate knobs with a structured [`Error::Config`].
+    pub fn validate(&self) -> Result<(), Error> {
+        if self.cadence < 1 {
+            return Err(Error::Config(
+                "checkpoint cadence must be at least 1".into(),
+            ));
+        }
+        if self.retain < 1 {
+            return Err(Error::Config(
+                "checkpoint store must retain at least 1 generation".into(),
+            ));
+        }
+        if self.max_recoveries < 1 {
+            return Err(Error::Config("max_recoveries must be at least 1".into()));
+        }
+        Ok(())
+    }
+}
 
 /// Everything a profile → plan → slice → simulate → run session needs, in
 /// one validated place.
@@ -63,6 +135,9 @@ pub struct SessionConfig {
     pub seed: u64,
     /// Recompute activations in the backward pass.
     pub checkpointing: bool,
+    /// Durable checkpointing + fail-stop recovery. `None` = crash-fragile
+    /// (a fail-stop fault surfaces as a runtime error).
+    pub recovery: Option<RecoveryConfig>,
 }
 
 impl SessionConfig {
@@ -88,6 +163,7 @@ impl SessionConfig {
             lr: 1e-3,
             seed: 0,
             checkpointing: true,
+            recovery: None,
         }
     }
 
@@ -132,6 +208,9 @@ impl SessionConfig {
         }
         if !(self.lr.is_finite() && self.lr > 0.0) {
             return fail(format!("bad learning rate {}", self.lr));
+        }
+        if let Some(r) = &self.recovery {
+            r.validate()?;
         }
         Ok(())
     }
@@ -218,6 +297,31 @@ mod tests {
             },
         ] {
             let err = bad.validate().unwrap_err();
+            assert!(matches!(err, Error::Config(_)), "{err}");
+        }
+    }
+
+    #[test]
+    fn recovery_knobs_validate() {
+        let mut c = cfg();
+        c.recovery = Some(RecoveryConfig::new("/tmp/ckpt"));
+        c.validate().unwrap();
+        for bad in [
+            RecoveryConfig {
+                cadence: 0,
+                ..RecoveryConfig::new("/tmp/ckpt")
+            },
+            RecoveryConfig {
+                retain: 0,
+                ..RecoveryConfig::new("/tmp/ckpt")
+            },
+            RecoveryConfig {
+                max_recoveries: 0,
+                ..RecoveryConfig::new("/tmp/ckpt")
+            },
+        ] {
+            c.recovery = Some(bad);
+            let err = c.validate().unwrap_err();
             assert!(matches!(err, Error::Config(_)), "{err}");
         }
     }

@@ -26,6 +26,11 @@ pub enum Error {
     /// Boxed because `autopipe-runtime` sits *above* this crate in the
     /// dependency graph; that crate provides `From<RuntimeError> for Error`.
     Runtime(Box<dyn std::error::Error + Send + Sync + 'static>),
+    /// Durable checkpoint store failed (I/O, corruption with no fallback
+    /// generation, manifest mismatch). Boxed for the same layering reason as
+    /// [`Error::Runtime`]: the store lives in `autopipe-runtime`, which
+    /// provides `From<CheckpointError> for Error`.
+    Checkpoint(Box<dyn std::error::Error + Send + Sync + 'static>),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +40,7 @@ impl fmt::Display for Error {
             Error::Plan(e) => write!(f, "planning failed: {e}"),
             Error::Sim(e) => write!(f, "simulation failed: {e}"),
             Error::Runtime(e) => write!(f, "runtime failed: {e}"),
+            Error::Checkpoint(e) => write!(f, "checkpoint store failed: {e}"),
         }
     }
 }
@@ -46,6 +52,7 @@ impl std::error::Error for Error {
             Error::Plan(e) => Some(e),
             Error::Sim(e) => Some(e),
             Error::Runtime(e) => Some(e.as_ref()),
+            Error::Checkpoint(e) => Some(e.as_ref()),
         }
     }
 }

@@ -23,6 +23,16 @@
 //!   specific op in its program (a GC pause, a preemption, a hiccup). Stalls
 //!   are finite: the watchdog's job is to *report* them, the schedule still
 //!   completes.
+//! * [`StageCrash`] / [`DeviceLost`] — fail-stop events. Unlike the four
+//!   families above, these *do* change what executes: the device stops dead
+//!   before a specific op and never comes back for the rest of the
+//!   iteration. The threaded runtime realizes them as controlled
+//!   stage-thread death; the event simulator replays them as a device whose
+//!   program counter freezes. Recovery (restart-in-place or
+//!   shrink-and-replan) is the runtime's `RecoveryCoordinator`'s job — the
+//!   script only says *where* the failure happens. The two kinds differ in
+//!   what recovery may assume: a [`StageCrash`] device can be respawned in
+//!   place, a [`DeviceLost`] device is gone and forces a shrink.
 //!
 //! All delays are in the executor's native time unit (virtual seconds in the
 //! simulator; the runtime multiplies by its `time_scale`).
@@ -85,6 +95,40 @@ pub struct StageStall {
     pub pause: f64,
 }
 
+/// A fail-stop stage crash: the device's thread dies immediately before
+/// executing op `at_op` of its program and stays dead for the rest of the
+/// iteration. The process (and its checkpointed state) survives, so recovery
+/// may respawn the stage in place.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageCrash {
+    /// Crashing device (= pipeline stage for non-interleaved schedules).
+    pub device: usize,
+    /// Index into the device's program at which the thread dies.
+    pub at_op: usize,
+}
+
+/// A fail-stop device loss: like [`StageCrash`], but the device itself is
+/// gone (host down, accelerator off the bus) — recovery must re-plan the
+/// pipeline onto the surviving devices instead of respawning.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceLost {
+    /// Lost device.
+    pub device: usize,
+    /// Index into the device's program at which the device vanishes.
+    pub at_op: usize,
+}
+
+/// What kind of fail-stop event hit a device, as reported by
+/// [`FaultPlan::crash_at`]. Drives the recovery policy choice: a `Crash` may
+/// be restarted in place, a `Lost` device forces shrink-and-replan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailStopKind {
+    /// The stage thread died but the device survives ([`StageCrash`]).
+    Crash,
+    /// The device itself is gone ([`DeviceLost`]).
+    Lost,
+}
+
 /// A complete seeded fault script. See the module docs for replay semantics.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct FaultPlan {
@@ -98,6 +142,10 @@ pub struct FaultPlan {
     pub stragglers: Vec<Straggler>,
     /// Device freezes.
     pub stalls: Vec<StageStall>,
+    /// Fail-stop stage crashes (restartable).
+    pub crashes: Vec<StageCrash>,
+    /// Fail-stop device losses (force a shrink).
+    pub lost: Vec<DeviceLost>,
 }
 
 /// Knobs for [`FaultPlan::random`]: which fault families to draw and how
@@ -179,6 +227,58 @@ impl FaultPlan {
             && self.drops.is_empty()
             && self.stragglers.is_empty()
             && self.stalls.is_empty()
+            && self.crashes.is_empty()
+            && self.lost.is_empty()
+    }
+
+    /// True when the script contains fail-stop events (crashes or losses).
+    pub fn has_failstop(&self) -> bool {
+        !self.crashes.is_empty() || !self.lost.is_empty()
+    }
+
+    /// The fail-stop event (if any) scripted for `device` at `op_index`.
+    /// `Lost` wins over `Crash` if both are scripted at the same op, because
+    /// a lost device constrains recovery more.
+    pub fn crash_at(&self, device: usize, op_index: usize) -> Option<FailStopKind> {
+        if self
+            .lost
+            .iter()
+            .any(|l| l.device == device && l.at_op == op_index)
+        {
+            return Some(FailStopKind::Lost);
+        }
+        if self
+            .crashes
+            .iter()
+            .any(|c| c.device == device && c.at_op == op_index)
+        {
+            return Some(FailStopKind::Crash);
+        }
+        None
+    }
+
+    /// Earliest op index at which `device` suffers a fail-stop event, with
+    /// its kind. Useful to executors that need to know a device's effective
+    /// program length up front.
+    pub fn first_failstop(&self, device: usize) -> Option<(usize, FailStopKind)> {
+        let crash = self
+            .crashes
+            .iter()
+            .filter(|c| c.device == device)
+            .map(|c| c.at_op)
+            .min();
+        let lost = self
+            .lost
+            .iter()
+            .filter(|l| l.device == device)
+            .map(|l| l.at_op)
+            .min();
+        match (crash, lost) {
+            (Some(c), Some(l)) if l <= c => Some((l, FailStopKind::Lost)),
+            (Some(c), _) => Some((c, FailStopKind::Crash)),
+            (None, Some(l)) => Some((l, FailStopKind::Lost)),
+            (None, None) => None,
+        }
     }
 
     /// Draw a random script from `spec`. Deterministic in `seed`: faults
@@ -230,6 +330,31 @@ impl FaultPlan {
                     pause: u * (5.0 + 15.0 * draw()),
                 });
             }
+        }
+        plan
+    }
+
+    /// Draw a script containing exactly one fail-stop event: a random device
+    /// dies before a random op of its program. `lost_prob` is the chance the
+    /// event is a [`DeviceLost`] rather than a restartable [`StageCrash`].
+    /// Deterministic in `seed`; never places the event at op 0 of device 0
+    /// when avoidable, so the iteration always makes *some* progress before
+    /// dying (crash-at-first-op is covered by explicit unit tests).
+    pub fn random_failstop(seed: u64, spec: &FaultSpec, lost_prob: f64) -> FaultPlan {
+        let mut plan = FaultPlan::with_seed(seed);
+        let mut ctr = splitmix64(seed ^ 0xDEAD);
+        let mut draw = || {
+            ctr = splitmix64(ctr);
+            unit(ctr)
+        };
+        let device = (draw() * spec.n_devices as f64) as usize % spec.n_devices.max(1);
+        let span = spec.program_len.max(2);
+        // Land in [1, span): at least one op runs before the death.
+        let at_op = 1 + (draw() * (span - 1) as f64) as usize % (span - 1).max(1);
+        if draw() < lost_prob {
+            plan.lost.push(DeviceLost { device, at_op });
+        } else {
+            plan.crashes.push(StageCrash { device, at_op });
         }
         plan
     }
@@ -388,6 +513,56 @@ mod tests {
     #[test]
     fn scripts_serialise_round_trip() {
         let plan = FaultPlan::random(9, &FaultSpec::new(4, 40, 1.0));
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn failstop_scripts_are_deterministic_and_in_range() {
+        let spec = FaultSpec::new(4, 40, 1.0);
+        for seed in 0..50 {
+            let plan = FaultPlan::random_failstop(seed, &spec, 0.5);
+            assert_eq!(plan, FaultPlan::random_failstop(seed, &spec, 0.5));
+            assert!(!plan.is_empty() && plan.has_failstop());
+            assert_eq!(plan.crashes.len() + plan.lost.len(), 1);
+            let (device, at_op) = plan
+                .crashes
+                .first()
+                .map(|c| (c.device, c.at_op))
+                .or_else(|| plan.lost.first().map(|l| (l.device, l.at_op)))
+                .unwrap();
+            assert!(device < 4, "device {device} out of range");
+            assert!((1..40).contains(&at_op), "op {at_op} out of range");
+        }
+        // lost_prob steers the kind fully at the extremes.
+        assert!(!FaultPlan::random_failstop(3, &spec, 0.0).crashes.is_empty());
+        assert!(!FaultPlan::random_failstop(3, &spec, 1.0).lost.is_empty());
+    }
+
+    #[test]
+    fn crash_at_reports_kind_and_lost_wins() {
+        let mut plan = FaultPlan::with_seed(1);
+        plan.crashes.push(StageCrash {
+            device: 2,
+            at_op: 5,
+        });
+        assert_eq!(plan.crash_at(2, 5), Some(FailStopKind::Crash));
+        assert_eq!(plan.crash_at(2, 4), None);
+        assert_eq!(plan.crash_at(1, 5), None);
+        assert!(!plan.is_empty(), "crashes must make the plan non-empty");
+        plan.lost.push(DeviceLost {
+            device: 2,
+            at_op: 5,
+        });
+        assert_eq!(plan.crash_at(2, 5), Some(FailStopKind::Lost));
+        assert_eq!(plan.first_failstop(2), Some((5, FailStopKind::Lost)));
+        assert_eq!(plan.first_failstop(0), None);
+    }
+
+    #[test]
+    fn failstop_scripts_serialise_round_trip() {
+        let plan = FaultPlan::random_failstop(11, &FaultSpec::new(4, 40, 1.0), 0.5);
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);

@@ -32,7 +32,10 @@ pub mod recorder;
 pub mod timeline;
 pub mod transport;
 
-pub use fault::{FaultPlan, FaultSpec, LinkDegrade, MessageDrop, StageStall, Straggler};
+pub use fault::{
+    DeviceLost, FailStopKind, FaultPlan, FaultSpec, LinkDegrade, MessageDrop, StageCrash,
+    StageStall, Straggler,
+};
 pub use msg::{op_key, MsgKey};
 pub use recorder::{NoTrace, Recorder, TraceSink, WallClock};
 pub use timeline::{DeviceBreakdown, OpTimes, PhaseTimes, Timeline, TraceEvent, TraceMismatch};

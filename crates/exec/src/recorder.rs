@@ -101,6 +101,22 @@ impl Recorder {
     pub fn finish(self) -> Timeline {
         Timeline::from_parts(self.ops, self.ends, self.times)
     }
+
+    /// Finish a recording that legitimately stopped early — a fail-stop
+    /// replay, where dead and starved devices executed only a prefix of
+    /// their programs. Each device's op lane is truncated to the events it
+    /// actually recorded.
+    pub fn finish_partial(self) -> Timeline {
+        let mut ops = Vec::with_capacity(self.times.iter().map(Vec::len).sum());
+        let mut ends = Vec::with_capacity(self.ends.len());
+        let mut lo = 0;
+        for (d, t) in self.times.iter().enumerate() {
+            ops.extend_from_slice(&self.ops[lo..lo + t.len()]);
+            ends.push(ops.len());
+            lo = self.ends[d];
+        }
+        Timeline::from_parts(ops, ends, self.times)
+    }
 }
 
 impl TraceSink for Recorder {

@@ -1,9 +1,41 @@
-//! Training-state checkpointing: save and restore every stage's parameters
-//! and Adam moments, so a pipelined run can stop and resume bit-for-bit.
+//! Crash-consistent training-state checkpointing.
+//!
+//! Two layers live here:
+//!
+//! * [`Checkpoint`] — the legacy single-file snapshot (every stage's
+//!   parameters and Adam moments as one JSON document). Since PR 4 its
+//!   `save` is atomic (temp file + fsync + rename) and its payload carries a
+//!   CRC-32 header, so a torn or bit-rotted file is *rejected* with a typed
+//!   [`CheckpointError`] instead of silently accepted.
+//!
+//! * [`CheckpointStore`] — the durable, versioned store behind fail-stop
+//!   recovery. Each snapshot becomes a *generation* directory
+//!   `gen-NNNNNN/` holding a `manifest.json` (step, tag, partition
+//!   boundaries, schedule geometry, per-stage CRC-32 checksums) and one
+//!   payload file per stage. A generation is committed by writing everything
+//!   into a `tmp-` directory, fsyncing, and renaming — a crash anywhere
+//!   before the rename leaves only a `tmp-` directory the loader ignores,
+//!   so **no generation is ever loadable in a torn state**. On load the
+//!   store walks generations newest-first and falls back past any corrupt
+//!   one. [`BackgroundCheckpointer`] moves the serialisation and disk work
+//!   off the training thread: the trainer exports stage states (cheap
+//!   tensor clones — the double buffer) and hands them to a writer thread
+//!   over a bounded channel; a full channel skips the snapshot rather than
+//!   blocking the 1F1B steady state.
+//!
+//! The failure-injection hook [`FailPoint`] exists so tests can prove the
+//! kill-9 window: abort a save between temp write and rename, or flip a
+//! committed payload byte, and watch the loader fall back to generation
+//! N−1.
 
+use std::fmt;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::thread::JoinHandle;
 
 use serde::{Deserialize, Serialize};
 
@@ -11,6 +43,147 @@ use autopipe_tensor::{optim::Adam, Tensor};
 
 use crate::engine::Pipeline;
 use crate::stage::StageModel;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), hand-rolled: the container has no crates.io access.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes` — the payload checksum of every checkpoint file.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+// ---------------------------------------------------------------------------
+
+/// What can go wrong saving or loading durable checkpoints.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure at `path`.
+    Io { path: PathBuf, source: io::Error },
+    /// A file exists but its contents are unusable (bad checksum, torn
+    /// write, unparsable JSON).
+    Corrupt { path: PathBuf, detail: String },
+    /// The checkpoint does not fit the pipeline it is being restored into.
+    Mismatch(String),
+    /// No generation in the store survived validation.
+    NoValidGeneration { dir: PathBuf, detail: String },
+    /// A test-injected failure ([`FailPoint`]) fired.
+    Injected(FailPoint),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, source } => {
+                write!(f, "checkpoint I/O failed at {}: {source}", path.display())
+            }
+            CheckpointError::Corrupt { path, detail } => {
+                write!(f, "corrupt checkpoint {}: {detail}", path.display())
+            }
+            CheckpointError::Mismatch(msg) => write!(f, "checkpoint mismatch: {msg}"),
+            CheckpointError::NoValidGeneration { dir, detail } => write!(
+                f,
+                "no valid checkpoint generation in {}: {detail}",
+                dir.display()
+            ),
+            CheckpointError::Injected(fp) => write!(f, "injected failure: {fp:?}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+// This crate sits above `autopipe-core`, so the facade conversion lives here
+// (same layering as `RuntimeError`).
+impl From<CheckpointError> for autopipe_core::Error {
+    fn from(e: CheckpointError) -> autopipe_core::Error {
+        autopipe_core::Error::Checkpoint(Box::new(e))
+    }
+}
+
+fn io_err(path: &Path) -> impl FnOnce(io::Error) -> CheckpointError + '_ {
+    move |source| CheckpointError::Io {
+        path: path.to_path_buf(),
+        source,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Durable-write primitives
+// ---------------------------------------------------------------------------
+
+/// Write `bytes` to `path` durably and atomically: temp sibling + fsync +
+/// rename + parent-directory fsync. A crash at any point leaves either the
+/// old file or the new one — never a torn mix.
+fn write_durable(path: &Path, bytes: &[u8]) -> Result<(), CheckpointError> {
+    let tmp = sibling_tmp(path);
+    {
+        let mut f = fs::File::create(&tmp).map_err(io_err(&tmp))?;
+        io::Write::write_all(&mut f, bytes).map_err(io_err(&tmp))?;
+        f.sync_all().map_err(io_err(&tmp))?;
+    }
+    fs::rename(&tmp, path).map_err(io_err(path))?;
+    sync_parent(path)
+}
+
+fn sibling_tmp(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "ckpt".into());
+    name.insert_str(0, ".tmp-");
+    path.with_file_name(name)
+}
+
+fn sync_parent(path: &Path) -> Result<(), CheckpointError> {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        fs::File::open(parent)
+            .and_then(|d| d.sync_all())
+            .map_err(io_err(parent))?;
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Legacy single-file checkpoint (now atomic + checksummed)
+// ---------------------------------------------------------------------------
+
+/// Header prefix of the single-file format; the hex CRC-32 of the JSON body
+/// follows, then a newline, then the body.
+const FILE_MAGIC: &str = "autopipe-ckpt v1 crc32=";
 
 /// Serialisable state of one stage.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -44,32 +217,88 @@ impl Checkpoint {
         }
     }
 
-    /// Restore into a pipeline of identical shape.
-    pub fn restore(&self, pipeline: &mut Pipeline) {
-        let mut stages = pipeline.stages_mut();
-        assert_eq!(
-            stages.len(),
-            self.stages.len(),
+    /// Restore into a pipeline of identical shape. Stage counts and
+    /// parameter shapes are validated *before* any state is touched, so a
+    /// rejected restore leaves the pipeline unmodified.
+    pub fn restore(&self, pipeline: &mut Pipeline) -> Result<(), CheckpointError> {
+        restore_states(pipeline, &self.stages)
+    }
+
+    /// Write durably: atomic rename plus a CRC-32 payload header, so a torn
+    /// or corrupted file can never load as a valid checkpoint.
+    pub fn save(&self, path: &Path) -> Result<(), CheckpointError> {
+        let body = serde_json::to_string(self).map_err(|e| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail: format!("serialise failed: {e}"),
+        })?;
+        let payload = format!("{FILE_MAGIC}{:08x}\n{body}", crc32(body.as_bytes()));
+        write_durable(path, payload.as_bytes())
+    }
+
+    /// Read and validate: the header checksum must match the body, byte for
+    /// byte. Files written by the pre-durability format (no header) are
+    /// rejected as corrupt rather than trusted.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = fs::read_to_string(path).map_err(io_err(path))?;
+        let corrupt = |detail: String| CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            detail,
+        };
+        let rest = text
+            .strip_prefix(FILE_MAGIC)
+            .ok_or_else(|| corrupt("missing checksum header".into()))?;
+        let (hex, body) = rest
+            .split_once('\n')
+            .ok_or_else(|| corrupt("truncated header".into()))?;
+        let want =
+            u32::from_str_radix(hex, 16).map_err(|e| corrupt(format!("bad crc hex: {e}")))?;
+        let got = crc32(body.as_bytes());
+        if got != want {
+            return Err(corrupt(format!("crc32 {got:08x} != declared {want:08x}")));
+        }
+        serde_json::from_str(body).map_err(|e| corrupt(format!("parse failed: {e}")))
+    }
+}
+
+/// Validate then import `states` into `pipeline` (shared by the legacy
+/// [`Checkpoint`], the generation store, and the recovery coordinator).
+/// Validation is two-phase so a mismatch never leaves the pipeline
+/// half-restored.
+pub(crate) fn restore_states(
+    pipeline: &mut Pipeline,
+    states: &[StageState],
+) -> Result<(), CheckpointError> {
+    let mut stages = pipeline.stages_mut();
+    if stages.len() != states.len() {
+        return Err(CheckpointError::Mismatch(format!(
             "checkpoint has {} stages, pipeline has {}",
-            self.stages.len(),
+            states.len(),
             stages.len()
-        );
-        for (stage, state) in stages.iter_mut().zip(&self.stages) {
-            stage.import_state(state.clone());
+        )));
+    }
+    for (i, (stage, state)) in stages.iter().zip(states).enumerate() {
+        let mine = stage.param_shapes();
+        if mine.len() != state.params.len() {
+            return Err(CheckpointError::Mismatch(format!(
+                "stage {i}: checkpoint has {} params, stage has {}",
+                state.params.len(),
+                mine.len()
+            )));
+        }
+        for (j, (shape, p)) in mine.iter().zip(&state.params).enumerate() {
+            if shape.as_slice() != p.shape() {
+                return Err(CheckpointError::Mismatch(format!(
+                    "stage {i} param {j}: checkpoint shape {:?}, stage shape {:?}",
+                    p.shape(),
+                    shape
+                )));
+            }
         }
     }
-
-    /// Write as JSON.
-    pub fn save(&self, path: &Path) -> io::Result<()> {
-        let json = serde_json::to_string(self).map_err(io::Error::other)?;
-        fs::write(path, json)
+    for (stage, state) in stages.iter_mut().zip(states) {
+        stage.import_state(state.clone());
     }
-
-    /// Read from JSON.
-    pub fn load(path: &Path) -> io::Result<Checkpoint> {
-        let text = fs::read_to_string(path)?;
-        serde_json::from_str(&text).map_err(io::Error::other)
-    }
+    Ok(())
 }
 
 impl StageModel {
@@ -81,10 +310,455 @@ impl StageModel {
         }
     }
 
-    /// Import parameters + optimiser state (shapes must match).
+    /// Import parameters + optimiser state (shapes must match), discarding
+    /// all transient per-iteration state — importing means rolling back to
+    /// a step boundary, so partial gradients and stale stashes from a
+    /// crash-aborted iteration must not survive.
     pub fn import_state(&mut self, state: StageState) {
         self.restore_params(&state.params);
         self.restore_adam(state.adam);
+        self.reset_transient();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The versioned generation store
+// ---------------------------------------------------------------------------
+
+/// One stage payload's entry in a generation manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StagePayload {
+    /// File name within the generation directory.
+    pub file: String,
+    /// CRC-32 of the payload file's bytes.
+    pub crc32: u32,
+    /// Payload length in bytes (quick torn-write check before hashing).
+    pub bytes: u64,
+}
+
+/// A generation's manifest: everything needed to validate the payloads and
+/// resume training — including the partition and schedule geometry, so
+/// [`Session::resume`](https://docs.rs) can rebuild the exact pipeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Generation index (monotonic).
+    pub generation: u64,
+    /// Training step (completed optimiser steps) this snapshot captured.
+    pub step: u64,
+    /// Free-form tag.
+    pub tag: String,
+    /// Partition boundaries of the pipeline that wrote the snapshot.
+    pub boundaries: Vec<usize>,
+    /// Sliced micro-batch count of the schedule (`n_sliced`).
+    pub n_sliced: usize,
+    /// Micro-batches per iteration.
+    pub n_microbatches: usize,
+    /// Per-stage payload entries, in (device, chunk) order.
+    pub stages: Vec<StagePayload>,
+}
+
+/// Everything one snapshot carries: the manifest metadata plus the stage
+/// states themselves. This is what the training thread exports (the double
+/// buffer) and the background writer serialises.
+#[derive(Debug, Clone)]
+pub struct PipelineSnapshot {
+    /// Training step (completed optimiser steps).
+    pub step: u64,
+    /// Free-form tag.
+    pub tag: String,
+    /// Partition boundaries.
+    pub boundaries: Vec<usize>,
+    /// Schedule `n_sliced`.
+    pub n_sliced: usize,
+    /// Micro-batches per iteration.
+    pub n_microbatches: usize,
+    /// Per-stage states, (device, chunk) order.
+    pub stages: Vec<StageState>,
+}
+
+impl PipelineSnapshot {
+    /// Export a pipeline's state (cheap tensor clones; the pipeline is free
+    /// to keep training the moment this returns).
+    pub fn capture(pipeline: &mut Pipeline, step: u64, tag: &str) -> PipelineSnapshot {
+        let boundaries = pipeline.partition().boundaries().to_vec();
+        let n_sliced = pipeline.schedule().n_sliced;
+        let n_microbatches = pipeline.schedule().n_microbatches;
+        PipelineSnapshot {
+            step,
+            tag: tag.to_string(),
+            boundaries,
+            n_sliced,
+            n_microbatches,
+            stages: pipeline
+                .stages_mut()
+                .iter_mut()
+                .map(|s| s.export_state())
+                .collect(),
+        }
+    }
+
+    /// Restore the stage states into a pipeline of matching shape.
+    pub fn restore(&self, pipeline: &mut Pipeline) -> Result<(), CheckpointError> {
+        restore_states(pipeline, &self.stages)
+    }
+}
+
+/// Test hook: make the next [`CheckpointStore::save`] fail like a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailPoint {
+    /// Abort after the temp generation is fully written but *before* the
+    /// atomic rename — the kill-9 window. The temp directory is left
+    /// behind, exactly as a real crash would leave it.
+    BeforeRename,
+    /// Commit the generation, then flip one byte of stage 0's payload:
+    /// simulated bit rot that the CRC check must catch on load.
+    CorruptPayload,
+}
+
+/// The durable, versioned checkpoint store. See the module docs for the
+/// on-disk layout and crash-consistency argument.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+    retain: usize,
+    fail_next: Option<FailPoint>,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) a store at `dir`, keeping the newest
+    /// `retain` generations. Leftover `tmp-` directories from crashed
+    /// writers are removed.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        retain: usize,
+    ) -> Result<CheckpointStore, CheckpointError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err(&dir))?;
+        let store = CheckpointStore {
+            dir,
+            retain: retain.max(1),
+            fail_next: None,
+        };
+        store.clean_tmp()?;
+        Ok(store)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Arm a one-shot injected failure for the next [`save`](Self::save).
+    pub fn fail_next(&mut self, fp: FailPoint) {
+        self.fail_next = Some(fp);
+    }
+
+    fn clean_tmp(&self) -> Result<(), CheckpointError> {
+        for entry in fs::read_dir(&self.dir).map_err(io_err(&self.dir))? {
+            let entry = entry.map_err(io_err(&self.dir))?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if name.starts_with("tmp-") || name.starts_with(".tmp-") {
+                let _ = fs::remove_dir_all(entry.path());
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(())
+    }
+
+    /// Committed generation indices, ascending.
+    pub fn generations(&self) -> Vec<u64> {
+        let mut gens: Vec<u64> = match fs::read_dir(&self.dir) {
+            Ok(rd) => rd
+                .filter_map(|e| e.ok())
+                .filter_map(|e| {
+                    e.file_name()
+                        .to_string_lossy()
+                        .strip_prefix("gen-")
+                        .and_then(|n| n.parse().ok())
+                })
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        gens.sort_unstable();
+        gens
+    }
+
+    fn gen_dir(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:06}"))
+    }
+
+    /// Durably commit one snapshot as the next generation; returns its
+    /// index. The commit point is the directory rename: a crash anywhere
+    /// before it leaves only a `tmp-` directory that [`open`](Self::open)
+    /// and [`load_latest`](Self::load_latest) ignore.
+    pub fn save(&mut self, snap: &PipelineSnapshot) -> Result<u64, CheckpointError> {
+        let generation = self.generations().last().map_or(0, |g| g + 1);
+        let tmp = self.dir.join(format!("tmp-gen-{generation:06}"));
+        let _ = fs::remove_dir_all(&tmp);
+        fs::create_dir_all(&tmp).map_err(io_err(&tmp))?;
+
+        let mut entries = Vec::with_capacity(snap.stages.len());
+        for (i, stage) in snap.stages.iter().enumerate() {
+            let body = serde_json::to_string(stage).map_err(|e| CheckpointError::Corrupt {
+                path: tmp.clone(),
+                detail: format!("stage {i} serialise failed: {e}"),
+            })?;
+            let file = format!("stage-{i}.json");
+            let path = tmp.join(&file);
+            {
+                let mut f = fs::File::create(&path).map_err(io_err(&path))?;
+                io::Write::write_all(&mut f, body.as_bytes()).map_err(io_err(&path))?;
+                f.sync_all().map_err(io_err(&path))?;
+            }
+            entries.push(StagePayload {
+                file,
+                crc32: crc32(body.as_bytes()),
+                bytes: body.len() as u64,
+            });
+        }
+        let manifest = Manifest {
+            generation,
+            step: snap.step,
+            tag: snap.tag.clone(),
+            boundaries: snap.boundaries.clone(),
+            n_sliced: snap.n_sliced,
+            n_microbatches: snap.n_microbatches,
+            stages: entries,
+        };
+        let mpath = tmp.join("manifest.json");
+        let mbody =
+            serde_json::to_string_pretty(&manifest).map_err(|e| CheckpointError::Corrupt {
+                path: mpath.clone(),
+                detail: format!("manifest serialise failed: {e}"),
+            })?;
+        {
+            let mut f = fs::File::create(&mpath).map_err(io_err(&mpath))?;
+            io::Write::write_all(&mut f, mbody.as_bytes()).map_err(io_err(&mpath))?;
+            f.sync_all().map_err(io_err(&mpath))?;
+        }
+
+        if self
+            .fail_next
+            .take_if(|fp| *fp == FailPoint::BeforeRename)
+            .is_some()
+        {
+            // Simulated kill -9 between temp write and rename: the tmp
+            // directory stays behind, the generation never commits.
+            return Err(CheckpointError::Injected(FailPoint::BeforeRename));
+        }
+
+        let committed = self.gen_dir(generation);
+        fs::rename(&tmp, &committed).map_err(io_err(&committed))?;
+        sync_parent(&committed)?;
+
+        if self
+            .fail_next
+            .take_if(|fp| *fp == FailPoint::CorruptPayload)
+            .is_some()
+        {
+            // Post-commit bit rot on stage 0's payload.
+            let victim = committed.join("stage-0.json");
+            let mut bytes = fs::read(&victim).map_err(io_err(&victim))?;
+            if let Some(b) = bytes.get_mut(0) {
+                *b ^= 0xFF;
+            }
+            fs::write(&victim, bytes).map_err(io_err(&victim))?;
+        }
+
+        self.prune();
+        Ok(generation)
+    }
+
+    /// Drop all but the newest `retain` generations. Best-effort: pruning
+    /// failures never fail a save.
+    fn prune(&self) {
+        let gens = self.generations();
+        if gens.len() > self.retain {
+            for g in &gens[..gens.len() - self.retain] {
+                let _ = fs::remove_dir_all(self.gen_dir(*g));
+            }
+        }
+    }
+
+    /// Load and validate one specific generation.
+    pub fn load_generation(
+        &self,
+        generation: u64,
+    ) -> Result<(Manifest, Vec<StageState>), CheckpointError> {
+        let dir = self.gen_dir(generation);
+        let corrupt = |path: PathBuf, detail: String| CheckpointError::Corrupt { path, detail };
+        let mpath = dir.join("manifest.json");
+        let mtext = fs::read_to_string(&mpath).map_err(io_err(&mpath))?;
+        let manifest: Manifest = serde_json::from_str(&mtext)
+            .map_err(|e| corrupt(mpath.clone(), format!("manifest parse failed: {e}")))?;
+        let mut stages = Vec::with_capacity(manifest.stages.len());
+        for entry in &manifest.stages {
+            let path = dir.join(&entry.file);
+            let bytes = fs::read(&path).map_err(io_err(&path))?;
+            if bytes.len() as u64 != entry.bytes {
+                return Err(corrupt(
+                    path,
+                    format!(
+                        "payload is {} bytes, manifest says {}",
+                        bytes.len(),
+                        entry.bytes
+                    ),
+                ));
+            }
+            let got = crc32(&bytes);
+            if got != entry.crc32 {
+                return Err(corrupt(
+                    path,
+                    format!("crc32 {got:08x} != manifest {:08x}", entry.crc32),
+                ));
+            }
+            let text = String::from_utf8(bytes)
+                .map_err(|e| corrupt(path.clone(), format!("payload not UTF-8: {e}")))?;
+            let state: StageState = serde_json::from_str(&text)
+                .map_err(|e| corrupt(path.clone(), format!("payload parse failed: {e}")))?;
+            stages.push(state);
+        }
+        Ok((manifest, stages))
+    }
+
+    /// Load the newest generation that validates, falling back past corrupt
+    /// ones (each payload is length- and CRC-checked before it is parsed).
+    pub fn load_latest(&self) -> Result<(Manifest, Vec<StageState>), CheckpointError> {
+        let gens = self.generations();
+        let mut failures = Vec::new();
+        for &g in gens.iter().rev() {
+            match self.load_generation(g) {
+                Ok(loaded) => return Ok(loaded),
+                Err(e) => failures.push(format!("gen-{g:06}: {e}")),
+            }
+        }
+        Err(CheckpointError::NoValidGeneration {
+            dir: self.dir.clone(),
+            detail: if failures.is_empty() {
+                "store is empty".into()
+            } else {
+                failures.join("; ")
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Background writer
+// ---------------------------------------------------------------------------
+
+/// Counters and last-outcome of the background writer, for telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WriterStatus {
+    /// Generations committed.
+    pub written: usize,
+    /// Snapshots dropped because the writer was still busy (the bounded
+    /// queue was full) — the price of never blocking the training loop.
+    pub skipped: usize,
+    /// Most recently committed generation.
+    pub last_generation: Option<u64>,
+    /// Most recent write failure, if any.
+    pub last_error: Option<String>,
+}
+
+/// Snapshots at a step cadence without blocking the 1F1B steady state: the
+/// training thread exports stage states (the cheap double-buffered copy)
+/// and [`offer`](Self::offer)s them over a bounded channel; a dedicated
+/// writer thread serialises and commits them. A busy writer causes the
+/// snapshot to be *skipped* (counted, never blocked on).
+#[derive(Debug)]
+pub struct BackgroundCheckpointer {
+    tx: Option<SyncSender<PipelineSnapshot>>,
+    handle: Option<JoinHandle<CheckpointStore>>,
+    pending: Arc<AtomicUsize>,
+    status: Arc<Mutex<WriterStatus>>,
+}
+
+impl BackgroundCheckpointer {
+    /// Spawn the writer thread over `store`.
+    pub fn spawn(store: CheckpointStore) -> BackgroundCheckpointer {
+        // Capacity 1: one snapshot may queue while one is being written —
+        // two in flight at most, bounding the double buffer's memory.
+        let (tx, rx) = sync_channel::<PipelineSnapshot>(1);
+        let pending = Arc::new(AtomicUsize::new(0));
+        let status = Arc::new(Mutex::new(WriterStatus::default()));
+        let worker_pending = Arc::clone(&pending);
+        let worker_status = Arc::clone(&status);
+        let handle = std::thread::spawn(move || {
+            let mut store = store;
+            while let Ok(snap) = rx.recv() {
+                let outcome = store.save(&snap);
+                if let Ok(mut st) = worker_status.lock() {
+                    match outcome {
+                        Ok(generation) => {
+                            st.written += 1;
+                            st.last_generation = Some(generation);
+                        }
+                        Err(e) => st.last_error = Some(e.to_string()),
+                    }
+                }
+                worker_pending.fetch_sub(1, Ordering::Release);
+            }
+            store
+        });
+        BackgroundCheckpointer {
+            tx: Some(tx),
+            handle: Some(handle),
+            pending,
+            status,
+        }
+    }
+
+    /// Offer a snapshot to the writer. Returns `true` when accepted;
+    /// `false` when the writer was busy and the snapshot was skipped.
+    pub fn offer(&self, snap: PipelineSnapshot) -> bool {
+        let Some(tx) = &self.tx else { return false };
+        self.pending.fetch_add(1, Ordering::Acquire);
+        match tx.try_send(snap) {
+            Ok(()) => true,
+            Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                self.pending.fetch_sub(1, Ordering::Release);
+                if let Ok(mut st) = self.status.lock() {
+                    st.skipped += 1;
+                }
+                false
+            }
+        }
+    }
+
+    /// Block until every accepted snapshot has been committed (or failed).
+    /// Called before a recovery load, so the freshest accepted state is on
+    /// disk.
+    pub fn drain(&self) {
+        while self.pending.load(Ordering::Acquire) > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+    }
+
+    /// Current writer counters.
+    pub fn status(&self) -> WriterStatus {
+        self.status.lock().map(|s| s.clone()).unwrap_or_default()
+    }
+
+    /// Stop the writer (draining accepted snapshots) and hand the store
+    /// back.
+    pub fn close(mut self) -> CheckpointStore {
+        self.drain();
+        drop(self.tx.take());
+        self.handle
+            .take()
+            .expect("writer joined once")
+            .join()
+            .expect("checkpoint writer panicked")
+    }
+}
+
+impl Drop for BackgroundCheckpointer {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -122,6 +796,21 @@ mod tests {
         .unwrap()
     }
 
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("autopipe_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
     #[test]
     fn save_load_resume_is_exact() {
         let model = tiny();
@@ -132,8 +821,7 @@ mod tests {
         for _ in 0..3 {
             a.train_iteration(&batch).unwrap();
         }
-        let dir = std::env::temp_dir().join("autopipe_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
+        let dir = temp_dir("ckpt_legacy");
         let path = dir.join("ckpt.json");
         Checkpoint::capture(&mut a, "iter3").save(&path).unwrap();
         let mut tail_a = Vec::new();
@@ -146,7 +834,7 @@ mod tests {
         let mut b = pipe(999);
         let ck = Checkpoint::load(&path).unwrap();
         assert_eq!(ck.tag, "iter3");
-        ck.restore(&mut b);
+        ck.restore(&mut b).unwrap();
         // `a` has trained past the checkpoint; `b` starts back at it.
         assert!((a.param_checksum() - b.param_checksum()).abs() > 0.0);
         let mut tail_b = Vec::new();
@@ -163,11 +851,10 @@ mod tests {
             (a.param_checksum() - b.param_checksum()).abs() < 1e-7,
             "final params diverged"
         );
-        let _ = std::fs::remove_file(&path);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]
-    #[should_panic(expected = "checkpoint has")]
     fn restore_rejects_mismatched_shapes() {
         let mut a = pipe(1);
         let ck = Checkpoint::capture(&mut a, "x");
@@ -181,6 +868,172 @@ mod tests {
             checkpointing: false,
         })
         .unwrap();
-        ck.restore(&mut b);
+        let before = b.param_checksum();
+        let err = ck.restore(&mut b).unwrap_err();
+        assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+        assert_eq!(
+            before.to_bits(),
+            b.param_checksum().to_bits(),
+            "rejected restore must not touch the pipeline"
+        );
+    }
+
+    #[test]
+    fn torn_single_file_is_rejected_not_trusted() {
+        let dir = temp_dir("ckpt_torn");
+        let path = dir.join("ckpt.json");
+        let mut a = pipe(2);
+        Checkpoint::capture(&mut a, "t").save(&path).unwrap();
+
+        // Truncate mid-body: the CRC no longer matches.
+        let full = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+
+        // A header-less legacy file is also rejected.
+        fs::write(&path, "{\"stages\":[],\"tag\":\"x\"}").unwrap();
+        assert!(matches!(
+            Checkpoint::load(&path),
+            Err(CheckpointError::Corrupt { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_generations_commit_validate_and_prune() {
+        let dir = temp_dir("ckpt_store");
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        let mut p = pipe(7);
+        let batch = BatchSet::synthetic(3, 4, 2, tiny().seq_len, tiny().vocab_size);
+        for step in 0..3u64 {
+            p.train_iteration(&batch).unwrap();
+            let snap = PipelineSnapshot::capture(&mut p, step + 1, "test");
+            let g = store.save(&snap).unwrap();
+            assert_eq!(g, step);
+        }
+        // retain=2: generation 0 pruned.
+        assert_eq!(store.generations(), vec![1, 2]);
+        let (manifest, states) = store.load_latest().unwrap();
+        assert_eq!(manifest.generation, 2);
+        assert_eq!(manifest.step, 3);
+        assert_eq!(manifest.boundaries, vec![0, 3, 7]);
+        assert_eq!(states.len(), 2);
+
+        // Restoring the loaded states into a fresh pipeline reproduces the
+        // exact parameters.
+        let mut q = pipe(123);
+        restore_states(&mut q, &states).unwrap();
+        assert_eq!(
+            p.param_checksum().to_bits(),
+            q.param_checksum().to_bits(),
+            "store round-trip must be bit-exact"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kill9_between_write_and_rename_never_leaves_a_torn_generation() {
+        let dir = temp_dir("ckpt_kill9");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        let mut p = pipe(11);
+        let snap1 = PipelineSnapshot::capture(&mut p, 1, "good");
+        store.save(&snap1).unwrap();
+        let checksum1 = p.param_checksum();
+
+        // Mutate, then crash mid-save: the new generation must NOT commit.
+        let batch = BatchSet::synthetic(4, 4, 2, tiny().seq_len, tiny().vocab_size);
+        p.train_iteration(&batch).unwrap();
+        let snap2 = PipelineSnapshot::capture(&mut p, 2, "crashed");
+        store.fail_next(FailPoint::BeforeRename);
+        assert!(matches!(
+            store.save(&snap2),
+            Err(CheckpointError::Injected(FailPoint::BeforeRename))
+        ));
+        // The torn attempt is invisible: only generation 0 exists, and it
+        // loads back to the pre-crash state.
+        assert_eq!(store.generations(), vec![0]);
+        let (manifest, states) = store.load_latest().unwrap();
+        assert_eq!((manifest.generation, manifest.step), (0, 1));
+        let mut q = pipe(55);
+        restore_states(&mut q, &states).unwrap();
+        assert_eq!(q.param_checksum().to_bits(), checksum1.to_bits());
+
+        // A reopened store (the restarted process) cleans the tmp litter.
+        let store2 = CheckpointStore::open(&dir, 3).unwrap();
+        assert_eq!(store2.generations(), vec![0]);
+        assert!(
+            fs::read_dir(&dir)
+                .unwrap()
+                .filter_map(|e| e.ok())
+                .all(|e| !e.file_name().to_string_lossy().starts_with("tmp-")),
+            "tmp litter must be cleaned on open"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_payload_falls_back_to_previous_generation() {
+        let dir = temp_dir("ckpt_rot");
+        let mut store = CheckpointStore::open(&dir, 3).unwrap();
+        let mut p = pipe(13);
+        let snap1 = PipelineSnapshot::capture(&mut p, 1, "good");
+        store.save(&snap1).unwrap();
+        let checksum1 = p.param_checksum();
+
+        let batch = BatchSet::synthetic(5, 4, 2, tiny().seq_len, tiny().vocab_size);
+        p.train_iteration(&batch).unwrap();
+        let snap2 = PipelineSnapshot::capture(&mut p, 2, "rotted");
+        store.fail_next(FailPoint::CorruptPayload);
+        store.save(&snap2).unwrap(); // commits, then rots
+
+        // Generation 1 exists but fails its CRC: load falls back to 0.
+        assert_eq!(store.generations(), vec![0, 1]);
+        assert!(store.load_generation(1).is_err());
+        let (manifest, states) = store.load_latest().unwrap();
+        assert_eq!(manifest.generation, 0);
+        let mut q = pipe(56);
+        restore_states(&mut q, &states).unwrap();
+        assert_eq!(q.param_checksum().to_bits(), checksum1.to_bits());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_store_reports_no_valid_generation() {
+        let dir = temp_dir("ckpt_empty");
+        let store = CheckpointStore::open(&dir, 2).unwrap();
+        assert!(matches!(
+            store.load_latest(),
+            Err(CheckpointError::NoValidGeneration { .. })
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn background_writer_commits_without_blocking_and_drains() {
+        let dir = temp_dir("ckpt_bg");
+        let store = CheckpointStore::open(&dir, 5).unwrap();
+        let writer = BackgroundCheckpointer::spawn(store);
+        let mut p = pipe(17);
+        let batch = BatchSet::synthetic(6, 4, 2, tiny().seq_len, tiny().vocab_size);
+        let mut accepted = 0;
+        for step in 0..4u64 {
+            p.train_iteration(&batch).unwrap();
+            if writer.offer(PipelineSnapshot::capture(&mut p, step + 1, "bg")) {
+                accepted += 1;
+            }
+        }
+        writer.drain();
+        let status = writer.status();
+        assert_eq!(status.written, accepted);
+        assert_eq!(status.skipped, 4 - accepted);
+        assert!(accepted >= 1, "at least one snapshot must land");
+        assert!(status.last_error.is_none(), "{status:?}");
+        let store = writer.close();
+        let (manifest, _) = store.load_latest().unwrap();
+        assert_eq!(manifest.generation as usize + 1, accepted);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -22,21 +22,22 @@
 use std::time::{Duration, Instant};
 
 use autopipe_exec::{
-    channel_mesh, op_key, schedule_edges, ChannelEndpoint, FaultPlan, Timeline, TraceEvent,
-    WallClock,
+    channel_mesh, op_key, schedule_edges, ChannelEndpoint, FailStopKind, FaultPlan, Timeline,
+    TraceEvent, WallClock,
 };
 use autopipe_model::ModelConfig;
 use autopipe_schedule::{Op, OpKind, Part, Schedule};
 use autopipe_sim::Partition;
 use autopipe_tensor::{optim::Adam, Tensor};
 
-use crate::checkpoint::StageState;
+use crate::checkpoint::{PipelineSnapshot, StageState};
 use crate::data::BatchSet;
 use crate::stage::{
     build_modules, concat_halves, split_halves, Module, StageInput, StageModel, StageOutput,
 };
 use crate::watchdog::{
-    deadlines_from_timeline, FaultReport, RuntimeError, Watchdog, WatchdogConfig, WatchdogEvent,
+    deadlines_from_timeline, CrashEvent, FaultReport, RuntimeError, Watchdog, WatchdogConfig,
+    WatchdogEvent,
 };
 
 use std::collections::HashMap;
@@ -186,6 +187,23 @@ impl Pipeline {
         self.faults = None;
     }
 
+    /// Drop only the *fail-stop* events (crashes, device losses) from the
+    /// installed fault script, keeping delays/stragglers/stalls. The
+    /// recovery coordinator calls this after a crash has fired, so the
+    /// respawned pipeline does not re-die at the same op forever.
+    pub fn clear_failstop_events(&mut self) {
+        if let Some(fp) = &mut self.faults {
+            fp.crashes.clear();
+            fp.lost.clear();
+        }
+    }
+
+    /// Export a durable snapshot of the full training state plus the plan
+    /// geometry (see [`PipelineSnapshot::capture`]).
+    pub fn snapshot(&mut self, step: u64, tag: &str) -> PipelineSnapshot {
+        PipelineSnapshot::capture(self, step, tag)
+    }
+
     /// Replace the watchdog configuration (a default watchdog is always
     /// active — no channel wait blocks indefinitely).
     pub fn set_watchdog(&mut self, cfg: WatchdogConfig) {
@@ -269,18 +287,72 @@ impl Pipeline {
                     })
                 }));
             }
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
+            // Reap every stage thread. A panicking stage must not panic the
+            // coordinator: the payload becomes a structured `broken` outcome
+            // and surfaces through the FaultReport path like any other
+            // stage death.
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(o) => o,
+                    Err(payload) => {
+                        let detail = payload
+                            .downcast_ref::<String>()
+                            .cloned()
+                            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                            .unwrap_or_else(|| "stage thread panicked".into());
+                        DeviceOutcome {
+                            loss: 0.0,
+                            events: Vec::new(),
+                            wd_events: Vec::new(),
+                            completed: 0,
+                            aborted: true,
+                            crashed: None,
+                            broken: Some(format!("panic: {detail}")),
+                        }
+                    }
+                })
+                .collect()
         });
 
         let mut report = FaultReport::default();
         let mut losses = Vec::with_capacity(p);
         let mut events = Vec::with_capacity(p);
-        for o in outcomes {
+        // Scripted fail-stops are root causes; panics on other devices are
+        // usually collateral (a send into the dead stage's dropped channel).
+        // Order the report so `first_crash` names the root cause.
+        let mut collateral = Vec::new();
+        for (d, o) in outcomes.into_iter().enumerate() {
             report.aborted |= o.aborted;
             report.counters.push(o.completed);
             report.events.extend(o.wd_events);
+            if let Some((at_op, kind)) = o.crashed {
+                report.crashed.push(CrashEvent {
+                    device: d,
+                    at_op,
+                    kind,
+                    detail: None,
+                });
+            }
+            if let Some(detail) = o.broken {
+                collateral.push(CrashEvent {
+                    device: d,
+                    at_op: o.completed,
+                    kind: FailStopKind::Crash,
+                    detail: Some(detail),
+                });
+            }
             losses.push(o.loss);
             events.push(o.events);
+        }
+        report.crashed.extend(collateral);
+        if !report.crashed.is_empty() {
+            // A dead stage outranks the stalls its death caused downstream.
+            report.aborted = true;
+            let stage = report.crashed[0].device;
+            self.last_timeline = None;
+            self.last_report = Some(report.clone());
+            return Err(RuntimeError::StageDown { stage, report });
         }
         if report.aborted {
             self.last_timeline = None;
@@ -545,6 +617,10 @@ struct DeviceOutcome {
     wd_events: Vec<WatchdogEvent>,
     completed: usize,
     aborted: bool,
+    /// Scripted fail-stop death: `(op index, kind)`.
+    crashed: Option<(usize, FailStopKind)>,
+    /// Unscripted death (broken pipeline invariant or reaped panic).
+    broken: Option<String>,
 }
 
 struct DeviceCtx<'a> {
@@ -585,6 +661,19 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
     let mut wd_events: Vec<WatchdogEvent> = Vec::new();
     let mut aborted = false;
     let mut completed = 0usize;
+    let mut crashed: Option<(usize, FailStopKind)> = None;
+    let mut broken: Option<String> = None;
+    // A broken invariant kills this stage; poison so peers abort promptly
+    // instead of waiting out their full watchdog budgets. (The loop label
+    // is passed in because macro label hygiene hides the outer `'program`.)
+    macro_rules! die {
+        ($l:lifetime, $($arg:tt)*) => {{
+            broken = Some(format!($($arg)*));
+            wd.poison();
+            aborted = true;
+            break $l
+        }};
+    }
 
     // Scale a virtual fault delay into a wall sleep.
     let scaled = |virtual_secs: f64| Duration::from_secs_f64(virtual_secs * time_scale);
@@ -598,6 +687,15 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
         if wd.poisoned() {
             aborted = true;
             break;
+        }
+        // Scripted fail-stop: the stage thread dies *silently* at this op —
+        // no poison, no farewell message, exactly like a killed process.
+        // Downstream peers discover the death through the watchdog; the
+        // coordinator learns the cause when it reaps this outcome.
+        if let Some(kind) = faults.and_then(|f| f.crash_at(d, j)) {
+            crashed = Some((j, kind));
+            aborted = true;
+            break 'program;
         }
         // Injected device freeze before this op (§fault model: finite stage
         // stalls — the watchdog downstream reports them, the run completes).
@@ -614,7 +712,9 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
             OpKind::RecvAct {
                 mb, chunk, part, ..
             } => {
-                let (key, _) = op_key(sched, d, op).expect("recv op has a key");
+                let Some((key, _)) = op_key(sched, d, op) else {
+                    die!('program, "device {d}: recv-act op {j} has no message key");
+                };
                 let msg = match wd.recv(&mut ep, d, j, op, key, &mut wd_events) {
                     Ok(msg) => msg,
                     Err(_) => {
@@ -648,9 +748,12 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
                     let rows = batch.rows_of_part(part);
                     StageInput::Tokens(batch.ids[mb][rows.start * seq..rows.end * seq].to_vec())
                 } else {
-                    StageInput::Hidden(pending_acts.remove(&(mb, chunk, part)).unwrap_or_else(
-                        || panic!("device {d} chunk {chunk}: missing act {mb} {part:?}"),
-                    ))
+                    match pending_acts.remove(&(mb, chunk, part)) {
+                        Some(t) => StageInput::Hidden(t),
+                        None => {
+                            die!('program, "device {d} chunk {chunk}: missing act {mb} {part:?}")
+                        }
+                    }
                 };
                 if stage.has_head() {
                     let rows = batch.rows_of_part(part);
@@ -678,24 +781,32 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
                 to,
             } => {
                 let tensor = if part == Part::Both {
-                    let t1 = fwd_out
-                        .remove(&(mb, chunk, Part::Half1))
-                        .expect("half1 out");
-                    let t2 = fwd_out
-                        .remove(&(mb, chunk, Part::Half2))
-                        .expect("half2 out");
-                    concat_halves(&t1, &t2)
+                    let halves = (
+                        fwd_out.remove(&(mb, chunk, Part::Half1)),
+                        fwd_out.remove(&(mb, chunk, Part::Half2)),
+                    );
+                    match halves {
+                        (Some(t1), Some(t2)) => concat_halves(&t1, &t2),
+                        _ => die!('program, "device {d} chunk {chunk}: missing half out {mb}"),
+                    }
                 } else {
-                    fwd_out.remove(&(mb, chunk, part)).unwrap_or_else(|| {
-                        panic!("device {d} chunk {chunk}: missing fwd out {mb} {part:?}")
-                    })
+                    match fwd_out.remove(&(mb, chunk, part)) {
+                        Some(t) => t,
+                        None => {
+                            die!('program, "device {d} chunk {chunk}: missing fwd out {mb} {part:?}")
+                        }
+                    }
                 };
-                let (key, _) = op_key(sched, d, op).expect("send op has a key");
+                let Some((key, _)) = op_key(sched, d, op) else {
+                    die!('program, "device {d}: send-act op {j} has no message key");
+                };
                 let delay = faults.map_or(0.0, |f| f.link_delay(d, to, &key));
                 ep.send_to(to, key, pack(tensor, delay));
             }
             OpKind::RecvGrad { mb, chunk, .. } => {
-                let (key, _) = op_key(sched, d, op).expect("recv op has a key");
+                let Some((key, _)) = op_key(sched, d, op) else {
+                    die!('program, "device {d}: recv-grad op {j} has no message key");
+                };
                 let msg = match wd.recv(&mut ep, d, j, op, key, &mut wd_events) {
                     Ok(msg) => msg,
                     Err(_) => {
@@ -717,11 +828,8 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
                 let compute_started = Instant::now();
                 let stage = &mut chunks[chunk];
                 let d_out = pending_grads.remove(&(mb, chunk));
-                if !stage.has_head() {
-                    assert!(
-                        d_out.is_some(),
-                        "device {d} chunk {chunk}: missing grad for mb {mb}"
-                    );
+                if !stage.has_head() && d_out.is_none() {
+                    die!('program, "device {d} chunk {chunk}: missing grad for mb {mb}");
                 }
                 if let Some(dx) = stage.backward_microbatch(mb, d_out.as_ref(), grad_scale) {
                     bwd_out.insert((mb, chunk), dx);
@@ -732,10 +840,13 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
                 }
             }
             OpKind::SendGrad { mb, chunk, to } => {
-                let tensor = bwd_out
-                    .remove(&(mb, chunk))
-                    .unwrap_or_else(|| panic!("device {d} chunk {chunk}: missing bwd out {mb}"));
-                let (key, _) = op_key(sched, d, op).expect("send op has a key");
+                let tensor = match bwd_out.remove(&(mb, chunk)) {
+                    Some(t) => t,
+                    None => die!('program, "device {d} chunk {chunk}: missing bwd out {mb}"),
+                };
+                let Some((key, _)) = op_key(sched, d, op) else {
+                    die!('program, "device {d}: send-grad op {j} has no message key");
+                };
                 let delay = faults.map_or(0.0, |f| f.link_delay(d, to, &key));
                 ep.send_to(to, key, pack(tensor, delay));
             }
@@ -755,6 +866,8 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
         wd_events,
         completed,
         aborted,
+        crashed,
+        broken,
     }
 }
 
@@ -1197,6 +1310,86 @@ mod tests {
             other => panic!("expected a stall report, got {other}"),
         }
         assert!(pipe.last_timeline().is_none(), "no timeline for an abort");
+    }
+
+    #[test]
+    fn scripted_stage_crash_surfaces_as_stage_down_not_a_panic() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(41, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        let plan = FaultPlan {
+            crashes: vec![autopipe_exec::StageCrash {
+                device: 1,
+                at_op: 3,
+            }],
+            ..FaultPlan::none()
+        };
+        pipe.set_faults(plan, 0.0);
+        // Snappy watchdog so the survivors notice the death quickly.
+        pipe.set_watchdog(WatchdogConfig {
+            base_timeout: Duration::from_millis(5),
+            slack: 4.0,
+            backoff: 1.5,
+            max_retries: 2,
+        });
+        let before = pipe.param_checksum();
+        let err = pipe.train_iteration(&batch).unwrap_err();
+        match err {
+            RuntimeError::StageDown { stage, report } => {
+                assert_eq!(stage, 1);
+                assert!(report.aborted);
+                let crash = report.first_crash().expect("crash event recorded");
+                assert_eq!((crash.device, crash.at_op), (1, 3));
+                assert_eq!(crash.kind, autopipe_exec::FailStopKind::Crash);
+                assert!(crash.detail.is_none(), "scripted deaths carry no detail");
+                // The dead device froze exactly at the scripted op.
+                assert_eq!(report.counters[1], 3);
+            }
+            other => panic!("expected StageDown, got {other}"),
+        }
+        // Parameters never stepped: the pipeline can be restored and retried.
+        assert_eq!(before.to_bits(), pipe.param_checksum().to_bits());
+
+        // After clearing the fail-stop events the same pipeline completes
+        // (restart-in-place relies on this).
+        pipe.clear_failstop_events();
+        for s in pipe.stages_mut() {
+            s.reset_transient();
+        }
+        assert!(pipe.train_iteration(&batch).is_ok());
+    }
+
+    #[test]
+    fn device_lost_is_reported_with_lost_kind() {
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(42, m, 2, model.seq_len, model.vocab_size);
+        let mut pipe = Pipeline::try_new(&cfg(one_f_one_b(2, m), partition2(), false)).unwrap();
+        let plan = FaultPlan {
+            lost: vec![autopipe_exec::DeviceLost {
+                device: 0,
+                at_op: 1,
+            }],
+            ..FaultPlan::none()
+        };
+        pipe.set_faults(plan, 0.0);
+        pipe.set_watchdog(WatchdogConfig {
+            base_timeout: Duration::from_millis(5),
+            slack: 4.0,
+            backoff: 1.5,
+            max_retries: 2,
+        });
+        match pipe.train_iteration(&batch).unwrap_err() {
+            RuntimeError::StageDown { stage, report } => {
+                assert_eq!(stage, 0);
+                assert_eq!(
+                    report.first_crash().unwrap().kind,
+                    autopipe_exec::FailStopKind::Lost
+                );
+            }
+            other => panic!("expected StageDown, got {other}"),
+        }
     }
 
     #[test]

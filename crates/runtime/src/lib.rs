@@ -30,15 +30,22 @@ pub mod adaptive;
 pub mod checkpoint;
 pub mod data;
 pub mod engine;
+pub mod recovery;
 pub mod reference;
 pub mod stage;
 pub mod trainer;
 pub mod watchdog;
 
 pub use adaptive::{stage_compute_times, StragglerConfig, StragglerMonitor, StragglerObservation};
-pub use checkpoint::Checkpoint;
+pub use checkpoint::{
+    BackgroundCheckpointer, Checkpoint, CheckpointError, CheckpointStore, FailPoint, Manifest,
+    PipelineSnapshot, StagePayload, StageState, WriterStatus,
+};
 pub use data::BatchSet;
 pub use engine::{data_parallel_step, IterationStats, Pipeline, PipelineConfig};
+pub use recovery::{
+    EvenReplanner, RecoveryAction, RecoveryCoordinator, RecoveryRecord, Replanner, ShrinkPlan,
+};
 pub use reference::ReferenceModel;
 pub use trainer::{Trainer, TrainerConfig};
-pub use watchdog::{FaultReport, RuntimeError, WatchdogConfig, WatchdogEvent};
+pub use watchdog::{CrashEvent, FaultReport, RuntimeError, WatchdogConfig, WatchdogEvent};

@@ -499,6 +499,32 @@ impl StageModel {
         self.grads = grads;
     }
 
+    /// Discard all per-iteration transient state: accumulated gradients,
+    /// recompute caches, stashed inputs and targets. A crash-aborted
+    /// iteration leaves partial gradients and stale stashes behind (the
+    /// [`step`](StageModel::step) that normally zeroes gradients never ran),
+    /// so a checkpoint import resets this before replaying.
+    pub fn reset_transient(&mut self) {
+        for g in &mut self.grads {
+            for v in g.data_mut() {
+                *v = 0.0;
+            }
+        }
+        self.caches.clear();
+        self.inputs.clear();
+        self.targets.clear();
+    }
+
+    /// Shape signature of every parameter, in module order (checkpoint
+    /// compatibility checks).
+    pub fn param_shapes(&self) -> Vec<Vec<usize>> {
+        self.modules
+            .iter()
+            .flat_map(|m| m.params())
+            .map(|p| p.shape().to_vec())
+            .collect()
+    }
+
     /// Snapshot of all parameter tensors, in module order.
     pub fn param_snapshot(&self) -> Vec<Tensor> {
         self.modules

@@ -25,7 +25,7 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use autopipe_exec::{ChannelEndpoint, MsgKey, Timeline, Transport};
+use autopipe_exec::{ChannelEndpoint, FailStopKind, MsgKey, Timeline, Transport};
 use autopipe_schedule::Op;
 
 /// Watchdog knobs.
@@ -75,12 +75,31 @@ pub struct WatchdogEvent {
     pub resolved: bool,
 }
 
+/// One stage death observed during an iteration — either a scripted
+/// fail-stop fault firing, or an internal stage failure (an ex-panic path)
+/// converted into a structured outcome by the coordinator's join reaping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashEvent {
+    /// Device whose stage thread died.
+    pub device: usize,
+    /// Index of the op the stage was executing when it died.
+    pub at_op: usize,
+    /// Restartable crash or permanent device loss.
+    pub kind: FailStopKind,
+    /// Human-readable cause for unscripted deaths (missing activation,
+    /// stage-thread panic); `None` for clean scripted fail-stops.
+    pub detail: Option<String>,
+}
+
 /// Structured outcome of a watched iteration: every firing plus, on abort,
 /// how far each device got.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct FaultReport {
     /// All watchdog firings, resolved and not.
     pub events: Vec<WatchdogEvent>,
+    /// Stage deaths observed this iteration (scripted fail-stops and
+    /// reaped panics).
+    pub crashed: Vec<CrashEvent>,
     /// Whether the iteration was abandoned.
     pub aborted: bool,
     /// Per-device program counter reached (ops completed).
@@ -97,6 +116,11 @@ impl FaultReport {
     pub fn delays(&self) -> usize {
         self.events.iter().filter(|e| e.resolved).count()
     }
+
+    /// The first dead stage, if any (the recovery coordinator's trigger).
+    pub fn first_crash(&self) -> Option<&CrashEvent> {
+        self.crashed.first()
+    }
 }
 
 impl std::fmt::Display for FaultReport {
@@ -112,13 +136,23 @@ impl std::fmt::Display for FaultReport {
     }
 }
 
-/// Runtime failure: invalid configuration or a watchdog-detected stall.
+/// Runtime failure: invalid configuration, a watchdog-detected stall, or a
+/// dead stage.
 #[derive(Debug)]
 pub enum RuntimeError {
     /// A configuration the engine cannot execute.
     InvalidConfig(String),
     /// The watchdog abandoned a channel wait; the report says where.
     Stalled(FaultReport),
+    /// A stage thread died mid-iteration (scripted fail-stop or internal
+    /// failure). The report carries the [`CrashEvent`]s and how far every
+    /// surviving device got — the recovery coordinator's input.
+    StageDown {
+        /// The first device observed dead.
+        stage: usize,
+        /// The full structured outcome of the aborted iteration.
+        report: FaultReport,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -126,6 +160,9 @@ impl std::fmt::Display for RuntimeError {
         match self {
             RuntimeError::InvalidConfig(s) => write!(f, "invalid runtime configuration: {s}"),
             RuntimeError::Stalled(r) => write!(f, "pipeline stalled: {r}"),
+            RuntimeError::StageDown { stage, report } => {
+                write!(f, "stage {stage} down: {report}")
+            }
         }
     }
 }

@@ -21,8 +21,8 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use autopipe_exec::{
-    op_key, FaultPlan, LinkCost, NoTrace, OpTimes, Recorder, Timeline, TraceSink, Transport,
-    VirtualTransport,
+    op_key, FailStopKind, FaultPlan, LinkCost, NoTrace, OpTimes, Recorder, Timeline, TraceSink,
+    Transport, VirtualTransport,
 };
 use autopipe_schedule::{OpKind, Part, Schedule};
 
@@ -165,6 +165,39 @@ pub struct EventSummary {
     pub device_busy: Vec<f64>,
 }
 
+/// One device's fail-stop death as observed by the simulator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCrash {
+    /// The device that died.
+    pub device: usize,
+    /// Program index at which it died (this op never executed).
+    pub at_op: usize,
+    /// Crash (restartable) or lost (forces a shrink).
+    pub kind: FailStopKind,
+    /// Virtual time at which the device died.
+    pub time: f64,
+}
+
+/// Outcome of a fail-stop replay ([`run_schedule_failstop`]): the pipeline
+/// ran until the scripted deaths starved it, and this records exactly how
+/// far every device got. Deterministic in the script — the same plan always
+/// halts at the same counters — which is what lets the threaded runtime's
+/// recovery path be validated against a pure simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailStopResult {
+    /// Per-device program counters at the halt (ops actually executed).
+    pub counters: Vec<usize>,
+    /// Devices that died, in device order.
+    pub crashed: Vec<SimCrash>,
+    /// Virtual time at which the sweep halted (max device-free time).
+    pub halted_at: f64,
+    /// True when every program ran to completion (no scripted death hit —
+    /// e.g. the crash op was beyond the program's length).
+    pub completed: bool,
+    /// Timeline of the ops that did execute.
+    pub timeline: Timeline,
+}
+
 /// Run `sched` against `costs`. `costs.f/b` must cover all
 /// `sched.n_stages()` stages.
 pub fn run_schedule(
@@ -180,6 +213,10 @@ pub fn run_schedule(
 /// transport fault hook, stragglers and stalls in the sweep itself. The
 /// *same* script replays on the threaded runtime (`autopipe-runtime`), so a
 /// simulated faulty iteration can be compared op for op with a real one.
+///
+/// Only the *delay* fault families replay here; fail-stop events in the
+/// plan are ignored (they change what executes, not when — replay them with
+/// [`run_schedule_failstop`]).
 pub fn run_schedule_faulty(
     sched: &Schedule,
     costs: &EventCosts,
@@ -189,12 +226,62 @@ pub fn run_schedule_faulty(
     let mut transport =
         VirtualTransport::new(sched.n_devices, costs).with_boxed_fault(plan.link_fault_hook());
     let mut recorder = Recorder::for_programs(&sched.devices);
-    let summary = sweep(sched, costs, cfg, Some(plan), &mut transport, &mut recorder)?;
+    let out = sweep(
+        sched,
+        costs,
+        cfg,
+        Some(plan),
+        false,
+        &mut transport,
+        &mut recorder,
+    )?;
     Ok(EventResult {
-        iteration_time: summary.iteration_time,
-        startup_overhead: summary.startup_overhead,
-        device_busy: summary.device_busy,
+        iteration_time: out.summary.iteration_time,
+        startup_overhead: out.summary.startup_overhead,
+        device_busy: out.summary.device_busy,
         timeline: recorder.finish(),
+    })
+}
+
+/// Replay a fail-stop script deterministically: scripted [`StageCrash`] /
+/// [`DeviceLost`] events freeze the victim's program counter, the rest of
+/// the pipeline runs until it starves on the dead device's messages, and
+/// the partial state (program counters, death times, timeline of executed
+/// ops) comes back as a [`FailStopResult`] instead of a deadlock error.
+/// Delay families in the same plan apply as usual.
+///
+/// [`StageCrash`]: autopipe_exec::StageCrash
+/// [`DeviceLost`]: autopipe_exec::DeviceLost
+pub fn run_schedule_failstop(
+    sched: &Schedule,
+    costs: &EventCosts,
+    cfg: &EventConfig,
+    plan: &FaultPlan,
+) -> Result<FailStopResult, SimError> {
+    let mut transport =
+        VirtualTransport::new(sched.n_devices, costs).with_boxed_fault(plan.link_fault_hook());
+    let mut recorder = Recorder::for_programs(&sched.devices);
+    let out = sweep(
+        sched,
+        costs,
+        cfg,
+        Some(plan),
+        true,
+        &mut transport,
+        &mut recorder,
+    )?;
+    let completed = out.crashed.is_empty()
+        && out
+            .counters
+            .iter()
+            .zip(&sched.devices)
+            .all(|(&pc, prog)| pc == prog.len());
+    Ok(FailStopResult {
+        counters: out.counters,
+        crashed: out.crashed,
+        halted_at: out.summary.iteration_time,
+        completed,
+        timeline: recorder.finish_partial(),
     })
 }
 
@@ -209,11 +296,11 @@ pub fn run_schedule_on<T: Transport<Payload = ()>>(
     transport: &mut T,
 ) -> Result<EventResult, SimError> {
     let mut recorder = Recorder::for_programs(&sched.devices);
-    let summary = sweep(sched, costs, cfg, None, transport, &mut recorder)?;
+    let out = sweep(sched, costs, cfg, None, false, transport, &mut recorder)?;
     Ok(EventResult {
-        iteration_time: summary.iteration_time,
-        startup_overhead: summary.startup_overhead,
-        device_busy: summary.device_busy,
+        iteration_time: out.summary.iteration_time,
+        startup_overhead: out.summary.startup_overhead,
+        device_busy: out.summary.device_busy,
         timeline: recorder.finish(),
     })
 }
@@ -227,7 +314,15 @@ pub fn run_schedule_untraced(
     cfg: &EventConfig,
 ) -> Result<EventSummary, SimError> {
     let mut transport = VirtualTransport::new(sched.n_devices, costs);
-    sweep(sched, costs, cfg, None, &mut transport, &mut NoTrace)
+    sweep(sched, costs, cfg, None, false, &mut transport, &mut NoTrace).map(|out| out.summary)
+}
+
+/// What [`sweep`] hands back: the scalar summary plus how far every device
+/// got and who died (both only interesting in fail-stop mode).
+struct SweepOutcome {
+    summary: EventSummary,
+    counters: Vec<usize>,
+    crashed: Vec<SimCrash>,
 }
 
 /// The sweep: advance every device through its program as far as it can,
@@ -239,9 +334,10 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
     costs: &EventCosts,
     cfg: &EventConfig,
     faults: Option<&FaultPlan>,
+    failstop: bool,
     transport: &mut T,
     sink: &mut S,
-) -> Result<EventSummary, SimError> {
+) -> Result<SweepOutcome, SimError> {
     let n_stages = sched.n_stages();
     if costs.f.len() != n_stages || costs.b.len() != n_stages {
         return Err(SimError::BadSchedule(format!(
@@ -263,13 +359,33 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
     // which is what keeps tracing cheap (see the `trace_overhead` bench).
     let tracing = sink.enabled();
     let mut burst: Vec<OpTimes> = Vec::new();
+    // Fail-stop mode: a scripted death freezes the device's program counter
+    // for the rest of the sweep. `dead[d]` records the event once.
+    let mut dead: Vec<Option<SimCrash>> = vec![None; p];
 
     loop {
         let mut progressed = false;
         let mut all_done = true;
         for d in 0..p {
+            if dead[d].is_some() {
+                continue;
+            }
             burst.clear();
             while pc[d] < sched.devices[d].len() {
+                if failstop {
+                    if let Some(kind) = faults.and_then(|f| f.crash_at(d, pc[d])) {
+                        dead[d] = Some(SimCrash {
+                            device: d,
+                            at_op: pc[d],
+                            kind,
+                            time: dev_free[d],
+                        });
+                        // Dying counts as progress: the rest of the pipeline
+                        // still gets to drain before the halt is declared.
+                        progressed = true;
+                        break;
+                    }
+                }
                 let op = sched.devices[d][pc[d]];
                 let mut ready = dev_free[d];
                 // An injected stall freezes the device before this op; it
@@ -347,7 +463,7 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
             if !burst.is_empty() {
                 sink.record_run(d, &burst);
             }
-            if pc[d] < sched.devices[d].len() {
+            if pc[d] < sched.devices[d].len() && dead[d].is_none() {
                 all_done = false;
             }
         }
@@ -355,19 +471,28 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
             break;
         }
         if !progressed {
+            // Survivors starved on a dead device's messages: in fail-stop
+            // mode that is the expected halt, not a schedule bug.
+            if dead.iter().any(Option::is_some) {
+                break;
+            }
             return Err(SimError::Stalled { counters: pc });
         }
     }
 
     let iteration_time = dev_free.iter().copied().fold(0.0, f64::max);
-    Ok(EventSummary {
-        iteration_time,
-        startup_overhead: if n_stages == 1 {
-            0.0
-        } else {
-            startup.unwrap_or(0.0)
+    Ok(SweepOutcome {
+        summary: EventSummary {
+            iteration_time,
+            startup_overhead: if n_stages == 1 {
+                0.0
+            } else {
+                startup.unwrap_or(0.0)
+            },
+            device_busy,
         },
-        device_busy,
+        counters: pc,
+        crashed: dead.into_iter().flatten().collect(),
     })
 }
 
@@ -639,6 +764,89 @@ mod tests {
             slow.iteration_time,
             clean.iteration_time
         );
+    }
+
+    #[test]
+    fn failstop_replay_halts_deterministically() {
+        use autopipe_exec::{FaultSpec, StageCrash};
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.01, 0.02);
+        let sched = one_f_one_b(4, 8);
+        for seed in 0..30 {
+            let plan =
+                autopipe_exec::FaultPlan::random_failstop(seed, &FaultSpec::new(4, 60, 0.5), 0.5);
+            let a = run_schedule_failstop(&sched, &c, &EventConfig::default(), &plan).unwrap();
+            let b = run_schedule_failstop(&sched, &c, &EventConfig::default(), &plan).unwrap();
+            assert_eq!(a.counters, b.counters, "seed {seed}: replay diverged");
+            assert_eq!(a.crashed, b.crashed, "seed {seed}: crash record diverged");
+            // The scripted victim died where the script said, or its program
+            // was shorter than the crash op (then the run completed).
+            if a.completed {
+                assert!(a.crashed.is_empty());
+                continue;
+            }
+            assert_eq!(a.crashed.len(), 1, "seed {seed}: exactly one death");
+            let crash = &a.crashed[0];
+            assert_eq!(
+                a.counters[crash.device], crash.at_op,
+                "seed {seed}: dead device's counter frozen at the crash op"
+            );
+        }
+        // A crash on device 0's very first op: nothing downstream can start.
+        let mut early = autopipe_exec::FaultPlan::with_seed(7);
+        early.crashes.push(StageCrash {
+            device: 0,
+            at_op: 0,
+        });
+        let r = run_schedule_failstop(&sched, &c, &EventConfig::default(), &early).unwrap();
+        assert!(!r.completed);
+        assert_eq!(r.counters, vec![0; 4]);
+    }
+
+    #[test]
+    fn failstop_survivors_drain_before_the_halt() {
+        use autopipe_exec::StageCrash;
+        // Crash the *last* device late: upstream devices keep running until
+        // they starve on its gradient messages, so counters show real
+        // partial progress rather than an immediate freeze.
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0, 0.01);
+        let sched = one_f_one_b(4, 8);
+        let mut plan = autopipe_exec::FaultPlan::with_seed(3);
+        plan.crashes.push(StageCrash {
+            device: 3,
+            at_op: 10,
+        });
+        let r = run_schedule_failstop(&sched, &c, &EventConfig::default(), &plan).unwrap();
+        assert!(!r.completed);
+        assert_eq!(r.counters[3], 10);
+        for d in 0..3 {
+            assert!(
+                r.counters[d] > 10,
+                "device {d} should outrun the dead stage (pc {})",
+                r.counters[d]
+            );
+            assert!(
+                r.counters[d] < sched.devices[d].len(),
+                "device {d} cannot finish without stage 3's gradients"
+            );
+        }
+        assert!(r.halted_at > 0.0);
+    }
+
+    #[test]
+    fn failstop_with_empty_script_completes() {
+        let c = costs(vec![1.0; 4], vec![2.0; 4], 0.0, 0.01);
+        let sched = one_f_one_b(4, 8);
+        let clean = run_schedule(&sched, &c, &EventConfig::default()).unwrap();
+        let r = run_schedule_failstop(
+            &sched,
+            &c,
+            &EventConfig::default(),
+            &autopipe_exec::FaultPlan::none(),
+        )
+        .unwrap();
+        assert!(r.completed && r.crashed.is_empty());
+        assert_eq!(r.halted_at, clean.iteration_time);
+        clean.timeline.same_op_order(&r.timeline).unwrap();
     }
 
     #[test]

@@ -35,7 +35,8 @@ pub use analytic::{
     simulate_replay, simulate_time, AnalyticResult, FastResult, OpClass, OpTime, Phase, SimScratch,
 };
 pub use event::{
-    run_schedule, run_schedule_faulty, run_schedule_on, run_schedule_untraced, EventConfig,
-    EventCosts, EventResult, EventSummary, SimError,
+    run_schedule, run_schedule_failstop, run_schedule_faulty, run_schedule_on,
+    run_schedule_untraced, EventConfig, EventCosts, EventResult, EventSummary, FailStopResult,
+    SimCrash, SimError,
 };
 pub use partition::{Partition, StageCosts};

@@ -8,7 +8,8 @@
 
 pub mod session;
 
-pub use autopipe_core::{Error, SessionConfig};
+pub use autopipe_core::{Error, RecoveryConfig, RecoveryPolicy, SessionConfig};
+pub use autopipe_runtime::{RecoveryAction, RecoveryRecord};
 pub use session::{PlannedSession, RunReport, Session, SimReport};
 
 pub use autopipe_core as core;

@@ -28,19 +28,22 @@
 //! ([`Session::watchdog`]) and straggler-aware re-planning
 //! ([`Session::adaptive`]) are all wired into [`PlannedSession::run`].
 
-use autopipe_core::{AutoPipe, Error, Plan, SessionConfig};
+use std::path::PathBuf;
+
+use autopipe_core::{AutoPipe, Error, Plan, RecoveryConfig, SessionConfig};
 use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
 use autopipe_exec::FaultPlan;
 use autopipe_model::ModelConfig;
-use autopipe_planner::replan as planner_replan;
+use autopipe_planner::{autopipe_plan, replan as planner_replan, AutoPipeConfig};
 use autopipe_runtime::{
-    BatchSet, FaultReport, Pipeline, PipelineConfig, StragglerConfig, StragglerMonitor,
-    WatchdogConfig,
+    BatchSet, CheckpointStore, FaultReport, Pipeline, PipelineConfig, PipelineSnapshot,
+    RecoveryCoordinator, RecoveryRecord, Replanner, RuntimeError, ShrinkPlan, StragglerConfig,
+    StragglerMonitor, WatchdogConfig,
 };
-use autopipe_schedule::one_f_one_b;
+use autopipe_schedule::{one_f_one_b, sliced_1f1b};
 use autopipe_sim::event::{run_schedule, run_schedule_faulty, EventCosts, EventResult};
 use autopipe_sim::Partition;
-use autopipe_slicer::plan_slicing;
+use autopipe_slicer::{plan_slicing, validate_sliced_count};
 
 /// Builder for a training session. See the [module docs](self).
 #[derive(Debug, Clone)]
@@ -183,6 +186,17 @@ impl Session {
         self
     }
 
+    /// Enable crash-consistent checkpointing and fail-stop recovery:
+    /// [`PlannedSession::run`] snapshots the pipeline to `cfg.dir` at the
+    /// configured step cadence, and when a stage dies mid-iteration the
+    /// session restores the newest valid generation and replays from its
+    /// step with exactly-once semantics (restart-in-place), or re-plans
+    /// onto the surviving devices (shrink-and-replan / a lost device).
+    pub fn recovery(mut self, cfg: RecoveryConfig) -> Session {
+        self.cfg.recovery = Some(cfg);
+        self
+    }
+
     /// Training iterations [`PlannedSession::run`] executes (default 2).
     pub fn iterations(mut self, n: usize) -> Session {
         self.tolerance.iterations = n;
@@ -231,6 +245,175 @@ impl Session {
             tolerance: self.tolerance,
         })
     }
+
+    /// Resume training from the newest valid checkpoint generation in `dir`.
+    ///
+    /// No planner run is needed: the generation's manifest carries the
+    /// partition boundaries and schedule geometry (`n_sliced`,
+    /// micro-batches) of the pipeline that wrote it, and this builder
+    /// supplies everything the manifest does not store — the model, the
+    /// learning rate, the data seed. The restored parameters are validated
+    /// shape-by-shape against the rebuilt pipeline before training
+    /// continues, so resuming with the wrong model fails with a typed
+    /// error instead of corrupting state.
+    ///
+    /// Runs [`Session::iterations`] *additional* steps past the
+    /// checkpointed step. When [`Session::recovery`] is also configured,
+    /// checkpointing (into the same directory) and fail-stop recovery stay
+    /// armed across the resumed run.
+    pub fn resume(mut self, dir: impl Into<PathBuf>) -> Result<RunReport, Error> {
+        let dir = dir.into();
+        let retain = self.cfg.recovery.as_ref().map(|r| r.retain).unwrap_or(3);
+        let store = CheckpointStore::open(&dir, retain).map_err(Error::from)?;
+        let (manifest, states) = store.load_latest().map_err(Error::from)?;
+        drop(store);
+
+        let p = manifest.boundaries.len().saturating_sub(1);
+        if p < 1 {
+            return Err(Error::Config(format!(
+                "checkpoint manifest in {} has no stages",
+                dir.display()
+            )));
+        }
+        let m = manifest.n_microbatches;
+        let partition = Partition::new(manifest.boundaries.clone());
+        let schedule = if manifest.n_sliced > 0 {
+            sliced_1f1b(p, m, manifest.n_sliced)
+        } else {
+            one_f_one_b(p, m)
+        };
+        // The geometry is the manifest's; align the config with it so
+        // validation and the replanner's cost model see a consistent
+        // single-replica pipeline.
+        self.cfg.n_devices = p;
+        self.cfg.fixed_stages = Some(p);
+        self.cfg.gbs = m * self.cfg.mbs;
+        self.cfg.validate()?;
+        let db = AutoPipe::cost_db(&self.cfg.plan_request());
+
+        let mut pipe = Pipeline::try_new(&PipelineConfig::from_session(
+            &self.cfg, partition, schedule,
+        ))?;
+        PipelineSnapshot {
+            step: manifest.step,
+            tag: manifest.tag.clone(),
+            boundaries: manifest.boundaries.clone(),
+            n_sliced: manifest.n_sliced,
+            n_microbatches: m,
+            stages: states,
+        }
+        .restore(&mut pipe)
+        .map_err(Error::from)?;
+        if let Some(fp) = self.tolerance.faults.clone() {
+            pipe.set_faults(fp, self.tolerance.time_scale);
+        }
+        if let Some(wd) = self.tolerance.watchdog {
+            pipe.set_watchdog(wd);
+        }
+        let batch = BatchSet::synthetic(
+            self.cfg.seed,
+            m,
+            self.cfg.mbs,
+            self.cfg.model.seq_len,
+            self.cfg.model.vocab_size,
+        );
+
+        let mut coordinator = match &self.cfg.recovery {
+            // Same directory: new generations continue the sequence the
+            // resumed run left behind. No re-priming — the generation we
+            // just loaded *is* the baseline.
+            Some(rc) => Some(RecoveryCoordinator::new(RecoveryConfig {
+                dir: dir.clone(),
+                ..rc.clone()
+            })?),
+            None => None,
+        };
+        let mut replanner = SessionReplanner {
+            db: &db,
+            planner_cfg: self.cfg.planner(),
+            slice: self.cfg.enable_slicer,
+        };
+
+        let base = manifest.step;
+        let mut losses: Vec<f32> = Vec::new();
+        let mut iteration_seconds = Vec::new();
+        let mut fault_report = None;
+        while losses.len() < self.tolerance.iterations {
+            match pipe.train_iteration(&batch) {
+                Ok(stats) => {
+                    losses.push(stats.loss);
+                    iteration_seconds.push(stats.wall.as_secs_f64());
+                    if let Some(coord) = &mut coordinator {
+                        coord.maybe_checkpoint(&mut pipe, base + losses.len() as u64)?;
+                    }
+                }
+                Err(RuntimeError::StageDown { report, .. }) if coordinator.is_some() => {
+                    fault_report = Some(report.clone());
+                    let coord = coordinator.as_mut().expect("guarded above");
+                    let action = coord.recover(&mut pipe, &report, &mut replanner)?;
+                    // Exactly-once, in the resumed run's local step space.
+                    let from = action.from_step().saturating_sub(base) as usize;
+                    losses.truncate(from);
+                    iteration_seconds.truncate(from);
+                }
+                Err(other) => return Err(other.into()),
+            }
+        }
+        let (recoveries, recovery_log) = match &coordinator {
+            Some(c) => {
+                c.drain();
+                (c.recoveries(), c.log().to_vec())
+            }
+            None => (0, Vec::new()),
+        };
+        Ok(RunReport {
+            losses,
+            iteration_seconds,
+            fault_report,
+            replans: 0,
+            recoveries,
+            recovery_log,
+            resumed_from_step: Some(base),
+            final_partition: pipe.partition().clone(),
+            param_checksum: pipe.param_checksum(),
+        })
+    }
+}
+
+/// [`Replanner`] backed by the real AutoPipe stack: after a shrink the
+/// planner re-partitions the block sequence for the surviving device count
+/// on the session's cost database, and — when slicing is enabled — the
+/// Slicer re-solves the warmup for the new depth, with the result
+/// re-validated by [`validate_sliced_count`] (a sliced count tuned for `p`
+/// stages is not in general valid for `p − 1`).
+struct SessionReplanner<'a> {
+    db: &'a CostDb,
+    planner_cfg: AutoPipeConfig,
+    slice: bool,
+}
+
+impl Replanner for SessionReplanner<'_> {
+    fn replan(
+        &mut self,
+        survivors: usize,
+        _current: &Partition,
+        n_microbatches: usize,
+    ) -> Result<ShrinkPlan, Error> {
+        let outcome = autopipe_plan(self.db, survivors, n_microbatches, &self.planner_cfg)?;
+        let costs = outcome.partition.stage_costs(self.db);
+        let schedule = if self.slice && survivors >= 2 {
+            let sp = plan_slicing(&costs, n_microbatches);
+            validate_sliced_count(&costs, n_microbatches, sp.n_sliced).map_err(Error::Config)?;
+            sp.schedule
+        } else {
+            one_f_one_b(survivors, n_microbatches)
+        };
+        Ok(ShrinkPlan {
+            partition: outcome.partition,
+            schedule,
+            predicted_iteration: Some(outcome.analytic.iteration_time),
+        })
+    }
 }
 
 /// A planned session: the chosen strategy, partition and schedule, ready to
@@ -263,6 +446,14 @@ pub struct RunReport {
     pub fault_report: Option<FaultReport>,
     /// How many times straggler-aware re-planning hot-swapped the partition.
     pub replans: usize,
+    /// How many fail-stop recoveries were executed ([`Session::recovery`]).
+    pub recoveries: usize,
+    /// What each recovery did: the crash that triggered it and the
+    /// restore/shrink action taken.
+    pub recovery_log: Vec<RecoveryRecord>,
+    /// For [`Session::resume`] runs: the checkpointed step training
+    /// continued from. `None` for fresh runs.
+    pub resumed_from_step: Option<u64>,
     /// The partition the run finished on (differs from the plan's after a
     /// hot swap).
     pub final_partition: Partition,
@@ -287,6 +478,14 @@ impl PlannedSession {
     /// Arm (or re-arm) the stall watchdog after planning.
     pub fn watchdog(mut self, cfg: WatchdogConfig) -> PlannedSession {
         self.tolerance.watchdog = Some(cfg);
+        self
+    }
+
+    /// Enable (or re-configure) checkpointing + fail-stop recovery after
+    /// planning — a cloned [`PlannedSession`] can point each run at its own
+    /// checkpoint directory without re-running the planner.
+    pub fn recovery(mut self, cfg: RecoveryConfig) -> PlannedSession {
+        self.cfg.recovery = Some(cfg);
         self
     }
 
@@ -367,7 +566,23 @@ impl PlannedSession {
             self.cfg.model.vocab_size,
         );
 
-        let mut losses = Vec::new();
+        let mut coordinator = match &self.cfg.recovery {
+            Some(rc) => {
+                let mut c = RecoveryCoordinator::new(rc.clone())?;
+                // Baseline generation: a crash in the very first iteration
+                // must still have a valid state to restart from.
+                c.prime(&mut pipe)?;
+                Some(c)
+            }
+            None => None,
+        };
+        let mut replanner = SessionReplanner {
+            db: &self.db,
+            planner_cfg: self.cfg.planner(),
+            slice: self.cfg.enable_slicer,
+        };
+
+        let mut losses: Vec<f32> = Vec::new();
         let mut iteration_seconds = Vec::new();
         let mut fault_report = None;
         let mut replans = 0usize;
@@ -376,10 +591,33 @@ impl PlannedSession {
         // (simulated times are virtual seconds, so they cannot serve as the
         // wall-clock baseline directly).
         let mut monitor: Option<StragglerMonitor> = None;
-        for _ in 0..self.tolerance.iterations {
-            let stats = pipe.train_iteration(&batch)?;
+        while losses.len() < self.tolerance.iterations {
+            let stats = match pipe.train_iteration(&batch) {
+                Ok(stats) => stats,
+                Err(RuntimeError::StageDown { report, .. }) if coordinator.is_some() => {
+                    // Fail-stop: restore the newest durable generation and
+                    // replay from its step. Exactly-once — losses past the
+                    // restored step are discarded and re-earned on the
+                    // restored parameters, so the recorded trajectory holds
+                    // each optimiser step exactly once.
+                    fault_report = Some(report.clone());
+                    let coord = coordinator.as_mut().expect("guarded above");
+                    let action = coord.recover(&mut pipe, &report, &mut replanner)?;
+                    let from = action.from_step() as usize;
+                    losses.truncate(from);
+                    iteration_seconds.truncate(from);
+                    // The old wall-clock baseline is meaningless on the
+                    // restored (possibly re-partitioned) pipeline.
+                    monitor = None;
+                    continue;
+                }
+                Err(other) => return Err(other.into()),
+            };
             losses.push(stats.loss);
             iteration_seconds.push(stats.wall.as_secs_f64());
+            if let Some(coord) = &mut coordinator {
+                coord.maybe_checkpoint(&mut pipe, losses.len() as u64)?;
+            }
             if pipe
                 .last_fault_report()
                 .is_some_and(|r| !r.events.is_empty())
@@ -423,11 +661,21 @@ impl PlannedSession {
                 }
             }
         }
+        let (recoveries, recovery_log) = match &coordinator {
+            Some(c) => {
+                c.drain();
+                (c.recoveries(), c.log().to_vec())
+            }
+            None => (0, Vec::new()),
+        };
         Ok(RunReport {
             losses,
             iteration_seconds,
             fault_report,
             replans,
+            recoveries,
+            recovery_log,
+            resumed_from_step: None,
             final_partition: pipe.partition().clone(),
             param_checksum: pipe.param_checksum(),
         })
@@ -437,7 +685,27 @@ impl PlannedSession {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use autopipe_exec::{DeviceLost, FaultPlan, StageCrash};
     use autopipe_model::zoo;
+    use autopipe_runtime::RecoveryAction;
+    use std::time::Duration;
+
+    /// Watchdog tuned for millisecond-scale crash tests (the default waits
+    /// hundreds of milliseconds before giving a dead peer up).
+    fn snappy() -> WatchdogConfig {
+        WatchdogConfig {
+            base_timeout: Duration::from_millis(100),
+            slack: 4.0,
+            backoff: 2.0,
+            max_retries: 3,
+        }
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("autopipe_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
 
     #[test]
     fn the_headline_chain_plans_slices_and_runs() {
@@ -513,6 +781,173 @@ mod tests {
         );
         // Same schedule, same per-device op order: faults shift time only.
         clean.clean.timeline.same_op_order(&f.timeline).unwrap();
+    }
+
+    #[test]
+    fn facade_recovery_replays_bit_identically() {
+        let dir = temp_dir("session_recover");
+        let base = Session::for_model(zoo::gpt2_tiny())
+            .stages(2)
+            .microbatches(4)
+            .microbatch_size(2)
+            .seed(9)
+            .iterations(4);
+        let clean = base.clone().plan().unwrap().run().unwrap();
+        assert_eq!(clean.recoveries, 0);
+        assert!(clean.resumed_from_step.is_none());
+
+        let report = base
+            .faults(
+                FaultPlan {
+                    crashes: vec![StageCrash {
+                        device: 1,
+                        at_op: 5,
+                    }],
+                    ..FaultPlan::none()
+                },
+                0.0,
+            )
+            .watchdog(snappy())
+            .recovery(RecoveryConfig {
+                background: false,
+                ..RecoveryConfig::new(&dir)
+            })
+            .plan()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.recoveries, 1);
+        assert!(matches!(
+            report.recovery_log[0].action,
+            RecoveryAction::Resumed { .. }
+        ));
+        assert_eq!(
+            clean.losses, report.losses,
+            "restart-in-place through the facade must replay the clean trajectory bit-for-bit"
+        );
+        assert_eq!(
+            clean.param_checksum.to_bits(),
+            report.param_checksum.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn a_lost_device_shrinks_through_the_real_planner() {
+        let dir = temp_dir("session_shrink");
+        let report = Session::for_model(zoo::gpt2_tiny())
+            .stages(3)
+            .microbatches(4)
+            .microbatch_size(2)
+            .seed(13)
+            .iterations(4)
+            .faults(
+                FaultPlan {
+                    lost: vec![DeviceLost {
+                        device: 1,
+                        at_op: 3,
+                    }],
+                    ..FaultPlan::none()
+                },
+                0.0,
+            )
+            .watchdog(snappy())
+            .recovery(RecoveryConfig {
+                background: false,
+                ..RecoveryConfig::new(&dir)
+            })
+            .plan()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.recoveries, 1);
+        assert_eq!(report.final_partition.n_stages(), 2);
+        assert_eq!(report.losses.len(), 4);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+        match &report.recovery_log[0].action {
+            RecoveryAction::Shrunk {
+                devices,
+                predicted_iteration,
+                ..
+            } => {
+                assert_eq!(*devices, 2);
+                // The facade's replanner runs the real planner, which
+                // always carries an analytic prediction for the new plan.
+                assert!(predicted_iteration.expect("planner predicts") > 0.0);
+            }
+            other => panic!("expected a shrink, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_continues_the_uninterrupted_trajectory() {
+        let dir = temp_dir("session_resume");
+        let base = Session::for_model(zoo::gpt2_tiny())
+            .stages(2)
+            .microbatches(4)
+            .microbatch_size(2)
+            .seed(11);
+        let full = base.clone().iterations(6).plan().unwrap().run().unwrap();
+
+        // First leg: 3 steps with synchronous checkpointing at every step.
+        let first = base
+            .clone()
+            .iterations(3)
+            .recovery(RecoveryConfig {
+                background: false,
+                ..RecoveryConfig::new(&dir)
+            })
+            .plan()
+            .unwrap()
+            .run()
+            .unwrap();
+        // Second leg: rebuilt purely from the manifest — no planner run.
+        let resumed = base.iterations(3).resume(&dir).unwrap();
+
+        assert_eq!(resumed.resumed_from_step, Some(3));
+        let mut stitched = first.losses.clone();
+        stitched.extend_from_slice(&resumed.losses);
+        assert_eq!(
+            full.losses, stitched,
+            "resume must continue exactly where the first leg checkpointed"
+        );
+        assert_eq!(
+            full.param_checksum.to_bits(),
+            resumed.param_checksum.to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_with_the_wrong_model_is_a_typed_error() {
+        let dir = temp_dir("session_resume_wrong");
+        Session::for_model(zoo::gpt2_tiny())
+            .stages(2)
+            .microbatches(4)
+            .microbatch_size(2)
+            .iterations(1)
+            .recovery(RecoveryConfig {
+                background: false,
+                ..RecoveryConfig::new(&dir)
+            })
+            .plan()
+            .unwrap()
+            .run()
+            .unwrap();
+        let err = Session::for_model(zoo::gpt2_345m())
+            .microbatch_size(2)
+            .iterations(1)
+            .resume(&dir)
+            .unwrap_err();
+        // Depending on how wrong the model is, the mismatch surfaces at
+        // pipeline construction (partition covers a different block count)
+        // or at restore (per-stage shape validation) — both typed.
+        assert!(
+            matches!(err, Error::Checkpoint(_) | Error::Runtime(_)),
+            "model mismatch must surface as a typed error, got {err}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
