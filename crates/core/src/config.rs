@@ -21,6 +21,20 @@ use autopipe_sim::event::EventConfig;
 use crate::error::Error;
 use crate::plan::PlanRequest;
 
+/// How a session chooses the schedule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// The classic AutoPipe pipeline: plain 1F1B, upgraded to sliced 1F1B
+    /// by the Slicer when `enable_slicer` is on.
+    #[default]
+    Slicer,
+    /// Cross-family search ([`autopipe_planner::family`]): score 1F1B,
+    /// sliced 1F1B, GPipe, zero-bubble and interleaved candidates — each
+    /// gated on validation and the static memory check — and run whichever
+    /// simulates fastest.
+    Auto,
+}
+
 /// What the runtime does when a stage suffers a *restartable* fail-stop
 /// crash. (A lost device always forces [`RecoveryPolicy::ShrinkAndReplan`] —
 /// there is nothing left to restart on.)
@@ -111,6 +125,9 @@ pub struct SessionConfig {
     pub fixed_stages: Option<usize>,
     /// Run the AutoPipe Slicer on the planned partition.
     pub enable_slicer: bool,
+    /// How the schedule family is chosen (fixed Slicer pipeline vs
+    /// cross-family search).
+    pub schedule_policy: SchedulePolicy,
     /// Simulate offline profiling noise on the cost database. `None` plans
     /// on analytic ground truth.
     pub profiler: Option<ProfilerConfig>,
@@ -153,6 +170,7 @@ impl SessionConfig {
             granularity: Granularity::SubLayer,
             fixed_stages: None,
             enable_slicer: true,
+            schedule_policy: SchedulePolicy::default(),
             profiler: None,
             max_schemes: AutoPipeConfig::default().max_schemes,
             planner_threads: AutoPipeConfig::default().threads,
@@ -245,6 +263,7 @@ impl SessionConfig {
             granularity: self.granularity,
             fixed_stages: self.fixed_stages,
             enable_slicer: self.enable_slicer,
+            schedule_policy: self.schedule_policy,
             profiler: self.profiler,
             planner: self.planner(),
         }

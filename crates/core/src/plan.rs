@@ -5,12 +5,14 @@ use serde::{Deserialize, Serialize};
 use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
 use autopipe_model::{Granularity, ModelConfig};
 use autopipe_planner::autopipe::AutoPipeConfig;
+use autopipe_planner::family::{plan_families, FamilyConfig};
 use autopipe_planner::types::PlanError;
 use autopipe_schedule::Schedule;
 use autopipe_sim::analytic::AnalyticResult;
 use autopipe_sim::Partition;
-use autopipe_slicer::plan_slicing;
+use autopipe_slicer::{plan_slicing, solve_sliced_count};
 
+use crate::config::SchedulePolicy;
 use crate::strategy::choose_strategy;
 
 /// Description of a training job to plan.
@@ -37,6 +39,9 @@ pub struct PlanRequest {
     pub profiler: Option<ProfilerConfig>,
     /// Planner search budget.
     pub planner: AutoPipeConfig,
+    /// How the schedule itself is chosen: the classic Slicer pipeline, or a
+    /// cross-family search over every generator the schedule IR knows.
+    pub schedule_policy: SchedulePolicy,
 }
 
 impl PlanRequest {
@@ -53,6 +58,7 @@ impl PlanRequest {
             enable_slicer: true,
             profiler: None,
             planner: AutoPipeConfig::default(),
+            schedule_policy: SchedulePolicy::default(),
         }
     }
 }
@@ -114,24 +120,51 @@ impl AutoPipe {
             &req.planner,
         )?;
         let costs = choice.outcome.partition.stage_costs(&db);
-        let (schedule, n_sliced) = if req.enable_slicer && choice.stages >= 2 {
-            let sp = plan_slicing(&costs, choice.microbatches);
-            (sp.schedule, sp.n_sliced)
-        } else {
-            (
-                autopipe_schedule::one_f_one_b(choice.stages, choice.microbatches),
-                0,
-            )
-        };
+        let (schedule, partition, est_pipeline_time) =
+            if req.schedule_policy == SchedulePolicy::Auto && choice.stages >= 2 {
+                // Cross-family search: seed the sliced-count axis with the
+                // Slicer's Algorithm 2 pick so the classic AutoPipe schedule
+                // is always among the candidates.
+                let mut fam_cfg = FamilyConfig {
+                    latency: req.hardware.link_latency,
+                    autopipe: req.planner,
+                    ..FamilyConfig::default()
+                };
+                let algo2 = solve_sliced_count(&costs);
+                if algo2 >= 2 && !fam_cfg.sliced_counts.contains(&algo2) {
+                    fam_cfg.sliced_counts.insert(0, algo2);
+                }
+                let fam = plan_families(
+                    &db,
+                    &req.hardware,
+                    choice.stages,
+                    choice.microbatches,
+                    &fam_cfg,
+                )?;
+                (fam.schedule, fam.partition, fam.iteration_time)
+            } else if req.enable_slicer && choice.stages >= 2 {
+                let sp = plan_slicing(&costs, choice.microbatches);
+                (
+                    sp.schedule,
+                    choice.outcome.partition.clone(),
+                    choice.outcome.analytic.iteration_time,
+                )
+            } else {
+                (
+                    autopipe_schedule::one_f_one_b(choice.stages, choice.microbatches),
+                    choice.outcome.partition.clone(),
+                    choice.outcome.analytic.iteration_time,
+                )
+            };
         Ok(Plan {
             stages: choice.stages,
             dp: choice.dp,
             microbatches: choice.microbatches,
-            n_sliced,
-            layer_counts: choice.outcome.partition.layer_counts(&db),
-            partition: choice.outcome.partition.clone(),
+            n_sliced: schedule.n_sliced,
+            layer_counts: partition.layer_counts(&db),
+            partition,
             schedule,
-            est_pipeline_time: choice.outcome.analytic.iteration_time,
+            est_pipeline_time,
             grad_sync: choice.grad_sync,
             analytic: choice.outcome.analytic.clone(),
             schemes_explored: choice.outcome.schemes_explored,
@@ -197,6 +230,35 @@ mod tests {
         let mean: f64 = (0..4).map(|x| sc.work(x)).sum::<f64>() / 4.0;
         let max = (0..4).map(|x| sc.work(x)).fold(0.0, f64::max);
         assert!(max < 1.3 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn auto_policy_plans_across_families() {
+        let req = PlanRequest {
+            fixed_stages: Some(4),
+            schedule_policy: SchedulePolicy::Auto,
+            ..PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)
+        };
+        let plan = AutoPipe::plan(&req).unwrap();
+        validate(&plan.schedule).expect("family winner must validate");
+        assert_eq!(plan.partition.n_stages(), plan.schedule.n_stages());
+        assert_eq!(plan.n_sliced, plan.schedule.n_sliced);
+        assert!(plan.est_pipeline_time > 0.0);
+        let total_layers: f64 = plan.layer_counts.iter().sum();
+        assert_eq!(total_layers, 24.0);
+    }
+
+    #[test]
+    fn auto_policy_is_deterministic() {
+        let req = PlanRequest {
+            fixed_stages: Some(4),
+            schedule_policy: SchedulePolicy::Auto,
+            ..PlanRequest::new(zoo::gpt2_345m(), 4, 4, 128)
+        };
+        let a = AutoPipe::plan(&req).unwrap();
+        let b = AutoPipe::plan(&req).unwrap();
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.est_pipeline_time.to_bits(), b.est_pipeline_time.to_bits());
     }
 
     #[test]

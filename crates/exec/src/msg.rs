@@ -74,7 +74,10 @@ pub fn op_key(sched: &Schedule, device: usize, op: &Op) -> Option<(MsgKey, Optio
         OpKind::RecvGrad { mb, chunk, .. } => {
             Some((MsgKey::grad(mb, sched.stage_of(device, chunk)), None))
         }
-        OpKind::Fwd { .. } | OpKind::Bwd { .. } => None,
+        OpKind::Fwd { .. }
+        | OpKind::Bwd { .. }
+        | OpKind::BwdInput { .. }
+        | OpKind::BwdWeight { .. } => None,
     }
 }
 

@@ -273,7 +273,9 @@ impl Timeline {
                 for (op, t) in ops.iter().zip(times) {
                     match op.kind {
                         OpKind::Fwd { .. } => fwd += t.end - t.start,
-                        OpKind::Bwd { .. } => bwd += t.end - t.start,
+                        OpKind::Bwd { .. } | OpKind::BwdInput { .. } | OpKind::BwdWeight { .. } => {
+                            bwd += t.end - t.start
+                        }
                         OpKind::RecvAct { .. } | OpKind::RecvGrad { .. } => wait += t.end - t.start,
                         _ => {}
                     }
@@ -299,7 +301,7 @@ impl Timeline {
                 let warmup = ops
                     .iter()
                     .zip(times)
-                    .find(|(op, _)| matches!(op.kind, OpKind::Bwd { .. }))
+                    .find(|(op, _)| matches!(op.kind, OpKind::Bwd { .. } | OpKind::BwdInput { .. }))
                     .map(|(_, t)| t.start)
                     .unwrap_or(span);
                 let cooldown = ops
@@ -450,6 +452,8 @@ fn describe(kind: &OpKind) -> (String, &'static str) {
             "fwd",
         ),
         OpKind::Bwd { mb, .. } => (format!("B{mb}"), "bwd"),
+        OpKind::BwdInput { mb, .. } => (format!("Bi{mb}"), "bwd"),
+        OpKind::BwdWeight { mb, .. } => (format!("Bw{mb}"), "bwd"),
         OpKind::RecvAct { mb, .. } => (format!("recv-act {mb}"), "wait"),
         OpKind::RecvGrad { mb, .. } => (format!("recv-grad {mb}"), "wait"),
         OpKind::SendAct { mb, .. } => (format!("send-act {mb}"), "comm"),

@@ -51,8 +51,10 @@ pub fn interleaved_partition(db: &CostDb, p: usize, v: usize) -> Result<Partitio
     }
     if !n_layers.is_multiple_of(p * v) {
         return Err(PlanError::Infeasible(format!(
-            "interleaved schedule needs {n_layers} layers divisible into \
-             {p} devices x {v} chunks"
+            "interleaved schedule needs the layer count divisible by \
+             devices x chunks = {p} x {v} = {} ({n_layers} % {} != 0)",
+            p * v,
+            p * v
         )));
     }
     let per = n_layers / (p * v);
@@ -128,5 +130,29 @@ mod tests {
         assert!(interleaved_partition(&d, 8, 2).is_err());
         // 12 devices x 2 chunks: 1 layer per chunk-stage, fine.
         assert!(interleaved_partition(&d, 12, 2).is_ok());
+    }
+
+    #[test]
+    fn interleaved_divisibility_error_reports_required_divisor() {
+        // 24 layers, 8 devices x 2 chunks: the message must name the
+        // divisor the user needs (p·v = 16), not just the factors.
+        let d = db(&zoo::gpt2_345m());
+        let PlanError::Infeasible(msg) = interleaved_partition(&d, 8, 2).unwrap_err() else {
+            panic!("expected Infeasible");
+        };
+        assert!(msg.contains("16"), "{msg}");
+        assert!(msg.contains("24"), "{msg}");
+    }
+
+    #[test]
+    fn interleaved_too_many_chunk_stages_is_the_other_error_path() {
+        // p·v beyond the layer count fails before the divisibility check,
+        // with the "cannot split" message.
+        let d = db(&zoo::gpt2_345m());
+        let PlanError::Infeasible(msg) = interleaved_partition(&d, 24, 2).unwrap_err() else {
+            panic!("expected Infeasible");
+        };
+        assert!(msg.contains("cannot split"), "{msg}");
+        assert!(interleaved_partition(&d, 0, 2).is_err());
     }
 }

@@ -25,14 +25,20 @@
 //! * [`replan`] — **straggler-aware re-planning**: fold observed per-stage
 //!   slowdowns back into the cost database and re-run the AutoPipe planner,
 //!   producing the partition the runtime hot-swaps to.
+//! * [`family`] — **cross-family schedule search**: enumerate every schedule
+//!   family (1F1B, sliced, GPipe, zero-bubble, interleaved) over matching
+//!   balanced partitions, gate on validation + memory, and pick the fastest
+//!   by deterministic fast-tier replay.
 
 pub mod autopipe;
 pub mod balanced;
 pub mod baselines;
+pub mod family;
 pub mod replan;
 pub mod types;
 
 pub use autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome, SimTier};
 pub use balanced::balanced_partition;
+pub use family::{plan_families, FamilyCandidate, FamilyConfig, FamilyOutcome};
 pub use replan::{observed_cost_db, replan, ReplanOutcome};
 pub use types::{HybridPlan, PlanError};

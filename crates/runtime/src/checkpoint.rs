@@ -39,6 +39,7 @@ use std::thread::JoinHandle;
 
 use serde::{Deserialize, Serialize};
 
+use autopipe_schedule::ScheduleKind;
 use autopipe_tensor::{optim::Adam, Tensor};
 
 use crate::engine::Pipeline;
@@ -349,8 +350,12 @@ pub struct Manifest {
     pub tag: String,
     /// Partition boundaries of the pipeline that wrote the snapshot.
     pub boundaries: Vec<usize>,
+    /// Schedule family of the pipeline that wrote the snapshot.
+    pub kind: ScheduleKind,
     /// Sliced micro-batch count of the schedule (`n_sliced`).
     pub n_sliced: usize,
+    /// Chunks per device (1 except the interleaved family).
+    pub n_chunks: usize,
     /// Micro-batches per iteration.
     pub n_microbatches: usize,
     /// Per-stage payload entries, in (device, chunk) order.
@@ -368,8 +373,12 @@ pub struct PipelineSnapshot {
     pub tag: String,
     /// Partition boundaries.
     pub boundaries: Vec<usize>,
+    /// Schedule family.
+    pub kind: ScheduleKind,
     /// Schedule `n_sliced`.
     pub n_sliced: usize,
+    /// Chunks per device (1 except the interleaved family).
+    pub n_chunks: usize,
     /// Micro-batches per iteration.
     pub n_microbatches: usize,
     /// Per-stage states, (device, chunk) order.
@@ -381,13 +390,20 @@ impl PipelineSnapshot {
     /// to keep training the moment this returns).
     pub fn capture(pipeline: &mut Pipeline, step: u64, tag: &str) -> PipelineSnapshot {
         let boundaries = pipeline.partition().boundaries().to_vec();
-        let n_sliced = pipeline.schedule().n_sliced;
-        let n_microbatches = pipeline.schedule().n_microbatches;
+        let sched = pipeline.schedule();
+        let (kind, n_sliced, n_chunks, n_microbatches) = (
+            sched.kind,
+            sched.n_sliced,
+            sched.n_chunks,
+            sched.n_microbatches,
+        );
         PipelineSnapshot {
             step,
             tag: tag.to_string(),
             boundaries,
+            kind,
             n_sliced,
+            n_chunks,
             n_microbatches,
             stages: pipeline
                 .stages_mut()
@@ -521,7 +537,9 @@ impl CheckpointStore {
             step: snap.step,
             tag: snap.tag.clone(),
             boundaries: snap.boundaries.clone(),
+            kind: snap.kind,
             n_sliced: snap.n_sliced,
+            n_chunks: snap.n_chunks,
             n_microbatches: snap.n_microbatches,
             stages: entries,
         };

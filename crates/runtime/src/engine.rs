@@ -839,6 +839,32 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
                     break 'program;
                 }
             }
+            OpKind::BwdInput { mb, chunk } => {
+                let compute_started = Instant::now();
+                let stage = &mut chunks[chunk];
+                let d_out = pending_grads.remove(&(mb, chunk));
+                if !stage.has_head() && d_out.is_none() {
+                    die!('program, "device {d} chunk {chunk}: missing grad for mb {mb}");
+                }
+                if let Some(dx) = stage.backward_input_microbatch(mb, d_out.as_ref()) {
+                    bwd_out.insert((mb, chunk), dx);
+                }
+                if !straggle(faults, wd, sched.stage_of(d, chunk), compute_started) {
+                    aborted = true;
+                    break 'program;
+                }
+            }
+            OpKind::BwdWeight { mb, chunk } => {
+                let compute_started = Instant::now();
+                let stage = &mut chunks[chunk];
+                if !stage.apply_weight_grads(mb, grad_scale) {
+                    die!('program, "device {d} chunk {chunk}: no stashed weight grads for mb {mb}");
+                }
+                if !straggle(faults, wd, sched.stage_of(d, chunk), compute_started) {
+                    aborted = true;
+                    break 'program;
+                }
+            }
             OpKind::SendGrad { mb, chunk, to } => {
                 let tensor = match bwd_out.remove(&(mb, chunk)) {
                     Some(t) => t,

@@ -179,6 +179,11 @@ pub struct StageModel {
     caches: HashMap<(usize, PartKey), Vec<ModCache>>,
     inputs: HashMap<(usize, PartKey), StageInput>,
     targets: HashMap<(usize, PartKey), Vec<usize>>,
+    /// Weight gradients computed by a grad-input backward but not yet
+    /// accumulated: per micro-batch, `(grad offset, per-module grads)` in
+    /// computation order. Drained by
+    /// [`apply_weight_grads`](StageModel::apply_weight_grads).
+    pending_wgrads: HashMap<usize, Vec<(usize, Vec<Tensor>)>>,
     seq: usize,
     /// Re-run forwards at backward time from the stashed stage input
     /// instead of keeping caches (§II-C activation checkpointing).
@@ -209,6 +214,7 @@ impl StageModel {
             caches: HashMap::new(),
             inputs: HashMap::new(),
             targets: HashMap::new(),
+            pending_wgrads: HashMap::new(),
             seq,
             checkpointing,
         }
@@ -237,6 +243,7 @@ impl StageModel {
             caches: HashMap::new(),
             inputs: HashMap::new(),
             targets: HashMap::new(),
+            pending_wgrads: HashMap::new(),
             seq,
             checkpointing,
         }
@@ -345,6 +352,35 @@ impl StageModel {
         d_out: Option<&Tensor>,
         grad_scale: f32,
     ) -> Option<Tensor> {
+        self.backward_part(mb, part, d_out, Some(grad_scale))
+    }
+
+    /// Grad-input half of a split backward (`BwdInput`): computes the input
+    /// gradient exactly like [`backward`](StageModel::backward) but *stashes*
+    /// the per-module weight gradients instead of accumulating them.
+    /// [`apply_weight_grads`](StageModel::apply_weight_grads) later performs
+    /// the identical `axpy` sequence, so split and fused backward accumulate
+    /// bit-identically whenever grad-weights retire in the same micro-batch
+    /// order fused backwards would have run in.
+    pub fn backward_input(
+        &mut self,
+        mb: usize,
+        part: Part,
+        d_out: Option<&Tensor>,
+    ) -> Option<Tensor> {
+        self.backward_part(mb, part, d_out, None)
+    }
+
+    /// Shared reverse-module walk. `apply = Some(scale)` accumulates weight
+    /// gradients immediately (fused backward); `None` stashes them for a
+    /// deferred grad-weight op.
+    fn backward_part(
+        &mut self,
+        mb: usize,
+        part: Part,
+        d_out: Option<&Tensor>,
+        apply: Option<f32>,
+    ) -> Option<Tensor> {
         let key = (mb, PartKey::of(part));
         // Activation checkpointing: re-run the forward to rebuild caches.
         let caches = match self.caches.remove(&key) {
@@ -359,6 +395,7 @@ impl StageModel {
 
         let mut dy: Option<Tensor> = d_out.cloned();
         let mut grad_cursor = self.grads.len();
+        let mut stash: Vec<(usize, Vec<Tensor>)> = Vec::new();
         // Walk modules in reverse, writing into the grad accumulators.
         for (m, cache) in self.modules.iter().zip(caches.iter()).rev() {
             let nparams = m.params().len();
@@ -387,15 +424,42 @@ impl StageModel {
                 (Module::Identity, ModCache::Identity) => (dy.clone(), vec![]),
                 _ => unreachable!("cache kind mismatch"),
             };
-            for (slot, g) in self.grads[grad_cursor..grad_cursor + nparams]
-                .iter_mut()
-                .zip(&grads)
-            {
-                slot.axpy(grad_scale, g);
+            match apply {
+                Some(scale) => {
+                    for (slot, g) in self.grads[grad_cursor..grad_cursor + nparams]
+                        .iter_mut()
+                        .zip(&grads)
+                    {
+                        slot.axpy(scale, g);
+                    }
+                }
+                None => stash.push((grad_cursor, grads)),
             }
             dy = dx;
         }
+        if apply.is_none() {
+            self.pending_wgrads.entry(mb).or_default().extend(stash);
+        }
         dy
+    }
+
+    /// Grad-weight half of a split backward (`BwdWeight`): accumulate the
+    /// weight gradients stashed by `mb`'s grad-input(s) with the exact
+    /// `axpy` sequence the fused backward would have used. Returns `false`
+    /// if nothing was stashed for `mb`.
+    pub fn apply_weight_grads(&mut self, mb: usize, grad_scale: f32) -> bool {
+        let Some(stash) = self.pending_wgrads.remove(&mb) else {
+            return false;
+        };
+        for (offset, grads) in &stash {
+            for (slot, g) in self.grads[*offset..*offset + grads.len()]
+                .iter_mut()
+                .zip(grads)
+            {
+                slot.axpy(grad_scale, g);
+            }
+        }
+        true
     }
 
     /// Backward a whole micro-batch, dispatching on how it was forwarded:
@@ -409,8 +473,28 @@ impl StageModel {
         d_out: Option<&Tensor>,
         grad_scale: f32,
     ) -> Option<Tensor> {
+        self.backward_microbatch_part(mb, d_out, Some(grad_scale))
+    }
+
+    /// [`backward_microbatch`](StageModel::backward_microbatch)'s grad-input
+    /// counterpart: same slicing dispatch, weight gradients stashed instead
+    /// of accumulated.
+    pub fn backward_input_microbatch(
+        &mut self,
+        mb: usize,
+        d_out: Option<&Tensor>,
+    ) -> Option<Tensor> {
+        self.backward_microbatch_part(mb, d_out, None)
+    }
+
+    fn backward_microbatch_part(
+        &mut self,
+        mb: usize,
+        d_out: Option<&Tensor>,
+        apply: Option<f32>,
+    ) -> Option<Tensor> {
         if self.inputs.contains_key(&(mb, PartKey::Full)) {
-            return self.backward(mb, Part::Full, d_out, grad_scale);
+            return self.backward_part(mb, Part::Full, d_out, apply);
         }
         assert!(
             self.inputs.contains_key(&(mb, PartKey::Half1))
@@ -434,8 +518,8 @@ impl StageModel {
             None => (None, None),
         };
         // Reverse order of the forwards, like a real autograd tape.
-        let dx2 = self.backward(mb, Part::Half2, d2.as_ref(), grad_scale);
-        let dx1 = self.backward(mb, Part::Half1, d1.as_ref(), grad_scale);
+        let dx2 = self.backward_part(mb, Part::Half2, d2.as_ref(), apply);
+        let dx1 = self.backward_part(mb, Part::Half1, d1.as_ref(), apply);
         match (dx1, dx2) {
             (Some(a), Some(b)) => {
                 let h = *a.shape().last().unwrap();
@@ -513,6 +597,7 @@ impl StageModel {
         self.caches.clear();
         self.inputs.clear();
         self.targets.clear();
+        self.pending_wgrads.clear();
     }
 
     /// Shape signature of every parameter, in module order (checkpoint

@@ -1,6 +1,10 @@
-//! Schedule generators.
+//! Schedule generators, expressed as phase/lane programs over the IR in
+//! [`crate::program`] and lowered to op programs. Generators only decide
+//! *which compute runs when*; all communication placement lives in the
+//! lowering, so every family shares one correctness story.
 
-use crate::op::{Op, OpKind, Part};
+use crate::op::Part;
+use crate::program::{lower, Lane, Phase, Slot};
 use crate::{Schedule, ScheduleKind};
 
 /// Error building a schedule.
@@ -31,51 +35,27 @@ impl std::fmt::Display for GenerateError {
 
 impl std::error::Error for GenerateError {}
 
-fn op(kind: OpKind) -> Op {
-    Op::new(kind)
-}
-
-/// The synchronous 1F1B schedule (Fig. 5): each stage runs
-/// `min(m, p−1−stage)` Warmup forwards, alternates forward/backward in the
-/// 1F1B phase, and drains remaining backwards in Cooldown.
-pub fn one_f_one_b(p: usize, m: usize) -> Schedule {
-    let mut devices = Vec::with_capacity(p);
-    for x in 0..p {
-        devices.push(one_f_one_b_device(p, m, x, 0));
-    }
+/// Lower one lane per device into a [`Schedule`].
+fn assemble(
+    kind: ScheduleKind,
+    p: usize,
+    v: usize,
+    m: usize,
+    n_sliced: usize,
+    lanes: Vec<Lane>,
+) -> Schedule {
+    let devices = lanes.iter().map(|lane| lower(lane, p, v)).collect();
     Schedule {
-        kind: ScheduleKind::OneFOneB,
+        kind,
         n_devices: p,
-        n_chunks: 1,
+        n_chunks: v,
         n_microbatches: m,
-        n_sliced: 0,
+        n_sliced,
         devices,
     }
 }
 
-/// Build one device's 1F1B program. `sliced` leading micro-batches have
-/// their forwards split in half (0 = plain 1F1B).
-fn one_f_one_b_device(p: usize, m: usize, x: usize, sliced: usize) -> Vec<Op> {
-    let w = m.min(p - 1 - x);
-    let mut ops = Vec::new();
-    // Warmup forwards.
-    for i in 0..w {
-        push_fwd_set(&mut ops, p, x, i, sliced);
-    }
-    // 1F1B phase: forward of (w + j), backward of j.
-    let steady = m - w;
-    for j in 0..steady {
-        push_fwd_set(&mut ops, p, x, w + j, sliced);
-        push_bwd_set(&mut ops, p, x, j);
-    }
-    // Cooldown backwards.
-    for j in steady..m {
-        push_bwd_set(&mut ops, p, x, j);
-    }
-    ops
-}
-
-/// Emit the forward of micro-batch `i` on stage `x`, honouring slicing.
+/// Push micro-batch `i`'s forward slot(s) on stage `x`, honouring slicing.
 ///
 /// Sliced micro-batches (i < sliced) run as two half forwards with the first
 /// half's activation shipped immediately, so downstream stages start
@@ -83,126 +63,79 @@ fn one_f_one_b_device(p: usize, m: usize, x: usize, sliced: usize) -> Vec<Op> {
 /// both halves into one message: its first-half send would hit a busy
 /// downstream stage and block (§III-C), so the send is cancelled and merged
 /// with the second half's.
-fn push_fwd_set(ops: &mut Vec<Op>, p: usize, x: usize, i: usize, sliced: usize) {
+fn push_fwd_slots(lane: &mut Lane, phase: Phase, i: usize, sliced: usize) {
     let aggregated = sliced >= 2 && i == sliced - 1;
     if i < sliced && !aggregated {
         for part in [Part::Half1, Part::Half2] {
-            if x > 0 {
-                ops.push(op(OpKind::RecvAct {
+            lane.push(
+                phase,
+                Slot::Fwd {
                     mb: i,
                     chunk: 0,
                     part,
-                    from: x - 1,
-                }));
-            }
-            ops.push(op(OpKind::Fwd {
-                mb: i,
-                chunk: 0,
-                part,
-            }));
-            if x < p - 1 {
-                ops.push(op(OpKind::SendAct {
-                    mb: i,
-                    chunk: 0,
-                    part,
-                    to: x + 1,
-                }));
-            }
+                },
+            );
         }
     } else if aggregated {
-        if x > 0 {
-            ops.push(op(OpKind::RecvAct {
-                mb: i,
-                chunk: 0,
-                part: Part::Both,
-                from: x - 1,
-            }));
-        }
-        ops.push(op(OpKind::Fwd {
-            mb: i,
-            chunk: 0,
-            part: Part::Half1,
-        }));
-        ops.push(op(OpKind::Fwd {
-            mb: i,
-            chunk: 0,
-            part: Part::Half2,
-        }));
-        if x < p - 1 {
-            ops.push(op(OpKind::SendAct {
-                mb: i,
-                chunk: 0,
-                part: Part::Both,
-                to: x + 1,
-            }));
-        }
+        lane.push(phase, Slot::FwdAggregated { mb: i, chunk: 0 });
     } else {
-        if x > 0 {
-            ops.push(op(OpKind::RecvAct {
+        lane.push(
+            phase,
+            Slot::Fwd {
                 mb: i,
                 chunk: 0,
                 part: Part::Full,
-                from: x - 1,
-            }));
-        }
-        ops.push(op(OpKind::Fwd {
-            mb: i,
-            chunk: 0,
-            part: Part::Full,
-        }));
-        if x < p - 1 {
-            ops.push(op(OpKind::SendAct {
-                mb: i,
-                chunk: 0,
-                part: Part::Full,
-                to: x + 1,
-            }));
-        }
+            },
+        );
     }
 }
 
-/// Emit the backward of micro-batch `j` on stage `x`. Backwards are never
-/// sliced — slicing only reschedules the Warmup phase.
-fn push_bwd_set(ops: &mut Vec<Op>, p: usize, x: usize, j: usize) {
-    if x < p - 1 {
-        ops.push(op(OpKind::RecvGrad {
-            mb: j,
-            chunk: 0,
-            from: x + 1,
-        }));
+/// Build one device's 1F1B lane. `sliced` leading micro-batches have their
+/// forwards split in half (0 = plain 1F1B).
+fn one_f_one_b_lane(p: usize, m: usize, x: usize, sliced: usize) -> Lane {
+    let w = m.min(p - 1 - x);
+    let mut lane = Lane::new(x);
+    // Warmup forwards.
+    for i in 0..w {
+        push_fwd_slots(&mut lane, Phase::Warmup, i, sliced);
     }
-    ops.push(op(OpKind::Bwd { mb: j, chunk: 0 }));
-    if x > 0 {
-        ops.push(op(OpKind::SendGrad {
-            mb: j,
-            chunk: 0,
-            to: x - 1,
-        }));
+    // 1F1B phase: forward of (w + j), backward of j.
+    let steady = m - w;
+    for j in 0..steady {
+        push_fwd_slots(&mut lane, Phase::Steady, w + j, sliced);
+        lane.push(Phase::Steady, Slot::Bwd { mb: j, chunk: 0 });
     }
+    // Cooldown backwards.
+    for j in steady..m {
+        lane.push(Phase::Cooldown, Slot::Bwd { mb: j, chunk: 0 });
+    }
+    lane
+}
+
+/// The synchronous 1F1B schedule (Fig. 5): each stage runs
+/// `min(m, p−1−stage)` Warmup forwards, alternates forward/backward in the
+/// 1F1B phase, and drains remaining backwards in Cooldown.
+pub fn one_f_one_b(p: usize, m: usize) -> Schedule {
+    let lanes = (0..p).map(|x| one_f_one_b_lane(p, m, x, 0)).collect();
+    assemble(ScheduleKind::OneFOneB, p, 1, m, 0, lanes)
 }
 
 /// GPipe: run every forward, then every backward in reverse micro-batch
 /// order (fill then drain — maximal startup and cooldown bubbles).
 pub fn gpipe(p: usize, m: usize) -> Schedule {
-    let mut devices = Vec::with_capacity(p);
-    for x in 0..p {
-        let mut ops = Vec::new();
-        for i in 0..m {
-            push_fwd_set(&mut ops, p, x, i, 0);
-        }
-        for j in (0..m).rev() {
-            push_bwd_set(&mut ops, p, x, j);
-        }
-        devices.push(ops);
-    }
-    Schedule {
-        kind: ScheduleKind::GPipe,
-        n_devices: p,
-        n_chunks: 1,
-        n_microbatches: m,
-        n_sliced: 0,
-        devices,
-    }
+    let lanes = (0..p)
+        .map(|x| {
+            let mut lane = Lane::new(x);
+            for i in 0..m {
+                push_fwd_slots(&mut lane, Phase::Warmup, i, 0);
+            }
+            for j in (0..m).rev() {
+                lane.push(Phase::Cooldown, Slot::Bwd { mb: j, chunk: 0 });
+            }
+            lane
+        })
+        .collect();
+    assemble(ScheduleKind::GPipe, p, 1, m, 0, lanes)
 }
 
 /// AutoPipe sliced 1F1B: identical to [`one_f_one_b`] except that the
@@ -210,18 +143,42 @@ pub fn gpipe(p: usize, m: usize) -> Schedule {
 /// last sliced micro-batch's halves aggregated into a single message.
 pub fn sliced_1f1b(p: usize, m: usize, sliced: usize) -> Schedule {
     let sliced = sliced.min(m);
-    let mut devices = Vec::with_capacity(p);
-    for x in 0..p {
-        devices.push(one_f_one_b_device(p, m, x, sliced));
-    }
-    Schedule {
-        kind: ScheduleKind::Sliced1F1B,
-        n_devices: p,
-        n_chunks: 1,
-        n_microbatches: m,
-        n_sliced: sliced,
-        devices,
-    }
+    let lanes = (0..p).map(|x| one_f_one_b_lane(p, m, x, sliced)).collect();
+    assemble(ScheduleKind::Sliced1F1B, p, 1, m, sliced, lanes)
+}
+
+/// Zero-bubble 1F1B (the ZB-H1 arrangement of 2BP's split backward): the
+/// warmup and forward pattern match 1F1B exactly, but every backward is
+/// split. In the steady phase the grad-input runs first so `SendGrad`
+/// departs a grad-weight's worth of time earlier — shortening the
+/// inter-stage backward dependency chain — and the grad-weight runs
+/// immediately after, keeping in-flight activations at 1F1B's level. Only
+/// Cooldown's grad-weights are deferred, to a Drain tail after the last
+/// grad-input, where they soak up the cooldown bubble.
+pub fn zero_bubble(p: usize, m: usize) -> Schedule {
+    let lanes = (0..p)
+        .map(|x| {
+            let w = m.min(p - 1 - x);
+            let mut lane = Lane::new(x);
+            for i in 0..w {
+                push_fwd_slots(&mut lane, Phase::Warmup, i, 0);
+            }
+            let steady = m - w;
+            for j in 0..steady {
+                push_fwd_slots(&mut lane, Phase::Steady, w + j, 0);
+                lane.push(Phase::Steady, Slot::BwdInput { mb: j, chunk: 0 });
+                lane.push(Phase::Steady, Slot::BwdWeight { mb: j, chunk: 0 });
+            }
+            for j in steady..m {
+                lane.push(Phase::Cooldown, Slot::BwdInput { mb: j, chunk: 0 });
+            }
+            for j in steady..m {
+                lane.push(Phase::Drain, Slot::BwdWeight { mb: j, chunk: 0 });
+            }
+            lane
+        })
+        .collect();
+    assemble(ScheduleKind::ZeroBubble, p, 1, m, 0, lanes)
 }
 
 /// Megatron-LM's interleaved 1F1B schedule with `v` model chunks per device.
@@ -248,83 +205,41 @@ pub fn interleaved(p: usize, v: usize, m: usize) -> Result<Schedule, GenerateErr
     }
 
     let total = m * v; // chunk-level forwards (= backwards) per device
-    let fwd_chunk = |k: usize| (k / p) % v;
-    let fwd_mb = |k: usize| (k / (p * v)) * p + k % p;
-    let bwd_chunk = |j: usize| v - 1 - (j / p) % v;
-    let bwd_mb = |j: usize| (j / (p * v)) * p + j % p;
+    let fwd_slot = |k: usize| Slot::Fwd {
+        mb: (k / (p * v)) * p + k % p,
+        chunk: (k / p) % v,
+        part: Part::Full,
+    };
+    let bwd_slot = |j: usize| Slot::Bwd {
+        mb: (j / (p * v)) * p + j % p,
+        chunk: v - 1 - (j / p) % v,
+    };
 
-    let mut devices = Vec::with_capacity(p);
-    for d in 0..p {
-        let warmup = total.min(2 * (p - d - 1) + (v - 1) * p);
-        let mut ops = Vec::new();
-        let emit_fwd = |ops: &mut Vec<Op>, k: usize| {
-            let c = fwd_chunk(k);
-            let mb = fwd_mb(k);
-            let stage = c * p + d;
-            if stage > 0 {
-                let from = if d > 0 { d - 1 } else { p - 1 };
-                ops.push(op(OpKind::RecvAct {
-                    mb,
-                    chunk: c,
-                    part: Part::Full,
-                    from,
-                }));
+    let lanes = (0..p)
+        .map(|d| {
+            let warmup = total.min(2 * (p - d - 1) + (v - 1) * p);
+            let mut lane = Lane::new(d);
+            for k in 0..warmup {
+                lane.push(Phase::Warmup, fwd_slot(k));
             }
-            ops.push(op(OpKind::Fwd {
-                mb,
-                chunk: c,
-                part: Part::Full,
-            }));
-            if stage < p * v - 1 {
-                let to = if d < p - 1 { d + 1 } else { 0 };
-                ops.push(op(OpKind::SendAct {
-                    mb,
-                    chunk: c,
-                    part: Part::Full,
-                    to,
-                }));
+            let steady = total - warmup;
+            for t in 0..steady {
+                lane.push(Phase::Steady, fwd_slot(warmup + t));
+                lane.push(Phase::Steady, bwd_slot(t));
             }
-        };
-        let emit_bwd = |ops: &mut Vec<Op>, j: usize| {
-            let c = bwd_chunk(j);
-            let mb = bwd_mb(j);
-            let stage = c * p + d;
-            if stage < p * v - 1 {
-                let from = if d < p - 1 { d + 1 } else { 0 };
-                ops.push(op(OpKind::RecvGrad { mb, chunk: c, from }));
+            for j in steady..total {
+                lane.push(Phase::Cooldown, bwd_slot(j));
             }
-            ops.push(op(OpKind::Bwd { mb, chunk: c }));
-            if stage > 0 {
-                let to = if d > 0 { d - 1 } else { p - 1 };
-                ops.push(op(OpKind::SendGrad { mb, chunk: c, to }));
-            }
-        };
-        for k in 0..warmup {
-            emit_fwd(&mut ops, k);
-        }
-        let steady = total - warmup;
-        for t in 0..steady {
-            emit_fwd(&mut ops, warmup + t);
-            emit_bwd(&mut ops, t);
-        }
-        for j in steady..total {
-            emit_bwd(&mut ops, j);
-        }
-        devices.push(ops);
-    }
-    Ok(Schedule {
-        kind: ScheduleKind::Interleaved,
-        n_devices: p,
-        n_chunks: v,
-        n_microbatches: m,
-        n_sliced: 0,
-        devices,
-    })
+            lane
+        })
+        .collect();
+    Ok(assemble(ScheduleKind::Interleaved, p, v, m, 0, lanes))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::op::OpKind;
 
     fn count_kind(s: &Schedule, pred: impl Fn(&OpKind) -> bool) -> usize {
         s.devices.iter().flatten().filter(|o| pred(&o.kind)).count()
@@ -530,5 +445,94 @@ mod tests {
                 (1, 3)
             ]
         );
+    }
+
+    #[test]
+    fn zero_bubble_matches_1f1b_op_skeleton() {
+        // Same forward placement and backward micro-batch order as 1F1B;
+        // only the backward compute is split.
+        let p = 4;
+        let m = 8;
+        let zb = zero_bubble(p, m);
+        let ob = one_f_one_b(p, m);
+        for (z, o) in zb.devices.iter().zip(&ob.devices) {
+            let zf: Vec<usize> = z
+                .iter()
+                .filter_map(|op| match op.kind {
+                    OpKind::Fwd { mb, .. } => Some(mb),
+                    _ => None,
+                })
+                .collect();
+            let of: Vec<usize> = o
+                .iter()
+                .filter_map(|op| match op.kind {
+                    OpKind::Fwd { mb, .. } => Some(mb),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(zf, of);
+            let z_in: Vec<usize> = z
+                .iter()
+                .filter_map(|op| match op.kind {
+                    OpKind::BwdInput { mb, .. } => Some(mb),
+                    _ => None,
+                })
+                .collect();
+            let o_b: Vec<usize> = o
+                .iter()
+                .filter_map(|op| match op.kind {
+                    OpKind::Bwd { mb, .. } => Some(mb),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(z_in, o_b);
+            // One grad-weight per micro-batch, in the same micro-batch order
+            // as the fused backwards (bit-identical accumulation order).
+            let z_w: Vec<usize> = z
+                .iter()
+                .filter_map(|op| match op.kind {
+                    OpKind::BwdWeight { mb, .. } => Some(mb),
+                    _ => None,
+                })
+                .collect();
+            assert_eq!(z_w, o_b);
+        }
+    }
+
+    #[test]
+    fn zero_bubble_defers_cooldown_grad_weights() {
+        let s = zero_bubble(4, 8);
+        // Device 0 has warmup 3, so micro-batches 5..8 cool down: their
+        // grad-weights must come after the last grad-input.
+        let dev = &s.devices[0];
+        let last_input = dev
+            .iter()
+            .rposition(|o| matches!(o.kind, OpKind::BwdInput { .. }))
+            .unwrap();
+        let tail: Vec<usize> = dev[last_input + 1..]
+            .iter()
+            .filter_map(|o| match o.kind {
+                OpKind::BwdWeight { mb, .. } => Some(mb),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(tail, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn zero_bubble_sends_grad_before_grad_weight() {
+        // The point of the split: on interior stages, SendGrad must directly
+        // follow BwdInput, with BwdWeight strictly after.
+        let s = zero_bubble(4, 8);
+        let dev = &s.devices[1];
+        for (i, o) in dev.iter().enumerate() {
+            if let OpKind::BwdInput { mb, .. } = o.kind {
+                assert!(
+                    matches!(dev[i + 1].kind, OpKind::SendGrad { mb: smb, .. } if smb == mb),
+                    "op after BwdInput({mb}) is {:?}",
+                    dev[i + 1].kind
+                );
+            }
+        }
     }
 }

@@ -15,13 +15,20 @@
 //! * [`generators::sliced_1f1b`] — 1F1B with the first `sliced` micro-batches
 //!   split in half during Warmup, the AutoPipe Slicer's output (Fig. 8),
 //!   including the aggregated-communication rule for the last sliced
-//!   micro-batch (§III-C).
+//!   micro-batch (§III-C);
+//! * [`generators::zero_bubble`] — 1F1B with every backward split into
+//!   grad-input and grad-weight ops (2BP-style), grad-weights deferred out
+//!   of the cooldown critical path.
+//!
+//! Generators are written as phase/lane programs over [`program::Slot`]s;
+//! [`program::lower`] attaches the communication each slot implies.
 
 pub mod generators;
 pub mod op;
+pub mod program;
 pub mod validate;
 
-pub use generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
+pub use generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble};
 pub use op::{Op, OpKind, Part};
 pub use validate::{validate, ValidationError};
 
@@ -38,6 +45,9 @@ pub enum ScheduleKind {
     Interleaved,
     /// 1F1B with AutoPipe micro-batch slicing in the Warmup phase.
     Sliced1F1B,
+    /// 1F1B with split backwards: grad-weights deferred out of the cooldown
+    /// critical path (the ZB-H1 memory profile).
+    ZeroBubble,
 }
 
 /// A complete pipeline schedule: one op program per device.

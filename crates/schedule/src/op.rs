@@ -42,9 +42,19 @@ pub enum OpKind {
     /// Forward pass of `part` of micro-batch `mb` through model chunk
     /// `chunk` on this device.
     Fwd { mb: usize, chunk: usize, part: Part },
-    /// Backward pass of micro-batch `mb` through chunk `chunk`. Backwards
-    /// are never sliced: slicing only reschedules Warmup-phase forwards.
+    /// Fused backward pass of micro-batch `mb` through chunk `chunk`:
+    /// grad-input and grad-weight in one op. Backwards are never sliced:
+    /// slicing only reschedules Warmup-phase forwards. Semantically
+    /// equivalent to `BwdInput` immediately followed by `BwdWeight`.
     Bwd { mb: usize, chunk: usize },
+    /// Grad-input half of a split backward (2BP / zero-bubble style): computes
+    /// the gradient w.r.t. the chunk's *input* so `SendGrad` can depart
+    /// early, while the weight-gradient work is deferred to `BwdWeight`.
+    BwdInput { mb: usize, chunk: usize },
+    /// Grad-weight half of a split backward: accumulates weight gradients
+    /// stashed by the matching `BwdInput`, releasing the micro-batch's
+    /// activation checkpoints. Schedulable anywhere after its `BwdInput`.
+    BwdWeight { mb: usize, chunk: usize },
     /// Ship the output activation of (`mb`, `chunk`, `part`) to device `to`.
     SendAct {
         mb: usize,
@@ -88,7 +98,13 @@ impl Op {
     /// Is this a compute op (forward or backward)?
     #[inline]
     pub fn is_compute(&self) -> bool {
-        matches!(self.kind, OpKind::Fwd { .. } | OpKind::Bwd { .. })
+        matches!(
+            self.kind,
+            OpKind::Fwd { .. }
+                | OpKind::Bwd { .. }
+                | OpKind::BwdInput { .. }
+                | OpKind::BwdWeight { .. }
+        )
     }
 
     /// Is this a communication op?
@@ -103,6 +119,8 @@ impl Op {
         match self.kind {
             OpKind::Fwd { mb, .. }
             | OpKind::Bwd { mb, .. }
+            | OpKind::BwdInput { mb, .. }
+            | OpKind::BwdWeight { mb, .. }
             | OpKind::SendAct { mb, .. }
             | OpKind::RecvAct { mb, .. }
             | OpKind::SendGrad { mb, .. }
@@ -116,6 +134,8 @@ impl Op {
         match self.kind {
             OpKind::Fwd { chunk, .. }
             | OpKind::Bwd { chunk, .. }
+            | OpKind::BwdInput { chunk, .. }
+            | OpKind::BwdWeight { chunk, .. }
             | OpKind::SendAct { chunk, .. }
             | OpKind::RecvAct { chunk, .. }
             | OpKind::SendGrad { chunk, .. }
@@ -156,5 +176,17 @@ mod tests {
             part: Part::Half1,
         });
         assert!(f.is_compute());
+    }
+
+    #[test]
+    fn split_backward_ops_are_compute() {
+        let bi = Op::new(OpKind::BwdInput { mb: 2, chunk: 1 });
+        let bw = Op::new(OpKind::BwdWeight { mb: 2, chunk: 1 });
+        assert!(bi.is_compute() && !bi.is_comm());
+        assert!(bw.is_compute() && !bw.is_comm());
+        assert_eq!(bi.mb(), 2);
+        assert_eq!(bw.mb(), 2);
+        assert_eq!(bi.chunk(), 1);
+        assert_eq!(bw.chunk(), 1);
     }
 }

@@ -27,6 +27,21 @@ pub enum ValidationError {
         mb: usize,
         count: usize,
     },
+    /// A (stage, micro-batch) pair mixes fused and split backwards, or its
+    /// split backward is not exactly one grad-input plus one grad-weight.
+    UnpairedSplitBackward {
+        stage: usize,
+        mb: usize,
+        fused: usize,
+        inputs: usize,
+        weights: usize,
+    },
+    /// A grad-weight op runs before the grad-input that stashes its
+    /// gradients.
+    WeightBeforeInput { stage: usize, mb: usize },
+    /// A compute op carries `Part::Both`. The aggregated part describes one
+    /// *message* holding two halves; compute always runs per half.
+    BothOnCompute { stage: usize, mb: usize },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -46,6 +61,27 @@ impl std::fmt::Display for ValidationError {
             ValidationError::BadBackwardCoverage { stage, mb, count } => write!(
                 f,
                 "stage {stage} micro-batch {mb}: {count} backwards, want exactly 1"
+            ),
+            ValidationError::UnpairedSplitBackward {
+                stage,
+                mb,
+                fused,
+                inputs,
+                weights,
+            } => write!(
+                f,
+                "stage {stage} micro-batch {mb}: backward must be 1 fused op or a \
+                 grad-input/grad-weight pair, got {fused} fused + {inputs} inputs + \
+                 {weights} weights"
+            ),
+            ValidationError::WeightBeforeInput { stage, mb } => write!(
+                f,
+                "stage {stage} micro-batch {mb}: grad-weight scheduled before its grad-input"
+            ),
+            ValidationError::BothOnCompute { stage, mb } => write!(
+                f,
+                "stage {stage} micro-batch {mb}: Part::Both on a compute op \
+                 (aggregation applies to messages, not compute)"
             ),
         }
     }
@@ -77,15 +113,34 @@ fn check_coverage(s: &Schedule) -> Result<(), ValidationError> {
     let n_stages = s.n_stages();
     let m = s.n_microbatches;
     let mut fwd = vec![vec![0.0_f64; m]; n_stages];
-    let mut bwd = vec![vec![0usize; m]; n_stages];
+    let mut fused = vec![vec![0usize; m]; n_stages];
+    let mut inputs = vec![vec![0usize; m]; n_stages];
+    let mut weights = vec![vec![0usize; m]; n_stages];
     for (d, dev) in s.devices.iter().enumerate() {
         for o in dev {
             match o.kind {
                 OpKind::Fwd { mb, chunk, part } => {
-                    fwd[s.stage_of(d, chunk)][mb] += part.frac();
+                    let stage = s.stage_of(d, chunk);
+                    if part == Part::Both {
+                        return Err(ValidationError::BothOnCompute { stage, mb });
+                    }
+                    fwd[stage][mb] += part.frac();
                 }
                 OpKind::Bwd { mb, chunk } => {
-                    bwd[s.stage_of(d, chunk)][mb] += 1;
+                    fused[s.stage_of(d, chunk)][mb] += 1;
+                }
+                OpKind::BwdInput { mb, chunk } => {
+                    inputs[s.stage_of(d, chunk)][mb] += 1;
+                }
+                OpKind::BwdWeight { mb, chunk } => {
+                    let stage = s.stage_of(d, chunk);
+                    // A grad-weight consumes gradients stashed by its
+                    // grad-input; program order on the owning device must
+                    // put the input first.
+                    if inputs[stage][mb] == 0 {
+                        return Err(ValidationError::WeightBeforeInput { stage, mb });
+                    }
+                    weights[stage][mb] += 1;
                 }
                 _ => {}
             }
@@ -97,11 +152,22 @@ fn check_coverage(s: &Schedule) -> Result<(), ValidationError> {
             if (frac - 1.0).abs() > 1e-9 {
                 return Err(ValidationError::BadForwardCoverage { stage, mb, frac });
             }
-            if bwd[stage][mb] != 1 {
-                return Err(ValidationError::BadBackwardCoverage {
+            let (f, i, w) = (fused[stage][mb], inputs[stage][mb], weights[stage][mb]);
+            if i == 0 && w == 0 {
+                if f != 1 {
+                    return Err(ValidationError::BadBackwardCoverage {
+                        stage,
+                        mb,
+                        count: f,
+                    });
+                }
+            } else if f != 0 || i != 1 || w != 1 {
+                return Err(ValidationError::UnpairedSplitBackward {
                     stage,
                     mb,
-                    count: bwd[stage][mb],
+                    fused: f,
+                    inputs: i,
+                    weights: w,
                 });
             }
         }
@@ -123,7 +189,10 @@ fn replay(s: &Schedule) -> Result<(), ValidationError> {
             while pc[d] < s.devices[d].len() {
                 let o = &s.devices[d][pc[d]];
                 match o.kind {
-                    OpKind::Fwd { .. } | OpKind::Bwd { .. } => {}
+                    OpKind::Fwd { .. }
+                    | OpKind::Bwd { .. }
+                    | OpKind::BwdInput { .. }
+                    | OpKind::BwdWeight { .. } => {}
                     OpKind::SendAct {
                         mb,
                         chunk,
@@ -216,7 +285,7 @@ fn consume(mbx: &mut HashMap<MsgKey, usize>, key: MsgKey) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
+    use crate::generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble};
     use crate::op::Op;
 
     #[test]
@@ -225,6 +294,8 @@ mod tests {
             for m in [1, 2, 4, 8, 16] {
                 validate(&one_f_one_b(p, m)).unwrap_or_else(|e| panic!("1f1b p={p} m={m}: {e}"));
                 validate(&gpipe(p, m)).unwrap_or_else(|e| panic!("gpipe p={p} m={m}: {e}"));
+                validate(&zero_bubble(p, m))
+                    .unwrap_or_else(|e| panic!("zero-bubble p={p} m={m}: {e}"));
                 for sliced in 0..p.min(m) {
                     validate(&sliced_1f1b(p, m, sliced))
                         .unwrap_or_else(|e| panic!("sliced p={p} m={m} s={sliced}: {e}"));
@@ -400,6 +471,74 @@ mod tests {
         assert!(matches!(
             validate(&s),
             Err(ValidationError::Deadlock { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_part_both_on_compute_ops() {
+        // Regression: the documented invariant that `Part::Both` only ever
+        // appears on Send/Recv ops is now enforced, not just documented.
+        let mut s = one_f_one_b(2, 2);
+        let idx = s.devices[0]
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::Fwd { .. }))
+            .unwrap();
+        if let OpKind::Fwd { mb, chunk, .. } = s.devices[0][idx].kind {
+            s.devices[0][idx] = Op::new(OpKind::Fwd {
+                mb,
+                chunk,
+                part: Part::Both,
+            });
+        }
+        assert_eq!(
+            validate(&s),
+            Err(ValidationError::BothOnCompute { stage: 0, mb: 0 })
+        );
+    }
+
+    #[test]
+    fn detects_missing_grad_weight() {
+        let mut s = zero_bubble(2, 2);
+        let idx = s.devices[1]
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::BwdWeight { .. }))
+            .unwrap();
+        s.devices[1].remove(idx);
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::UnpairedSplitBackward {
+                fused: 0,
+                inputs: 1,
+                weights: 0,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn detects_mixed_fused_and_split_backward() {
+        let mut s = zero_bubble(2, 2);
+        // Duplicate a backward as a fused op on top of the split pair.
+        s.devices[0].push(Op::new(OpKind::Bwd { mb: 0, chunk: 0 }));
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::UnpairedSplitBackward { fused: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn detects_grad_weight_before_grad_input() {
+        let mut s = zero_bubble(2, 2);
+        // Hoist device 1's first grad-weight in front of its grad-input.
+        let w = s.devices[1]
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::BwdWeight { .. }))
+            .unwrap();
+        let op = s.devices[1].remove(w);
+        s.devices[1].insert(0, op);
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::WeightBeforeInput { .. })
         ));
     }
 

@@ -415,6 +415,27 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
+                    // Split backward: grad-input and grad-weight each take
+                    // half the fused backward's time (the two GEMMs of a
+                    // linear layer's backward are the same shape), chosen so
+                    // the pair sums bit-exactly to the fused cost.
+                    OpKind::BwdInput { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let mut dur = duration(costs.b[stage] * 0.5, cfg, &mut rng);
+                        dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
+                        let s = dev_free[d] + stall;
+                        device_busy[d] += dur;
+                        (s, s + dur)
+                    }
+                    OpKind::BwdWeight { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let b_in = costs.b[stage] * 0.5;
+                        let mut dur = duration(costs.b[stage] - b_in, cfg, &mut rng);
+                        dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
+                        let s = dev_free[d] + stall;
+                        device_busy[d] += dur;
+                        (s, s + dur)
+                    }
                     OpKind::SendAct { to, .. } | OpKind::SendGrad { to, .. } => {
                         let (key, _) = op_key(sched, d, &op).expect("send op has a key");
                         // Sends are asynchronous: zero device time.

@@ -29,6 +29,7 @@ pub mod memcheck;
 pub mod memtrace;
 pub mod metrics;
 pub mod partition;
+pub mod schedule_replay;
 pub mod trace;
 
 pub use analytic::{
@@ -40,3 +41,4 @@ pub use event::{
     SimCrash, SimError,
 };
 pub use partition::{Partition, StageCosts};
+pub use schedule_replay::{replay_schedule, ReplayScratch};

@@ -3,19 +3,23 @@
 //! Planners and the experiment harness need to know whether a configuration
 //! OOMs *before* (or instead of) simulating it — exactly like the paper's
 //! Table IV "OOM" entries and Fig. 14's OOM columns. The per-device formula
-//! lives in [`autopipe_cost::memory`]; this module maps schedules onto it:
-//! 1F1B-family schedules keep `p − stage` micro-batches in flight, GPipe
-//! keeps all of them, and the interleaved schedule keeps
-//! Megatron's warmup count of chunk-forwards alive per device.
+//! lives in [`autopipe_cost::memory`]; this module maps schedules onto it by
+//! *replaying* each device's op program and tracking peak activation
+//! liveness: a forward makes `part.frac()` of a micro-batch's checkpoints
+//! live, and they stay live until the op that releases them — the fused
+//! backward or, for split backwards, the grad-weight — retires. The replay
+//! reproduces the familiar closed forms (`p − stage` in flight for
+//! 1F1B-family schedules, all `m` for GPipe, Megatron's warmup count of
+//! chunk-forwards for interleaving) while staying correct for any new
+//! family expressed in the IR.
+
+use std::collections::HashMap;
 
 use autopipe_cost::{
-    memory::{
-        in_flight_1f1b, in_flight_interleaved_chunks, stage_memory, ACT_FRAG_MULT,
-        INTERLEAVED_FRAG_MULT,
-    },
+    memory::{stage_memory, ACT_FRAG_MULT, INTERLEAVED_FRAG_MULT},
     CostDb, Hardware, MemoryBreakdown,
 };
-use autopipe_schedule::{Schedule, ScheduleKind};
+use autopipe_schedule::{OpKind, Schedule};
 
 use crate::partition::Partition;
 
@@ -46,47 +50,64 @@ impl std::fmt::Display for OomError {
 
 impl std::error::Error for OomError {}
 
+/// Peak number of chunk-forwards (in micro-batch-equivalents) whose
+/// activation checkpoints are simultaneously live on `device`, found by
+/// replaying the device's op program. A forward adds `part.frac()`; the
+/// fused backward or the grad-weight of a split backward releases the
+/// accumulated fraction; a grad-input releases nothing (zero-bubble
+/// schedules keep the checkpoint until the deferred grad-weight retires).
+pub fn peak_in_flight(sched: &Schedule, device: usize) -> f64 {
+    let mut live: HashMap<(usize, usize), f64> = HashMap::new();
+    let mut total = 0.0_f64;
+    let mut peak = 0.0_f64;
+    for op in &sched.devices[device] {
+        match op.kind {
+            OpKind::Fwd { mb, chunk, part } => {
+                *live.entry((mb, chunk)).or_insert(0.0) += part.frac();
+                total += part.frac();
+                peak = peak.max(total);
+            }
+            OpKind::Bwd { mb, chunk } | OpKind::BwdWeight { mb, chunk } => {
+                if let Some(f) = live.remove(&(mb, chunk)) {
+                    total -= f;
+                }
+            }
+            _ => {}
+        }
+    }
+    peak
+}
+
 /// Compute per-device memory for a partitioned model under `sched`.
 /// `partition` must have exactly `sched.n_stages()` stages (for the
 /// interleaved schedule: one partition stage per chunk-stage).
 pub fn device_memory(partition: &Partition, db: &CostDb, sched: &Schedule) -> Vec<MemoryBreakdown> {
     let p = sched.n_devices;
     let v = sched.n_chunks;
-    let m = sched.n_microbatches;
     assert_eq!(partition.n_stages(), sched.n_stages());
     (0..p)
-        .map(|d| match sched.kind {
-            ScheduleKind::Interleaved if v > 1 => {
-                // Merge the device's chunks into one virtual block list and
-                // charge Megatron's chunk-level in-flight count, averaged
-                // over the device's chunks.
+        .map(|d| {
+            let peak = peak_in_flight(sched, d);
+            if v > 1 {
+                // Merge the device's chunks into one virtual block list.
                 let mut blocks = Vec::new();
                 for c in 0..v {
                     blocks.extend_from_slice(&db.blocks[partition.range(sched.stage_of(d, c))]);
                 }
-                let chunk_in_flight = in_flight_interleaved_chunks(d, p, v, m);
                 // stage_memory multiplies the *whole* checkpoint set by
-                // in_flight; we hold chunk_in_flight/v stage-equivalents.
-                let equiv = (chunk_in_flight as f64 / v as f64).ceil() as usize;
+                // in_flight; the replayed peak counts chunk-forwards, so we
+                // hold peak/v stage-equivalents. Interleaving also doubles
+                // the comm buffers (wrap-around links) and fragments worse.
+                let equiv = ((peak / v as f64).ceil() as usize).max(1);
+                stage_memory(&blocks, 2 * db.comm_bytes, equiv, INTERLEAVED_FRAG_MULT)
+            } else {
                 stage_memory(
-                    &blocks,
-                    2 * db.comm_bytes,
-                    equiv.max(1),
-                    INTERLEAVED_FRAG_MULT,
+                    &db.blocks[partition.range(d)],
+                    db.comm_bytes,
+                    (peak.ceil() as usize).max(1),
+                    ACT_FRAG_MULT,
                 )
             }
-            ScheduleKind::GPipe => stage_memory(
-                &db.blocks[partition.range(d)],
-                db.comm_bytes,
-                m,
-                ACT_FRAG_MULT,
-            ),
-            _ => stage_memory(
-                &db.blocks[partition.range(d)],
-                db.comm_bytes,
-                in_flight_1f1b(d, p, m),
-                ACT_FRAG_MULT,
-            ),
         })
         .collect()
 }
@@ -171,6 +192,43 @@ mod tests {
         let int = interleaved(4, 2, 8).unwrap();
         let int_part = Partition::even(d.len(), 8);
         assert!(check_memory(&int_part, &d, &int, &hw).is_ok());
+    }
+
+    #[test]
+    fn replay_reproduces_closed_form_in_flight_counts() {
+        // The liveness replay must agree with the textbook closed forms the
+        // old per-kind match hard-coded.
+        use autopipe_cost::memory::{in_flight_1f1b, in_flight_interleaved_chunks};
+        let (p, m) = (4, 8);
+        for d in 0..p {
+            let o = peak_in_flight(&one_f_one_b(p, m), d);
+            assert_eq!(o, in_flight_1f1b(d, p, m) as f64, "1f1b device {d}");
+            let g = peak_in_flight(&gpipe(p, m), d);
+            assert_eq!(g, m as f64, "gpipe device {d}");
+            let s = peak_in_flight(&sliced_1f1b(p, m, 2), d);
+            assert_eq!(s, in_flight_1f1b(d, p, m) as f64, "sliced device {d}");
+        }
+        let v = 2;
+        let int = interleaved(p, v, m).unwrap();
+        for d in 0..p {
+            let got = peak_in_flight(&int, d);
+            let want = in_flight_interleaved_chunks(d, p, v, m) as f64;
+            assert_eq!(got, want, "interleaved device {d}");
+        }
+    }
+
+    #[test]
+    fn zero_bubble_memory_matches_1f1b() {
+        // ZB-H1's selling point: the zero-bubble arrangement keeps peak
+        // activation memory at the 1F1B level because checkpoints are only
+        // freed by the grad-weight, which retires in the same order as the
+        // fused backward would.
+        use autopipe_schedule::generators::zero_bubble;
+        let d = db(8);
+        let part = Partition::even(d.len(), 4);
+        let plain = device_memory(&part, &d, &one_f_one_b(4, 8));
+        let zb = device_memory(&part, &d, &zero_bubble(4, 8));
+        assert_eq!(plain, zb);
     }
 
     #[test]

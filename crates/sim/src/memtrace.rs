@@ -104,6 +104,20 @@ pub fn dynamic_peaks(
                     // Backward releases the micro-batch's checkpoint.
                     edges.push((r.end, true, -(q.ckpt_per_mb as i64)));
                 }
+                OpKind::BwdInput { chunk, .. } => {
+                    // Grad-input needs the working set but keeps the
+                    // checkpoint alive for the deferred grad-weight.
+                    let q = &quanta[sched.stage_of(d, chunk)];
+                    edges.push((r.start, false, q.working as i64));
+                    edges.push((r.end, true, -(q.working as i64)));
+                }
+                OpKind::BwdWeight { chunk, .. } => {
+                    let q = &quanta[sched.stage_of(d, chunk)];
+                    edges.push((r.start, false, q.working as i64));
+                    edges.push((r.end, true, -(q.working as i64)));
+                    // The grad-weight is the last consumer of the stash.
+                    edges.push((r.end, true, -(q.ckpt_per_mb as i64)));
+                }
                 _ => {}
             }
         }
@@ -131,7 +145,7 @@ mod tests {
     use crate::memcheck::device_memory;
     use autopipe_cost::Hardware;
     use autopipe_model::{zoo, Granularity};
-    use autopipe_schedule::{gpipe, one_f_one_b, sliced_1f1b};
+    use autopipe_schedule::{gpipe, one_f_one_b, sliced_1f1b, zero_bubble};
 
     fn setup(p: usize, mbs: usize) -> (CostDb, Partition) {
         let hw = Hardware::rtx3090_cluster();
@@ -168,7 +182,12 @@ mod tests {
         // GPipe schedules (the static model adds fragmentation headroom on
         // top, so the margin is comfortable).
         let (db, part) = setup(4, 8);
-        for sched in [one_f_one_b(4, 8), sliced_1f1b(4, 8, 2), gpipe(4, 8)] {
+        for sched in [
+            one_f_one_b(4, 8),
+            sliced_1f1b(4, 8, 2),
+            gpipe(4, 8),
+            zero_bubble(4, 8),
+        ] {
             let dynamic = run(&db, &part, &sched);
             let static_est = device_memory(&part, &db, &sched);
             for (dp, se) in dynamic.iter().zip(&static_est) {

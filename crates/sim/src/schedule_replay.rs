@@ -1,0 +1,313 @@
+//! Deterministic fast-tier replay for *any* schedule family.
+//!
+//! [`crate::analytic::simulate_time`] is the allocation-free fast tier for
+//! the plain 1F1B program; it knows nothing about interleaving, slicing or
+//! split backwards. This module is its generalisation: it replays an
+//! arbitrary [`Schedule`] — any op program the IR can express — against
+//! [`EventCosts`], producing numbers **bit-identical** to
+//! [`crate::event::run_schedule`] with jitter disabled, while keeping all
+//! working state in a caller-owned [`ReplayScratch`] so planner search
+//! loops can score thousands of candidates without rebuilding transports
+//! or recorders.
+//!
+//! Bit-identity holds because, with `jitter_sigma == 0`, every duration is
+//! the order-independent expression `base + kernel_overhead` and the link
+//! arithmetic below is the exact FIFO recurrence of
+//! [`autopipe_exec::VirtualTransport`] (`depart = max(link_free, now)`,
+//! `arrival = depart + latency + frac·volume`). The sweep itself is the
+//! same run-until-blocked loop as the event simulator, so every float is
+//! produced by the same expression in the same order (asserted bitwise in
+//! `tests/fast_sim_equivalence.rs` across random families).
+
+use std::collections::{HashMap, VecDeque};
+
+use autopipe_exec::{op_key, MsgKey};
+use autopipe_schedule::{OpKind, Schedule};
+
+use crate::event::{EventConfig, EventCosts, EventSummary, SimError};
+
+/// Caller-owned, reusable working memory for [`replay_schedule`].
+///
+/// Flat per-device vectors plus the link/mailbox maps; all buffers are
+/// retained between calls, so a search loop pays for the maps' growth once
+/// per problem shape rather than once per candidate.
+#[derive(Debug, Default)]
+pub struct ReplayScratch {
+    pc: Vec<usize>,
+    dev_free: Vec<f64>,
+    device_busy: Vec<f64>,
+    link_free: HashMap<(usize, usize), f64>,
+    mailbox: Vec<HashMap<MsgKey, VecDeque<f64>>>,
+}
+
+impl ReplayScratch {
+    /// Empty scratch; buffers are sized lazily by the first replay.
+    pub fn new() -> ReplayScratch {
+        ReplayScratch::default()
+    }
+
+    fn reset(&mut self, p: usize) {
+        self.pc.clear();
+        self.pc.resize(p, 0);
+        self.dev_free.clear();
+        self.dev_free.resize(p, 0.0);
+        self.device_busy.clear();
+        self.device_busy.resize(p, 0.0);
+        self.link_free.clear();
+        if self.mailbox.len() < p {
+            self.mailbox.resize_with(p, HashMap::new);
+        }
+        for mb in &mut self.mailbox {
+            mb.clear();
+        }
+    }
+}
+
+/// Replay `sched` against `costs` deterministically, returning the same
+/// scalars — bit for bit — as [`crate::event::run_schedule_untraced`] would
+/// with the same (jitter-free) config.
+///
+/// Panics if `cfg.jitter_sigma != 0`: jittered runs draw from an RNG in
+/// sweep order and belong to the event simulator, not the fast tier.
+pub fn replay_schedule(
+    sched: &Schedule,
+    costs: &EventCosts,
+    cfg: &EventConfig,
+    scratch: &mut ReplayScratch,
+) -> Result<EventSummary, SimError> {
+    assert!(
+        cfg.jitter_sigma == 0.0,
+        "the fast tier is deterministic; use run_schedule for jittered runs"
+    );
+    let n_stages = sched.n_stages();
+    if costs.f.len() != n_stages || costs.b.len() != n_stages {
+        return Err(SimError::BadSchedule(format!(
+            "costs cover {} stages, schedule has {}",
+            costs.f.len(),
+            n_stages
+        )));
+    }
+    let p = sched.n_devices;
+    scratch.reset(p);
+    let ReplayScratch {
+        pc,
+        dev_free,
+        device_busy,
+        link_free,
+        mailbox,
+    } = scratch;
+    let mut startup: Option<f64> = None;
+
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for d in 0..p {
+            while pc[d] < sched.devices[d].len() {
+                let op = sched.devices[d][pc[d]];
+                let end = match op.kind {
+                    OpKind::Fwd { chunk, part, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let eff = if part.is_half() {
+                            cfg.half_efficiency
+                        } else {
+                            1.0
+                        };
+                        let dur = costs.f[stage] * part.frac() * eff + cfg.kernel_overhead;
+                        device_busy[d] += dur;
+                        dev_free[d] + dur
+                    }
+                    OpKind::Bwd { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let dur = costs.b[stage] + cfg.kernel_overhead;
+                        device_busy[d] += dur;
+                        dev_free[d] + dur
+                    }
+                    OpKind::BwdInput { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let dur = costs.b[stage] * 0.5 + cfg.kernel_overhead;
+                        device_busy[d] += dur;
+                        dev_free[d] + dur
+                    }
+                    OpKind::BwdWeight { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let b_in = costs.b[stage] * 0.5;
+                        let dur = (costs.b[stage] - b_in) + cfg.kernel_overhead;
+                        device_busy[d] += dur;
+                        dev_free[d] + dur
+                    }
+                    OpKind::SendAct { to, .. } | OpKind::SendGrad { to, .. } => {
+                        let (key, _) = op_key(sched, d, &op).expect("send op has a key");
+                        // The VirtualTransport FIFO recurrence, verbatim.
+                        let transfer = costs.transfer(key.part);
+                        let free = link_free.entry((d, to)).or_insert(0.0);
+                        let depart = free.max(dev_free[d]);
+                        let arrival = depart + transfer;
+                        *free = arrival;
+                        mailbox[to].entry(key).or_default().push_back(arrival);
+                        dev_free[d]
+                    }
+                    OpKind::RecvAct { .. } | OpKind::RecvGrad { .. } => {
+                        let (key, _) = op_key(sched, d, &op).expect("recv op has a key");
+                        match mailbox[d].get_mut(&key).and_then(VecDeque::pop_front) {
+                            Some(arrival) => {
+                                if matches!(op.kind, OpKind::RecvAct { .. })
+                                    && d == p - 1
+                                    && startup.is_none()
+                                {
+                                    startup = Some(arrival);
+                                }
+                                dev_free[d].max(arrival)
+                            }
+                            None => break,
+                        }
+                    }
+                };
+                dev_free[d] = end;
+                pc[d] += 1;
+                progressed = true;
+            }
+            if pc[d] < sched.devices[d].len() {
+                all_done = false;
+            }
+        }
+        if all_done {
+            break;
+        }
+        if !progressed {
+            return Err(SimError::Stalled {
+                counters: pc.clone(),
+            });
+        }
+    }
+
+    let iteration_time = dev_free.iter().copied().fold(0.0, f64::max);
+    Ok(EventSummary {
+        iteration_time,
+        startup_overhead: if n_stages == 1 {
+            0.0
+        } else {
+            startup.unwrap_or(0.0)
+        },
+        device_busy: device_busy.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::run_schedule_untraced;
+    use autopipe_schedule::generators::{
+        gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble,
+    };
+
+    fn costs(p: usize, f: f64, b: f64, latency: f64, volume: f64) -> EventCosts {
+        EventCosts {
+            f: vec![f; p],
+            b: vec![b; p],
+            latency,
+            volume,
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_event_sim_for_every_family() {
+        let (p, m) = (4, 8);
+        let scheds = vec![
+            one_f_one_b(p, m),
+            sliced_1f1b(p, m, 2),
+            gpipe(p, m),
+            zero_bubble(p, m),
+        ];
+        let c = costs(p, 1.1, 2.3, 0.003, 0.07);
+        let cfg = EventConfig {
+            kernel_overhead: 0.01,
+            ..Default::default()
+        };
+        let mut scratch = ReplayScratch::new();
+        for sched in &scheds {
+            let slow = run_schedule_untraced(sched, &c, &cfg).unwrap();
+            let fast = replay_schedule(sched, &c, &cfg, &mut scratch).unwrap();
+            assert_eq!(
+                fast.iteration_time.to_bits(),
+                slow.iteration_time.to_bits(),
+                "{:?}",
+                sched.kind
+            );
+            assert_eq!(
+                fast.startup_overhead.to_bits(),
+                slow.startup_overhead.to_bits()
+            );
+            assert_eq!(fast.device_busy, slow.device_busy);
+        }
+        // Interleaved needs per-chunk-stage costs.
+        let int = interleaved(p, 2, m).unwrap();
+        let ci = costs(p * 2, 0.55, 1.15, 0.003, 0.04);
+        let slow = run_schedule_untraced(&int, &ci, &cfg).unwrap();
+        let fast = replay_schedule(&int, &ci, &cfg, &mut scratch).unwrap();
+        assert_eq!(fast.iteration_time.to_bits(), slow.iteration_time.to_bits());
+        assert_eq!(fast.device_busy, slow.device_busy);
+    }
+
+    #[test]
+    fn zero_bubble_beats_plain_1f1b_when_comm_is_light() {
+        // The family's raison d'être: sending the gradient after only the
+        // grad-input half lets upstream stages start sooner, shrinking the
+        // cooldown bubble. On a communication-light pipeline the win must
+        // show up in simulated iteration time.
+        let (p, m) = (4, 8);
+        let c = costs(p, 1.0, 2.0, 0.0005, 0.01);
+        let mut scratch = ReplayScratch::new();
+        let plain = replay_schedule(
+            &one_f_one_b(p, m),
+            &c,
+            &EventConfig::default(),
+            &mut scratch,
+        )
+        .unwrap();
+        let zb = replay_schedule(
+            &zero_bubble(p, m),
+            &c,
+            &EventConfig::default(),
+            &mut scratch,
+        )
+        .unwrap();
+        assert!(
+            zb.iteration_time < plain.iteration_time,
+            "zero-bubble {} vs 1f1b {}",
+            zb.iteration_time,
+            plain.iteration_time
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_across_shapes_does_not_contaminate() {
+        let cfg = EventConfig::default();
+        let mut scratch = ReplayScratch::new();
+        for (p, m) in [(4usize, 8usize), (2, 4), (6, 12), (1, 3), (4, 8)] {
+            let c = costs(p, 1.0, 2.0, 0.001, 0.02);
+            let sched = one_f_one_b(p, m);
+            let slow = run_schedule_untraced(&sched, &c, &cfg).unwrap();
+            let fast = replay_schedule(&sched, &c, &cfg, &mut scratch).unwrap();
+            assert_eq!(
+                fast.iteration_time.to_bits(),
+                slow.iteration_time.to_bits(),
+                "p={p} m={m}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_costs() {
+        let c = costs(3, 1.0, 2.0, 0.0, 0.0);
+        let mut scratch = ReplayScratch::new();
+        assert!(matches!(
+            replay_schedule(
+                &one_f_one_b(4, 4),
+                &c,
+                &EventConfig::default(),
+                &mut scratch
+            ),
+            Err(SimError::BadSchedule(_))
+        ));
+    }
+}

@@ -8,7 +8,7 @@
 
 pub mod session;
 
-pub use autopipe_core::{Error, RecoveryConfig, RecoveryPolicy, SessionConfig};
+pub use autopipe_core::{Error, RecoveryConfig, RecoveryPolicy, SchedulePolicy, SessionConfig};
 pub use autopipe_runtime::{RecoveryAction, RecoveryRecord};
 pub use session::{PlannedSession, RunReport, Session, SimReport};
 

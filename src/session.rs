@@ -30,7 +30,7 @@
 
 use std::path::PathBuf;
 
-use autopipe_core::{AutoPipe, Error, Plan, RecoveryConfig, SessionConfig};
+use autopipe_core::{AutoPipe, Error, Plan, RecoveryConfig, SchedulePolicy, SessionConfig};
 use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
 use autopipe_exec::FaultPlan;
 use autopipe_model::ModelConfig;
@@ -40,7 +40,7 @@ use autopipe_runtime::{
     RecoveryCoordinator, RecoveryRecord, Replanner, RuntimeError, ShrinkPlan, StragglerConfig,
     StragglerMonitor, WatchdogConfig,
 };
-use autopipe_schedule::{one_f_one_b, sliced_1f1b};
+use autopipe_schedule::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble, ScheduleKind};
 use autopipe_sim::event::{run_schedule, run_schedule_faulty, EventCosts, EventResult};
 use autopipe_sim::Partition;
 use autopipe_slicer::{plan_slicing, validate_sliced_count};
@@ -145,6 +145,16 @@ impl Session {
         self
     }
 
+    /// How the schedule family is chosen. [`SchedulePolicy::Auto`] replaces
+    /// the fixed 1F1B/sliced pipeline with the planner's cross-family search
+    /// (1F1B, sliced, GPipe, zero-bubble, interleaved), and
+    /// [`PlannedSession::slice`] becomes a no-op — the search already scored
+    /// the sliced candidates.
+    pub fn schedule_policy(mut self, policy: SchedulePolicy) -> Session {
+        self.cfg.schedule_policy = policy;
+        self
+    }
+
     /// Adam learning rate for [`PlannedSession::run`].
     pub fn learning_rate(mut self, lr: f32) -> Session {
         self.cfg.lr = lr;
@@ -209,8 +219,10 @@ impl Session {
     }
 
     /// Validate the configuration and run strategy selection + the AutoPipe
-    /// Planner. The returned [`PlannedSession`] carries an *unsliced* (plain
-    /// 1F1B) schedule; chain [`PlannedSession::slice`] to apply Algorithm 2.
+    /// Planner. Under the default [`SchedulePolicy::Slicer`] the returned
+    /// [`PlannedSession`] carries an *unsliced* (plain 1F1B) schedule; chain
+    /// [`PlannedSession::slice`] to apply Algorithm 2. Under
+    /// [`SchedulePolicy::Auto`] it already carries the cross-family winner.
     pub fn plan(mut self) -> Result<PlannedSession, Error> {
         if let Some(m) = self.microbatches {
             if m < 1 {
@@ -268,19 +280,33 @@ impl Session {
         let (manifest, states) = store.load_latest().map_err(Error::from)?;
         drop(store);
 
-        let p = manifest.boundaries.len().saturating_sub(1);
-        if p < 1 {
+        let n_stages = manifest.boundaries.len().saturating_sub(1);
+        if n_stages < 1 {
             return Err(Error::Config(format!(
                 "checkpoint manifest in {} has no stages",
                 dir.display()
             )));
         }
+        // The manifest records chunk-stages; devices = stages / chunks.
+        let v = manifest.n_chunks.max(1);
+        if !n_stages.is_multiple_of(v) {
+            return Err(Error::Config(format!(
+                "checkpoint manifest in {} has {n_stages} stages, not divisible \
+                 by its {v} chunks per device",
+                dir.display()
+            )));
+        }
+        let p = n_stages / v;
         let m = manifest.n_microbatches;
         let partition = Partition::new(manifest.boundaries.clone());
-        let schedule = if manifest.n_sliced > 0 {
-            sliced_1f1b(p, m, manifest.n_sliced)
-        } else {
-            one_f_one_b(p, m)
+        let schedule = match manifest.kind {
+            ScheduleKind::OneFOneB => one_f_one_b(p, m),
+            ScheduleKind::Sliced1F1B => sliced_1f1b(p, m, manifest.n_sliced),
+            ScheduleKind::GPipe => gpipe(p, m),
+            ScheduleKind::ZeroBubble => zero_bubble(p, m),
+            ScheduleKind::Interleaved => {
+                interleaved(p, v, m).map_err(|e| Error::Config(e.to_string()))?
+            }
         };
         // The geometry is the manifest's; align the config with it so
         // validation and the replanner's cost model see a consistent
@@ -298,7 +324,9 @@ impl Session {
             step: manifest.step,
             tag: manifest.tag.clone(),
             boundaries: manifest.boundaries.clone(),
+            kind: manifest.kind,
             n_sliced: manifest.n_sliced,
+            n_chunks: manifest.n_chunks,
             n_microbatches: m,
             stages: states,
         }
@@ -367,6 +395,7 @@ impl Session {
             None => (0, Vec::new()),
         };
         Ok(RunReport {
+            family: pipe.schedule().kind,
             losses,
             iteration_seconds,
             fault_report,
@@ -438,6 +467,9 @@ pub struct SimReport {
 /// What a threaded-runtime run produced.
 #[derive(Debug, Clone)]
 pub struct RunReport {
+    /// Schedule family the run finished on (the planner's pick under
+    /// [`SchedulePolicy::Auto`]; may differ from the plan's after a shrink).
+    pub family: ScheduleKind,
     /// Mean loss per iteration.
     pub losses: Vec<f32>,
     /// Wall-clock seconds per iteration.
@@ -507,9 +539,14 @@ impl PlannedSession {
 
     /// Apply the AutoPipe Slicer (Algorithm 2): replace the plain 1F1B
     /// schedule with the sliced-Warmup variant. A no-op for single-stage
-    /// plans or when slicing is disabled in the config.
+    /// plans, when slicing is disabled in the config, or under
+    /// [`SchedulePolicy::Auto`] (the family search already scored the
+    /// sliced candidates — re-slicing would overwrite its pick).
     pub fn slice(mut self) -> Result<PlannedSession, Error> {
-        if self.plan.stages < 2 || !self.cfg.enable_slicer {
+        if self.plan.stages < 2
+            || !self.cfg.enable_slicer
+            || self.cfg.schedule_policy == SchedulePolicy::Auto
+        {
             return Ok(self);
         }
         let costs = self.plan.partition.stage_costs(&self.db);
@@ -669,6 +706,7 @@ impl PlannedSession {
             None => (0, Vec::new()),
         };
         Ok(RunReport {
+            family: pipe.schedule().kind,
             losses,
             iteration_seconds,
             fault_report,
@@ -724,6 +762,96 @@ mod tests {
         assert!(report.losses.iter().all(|l| l.is_finite()));
         assert_eq!(report.replans, 0);
         assert!(report.param_checksum.is_finite());
+    }
+
+    #[test]
+    fn auto_policy_plans_and_runs_the_family_winner() {
+        let report = Session::for_model(zoo::gpt2_tiny())
+            .stages(2)
+            .microbatches(4)
+            .microbatch_size(2)
+            .schedule_policy(SchedulePolicy::Auto)
+            .seed(7)
+            .iterations(2)
+            .plan()
+            .unwrap()
+            .slice() // must be a no-op under Auto
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(report.losses.len(), 2);
+        assert!(report.losses.iter().all(|l| l.is_finite()));
+        assert!(report.param_checksum.is_finite());
+    }
+
+    #[test]
+    fn auto_policy_survives_slice_without_overwriting_the_winner() {
+        let planned = Session::for_model(zoo::gpt2_345m())
+            .stages(4)
+            .microbatches(8)
+            .microbatch_size(4)
+            .schedule_policy(SchedulePolicy::Auto)
+            .plan()
+            .unwrap();
+        let before = planned.plan().schedule.clone();
+        let after = planned.slice().unwrap();
+        assert_eq!(before, after.plan().schedule);
+    }
+
+    #[test]
+    fn resume_rebuilds_the_checkpointed_family() {
+        // A zero-bubble pipeline checkpointed mid-run must resume as
+        // zero-bubble (the manifest's `kind`), not be guessed back to 1F1B,
+        // and the stitched trajectory must match an uninterrupted run
+        // bit-for-bit.
+        let dir = temp_dir("session_resume_family");
+        let base = Session::for_model(zoo::gpt2_tiny())
+            .stages(2)
+            .microbatches(4)
+            .microbatch_size(2)
+            .seed(11);
+        let cfg = base.clone().plan().unwrap().config().clone();
+        let partition = base.clone().plan().unwrap().plan().partition.clone();
+        let sched = zero_bubble(2, 4);
+        let batch = BatchSet::synthetic(
+            cfg.seed,
+            4,
+            cfg.mbs,
+            cfg.model.seq_len,
+            cfg.model.vocab_size,
+        );
+
+        let mk = || {
+            Pipeline::try_new(&PipelineConfig::from_session(
+                &cfg,
+                partition.clone(),
+                sched.clone(),
+            ))
+            .unwrap()
+        };
+        let mut full = mk();
+        let mut full_losses = Vec::new();
+        for _ in 0..4 {
+            full_losses.push(full.train_iteration(&batch).unwrap().loss);
+        }
+
+        let mut first = mk();
+        for _ in 0..2 {
+            first.train_iteration(&batch).unwrap();
+        }
+        let mut store = CheckpointStore::open(&dir, 2).unwrap();
+        store.save(&first.snapshot(2, "leg1")).unwrap();
+        drop(store);
+
+        let resumed = base.iterations(2).resume(&dir).unwrap();
+        assert_eq!(resumed.family, ScheduleKind::ZeroBubble);
+        assert_eq!(resumed.resumed_from_step, Some(2));
+        assert_eq!(resumed.losses, full_losses[2..]);
+        assert_eq!(
+            resumed.param_checksum.to_bits(),
+            full.param_checksum().to_bits()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

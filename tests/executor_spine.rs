@@ -17,7 +17,9 @@
 use autopipe_exec::Timeline;
 use autopipe_model::{ModelConfig, ModelFamily};
 use autopipe_runtime::{BatchSet, Pipeline, PipelineConfig};
-use autopipe_schedule::{one_f_one_b, sliced_1f1b, OpKind, Part, Schedule};
+use autopipe_schedule::{
+    gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble, OpKind, Part, Schedule,
+};
 use autopipe_sim::analytic::simulate_replay;
 use autopipe_sim::{run_schedule, EventConfig, EventCosts, OpClass, Partition, StageCosts};
 
@@ -95,6 +97,56 @@ fn sliced_1f1b_runs_identically_on_both_executors() {
     // and the aggregated `Part::Both` message of the last sliced
     // micro-batch (§III-C) on both executors.
     assert_consistent(&sliced_1f1b(4, 6, 2), vec![0, 2, 4, 6, 7], 4);
+}
+
+#[test]
+fn gpipe_runs_identically_on_both_executors() {
+    assert_consistent(&gpipe(2, 4), vec![0, 3, 7], 2);
+}
+
+#[test]
+fn zero_bubble_runs_identically_on_both_executors() {
+    // Split backward: BwdInput/BwdWeight interleave through steady state
+    // and the weight-grad drain tail, on both executors.
+    assert_consistent(&zero_bubble(2, 4), vec![0, 3, 7], 2);
+}
+
+#[test]
+fn interleaved_runs_identically_on_both_executors() {
+    // Two devices × two chunks over the 7-block tiny model: four
+    // chunk-stages, cross-device chunk hand-offs in both directions.
+    assert_consistent(&interleaved(2, 2, 4).unwrap(), vec![0, 2, 4, 6, 7], 2);
+}
+
+#[test]
+fn split_backward_trains_bit_identically_to_fused() {
+    // The capstone bit-identity check: zero-bubble's split backward
+    // (BwdInput + stashed BwdWeight) must produce the same losses and the
+    // same parameters as fused-backward 1F1B, to the last bit, because
+    // grad accumulation happens in the same order on the same floats.
+    let model = tiny();
+    let m = 4;
+    let batch = BatchSet::synthetic(33, m, 2, model.seq_len, model.vocab_size);
+    let run = |sched: Schedule| {
+        let mut pipe = Pipeline::try_new(&PipelineConfig {
+            model: model.clone(),
+            partition: Partition::new(vec![0, 3, 7]),
+            schedule: sched,
+            lr: 1e-3,
+            seed: 42,
+            checkpointing: false,
+        })
+        .expect("valid pipeline config");
+        let mut losses = Vec::new();
+        for _ in 0..3 {
+            losses.push(pipe.train_iteration(&batch).expect("iteration").loss);
+        }
+        (losses, pipe.param_checksum())
+    };
+    let (fused_losses, fused_ck) = run(one_f_one_b(2, m));
+    let (split_losses, split_ck) = run(zero_bubble(2, m));
+    assert_eq!(fused_losses, split_losses);
+    assert_eq!(fused_ck.to_bits(), split_ck.to_bits());
 }
 
 #[test]

@@ -11,8 +11,12 @@
 
 use proptest::prelude::*;
 
+use autopipe_schedule::{
+    gpipe, interleaved, one_f_one_b, sliced_1f1b, validate, zero_bubble, Schedule,
+};
 use autopipe_sim::analytic::{recurrence, simulate_replay, simulate_time, SimScratch};
-use autopipe_sim::StageCosts;
+use autopipe_sim::event::{run_schedule_untraced, EventConfig, EventCosts};
+use autopipe_sim::{replay_schedule, ReplayScratch, StageCosts};
 
 /// Fully random pipelines: any depth 1..=8, any m 1..=32 (including m < n),
 /// stage times spanning four orders of magnitude down to near-zero.
@@ -88,8 +92,73 @@ fn assert_fast_matches_replay(costs: &StageCosts, m: usize) -> Result<(), String
     Ok(())
 }
 
+/// A random schedule from any family the IR can generate, with stage costs
+/// sized to its stage count (`p·v` for interleaved, `p` otherwise).
+fn any_family() -> impl Strategy<Value = (Schedule, StageCosts)> {
+    (0usize..5, 2usize..=6, 2usize..=4, 0usize..=20).prop_flat_map(|(fam, p, v, comm_tenths_ms)| {
+        (1usize..=16).prop_flat_map(move |m_extra| {
+            // Family-specific floors: slicing needs m ≥ slice count,
+            // interleaving needs m to be a multiple of the depth.
+            let m = match fam {
+                1 => m_extra.max(2),
+                2 => p * (1 + m_extra % 4),
+                _ => m_extra,
+            };
+            let sched = match fam {
+                0 => one_f_one_b(p, m),
+                1 => sliced_1f1b(p, m, 2),
+                2 => interleaved(p, v, m).expect("m is a multiple of p"),
+                3 => gpipe(p, m),
+                _ => zero_bubble(p, m),
+            };
+            let stages = sched.n_stages();
+            (
+                Just(sched),
+                proptest::collection::vec(1e-4f64..3.0, stages),
+                proptest::collection::vec(1e-4f64..6.0, stages),
+                Just(comm_tenths_ms),
+            )
+                .prop_map(move |(sched, f, b, comm)| {
+                    (sched, StageCosts::new(f, b, comm as f64 * 1e-4))
+                })
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every family the IR generates validates, and the generic fast-tier
+    /// replay reproduces the event simulator bit-for-bit on it — split
+    /// backwards, slicing, interleaving and all.
+    #[test]
+    fn every_family_validates_and_replays_bit_identically(
+        (sched, costs) in any_family()
+    ) {
+        validate(&sched).expect("generated schedules must validate");
+        let ec = EventCosts::from_stage_costs(&costs, costs.comm.min(30e-6));
+        let cfg = EventConfig {
+            kernel_overhead: 1e-5,
+            ..EventConfig::default()
+        };
+        let event = run_schedule_untraced(&sched, &ec, &cfg).unwrap();
+        let mut scratch = ReplayScratch::new();
+        let fast = replay_schedule(&sched, &ec, &cfg, &mut scratch).unwrap();
+        prop_assert_eq!(
+            fast.iteration_time.to_bits(),
+            event.iteration_time.to_bits(),
+            "iteration time: fast {} vs event {}",
+            fast.iteration_time,
+            event.iteration_time
+        );
+        prop_assert_eq!(
+            fast.startup_overhead.to_bits(),
+            event.startup_overhead.to_bits()
+        );
+        for d in 0..sched.n_devices {
+            prop_assert_eq!(fast.device_busy[d].to_bits(), event.device_busy[d].to_bits());
+        }
+    }
 
     /// Fast tier ≡ full replay, bitwise, on arbitrary pipelines.
     #[test]

@@ -219,7 +219,9 @@ fn a_write_killed_before_the_rename_falls_back_to_the_previous_generation() {
         step: manifest.step,
         tag: manifest.tag.clone(),
         boundaries: manifest.boundaries.clone(),
+        kind: manifest.kind,
         n_sliced: manifest.n_sliced,
+        n_chunks: manifest.n_chunks,
         n_microbatches: manifest.n_microbatches,
         stages: states,
     }
@@ -255,7 +257,9 @@ proptest! {
             step: manifest.step,
             tag: manifest.tag.clone(),
             boundaries: manifest.boundaries.clone(),
+            kind: manifest.kind,
             n_sliced: manifest.n_sliced,
+            n_chunks: manifest.n_chunks,
             n_microbatches: manifest.n_microbatches,
             stages: states,
         }
