@@ -18,6 +18,7 @@ use autopipe_cost::{CostDb, Hardware};
 use autopipe_model::zoo;
 use autopipe_planner::autopipe::{plan, AutoPipeConfig, SimTier};
 use autopipe_planner::balanced_partition;
+use autopipe_planner::family::{plan_families, FamilyConfig};
 use autopipe_sim::analytic::{simulate_replay, simulate_time, SimScratch};
 use autopipe_sim::{Partition, StageCosts};
 use serde_json::json;
@@ -76,6 +77,24 @@ fn main() {
     );
     assert_eq!(fast_plan.schemes_explored, ref_schemes);
 
+    // Cross-family planner throughput: the full enumeration (1F1B, sliced,
+    // GPipe, zero-bubble, interleaved) including its backing partition
+    // search, as `AutoPipe::plan` runs it under `SchedulePolicy::Auto`.
+    let fam_reps = if smoke { 2 } else { 20 };
+    let fam_cfg = FamilyConfig::default();
+    let t0 = Instant::now();
+    let mut fam = None;
+    for _ in 0..fam_reps {
+        fam = Some(black_box(plan_families(&db, &hw, P, M, &fam_cfg).unwrap()));
+    }
+    let fam_s = t0.elapsed().as_secs_f64() / fam_reps as f64;
+    let fam = fam.unwrap();
+    let fam_scored = fam
+        .candidates
+        .iter()
+        .filter(|c| c.iteration_time.is_some())
+        .count();
+
     // Determinism contract: bit-identical plan at any thread count, and the
     // replay tier agrees with the fast tier.
     let wave4 = plan(
@@ -118,10 +137,19 @@ fn main() {
         "schemes_per_sec_fast": ref_schemes as f64 / fast_s,
     });
     let determinism = json!({"threads4_bit_identical": bit_identical});
+    let families = json!({
+        "plan_families_s": fam_s,
+        "families_per_sec": 1.0 / fam_s,
+        "candidates": fam.candidates.len(),
+        "scored": fam_scored,
+        "winner_kind": format!("{:?}", fam.schedule.kind),
+        "winner_time": fam.iteration_time,
+    });
     let record = json!({
         "workload": workload,
         "per_sim": per_sim,
         "plan": plan_rec,
+        "families": families,
         "determinism": determinism,
         "smoke": smoke,
     });
@@ -136,6 +164,15 @@ fn main() {
         reference_s * 1e3,
         fast_s * 1e3,
         reference_s / fast_s
+    );
+    println!(
+        "families: full cross-family search {:.3}ms ({:.1}/sec, {}/{} candidates scored, \
+         winner {:?})",
+        fam_s * 1e3,
+        1.0 / fam_s,
+        fam_scored,
+        fam.candidates.len(),
+        fam.schedule.kind
     );
     println!("wave search threads=4 bit-identical: {bit_identical}");
     assert!(bit_identical, "wave search determinism contract violated");
@@ -165,9 +202,14 @@ fn plan_reference(db: &CostDb, p: usize, m: usize, max_schemes: usize) -> (Parti
         explored += 1;
         let i = res.master_stage;
 
+        // Same `(time, boundaries)` total order as the live planner, so the
+        // comparison below checks the exploration machinery, not ranking.
         let better = match &best {
             None => true,
-            Some((_, b)) => res.iteration_time < *b,
+            Some((bp, b)) => {
+                res.iteration_time < *b
+                    || (res.iteration_time == *b && part.boundaries() < bp.boundaries())
+            }
         };
         if better {
             best = Some((part.clone(), res.iteration_time));

@@ -239,6 +239,7 @@ impl SessionConfig {
             max_schemes: self.max_schemes,
             threads: self.planner_threads,
             sim_tier: self.sim_tier,
+            ..AutoPipeConfig::default()
         }
     }
 

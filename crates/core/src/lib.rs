@@ -18,4 +18,4 @@ pub mod table2;
 pub use config::{RecoveryConfig, RecoveryPolicy, SchedulePolicy, SessionConfig};
 pub use error::Error;
 pub use plan::{AutoPipe, Plan, PlanRequest};
-pub use strategy::{choose_strategy, StrategyChoice};
+pub use strategy::{choose_strategy, choose_strategy_with, StrategyChoice};

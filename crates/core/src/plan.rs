@@ -4,8 +4,9 @@ use serde::{Deserialize, Serialize};
 
 use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
 use autopipe_model::{Granularity, ModelConfig};
-use autopipe_planner::autopipe::AutoPipeConfig;
-use autopipe_planner::family::{plan_families, FamilyConfig};
+use autopipe_planner::autopipe::{plan as planner_plan, AutoPipeConfig};
+use autopipe_planner::family::{plan_families_with, FamilyConfig, PartitionPlanner};
+use autopipe_planner::service::PlanService;
 use autopipe_planner::types::PlanError;
 use autopipe_schedule::Schedule;
 use autopipe_sim::analytic::AnalyticResult;
@@ -13,7 +14,7 @@ use autopipe_sim::Partition;
 use autopipe_slicer::{plan_slicing, solve_sliced_count};
 
 use crate::config::SchedulePolicy;
-use crate::strategy::choose_strategy;
+use crate::strategy::choose_strategy_with;
 
 /// Description of a training job to plan.
 #[derive(Debug, Clone)]
@@ -109,8 +110,28 @@ impl AutoPipe {
     /// synthetic profiler), choose the DP×PP strategy, partition with the
     /// Planner, and reschedule the Warmup phase with the Slicer.
     pub fn plan(req: &PlanRequest) -> Result<Plan, PlanError> {
+        Self::plan_with_planner(req, &|db, p, m, c| planner_plan(db, p, m, c))
+    }
+
+    /// [`Self::plan`] served through a [`PlanService`]: every backing
+    /// partition search (one per candidate depth, plus the family search's)
+    /// goes through the service's content-addressed cache, so re-planning a
+    /// known job answers from cache instead of searching. The request's own
+    /// `planner` config is the cache key's config component, so the result
+    /// is bit-identical to [`Self::plan`].
+    pub fn plan_with(req: &PlanRequest, service: &PlanService) -> Result<Plan, PlanError> {
+        Self::plan_with_planner(req, &|db, p, m, c| {
+            service.plan_cfg(db, p, m, c).map(|s| (*s.outcome).clone())
+        })
+    }
+
+    /// [`Self::plan`] with an arbitrary partition-planner hook.
+    pub fn plan_with_planner(
+        req: &PlanRequest,
+        planner: PartitionPlanner<'_>,
+    ) -> Result<Plan, PlanError> {
         let db = Self::cost_db(req);
-        let choice = choose_strategy(
+        let choice = choose_strategy_with(
             &db,
             &req.hardware,
             req.n_devices,
@@ -118,6 +139,7 @@ impl AutoPipe {
             req.mbs,
             req.fixed_stages,
             &req.planner,
+            planner,
         )?;
         let costs = choice.outcome.partition.stage_costs(&db);
         let (schedule, partition, est_pipeline_time) =
@@ -134,12 +156,13 @@ impl AutoPipe {
                 if algo2 >= 2 && !fam_cfg.sliced_counts.contains(&algo2) {
                     fam_cfg.sliced_counts.insert(0, algo2);
                 }
-                let fam = plan_families(
+                let fam = plan_families_with(
                     &db,
                     &req.hardware,
                     choice.stages,
                     choice.microbatches,
                     &fam_cfg,
+                    planner,
                 )?;
                 (fam.schedule, fam.partition, fam.iteration_time)
             } else if req.enable_slicer && choice.stages >= 2 {

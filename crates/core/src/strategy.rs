@@ -11,6 +11,7 @@
 use autopipe_cost::{CommModel, CostDb, Hardware};
 use autopipe_planner::autopipe::{plan as planner_plan, AutoPipeConfig, AutoPipeOutcome};
 use autopipe_planner::types::PlanError;
+use autopipe_planner::PartitionPlanner;
 use autopipe_schedule::one_f_one_b;
 use autopipe_sim::memcheck::check_memory;
 
@@ -50,6 +51,25 @@ pub fn choose_strategy(
     fixed_stages: Option<usize>,
     cfg: &AutoPipeConfig,
 ) -> Result<StrategyChoice, PlanError> {
+    choose_strategy_with(db, hw, g, gbs, mbs, fixed_stages, cfg, &|db, p, m, c| {
+        planner_plan(db, p, m, c)
+    })
+}
+
+/// [`choose_strategy`] with a caller-supplied partition planner. The depth
+/// sweep re-plans the same cost database at every feasible depth, so a
+/// caching planner (`PlanService`) answers repeat sweeps at lookup latency.
+#[allow(clippy::too_many_arguments)]
+pub fn choose_strategy_with(
+    db: &CostDb,
+    hw: &Hardware,
+    g: usize,
+    gbs: usize,
+    mbs: usize,
+    fixed_stages: Option<usize>,
+    cfg: &AutoPipeConfig,
+    planner: PartitionPlanner<'_>,
+) -> Result<StrategyChoice, PlanError> {
     if g < 1 || mbs < 1 || gbs < mbs {
         return Err(PlanError::Infeasible(format!(
             "bad cluster/batch geometry: {g} devices, micro-batch {mbs}, global batch {gbs}"
@@ -81,7 +101,7 @@ pub fn choose_strategy(
             ));
             continue;
         }
-        let outcome = match planner_plan(db, s, m, cfg) {
+        let outcome = match planner(db, s, m, cfg) {
             Ok(o) => o,
             Err(e) => {
                 last_err = e;

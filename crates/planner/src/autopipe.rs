@@ -19,15 +19,52 @@
 //! explores tens of schemes (the paper's point: the master stage range is
 //! the pipeline depth, tiny compared to the cluster size).
 //!
+//! Candidates are ranked by `(iteration time, boundary vector)` — a *total*
+//! order, so the winner is a pure function of the explored set: exact-tie
+//! schemes resolve to the lexicographically smallest boundaries no matter
+//! in which order the search happened to reach them. That is what lets a
+//! warm-started search ([`plan_seeded`]) and a cold search agree bit-for-bit
+//! even though they push through the frontier differently.
+//!
 //! # Wave evaluation
 //!
 //! The loop is organised as a *deterministic wave search*: the whole frontier
 //! is drained into a batch, every candidate in the batch is scored (fast-tier
 //! simulation, optionally across threads), and the results are merged back
 //! **in submission order**. Because successor generation, visited-set updates
-//! and best-scheme tie-breaking all happen during the sequential merge, the
-//! explored set, the tie-breaking and the chosen plan are bit-identical to
-//! the serial FIFO search at any thread count. See DESIGN.md.
+//! and best-scheme ranking all happen during the sequential merge, the
+//! explored set and the chosen plan are bit-identical to the serial FIFO
+//! search at any thread count. See DESIGN.md.
+//!
+//! # Serving-oriented hot path
+//!
+//! Three refinements keep the search fast when it runs as a service
+//! ([`crate::service`]) handling many requests:
+//!
+//! * The visited set and the Algorithm-1 prefix memo are keyed by 64-bit
+//!   fingerprints instead of owned boundary vectors, so membership tests
+//!   cost one hash of `p + 1` words and no allocation. Debug builds keep the
+//!   full boundary vectors alongside and assert on fingerprint collisions.
+//! * All search state (visited set, frontier, wave buffers, per-worker
+//!   simulator scratch, prefix memo) lives in a [`PlannerScratch`] that can
+//!   be reused across requests via [`plan_in`], making a steady-state plan
+//!   request allocation-light.
+//! * With [`AutoPipeConfig::prune`] on, candidates whose work balance alone
+//!   already lower-bounds them above the incumbent (`m · max stage work ≥
+//!   best iteration time`) are dropped at frontier-push time. The bound is
+//!   sound for the 1F1B model (a device must run `m` forwards + `m`
+//!   backwards back-to-back at best), and the check happens during the
+//!   sequential merge, so pruning is thread-count independent.
+//!
+//! [`plan_seeded`] warm-starts the search with caller-supplied *incumbent*
+//! schemes (e.g. a cached winner whose costs have since drifted): each is
+//! scored before the first wave and enters the ranking — and, crucially, the
+//! dominance bound — immediately, so the frontier is pruned against a strong
+//! incumbent from wave 1 instead of only after the search stumbles on a good
+//! scheme itself. The cold Algorithm-1 seed is still explored: it is the
+//! only move that re-balances against the *drifted* weights (master shifting
+//! only moves the master stage forward, so a stale partition whose new
+//! bottleneck is stage 0 could never repair itself).
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
@@ -57,7 +94,7 @@ pub enum SimTier {
 }
 
 /// Search knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AutoPipeConfig {
     /// Maximum number of schemes to simulate before stopping.
     pub max_schemes: usize,
@@ -67,6 +104,14 @@ pub struct AutoPipeConfig {
     pub threads: usize,
     /// Simulation engine used to score candidates during the search.
     pub sim_tier: SimTier,
+    /// Drop frontier candidates whose balance lower bound (`m ·` max stage
+    /// work) already meets or exceeds the incumbent's iteration time. The
+    /// bound is sound, so pruned schemes can never *win*; pruning does skip
+    /// their successors, which in principle could reach a winner another
+    /// way — `pruning_never_changes_the_winner` pins that it does not on
+    /// the benchmark zoo. Off when bit-exact parity with the unpruned
+    /// exploration sequence is required (e.g. baseline comparisons).
+    pub prune: bool,
 }
 
 impl Default for AutoPipeConfig {
@@ -75,6 +120,7 @@ impl Default for AutoPipeConfig {
             max_schemes: 512,
             threads: 1,
             sim_tier: SimTier::Fast,
+            prune: false,
         }
     }
 }
@@ -88,8 +134,105 @@ pub struct AutoPipeOutcome {
     pub analytic: AnalyticResult,
     /// Number of schemes simulated.
     pub schemes_explored: usize,
+    /// Number of generated schemes dropped by the dominance bound without
+    /// being simulated ([`AutoPipeConfig::prune`]).
+    pub schemes_pruned: usize,
     /// Wall-clock search time.
     pub search_time: Duration,
+}
+
+/// 64-bit FNV-1a fingerprint of a boundary vector. Stable across runs and
+/// platforms; used as the visited-set key so membership tests neither hash
+/// nor allocate a `Vec<usize>` per candidate.
+#[inline]
+pub fn scheme_fingerprint(boundaries: &[usize]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in boundaries {
+        h = (h ^ b as u64).wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Prefix-memo key: `(prefix length, stages)` packed exactly into 64 bits.
+/// Both halves are block/stage counts well under 2³², so the packing is
+/// injective — no collision check needed, unlike [`scheme_fingerprint`].
+#[inline]
+fn memo_key(len: usize, stages: usize) -> u64 {
+    ((len as u64) << 32) | stages as u64
+}
+
+/// Memo of Algorithm-1 prefix re-balances keyed by [`memo_key`].
+/// The DP is deterministic, so caching changes nothing but speed: step 3
+/// re-balances the same few prefixes for most schemes the search visits,
+/// and the O(n²·p) DP would otherwise dominate the whole search.
+type PrefixMemo = HashMap<u64, Vec<usize>>;
+
+/// Reusable search state: the visited set, the frontier, the wave and score
+/// buffers, one simulator scratch per worker thread, and the Algorithm-1
+/// prefix memo. A service handling many plan requests keeps one of these
+/// per worker and calls [`plan_in`], so steady-state requests reuse every
+/// allocation; [`plan`] creates a fresh one per call.
+///
+/// The prefix memo is *cleared between requests* — its values depend on the
+/// cost database's block weights, so carrying it across databases would be
+/// wrong, not just stale.
+#[derive(Default)]
+pub struct PlannerScratch {
+    visited: HashSet<u64>,
+    /// Debug builds shadow the fingerprint set with the full boundary
+    /// vectors and assert that equal fingerprints mean equal schemes.
+    #[cfg(debug_assertions)]
+    visited_schemes: HashMap<u64, Vec<usize>>,
+    queue: VecDeque<Partition>,
+    wave: Vec<Partition>,
+    scores: Vec<Score>,
+    workers: Vec<(SimScratch, StageCosts)>,
+    memo: PrefixMemo,
+}
+
+impl PlannerScratch {
+    /// Empty scratch; buffers grow on first use and stick around.
+    pub fn new() -> PlannerScratch {
+        PlannerScratch::default()
+    }
+
+    /// Reset per-request state, keeping allocations.
+    fn reset(&mut self, threads: usize) {
+        self.visited.clear();
+        #[cfg(debug_assertions)]
+        self.visited_schemes.clear();
+        self.queue.clear();
+        self.wave.clear();
+        self.scores.clear();
+        self.memo.clear();
+        if self.workers.len() < threads {
+            self.workers
+                .resize_with(threads, || (SimScratch::new(), StageCosts::default()));
+        }
+    }
+
+    /// Insert a scheme into the visited set; `true` if it was new. In debug
+    /// builds, panics if two distinct boundary vectors ever share a
+    /// fingerprint (none do in practice; FNV-1a over short word sequences
+    /// has no known colliding pairs in our search space).
+    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
+    fn visit(&mut self, fp: u64, boundaries: &[usize]) -> bool {
+        #[cfg(debug_assertions)]
+        {
+            if let Some(prev) = self.visited_schemes.get(&fp) {
+                assert_eq!(
+                    prev.as_slice(),
+                    boundaries,
+                    "scheme fingerprint collision on {fp:#018x}"
+                );
+            } else {
+                self.visited_schemes.insert(fp, boundaries.to_vec());
+            }
+        }
+        self.visited.insert(fp)
+    }
 }
 
 /// What the merge step needs to know about a scored candidate: the ranking
@@ -130,6 +273,22 @@ fn score(
     }
 }
 
+/// The heaviest stage's forward+backward work under `part`, via the cost
+/// database's prefix sums — O(p), no allocation. `m ×` this is a sound
+/// lower bound on the scheme's 1F1B iteration time: the heaviest device
+/// must run its `m` forwards and `m` backwards back-to-back at best.
+fn max_stage_work(db: &CostDb, part: &Partition) -> f64 {
+    let b = part.boundaries();
+    let mut mx = 0.0_f64;
+    for s in 0..part.n_stages() {
+        let w = db.range_fwd(b[s]..b[s + 1]) + db.range_bwd(b[s]..b[s + 1]);
+        if w > mx {
+            mx = w;
+        }
+    }
+    mx
+}
+
 /// Plan a `p`-stage pipeline for the model in `db` running `m` micro-batches
 /// per iteration.
 ///
@@ -141,6 +300,63 @@ pub fn plan(
     p: usize,
     m: usize,
     cfg: &AutoPipeConfig,
+) -> Result<AutoPipeOutcome, PlanError> {
+    plan_in(db, p, m, cfg, &mut PlannerScratch::new())
+}
+
+/// [`plan`] with caller-owned scratch, for request-serving loops that want
+/// to reuse the search buffers across many plans.
+pub fn plan_in(
+    db: &CostDb,
+    p: usize,
+    m: usize,
+    cfg: &AutoPipeConfig,
+    scratch: &mut PlannerScratch,
+) -> Result<AutoPipeOutcome, PlanError> {
+    search(db, p, m, cfg, None, scratch)
+}
+
+/// Warm-started plan: score `seeds` (e.g. a cached winner whose costs have
+/// since drifted) as *incumbents* before the first wave. Incumbents enter
+/// the `(time, boundaries)` ranking like any explored scheme, and with
+/// [`AutoPipeConfig::prune`] on their iteration time bounds the frontier
+/// from the start, so the search simulates a subset of what the cold search
+/// would — in identical order — and lands on the same winner whenever the
+/// dominance bound is winner-preserving (it is across the drift property
+/// tests; the bound itself is sound per scheme).
+///
+/// Every seed must partition exactly `db.len()` blocks into `p` stages.
+/// Each seed costs one extra simulation (`schemes_explored` counts them).
+pub fn plan_seeded(
+    db: &CostDb,
+    p: usize,
+    m: usize,
+    cfg: &AutoPipeConfig,
+    seeds: &[Partition],
+    scratch: &mut PlannerScratch,
+) -> Result<AutoPipeOutcome, PlanError> {
+    if seeds.is_empty() {
+        return Err(PlanError::Infeasible(
+            "warm start requested with no seed schemes".into(),
+        ));
+    }
+    search(db, p, m, cfg, Some(seeds), scratch)
+}
+
+/// `(iteration time, boundaries)` total order: `cand` strictly better?
+#[inline]
+fn ranks_better(cand_time: f64, cand: &Partition, best_time: f64, best: &Partition) -> bool {
+    cand_time < best_time || (cand_time == best_time && cand.boundaries() < best.boundaries())
+}
+
+/// The wave search. `seeds: None` is the cold path (Algorithm-1 seed only).
+fn search(
+    db: &CostDb,
+    p: usize,
+    m: usize,
+    cfg: &AutoPipeConfig,
+    seeds: Option<&[Partition]>,
+    scratch: &mut PlannerScratch,
 ) -> Result<AutoPipeOutcome, PlanError> {
     let t0 = Instant::now();
     let weights: Vec<f64> = db.blocks.iter().map(|b| b.work()).collect();
@@ -165,24 +381,57 @@ pub fn plan(
             .unwrap_or(1),
         t => t,
     };
-
-    let init = balanced_partition(&weights, p);
-    let mut visited: HashSet<Vec<usize>> = HashSet::new();
-    let mut queue: VecDeque<Partition> = VecDeque::new();
-    visited.insert(init.boundaries().to_vec());
-    queue.push_back(init);
+    scratch.reset(threads);
 
     let mut best: Option<(Partition, f64)> = None;
     let mut explored = 0usize;
-    let mut memo: PrefixMemo = HashMap::new();
+    let mut pruned = 0usize;
 
-    // Reused across waves: the drained frontier, its scores, and one
-    // (simulator scratch, stage-cost buffer) pair per worker.
-    let mut wave: Vec<Partition> = Vec::new();
-    let mut scores: Vec<Score> = Vec::new();
-    let mut workers: Vec<(SimScratch, StageCosts)> = (0..threads)
-        .map(|_| (SimScratch::new(), StageCosts::default()))
-        .collect();
+    // Incumbents first: scored before the cold seed so their times bound
+    // the frontier from wave 1. They are *not* marked visited — if the
+    // cold search reaches one organically, its successors must still be
+    // generated exactly as a cold run would.
+    if let Some(list) = seeds {
+        for seed in list {
+            if seed.n_blocks() != weights.len() || seed.n_stages() != p {
+                return Err(PlanError::Infeasible(format!(
+                    "warm-start seed partitions {} blocks into {} stages, \
+                     request wants {} blocks into {p}",
+                    seed.n_blocks(),
+                    seed.n_stages(),
+                    weights.len()
+                )));
+            }
+            let (sim, sc) = &mut scratch.workers[0];
+            let s = score(seed, db, m, cfg.sim_tier, sim, sc);
+            explored += 1;
+            let better = match &best {
+                None => true,
+                Some((bp, bt)) => ranks_better(s.iteration_time, seed, *bt, bp),
+            };
+            if better {
+                best = Some((seed.clone(), s.iteration_time));
+            }
+        }
+    }
+
+    let init = balanced_partition(&weights, p);
+    let fp = scheme_fingerprint(init.boundaries());
+    scratch.visit(fp, init.boundaries());
+    scratch.queue.push_back(init);
+
+    // Split borrows so the merge loop can drain `wave` while pushing to
+    // `queue` and updating the visited set.
+    let PlannerScratch {
+        visited,
+        #[cfg(debug_assertions)]
+        visited_schemes,
+        queue,
+        wave,
+        scores,
+        workers,
+        memo,
+    } = scratch;
 
     while !queue.is_empty() && explored < cfg.max_schemes {
         // Drain the frontier — capped at the remaining scheme budget so the
@@ -219,36 +468,63 @@ pub fn plan(
 
         // Merge in submission order. Successor generation and the visited
         // set evolve exactly as they would have under the FIFO pop loop, so
-        // tie-breaking (strict `<` keeps the earliest-submitted best) and
-        // the frontier ordering are thread-count independent.
+        // the frontier ordering is thread-count independent; the ranking
+        // itself is a total order, so the winner depends only on the
+        // explored set.
         for (part, s) in wave.drain(..).zip(scores.drain(..)) {
             explored += 1;
             let i = s.master_stage;
 
             let better = match &best {
                 None => true,
-                Some((_, b)) => s.iteration_time < *b,
+                Some((bp, bt)) => ranks_better(s.iteration_time, &part, *bt, bp),
             };
             if better {
                 best = Some((part.clone(), s.iteration_time));
             }
 
+            let best_time = best.as_ref().map(|(_, t)| *t);
             let mut push = |cand: Partition, queue: &mut VecDeque<Partition>| {
-                if visited.insert(cand.boundaries().to_vec()) {
-                    queue.push_back(cand);
+                let fp = scheme_fingerprint(cand.boundaries());
+                #[cfg(debug_assertions)]
+                {
+                    if let Some(prev) = visited_schemes.get(&fp) {
+                        assert_eq!(
+                            prev.as_slice(),
+                            cand.boundaries(),
+                            "scheme fingerprint collision on {fp:#018x}"
+                        );
+                    } else {
+                        visited_schemes.insert(fp, cand.boundaries().to_vec());
+                    }
                 }
+                if !visited.insert(fp) {
+                    return;
+                }
+                if cfg.prune {
+                    if let Some(bt) = best_time {
+                        // Relative epsilon absorbs the different rounding of
+                        // the prefix-sum bound vs the simulator's op-order
+                        // accumulation.
+                        if m as f64 * max_stage_work(db, &cand) > bt * (1.0 + 1e-9) {
+                            pruned += 1;
+                            return;
+                        }
+                    }
+                }
+                queue.push_back(cand);
             };
 
             // Step 2: eliminate Cooldown bubbles behind the master stage.
             if i + 1 < p {
                 if let Some(adj) = cooldown_adjust(&part, s.b_master, &weights, i) {
-                    push(adj, &mut queue);
+                    push(adj, queue);
                 }
             }
             // Step 3: shift the master stage forward.
             if i > 0 {
-                for cand in shift_candidates(&part, &weights, i, &mut memo) {
-                    push(cand, &mut queue);
+                for cand in shift_candidates(&part, &weights, i, memo) {
+                    push(cand, queue);
                 }
             }
         }
@@ -262,6 +538,7 @@ pub fn plan(
         partition,
         analytic,
         schemes_explored: explored,
+        schemes_pruned: pruned,
         search_time: t0.elapsed(),
     })
 }
@@ -308,12 +585,6 @@ fn cooldown_adjust(part: &Partition, b_i: f64, weights: &[f64], i: usize) -> Opt
     }
 }
 
-/// Memo of Algorithm-1 prefix re-balances keyed by (prefix length, stages).
-/// The DP is deterministic, so caching changes nothing but speed: step 3
-/// re-balances the same few prefixes for most schemes the search visits,
-/// and the O(n²·p) DP would otherwise dominate the whole search.
-type PrefixMemo = HashMap<(usize, usize), Vec<usize>>;
-
 /// Boundaries of `balanced_partition(&weights[..len], stages)`, cached.
 fn balanced_prefix<'a>(
     memo: &'a mut PrefixMemo,
@@ -321,7 +592,7 @@ fn balanced_prefix<'a>(
     len: usize,
     stages: usize,
 ) -> &'a [usize] {
-    memo.entry((len, stages)).or_insert_with(|| {
+    memo.entry(memo_key(len, stages)).or_insert_with(|| {
         balanced_partition(&weights[..len], stages)
             .boundaries()
             .to_vec()
@@ -519,6 +790,111 @@ mod tests {
                 fast.analytic.iteration_time.to_bits(),
                 replay.analytic.iteration_time.to_bits()
             );
+        }
+    }
+
+    #[test]
+    fn fingerprints_separate_nearby_schemes() {
+        // The shift moves that dominate the search differ from their parent
+        // in exactly one boundary; the fingerprint must tell them apart.
+        let base = vec![0usize, 13, 25, 37, 51];
+        let mut seen = HashSet::new();
+        assert!(seen.insert(scheme_fingerprint(&base)));
+        for i in 1..=3 {
+            for delta in [-1i64, 1] {
+                let mut nb = base.clone();
+                nb[i] = (nb[i] as i64 + delta) as usize;
+                assert!(seen.insert(scheme_fingerprint(&nb)), "collision at {nb:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical_to_fresh_runs() {
+        // One scratch serving a mixed request stream (different models,
+        // depths and micro-batch counts back-to-back) must produce exactly
+        // what fresh per-request state does — in particular the prefix memo
+        // must not leak balances across cost databases.
+        let hw = Hardware::rtx3090_cluster();
+        let cfg = AutoPipeConfig::default();
+        let mut scratch = PlannerScratch::new();
+        for model in [zoo::gpt2_345m(), zoo::bert_large()] {
+            let d = CostDb::build(&model, &hw, 4, true, Granularity::SubLayer);
+            for (p, m) in [(4, 8), (8, 16), (2, 4)] {
+                let reused = plan_in(&d, p, m, &cfg, &mut scratch).unwrap();
+                let fresh = plan(&d, p, m, &cfg).unwrap();
+                assert_eq!(reused.partition, fresh.partition, "{} p={p}", model.name);
+                assert_eq!(reused.schemes_explored, fresh.schemes_explored);
+                assert_eq!(
+                    reused.analytic.iteration_time.to_bits(),
+                    fresh.analytic.iteration_time.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeding_with_the_balanced_scheme_matches_the_cold_search() {
+        // An incumbent equal to Algorithm 1's seed changes nothing but the
+        // one extra simulation that scored it.
+        let d = db(Granularity::SubLayer);
+        let cfg = AutoPipeConfig::default();
+        let weights: Vec<f64> = d.blocks.iter().map(|b| b.work()).collect();
+        for (p, m) in [(4, 8), (8, 16)] {
+            let cold = plan(&d, p, m, &cfg).unwrap();
+            let seed = balanced_partition(&weights, p);
+            let warm = plan_seeded(&d, p, m, &cfg, &[seed], &mut PlannerScratch::new()).unwrap();
+            assert_eq!(warm.partition, cold.partition);
+            assert_eq!(warm.schemes_explored, cold.schemes_explored + 1);
+            assert_eq!(
+                warm.analytic.iteration_time.to_bits(),
+                cold.analytic.iteration_time.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn seeds_are_validated() {
+        let d = db(Granularity::SubLayer);
+        let cfg = AutoPipeConfig::default();
+        let mut scratch = PlannerScratch::new();
+        assert!(plan_seeded(&d, 4, 8, &cfg, &[], &mut scratch).is_err());
+        // Wrong depth.
+        let wrong = Partition::even(d.len(), 3);
+        assert!(plan_seeded(&d, 4, 8, &cfg, &[wrong], &mut scratch).is_err());
+        // Wrong block count.
+        let wrong = Partition::even(d.len() - 1, 4);
+        assert!(plan_seeded(&d, 4, 8, &cfg, &[wrong], &mut scratch).is_err());
+    }
+
+    #[test]
+    fn pruning_never_changes_the_winner() {
+        // The dominance bound may only skip schemes that cannot win; across
+        // the benchmark zoo the pruned search must return the identical
+        // partition and iteration time while simulating no more schemes.
+        let hw = Hardware::rtx3090_cluster();
+        for model in zoo::benchmark_models() {
+            let d = CostDb::build(&model, &hw, 4, true, Granularity::SubLayer);
+            for p in [2, 4, 8] {
+                let base = plan(&d, p, 2 * p, &AutoPipeConfig::default()).unwrap();
+                let pruned = plan(
+                    &d,
+                    p,
+                    2 * p,
+                    &AutoPipeConfig {
+                        prune: true,
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(pruned.partition, base.partition, "{} p={p}", model.name);
+                assert_eq!(
+                    pruned.analytic.iteration_time.to_bits(),
+                    base.analytic.iteration_time.to_bits()
+                );
+                assert!(pruned.schemes_explored <= base.schemes_explored);
+                assert_eq!(base.schemes_pruned, 0);
+            }
         }
     }
 }

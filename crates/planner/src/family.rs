@@ -22,9 +22,15 @@ use autopipe_sim::memcheck::check_memory;
 use autopipe_sim::schedule_replay::{replay_schedule, ReplayScratch};
 use autopipe_sim::Partition;
 
-use crate::autopipe::{plan as autopipe_plan, AutoPipeConfig};
+use crate::autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome};
 use crate::balanced::balanced_partition;
 use crate::types::PlanError;
+
+/// Partition-planner hook for [`plan_families_with`]: anything with
+/// [`autopipe_plan`]'s signature. A [`crate::service::PlanService`] caller
+/// routes this through the plan cache; the default is the cold planner.
+pub type PartitionPlanner<'a> = &'a (dyn Fn(&CostDb, usize, usize, &AutoPipeConfig) -> Result<AutoPipeOutcome, PlanError>
+         + Sync);
 
 /// Knobs for the cross-family search.
 #[derive(Debug, Clone)]
@@ -93,8 +99,22 @@ pub fn plan_families(
     m: usize,
     cfg: &FamilyConfig,
 ) -> Result<FamilyOutcome, PlanError> {
+    plan_families_with(db, hw, p, m, cfg, &|db, p, m, c| autopipe_plan(db, p, m, c))
+}
+
+/// [`plan_families`] with a caller-supplied partition planner, so a serving
+/// layer can satisfy the backing partition search from its cache instead of
+/// always searching cold. The family enumeration and ranking are unchanged.
+pub fn plan_families_with(
+    db: &CostDb,
+    hw: &Hardware,
+    p: usize,
+    m: usize,
+    cfg: &FamilyConfig,
+    planner: PartitionPlanner<'_>,
+) -> Result<FamilyOutcome, PlanError> {
     // One optimised p-stage partition backs every single-chunk family.
-    let base = autopipe_plan(db, p, m, &cfg.autopipe)?.partition;
+    let base = planner(db, p, m, &cfg.autopipe)?.partition;
     let weights: Vec<f64> = db.blocks.iter().map(|b| b.work()).collect();
 
     // Fixed enumeration order; ties in the ranking keep the earlier entry.

@@ -35,10 +35,15 @@ pub mod balanced;
 pub mod baselines;
 pub mod family;
 pub mod replan;
+pub mod service;
 pub mod types;
 
 pub use autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome, SimTier};
 pub use balanced::balanced_partition;
-pub use family::{plan_families, FamilyCandidate, FamilyConfig, FamilyOutcome};
+pub use family::{
+    plan_families, plan_families_with, FamilyCandidate, FamilyConfig, FamilyOutcome,
+    PartitionPlanner,
+};
 pub use replan::{observed_cost_db, replan, ReplanOutcome};
+pub use service::{PlanService, Served, ServiceStats, Source};
 pub use types::{HybridPlan, PlanError};

@@ -1,0 +1,711 @@
+//! `pland` — the AutoPipe planner as a long-lived, concurrent service.
+//!
+//! A training fleet re-plans the same handful of (model, cluster, config)
+//! combinations over and over: sessions restart, the straggler monitor
+//! requests drifted re-plans, and sweeps fan the same cost database across
+//! depths. This module keeps the planner hot across those requests:
+//!
+//! 1. **Content-addressed plan cache.** Every request is keyed by a stable
+//!    64-bit fingerprint of the *contents* of the cost database (every cost
+//!    bit), the pipeline shape (`p`, `m`), and the search configuration.
+//!    Hits return the cached [`AutoPipeOutcome`] behind an `Arc` — the
+//!    partition and analytic result are bit-identical to what a cold plan
+//!    of the same request produces, at hash-map-lookup latency. The cache
+//!    is sharded so concurrent readers on different requests never contend
+//!    on one lock.
+//! 2. **Warm-started incremental re-planning.** A second index maps the
+//!    request's *shape* fingerprint — everything except the drifting
+//!    `fwd`/`bwd` cost bits — to the most recent winning partition. When a
+//!    request misses the content cache but its shape is known (the
+//!    straggler path: same model, same cluster, costs scaled by observed
+//!    ratios), the search is seeded with that winner as an incumbent
+//!    ([`plan_seeded`]), which bounds the frontier from the first wave and
+//!    simulates a fraction of the cold search's schemes while returning the
+//!    same plan (pinned by the `warm_replan` property tests).
+//! 3. **Batched concurrent serving.** [`PlanService::plan_batch`] drains a
+//!    slice of requests over a scoped thread pool with one
+//!    [`PlannerScratch`] per worker. Each request is served exactly as in
+//!    the serial path, so outputs are bit-identical at any worker count;
+//!    only the `Cold`/`Hit`/`Warm` attribution can differ when identical
+//!    requests race.
+//!
+//! The service is `Sync`: share one instance behind an `Arc` across every
+//! session and planning thread.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use autopipe_cost::CostDb;
+use autopipe_sim::analytic::simulate_replay;
+use autopipe_sim::Partition;
+
+use crate::autopipe::{
+    plan_in, plan_seeded, AutoPipeConfig, AutoPipeOutcome, PlannerScratch, SimTier,
+};
+use crate::replan::observed_cost_db;
+use crate::types::PlanError;
+
+/// Cache shard count. A small power of two: enough that concurrent misses
+/// on different requests rarely serialize on one write lock, small enough
+/// that draining the shards for stats stays trivial.
+const SHARDS: usize = 16;
+
+/// Default per-shard entry cap (see [`PlanService::with_capacity`]).
+const DEFAULT_SHARD_CAPACITY: usize = 1024;
+
+/// Streaming FNV-1a over 64-bit words — the same construction as
+/// [`crate::autopipe::scheme_fingerprint`], reused for request keys.
+struct Fnv(u64);
+
+impl Fnv {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    #[inline]
+    fn word(&mut self, w: u64) {
+        self.0 = (self.0 ^ w).wrapping_mul(Self::PRIME);
+    }
+
+    fn bytes(&mut self, bs: &[u8]) {
+        self.word(bs.len() as u64);
+        for &b in bs {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+/// Fold the search knobs that change the plan. `threads` is deliberately
+/// excluded: the wave search is bit-identical at every thread count, so two
+/// requests differing only in worker count are the same plan.
+fn fold_cfg(h: &mut Fnv, cfg: &AutoPipeConfig) {
+    h.word(cfg.max_schemes as u64);
+    h.word(match cfg.sim_tier {
+        SimTier::Fast => 0,
+        SimTier::Replay => 1,
+    });
+    h.word(cfg.prune as u64);
+}
+
+/// Fold the parts of the cost database that do *not* drift at runtime: the
+/// model identity, block kinds and static byte/parameter footprints, the
+/// cluster-derived communication model, and the profiling configuration.
+/// The straggler path only ever rescales `fwd`/`bwd` (see
+/// [`observed_cost_db`]), so two databases agreeing on this fold differ at
+/// most in measured compute times — exactly when a cached winner is a valid
+/// warm seed.
+fn fold_shape(h: &mut Fnv, db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) {
+    h.bytes(db.model.as_bytes());
+    h.word(db.blocks.len() as u64);
+    for b in &db.blocks {
+        h.word(b.kind as u64);
+        h.word(b.params);
+        h.word(b.ckpt_act_bytes);
+        h.word(b.full_act_bytes);
+        h.word(b.layer_weight.to_bits());
+    }
+    h.word(db.comm.to_bits());
+    h.word(db.comm_bytes);
+    h.word(db.mbs as u64);
+    h.word(db.checkpointing as u64);
+    h.word(db.granularity as u64);
+    h.word(p as u64);
+    h.word(m as u64);
+    fold_cfg(h, cfg);
+}
+
+/// Content fingerprint of a plan request: everything the search's result
+/// depends on, including every `fwd`/`bwd` cost bit. Equal fingerprints ⇒
+/// the searches are the same computation ⇒ cached outcomes are bit-exact
+/// stand-ins. (Prefix sums are derived from `blocks` and not folded.)
+pub fn plan_fingerprint(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> u64 {
+    let mut h = Fnv::new();
+    fold_shape(&mut h, db, p, m, cfg);
+    for b in &db.blocks {
+        h.word(b.fwd.to_bits());
+        h.word(b.bwd.to_bits());
+    }
+    h.finish()
+}
+
+/// Shape fingerprint: [`plan_fingerprint`] minus the drifting cost bits.
+/// Keys the warm-start index — see [`fold_shape`] for what it covers.
+pub fn shape_fingerprint(db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig) -> u64 {
+    let mut h = Fnv::new();
+    fold_shape(&mut h, db, p, m, cfg);
+    h.finish()
+}
+
+/// How a request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Full wave search from the Algorithm-1 seed.
+    Cold,
+    /// Content-cache hit — no search at all.
+    Hit,
+    /// Cache miss served by a search warm-started from a cached winner of
+    /// the same shape.
+    Warm,
+}
+
+/// A served plan: the outcome (shared, not cloned) plus provenance.
+#[derive(Debug, Clone)]
+pub struct Served {
+    /// The plan. On a [`Source::Hit`] this is the cached producing run, so
+    /// `search_time`/`schemes_explored` describe that run, not the lookup;
+    /// `partition` and `analytic` are bit-identical either way.
+    pub outcome: Arc<AutoPipeOutcome>,
+    /// Cold search, cache hit, or warm-started search.
+    pub source: Source,
+    /// The request's content fingerprint (cache key).
+    pub fingerprint: u64,
+}
+
+/// A re-plan served through the cache: [`Served`] plus the degraded
+/// baseline, mirroring [`crate::replan::ReplanOutcome`].
+#[derive(Debug, Clone)]
+pub struct ReplanServed {
+    /// The new plan under the observed costs.
+    pub served: Served,
+    /// Simulated iteration time of the *old* partition under the observed
+    /// costs — what the new plan is judged against.
+    pub degraded_time: f64,
+    /// The straggler-adjusted cost database the plan was computed on.
+    pub observed_db: CostDb,
+}
+
+impl ReplanServed {
+    /// Fraction of the straggler-induced slowdown the new plan recovers
+    /// (same definition as [`crate::replan::ReplanOutcome::recovery`]).
+    pub fn recovery(&self, healthy_time: f64) -> f64 {
+        let lost = self.degraded_time - healthy_time;
+        if lost <= 0.0 {
+            return 0.0;
+        }
+        (self.degraded_time - self.served.outcome.analytic.iteration_time) / lost
+    }
+}
+
+/// Point-in-time serving counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Requests answered from the content cache.
+    pub hits: usize,
+    /// Cache misses served by a warm-started search.
+    pub warm: usize,
+    /// Cache misses served by a full cold search.
+    pub cold: usize,
+}
+
+impl ServiceStats {
+    /// Total requests served.
+    pub fn total(&self) -> usize {
+        self.hits + self.warm + self.cold
+    }
+}
+
+/// One plan request in a [`PlanService::plan_batch`] call.
+#[derive(Clone, Copy)]
+pub struct BatchRequest<'a> {
+    /// Cost database to plan over.
+    pub db: &'a CostDb,
+    /// Pipeline stages.
+    pub p: usize,
+    /// Micro-batches per iteration.
+    pub m: usize,
+}
+
+/// The planner service. See the module docs for the design; construction is
+/// cheap, but the value of the service is keeping one alive across many
+/// requests (`Arc<PlanService>`).
+pub struct PlanService {
+    cfg: AutoPipeConfig,
+    shard_capacity: usize,
+    shards: Vec<RwLock<HashMap<u64, Arc<AutoPipeOutcome>>>>,
+    /// shape fingerprint → most recent winning partition for that shape.
+    shapes: RwLock<HashMap<u64, Partition>>,
+    /// Reusable search state, one entry checked out per in-flight search.
+    scratch: Mutex<Vec<PlannerScratch>>,
+    hits: AtomicUsize,
+    warm: AtomicUsize,
+    cold: AtomicUsize,
+}
+
+impl Default for PlanService {
+    fn default() -> Self {
+        PlanService::new()
+    }
+}
+
+impl std::fmt::Debug for PlanService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanService")
+            .field("cfg", &self.cfg)
+            .field("cached", &self.len())
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl PlanService {
+    /// Service with the serving configuration: the default search knobs
+    /// plus dominance pruning, which warm starts rely on to cut the
+    /// frontier (and which the property tests pin as winner-preserving).
+    pub fn new() -> PlanService {
+        PlanService::with_config(AutoPipeConfig {
+            prune: true,
+            ..AutoPipeConfig::default()
+        })
+    }
+
+    /// Service with explicit search knobs. `threads` is forced to 1: the
+    /// service parallelizes *across* requests ([`Self::plan_batch`]), and
+    /// plans are bit-identical at any thread count, so intra-search workers
+    /// would only oversubscribe the pool.
+    pub fn with_config(cfg: AutoPipeConfig) -> PlanService {
+        PlanService::with_capacity(cfg, DEFAULT_SHARD_CAPACITY)
+    }
+
+    /// [`Self::with_config`] with a per-shard entry cap. When an insert
+    /// finds its shard full, the shard is flushed wholesale (epoch
+    /// eviction): entries are content-addressed and cheap to recompute, and
+    /// flushing keeps the write-lock hold time bounded instead of walking
+    /// an LRU under the lock.
+    pub fn with_capacity(cfg: AutoPipeConfig, shard_capacity: usize) -> PlanService {
+        PlanService {
+            cfg: AutoPipeConfig { threads: 1, ..cfg },
+            shard_capacity: shard_capacity.max(1),
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            shapes: RwLock::new(HashMap::new()),
+            scratch: Mutex::new(Vec::new()),
+            hits: AtomicUsize::new(0),
+            warm: AtomicUsize::new(0),
+            cold: AtomicUsize::new(0),
+        }
+    }
+
+    /// The search configuration every request is served with.
+    pub fn config(&self) -> &AutoPipeConfig {
+        &self.cfg
+    }
+
+    /// Plan with the service configuration, through the cache.
+    pub fn plan(&self, db: &CostDb, p: usize, m: usize) -> Result<Served, PlanError> {
+        self.serve(db, p, m, &self.cfg, None)
+    }
+
+    /// Plan with explicit search knobs (fingerprinted, so differently
+    /// configured requests never alias). `cfg.threads` is ignored, like
+    /// everywhere in the service.
+    pub fn plan_cfg(
+        &self,
+        db: &CostDb,
+        p: usize,
+        m: usize,
+        cfg: &AutoPipeConfig,
+    ) -> Result<Served, PlanError> {
+        let cfg = AutoPipeConfig { threads: 1, ..*cfg };
+        self.serve(db, p, m, &cfg, None)
+    }
+
+    /// Straggler re-plan through the cache: scale `db` by the observed
+    /// per-stage `ratios` under `partition`, then serve the adjusted
+    /// request. Unit ratios reproduce `db` bit-for-bit, so a no-drift
+    /// re-plan of a known request is a pure cache hit; drifted costs miss
+    /// the content cache and warm-start from `partition` (the plan that was
+    /// actually running — preferred over the shape index).
+    pub fn replan(
+        &self,
+        db: &CostDb,
+        partition: &Partition,
+        ratios: &[f64],
+        m: usize,
+    ) -> Result<ReplanServed, PlanError> {
+        let observed_db = observed_cost_db(db, partition, ratios)?;
+        let degraded_time = simulate_replay(&partition.stage_costs(&observed_db), m).iteration_time;
+        let served = self.serve(
+            &observed_db,
+            partition.n_stages(),
+            m,
+            &self.cfg,
+            Some(partition),
+        )?;
+        Ok(ReplanServed {
+            served,
+            degraded_time,
+            observed_db,
+        })
+    }
+
+    /// Serve a batch of requests over `workers` scoped threads (`0` = one
+    /// per available core). Each worker owns one [`PlannerScratch`] and
+    /// pulls requests off a shared counter, so a batch of mostly-hits
+    /// drains at lookup speed while misses spread across cores. Results
+    /// line up with `requests`; outputs are bit-identical to serving the
+    /// same slice serially (only `source` attribution can differ when
+    /// identical requests race on a cold cache).
+    pub fn plan_batch(
+        &self,
+        requests: &[BatchRequest<'_>],
+        workers: usize,
+    ) -> Vec<Result<Served, PlanError>> {
+        let workers = if workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            workers
+        };
+        let workers = workers.min(requests.len()).max(1);
+
+        if workers == 1 {
+            return requests
+                .iter()
+                .map(|r| self.serve(r.db, r.p, r.m, &self.cfg, None))
+                .collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Vec<Mutex<Option<Result<Served, PlanError>>>> =
+            requests.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(req) = requests.get(i) else { break };
+                    let r = self.serve(req.db, req.p, req.m, &self.cfg, None);
+                    *results[i].lock().unwrap() = Some(r);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("worker served every slot")
+            })
+            .collect()
+    }
+
+    /// Serving counters so far.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            warm: self.warm.load(Ordering::Relaxed),
+            cold: self.cold.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Cached plan count across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().unwrap().len()).sum()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached plan and warm-start seed (counters are kept).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().unwrap().clear();
+        }
+        self.shapes.write().unwrap().clear();
+    }
+
+    fn shard(&self, fp: u64) -> &RwLock<HashMap<u64, Arc<AutoPipeOutcome>>> {
+        &self.shards[(fp % SHARDS as u64) as usize]
+    }
+
+    /// The one serving path: content-cache lookup, then a warm or cold
+    /// search on miss. `preferred_seed` (the re-plan path's running
+    /// partition) outranks the shape index; either is used only if it
+    /// matches the request's block/stage counts.
+    fn serve(
+        &self,
+        db: &CostDb,
+        p: usize,
+        m: usize,
+        cfg: &AutoPipeConfig,
+        preferred_seed: Option<&Partition>,
+    ) -> Result<Served, PlanError> {
+        let fp = plan_fingerprint(db, p, m, cfg);
+        if let Some(hit) = self.shard(fp).read().unwrap().get(&fp) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Served {
+                outcome: Arc::clone(hit),
+                source: Source::Hit,
+                fingerprint: fp,
+            });
+        }
+
+        let shape = shape_fingerprint(db, p, m, cfg);
+        let seed_fits = |s: &Partition| s.n_stages() == p && s.n_blocks() == db.len();
+        // Warm starts only pay off when the dominance bound is on: the
+        // incumbent's time then prunes the frontier from wave one. Without
+        // pruning a seed cannot cut anything — and could outrank the cold
+        // search's winner, breaking hit/cold bit-parity — so unpruned
+        // requests always search cold on a miss.
+        let seed: Option<Partition> = if cfg.prune {
+            preferred_seed
+                .filter(|s| seed_fits(s))
+                .cloned()
+                .or_else(|| {
+                    self.shapes
+                        .read()
+                        .unwrap()
+                        .get(&shape)
+                        .filter(|s| seed_fits(s))
+                        .cloned()
+                })
+        } else {
+            None
+        };
+
+        let mut scratch = self.scratch.lock().unwrap().pop().unwrap_or_default();
+        let result = match &seed {
+            Some(s) => plan_seeded(db, p, m, cfg, std::slice::from_ref(s), &mut scratch),
+            None => plan_in(db, p, m, cfg, &mut scratch),
+        };
+        self.scratch.lock().unwrap().push(scratch);
+
+        let outcome = Arc::new(result?);
+        {
+            let mut shard = self.shard(fp).write().unwrap();
+            if !shard.contains_key(&fp) && shard.len() >= self.shard_capacity {
+                shard.clear();
+            }
+            shard.insert(fp, Arc::clone(&outcome));
+        }
+        self.shapes
+            .write()
+            .unwrap()
+            .insert(shape, outcome.partition.clone());
+
+        let source = if seed.is_some() {
+            self.warm.fetch_add(1, Ordering::Relaxed);
+            Source::Warm
+        } else {
+            self.cold.fetch_add(1, Ordering::Relaxed);
+            Source::Cold
+        };
+        Ok(Served {
+            outcome,
+            source,
+            fingerprint: fp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autopipe::plan;
+    use autopipe_cost::Hardware;
+    use autopipe_model::{zoo, Granularity};
+
+    fn db() -> CostDb {
+        CostDb::build(
+            &zoo::gpt2_345m(),
+            &Hardware::rtx3090_cluster(),
+            4,
+            true,
+            Granularity::SubLayer,
+        )
+    }
+
+    fn bits(o: &AutoPipeOutcome) -> (Vec<usize>, u64) {
+        (
+            o.partition.boundaries().to_vec(),
+            o.analytic.iteration_time.to_bits(),
+        )
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache_and_share_the_outcome() {
+        let d = db();
+        let svc = PlanService::new();
+        let first = svc.plan(&d, 4, 8).unwrap();
+        let second = svc.plan(&d, 4, 8).unwrap();
+        assert_eq!(first.source, Source::Cold);
+        assert_eq!(second.source, Source::Hit);
+        assert!(Arc::ptr_eq(&first.outcome, &second.outcome));
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(
+            svc.stats(),
+            ServiceStats {
+                hits: 1,
+                warm: 0,
+                cold: 1
+            }
+        );
+        assert_eq!(svc.len(), 1);
+    }
+
+    #[test]
+    fn hits_are_bit_identical_to_a_cold_plan() {
+        let d = db();
+        let svc = PlanService::new();
+        let cold = plan(&d, 8, 16, svc.config()).unwrap();
+        svc.plan(&d, 8, 16).unwrap();
+        let hit = svc.plan(&d, 8, 16).unwrap();
+        assert_eq!(hit.source, Source::Hit);
+        assert_eq!(bits(&hit.outcome), bits(&cold));
+    }
+
+    #[test]
+    fn fingerprints_separate_requests_and_ignore_threads() {
+        let d = db();
+        let cfg = AutoPipeConfig::default();
+        let base = plan_fingerprint(&d, 4, 8, &cfg);
+        assert_ne!(base, plan_fingerprint(&d, 8, 8, &cfg));
+        assert_ne!(base, plan_fingerprint(&d, 4, 16, &cfg));
+
+        // One cost bit flips the content fingerprint but not the shape.
+        let mut drifted = d.clone();
+        drifted.blocks[3].fwd *= 1.0 + 1e-12;
+        drifted.recompute_prefixes();
+        assert_ne!(base, plan_fingerprint(&drifted, 4, 8, &cfg));
+        assert_eq!(
+            shape_fingerprint(&d, 4, 8, &cfg),
+            shape_fingerprint(&drifted, 4, 8, &cfg)
+        );
+
+        // Thread count is not part of the request identity.
+        let threaded = AutoPipeConfig { threads: 4, ..cfg };
+        assert_eq!(base, plan_fingerprint(&d, 4, 8, &threaded));
+        // Other knobs are.
+        let pruned = AutoPipeConfig { prune: true, ..cfg };
+        assert_ne!(base, plan_fingerprint(&d, 4, 8, &pruned));
+    }
+
+    #[test]
+    fn no_drift_replan_is_a_pure_cache_hit() {
+        let d = db();
+        let svc = PlanService::new();
+        let base = svc.plan(&d, 4, 8).unwrap();
+        let r = svc
+            .replan(&d, &base.outcome.partition, &[1.0; 4], 8)
+            .unwrap();
+        assert_eq!(r.served.source, Source::Hit);
+        assert!(Arc::ptr_eq(&r.served.outcome, &base.outcome));
+    }
+
+    #[test]
+    fn drifted_replan_warm_starts_and_matches_the_cold_search() {
+        let d = db();
+        let svc = PlanService::new();
+        let base = svc.plan(&d, 4, 8).unwrap();
+        let ratios = [1.0, 2.0, 1.0, 1.0];
+        let r = svc.replan(&d, &base.outcome.partition, &ratios, 8).unwrap();
+        assert_eq!(r.served.source, Source::Warm);
+        assert!(r.degraded_time > base.outcome.analytic.iteration_time);
+
+        let cold = plan(&r.observed_db, 4, 8, svc.config()).unwrap();
+        assert_eq!(bits(&r.served.outcome), bits(&cold));
+        assert!(
+            r.served.outcome.schemes_explored <= cold.schemes_explored + 1,
+            "warm start must not widen the search: {} vs {}",
+            r.served.outcome.schemes_explored,
+            cold.schemes_explored
+        );
+
+        // Re-issuing the drifted request is now a content hit.
+        let again = svc.replan(&d, &base.outcome.partition, &ratios, 8).unwrap();
+        assert_eq!(again.served.source, Source::Hit);
+    }
+
+    #[test]
+    fn same_shape_requests_warm_start_off_the_shape_index() {
+        let d = db();
+        let svc = PlanService::new();
+        svc.plan(&d, 8, 16).unwrap();
+        let mut drifted = d.clone();
+        for b in &mut drifted.blocks[..10] {
+            b.fwd *= 1.7;
+            b.bwd *= 1.7;
+        }
+        drifted.recompute_prefixes();
+        let served = svc.plan(&drifted, 8, 16).unwrap();
+        assert_eq!(served.source, Source::Warm);
+        let cold = plan(&drifted, 8, 16, svc.config()).unwrap();
+        assert_eq!(bits(&served.outcome), bits(&cold));
+    }
+
+    #[test]
+    fn batch_serving_is_bit_identical_at_every_worker_count() {
+        let d4 = db();
+        let mut drifted = d4.clone();
+        drifted.blocks[0].bwd *= 2.0;
+        drifted.recompute_prefixes();
+        let reqs: Vec<BatchRequest> = [(4usize, 8usize), (8, 16), (4, 8), (6, 12), (8, 16)]
+            .iter()
+            .flat_map(|&(p, m)| {
+                [
+                    BatchRequest { db: &d4, p, m },
+                    BatchRequest { db: &drifted, p, m },
+                ]
+            })
+            .collect();
+
+        // Serial reference on a fresh service (all cold).
+        let reference = PlanService::new();
+        let serial: Vec<_> = reqs
+            .iter()
+            .map(|r| reference.plan(r.db, r.p, r.m).unwrap())
+            .collect();
+
+        for workers in [1, 4] {
+            let svc = PlanService::new();
+            let batch = svc.plan_batch(&reqs, workers);
+            for (b, s) in batch.iter().zip(&serial) {
+                let b = b.as_ref().unwrap();
+                assert_eq!(bits(&b.outcome), bits(&s.outcome), "workers={workers}");
+            }
+            assert_eq!(svc.stats().total(), reqs.len());
+        }
+    }
+
+    #[test]
+    fn capacity_eviction_flushes_and_refills() {
+        let d = db();
+        let svc = PlanService::with_capacity(
+            AutoPipeConfig {
+                prune: true,
+                ..AutoPipeConfig::default()
+            },
+            1,
+        );
+        for p in [2usize, 3, 4, 5, 6] {
+            svc.plan(&d, p, 2 * p).unwrap();
+        }
+        // Every shard holds at most one entry.
+        assert!(svc.len() <= SHARDS);
+        // Evicted or not, re-serving still answers correctly.
+        let again = svc.plan(&d, 2, 4).unwrap();
+        let cold = plan(&d, 2, 4, svc.config()).unwrap();
+        assert_eq!(bits(&again.outcome), bits(&cold));
+        svc.clear();
+        assert!(svc.is_empty());
+    }
+
+    #[test]
+    fn plan_errors_are_returned_and_never_cached() {
+        let d = db();
+        let svc = PlanService::new();
+        assert!(svc.plan(&d, 0, 8).is_err());
+        assert!(svc.plan(&d, d.len() + 1, 8).is_err());
+        assert!(svc.is_empty());
+        assert_eq!(svc.stats().total(), 0);
+    }
+}

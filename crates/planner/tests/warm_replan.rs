@@ -1,0 +1,77 @@
+//! Property coverage for warm-started incremental re-planning.
+//!
+//! The service's replan path scores the cached winner as an incumbent and
+//! runs the pruned wave search on the drifted costs. These properties pin
+//! the contract that makes that safe: across random per-stage cost drifts,
+//! the warm-started search returns the same winning partition and the same
+//! (bit-identical) iteration time as a cold search under the same config —
+//! and its iteration time matches even the unpruned exhaustive-heuristic
+//! search.
+
+use autopipe_cost::{CostDb, Hardware};
+use autopipe_model::{zoo, Granularity};
+use autopipe_planner::autopipe::{plan, plan_seeded, AutoPipeConfig, PlannerScratch};
+use autopipe_planner::replan::observed_cost_db;
+use proptest::prelude::*;
+
+fn db() -> CostDb {
+    CostDb::build(
+        &zoo::gpt2_345m(),
+        &Hardware::rtx3090_cluster(),
+        4,
+        true,
+        Granularity::SubLayer,
+    )
+}
+
+proptest! {
+    /// Warm-started search on drifted costs == cold search on drifted costs
+    /// (same knobs, pruning on — the service's serving configuration), and
+    /// the warm plan is never slower than the unpruned cold search's.
+    #[test]
+    fn warm_start_matches_cold_search_under_drift(
+        ratios in proptest::collection::vec(1.0f64..3.0, 8),
+        p_idx in 0usize..2,
+    ) {
+        let p = [4usize, 8][p_idx];
+        let m = 2 * p;
+        let d = db();
+        let cfg = AutoPipeConfig { prune: true, ..AutoPipeConfig::default() };
+        let base = plan(&d, p, m, &cfg).unwrap();
+        let ratios: Vec<f64> = (0..p).map(|s| ratios[s % ratios.len()]).collect();
+        let observed = observed_cost_db(&d, &base.partition, &ratios).unwrap();
+
+        let cold = plan(&observed, p, m, &cfg).unwrap();
+        let warm = plan_seeded(
+            &observed,
+            p,
+            m,
+            &cfg,
+            std::slice::from_ref(&base.partition),
+            &mut PlannerScratch::new(),
+        )
+        .unwrap();
+
+        prop_assert_eq!(&warm.partition, &cold.partition);
+        prop_assert_eq!(
+            warm.analytic.iteration_time.to_bits(),
+            cold.analytic.iteration_time.to_bits()
+        );
+        // The incumbent costs one simulation; everything else is a subset
+        // of the cold exploration.
+        prop_assert!(warm.schemes_explored <= cold.schemes_explored + 1);
+
+        // Pruning (and therefore warm-starting) must not cost plan quality
+        // against the unpruned heuristic either. The dominance bound's
+        // float epsilon can swallow ulp-level ties, so this one is a
+        // relative-tolerance check, not a bit comparison.
+        let unpruned = plan(&observed, p, m, &AutoPipeConfig::default()).unwrap();
+        prop_assert!(
+            warm.analytic.iteration_time
+                <= unpruned.analytic.iteration_time * (1.0 + 1e-9),
+            "warm {} vs unpruned {}",
+            warm.analytic.iteration_time,
+            unpruned.analytic.iteration_time
+        );
+    }
+}

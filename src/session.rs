@@ -29,12 +29,13 @@
 //! ([`Session::adaptive`]) are all wired into [`PlannedSession::run`].
 
 use std::path::PathBuf;
+use std::sync::Arc;
 
 use autopipe_core::{AutoPipe, Error, Plan, RecoveryConfig, SchedulePolicy, SessionConfig};
 use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
 use autopipe_exec::FaultPlan;
 use autopipe_model::ModelConfig;
-use autopipe_planner::{autopipe_plan, replan as planner_replan, AutoPipeConfig};
+use autopipe_planner::{AutoPipeConfig, PlanService};
 use autopipe_runtime::{
     BatchSet, CheckpointStore, FaultReport, Pipeline, PipelineConfig, PipelineSnapshot,
     RecoveryCoordinator, RecoveryRecord, Replanner, RuntimeError, ShrinkPlan, StragglerConfig,
@@ -54,6 +55,9 @@ pub struct Session {
     microbatches: Option<usize>,
     devices_pinned: bool,
     tolerance: Tolerance,
+    /// Shared planner service; a per-session one is created at [`Session::plan`]
+    /// time when none was injected via [`Session::plan_service`].
+    service: Option<Arc<PlanService>>,
 }
 
 /// Fault-tolerance knobs shared between the builder and the planned session.
@@ -80,6 +84,7 @@ impl Session {
                 time_scale: 1.0,
                 ..Tolerance::default()
             },
+            service: None,
         }
     }
 
@@ -94,6 +99,7 @@ impl Session {
                 time_scale: 1.0,
                 ..Tolerance::default()
             },
+            service: None,
         }
     }
 
@@ -213,9 +219,31 @@ impl Session {
         self
     }
 
+    /// Serve this session's planner runs through `service`, sharing its
+    /// content-addressed plan cache with every other session holding the
+    /// same `Arc`. Without this, [`Session::plan`] creates a private
+    /// service, which still caches across that session's own re-plans.
+    pub fn plan_service(mut self, service: Arc<PlanService>) -> Session {
+        self.service = Some(service);
+        self
+    }
+
     /// Read access to the assembled configuration.
     pub fn config(&self) -> &SessionConfig {
         &self.cfg
+    }
+
+    /// The planner service this session will plan through: the injected one,
+    /// or a freshly created private service in the serving configuration
+    /// (the session's search knobs plus dominance pruning for warm starts).
+    fn resolve_service(&self) -> Arc<PlanService> {
+        match &self.service {
+            Some(s) => Arc::clone(s),
+            None => Arc::new(PlanService::with_config(AutoPipeConfig {
+                prune: true,
+                ..self.cfg.planner()
+            })),
+        }
     }
 
     /// Validate the configuration and run strategy selection + the AutoPipe
@@ -248,13 +276,15 @@ impl Session {
         // stage of the chain.
         let mut req = self.cfg.plan_request();
         req.enable_slicer = false;
-        let plan = AutoPipe::plan(&req)?;
+        let service = self.resolve_service();
+        let plan = AutoPipe::plan_with(&req, &service)?;
         let db = AutoPipe::cost_db(&req);
         Ok(PlannedSession {
             cfg: self.cfg,
             db,
             plan,
             tolerance: self.tolerance,
+            service,
         })
     }
 
@@ -356,8 +386,10 @@ impl Session {
             })?),
             None => None,
         };
+        let service = self.resolve_service();
         let mut replanner = SessionReplanner {
             db: &db,
+            service: &service,
             planner_cfg: self.cfg.planner(),
             slice: self.cfg.enable_slicer,
         };
@@ -414,9 +446,12 @@ impl Session {
 /// on the session's cost database, and — when slicing is enabled — the
 /// Slicer re-solves the warmup for the new depth, with the result
 /// re-validated by [`validate_sliced_count`] (a sliced count tuned for `p`
-/// stages is not in general valid for `p − 1`).
+/// stages is not in general valid for `p − 1`). The partition search goes
+/// through the session's [`PlanService`], so repeated shrinks to the same
+/// survivor count answer from the plan cache.
 struct SessionReplanner<'a> {
     db: &'a CostDb,
+    service: &'a PlanService,
     planner_cfg: AutoPipeConfig,
     slice: bool,
 }
@@ -428,7 +463,10 @@ impl Replanner for SessionReplanner<'_> {
         _current: &Partition,
         n_microbatches: usize,
     ) -> Result<ShrinkPlan, Error> {
-        let outcome = autopipe_plan(self.db, survivors, n_microbatches, &self.planner_cfg)?;
+        let served =
+            self.service
+                .plan_cfg(self.db, survivors, n_microbatches, &self.planner_cfg)?;
+        let outcome = &served.outcome;
         let costs = outcome.partition.stage_costs(self.db);
         let schedule = if self.slice && survivors >= 2 {
             let sp = plan_slicing(&costs, n_microbatches);
@@ -438,7 +476,7 @@ impl Replanner for SessionReplanner<'_> {
             one_f_one_b(survivors, n_microbatches)
         };
         Ok(ShrinkPlan {
-            partition: outcome.partition,
+            partition: outcome.partition.clone(),
             schedule,
             predicted_iteration: Some(outcome.analytic.iteration_time),
         })
@@ -453,6 +491,7 @@ pub struct PlannedSession {
     db: CostDb,
     plan: Plan,
     tolerance: Tolerance,
+    service: Arc<PlanService>,
 }
 
 /// What one simulated iteration looked like.
@@ -530,6 +569,13 @@ impl PlannedSession {
     /// The cost database the plan was computed on.
     pub fn cost_db(&self) -> &CostDb {
         &self.db
+    }
+
+    /// The planner service this session plans and re-plans through. Clone
+    /// the `Arc` into [`Session::plan_service`] to share the plan cache
+    /// with other sessions.
+    pub fn plan_service(&self) -> &Arc<PlanService> {
+        &self.service
     }
 
     /// The session configuration.
@@ -615,6 +661,7 @@ impl PlannedSession {
         };
         let mut replanner = SessionReplanner {
             db: &self.db,
+            service: &self.service,
             planner_cfg: self.cfg.planner(),
             slice: self.cfg.enable_slicer,
         };
@@ -680,19 +727,19 @@ impl PlannedSession {
                     // Ratios below 1 are clamped: a faster-than-expected
                     // stage is not evidence the cost model overcharges it.
                     let ratios: Vec<f64> = obs.ratios.iter().map(|&r| r.max(1.0)).collect();
-                    let r = planner_replan(
-                        &self.db,
-                        pipe.partition(),
-                        &ratios,
-                        m,
-                        &self.cfg.planner(),
-                    )?;
+                    // Served through the plan cache: the drifted request
+                    // warm-starts from the running partition, and repeat
+                    // observations of the same drift are pure cache hits.
+                    let r = self
+                        .service
+                        .replan(&self.db, pipe.partition(), &ratios, m)?;
+                    let new_partition = &r.served.outcome.partition;
                     let schedule = if self.plan.n_sliced > 0 {
-                        plan_slicing(&r.outcome.partition.stage_costs(&r.observed_db), m).schedule
+                        plan_slicing(&new_partition.stage_costs(&r.observed_db), m).schedule
                     } else {
-                        one_f_one_b(r.outcome.partition.n_stages(), m)
+                        one_f_one_b(new_partition.n_stages(), m)
                     };
-                    pipe.repartition(&r.outcome.partition, schedule)?;
+                    pipe.repartition(new_partition, schedule)?;
                     replans += 1;
                     monitor = None; // re-calibrate against the new partition
                 }

@@ -1,7 +1,9 @@
 //! Cross-crate integration through the `autopipe::Session` facade:
 //! plan → validate → slice → simulate → execute.
 
-use autopipe::{Error, Session};
+use std::sync::Arc;
+
+use autopipe::{Error, PlanService, Session};
 use autopipe_model::zoo;
 use autopipe_runtime::{BatchSet, ReferenceModel};
 use autopipe_schedule::validate;
@@ -25,6 +27,45 @@ fn planned_schedule_simulates() {
     let est = planned.plan().est_pipeline_time;
     let rel = (sim.clean.iteration_time - est).abs() / est;
     assert!(rel < 0.05, "event vs planner estimate diverge by {rel}");
+}
+
+/// Sessions sharing one `PlanService` hit its content-addressed cache: the
+/// second identical session plans without a single new search, and both
+/// arrive at bit-identical plans (also bit-identical to an unshared plan).
+#[test]
+fn sessions_sharing_a_plan_service_hit_the_cache() {
+    let service = Arc::new(PlanService::new());
+    let build = || {
+        Session::for_model(zoo::gpt2_345m())
+            .devices(4)
+            .stages(4)
+            .microbatch_size(4)
+            .global_batch(128)
+    };
+
+    let first = build().plan_service(Arc::clone(&service)).plan().unwrap();
+    let after_first = service.stats();
+    assert!(after_first.cold >= 1, "{after_first:?}");
+    assert_eq!(after_first.hits, 0);
+
+    let second = build().plan_service(Arc::clone(&service)).plan().unwrap();
+    let after_second = service.stats();
+    assert_eq!(
+        after_second.cold + after_second.warm,
+        after_first.cold + after_first.warm,
+        "an identical session must not search again: {after_second:?}"
+    );
+    assert!(after_second.hits > 0);
+
+    let unshared = build().plan().unwrap();
+    for other in [&second, &unshared] {
+        assert_eq!(first.plan().partition, other.plan().partition);
+        assert_eq!(
+            first.plan().est_pipeline_time.to_bits(),
+            other.plan().est_pipeline_time.to_bits()
+        );
+        assert_eq!(first.plan().schedule, other.plan().schedule);
+    }
 }
 
 /// Plan for every benchmark model at several depths; everything validates.
