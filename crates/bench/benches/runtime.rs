@@ -35,6 +35,7 @@ fn bench_runtime(c: &mut Criterion) {
             lr: 1e-3,
             seed: 1,
             checkpointing: false,
+            comm: autopipe_exec::CommConfig::default(),
         })
         .unwrap();
         b.iter(|| pipe.train_iteration(&batch).unwrap())
@@ -47,6 +48,7 @@ fn bench_runtime(c: &mut Criterion) {
             lr: 1e-3,
             seed: 1,
             checkpointing: false,
+            comm: autopipe_exec::CommConfig::default(),
         })
         .unwrap();
         b.iter(|| pipe.train_iteration(&batch).unwrap())

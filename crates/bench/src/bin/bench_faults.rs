@@ -99,6 +99,7 @@ fn tiny_pipeline(schedule: Schedule, partition: Partition) -> Pipeline {
         lr: 1e-3,
         seed: 99,
         checkpointing: true,
+        comm: autopipe_exec::CommConfig::default(),
     })
     .expect("tiny pipeline is valid")
 }

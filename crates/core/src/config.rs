@@ -250,6 +250,7 @@ impl SessionConfig {
             jitter_sigma: self.jitter_sigma,
             seed: self.seed,
             half_efficiency: self.half_efficiency,
+            ..EventConfig::default()
         }
     }
 

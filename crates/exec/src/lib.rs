@@ -40,6 +40,6 @@ pub use msg::{op_key, MsgKey};
 pub use recorder::{NoTrace, Recorder, TraceSink, WallClock};
 pub use timeline::{DeviceBreakdown, OpTimes, PhaseTimes, Timeline, TraceEvent, TraceMismatch};
 pub use transport::{
-    channel_mesh, schedule_edges, AlphaBeta, ChannelEndpoint, LinkCost, LinkFault, Transport,
-    VirtualTransport,
+    channel_mesh, schedule_edges, AlphaBeta, ChannelEndpoint, ChannelSender, ChunkPayload,
+    CommConfig, LinkCost, LinkCostTable, LinkFault, Transport, VirtualTransport,
 };

@@ -6,14 +6,69 @@
 //! one unbounded channel per directed edge with a stash for out-of-order
 //! arrivals. Both speak [`MsgKey`], so an executor written against
 //! [`Transport`] runs on either.
+//!
+//! # Communication–computation overlap
+//!
+//! Both transports support *chunked, eager* hand-offs ([`CommConfig`]): a
+//! micro-batch message is split into `k` chunks, and chunk `j` may enter the
+//! link as soon as the fraction `j/k` of the producing compute op has run —
+//! the transfer pipelines against the tail of the producer instead of
+//! waiting for its end. [`Transport::send_overlapped`] is the virtual-time
+//! form (the chunk-ready times are derived from the producing op's span);
+//! [`ChannelEndpoint::send_chunks`] / [`ChannelSender`] are the wall-clock
+//! form used by the runtime's dedicated comm threads. Receivers reassemble
+//! chunks transparently: per-edge channels are FIFO, so the chunks of one
+//! message arrive contiguously and in order.
 
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
 
 use autopipe_schedule::{OpKind, Part, Schedule};
 
 use crate::msg::MsgKey;
+
+/// How an executor moves messages: blocking hand-offs (the pre-overlap
+/// behaviour) or chunked eager sends that pipeline against the producing
+/// compute op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommConfig {
+    /// Run the comm lane overlapped with compute. Off reproduces the
+    /// blocking executors bit-for-bit.
+    pub overlap: bool,
+    /// Chunks per message when overlapped (`1` = eager but unchunked).
+    /// Ignored when `overlap` is off.
+    pub chunks: usize,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            overlap: false,
+            chunks: 1,
+        }
+    }
+}
+
+impl CommConfig {
+    /// Overlapped comm with `chunks` chunks per message.
+    pub fn overlapped(chunks: usize) -> CommConfig {
+        CommConfig {
+            overlap: true,
+            chunks: chunks.max(1),
+        }
+    }
+
+    /// Chunk count actually used: 1 when blocking, `chunks` (≥ 1) otherwise.
+    pub fn effective_chunks(&self) -> usize {
+        if self.overlap {
+            self.chunks.max(1)
+        } else {
+            1
+        }
+    }
+}
 
 /// Cost of moving a message across a link: the α+β model (per-message
 /// latency plus volume-proportional transfer).
@@ -21,11 +76,28 @@ pub trait LinkCost {
     /// Transfer time for a message carrying `part` of a micro-batch over the
     /// directed edge `from → to`.
     fn transfer(&self, from: usize, to: usize, part: Part) -> f64;
+
+    /// Transfer time for **one of `k` chunks** of that message. Every chunk
+    /// pays the full per-message latency (each is its own packet on the
+    /// wire) and `1/k` of the volume. Implementations that know their α/β
+    /// split override this; the default divides the whole message cost,
+    /// which is exact for latency-free links and conservative otherwise.
+    ///
+    /// `transfer_chunk(from, to, part, 1)` must equal
+    /// `transfer(from, to, part)` bit-for-bit — dividing by `1.0` is exact,
+    /// so both the default and the α+β overrides satisfy this.
+    fn transfer_chunk(&self, from: usize, to: usize, part: Part, k: usize) -> f64 {
+        self.transfer(from, to, part) / k.max(1) as f64
+    }
 }
 
 impl<T: LinkCost + ?Sized> LinkCost for &T {
     fn transfer(&self, from: usize, to: usize, part: Part) -> f64 {
         (**self).transfer(from, to, part)
+    }
+
+    fn transfer_chunk(&self, from: usize, to: usize, part: Part, k: usize) -> f64 {
+        (**self).transfer_chunk(from, to, part, k)
     }
 }
 
@@ -41,6 +113,68 @@ pub struct AlphaBeta {
 impl LinkCost for AlphaBeta {
     fn transfer(&self, _from: usize, _to: usize, part: Part) -> f64 {
         self.latency + part.frac() * self.volume
+    }
+
+    fn transfer_chunk(&self, _from: usize, _to: usize, part: Part, k: usize) -> f64 {
+        self.latency + part.frac() * (self.volume / k.max(1) as f64)
+    }
+}
+
+/// Per-edge α+β link costs for non-uniform interconnects (a slow inter-node
+/// hop inside a fast intra-node mesh, a degraded NIC, …). Groundwork for
+/// heterogeneous-cluster planning: anything scoring against [`LinkCost`]
+/// picks up the per-edge costs unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkCostTable {
+    n: usize,
+    latency: Vec<f64>,
+    volume: Vec<f64>,
+}
+
+impl LinkCostTable {
+    /// Every directed edge of an `n`-device mesh at the same α+β cost.
+    pub fn uniform(n: usize, latency: f64, volume: f64) -> LinkCostTable {
+        LinkCostTable {
+            n,
+            latency: vec![latency; n * n],
+            volume: vec![volume; n * n],
+        }
+    }
+
+    /// Number of devices in the mesh.
+    pub fn n_devices(&self) -> usize {
+        self.n
+    }
+
+    /// Override one directed edge's α+β.
+    pub fn set(&mut self, from: usize, to: usize, latency: f64, volume: f64) {
+        let e = from * self.n + to;
+        self.latency[e] = latency;
+        self.volume[e] = volume;
+    }
+
+    /// Override both directions between `a` and `b`.
+    pub fn set_bidi(&mut self, a: usize, b: usize, latency: f64, volume: f64) {
+        self.set(a, b, latency, volume);
+        self.set(b, a, latency, volume);
+    }
+
+    /// The `(latency, volume)` pair of a directed edge.
+    pub fn edge(&self, from: usize, to: usize) -> (f64, f64) {
+        let e = from * self.n + to;
+        (self.latency[e], self.volume[e])
+    }
+}
+
+impl LinkCost for LinkCostTable {
+    fn transfer(&self, from: usize, to: usize, part: Part) -> f64 {
+        let e = from * self.n + to;
+        self.latency[e] + part.frac() * self.volume[e]
+    }
+
+    fn transfer_chunk(&self, from: usize, to: usize, part: Part, k: usize) -> f64 {
+        let e = from * self.n + to;
+        self.latency[e] + part.frac() * (self.volume[e] / k.max(1) as f64)
     }
 }
 
@@ -65,6 +199,31 @@ pub trait Transport {
         now: f64,
     ) -> f64;
 
+    /// Overlapped chunked send. `span_end`/`span_dur` describe the compute
+    /// op that produced the message; chunk `j` of `chunks` (1-based) is
+    /// ready to depart at `span_end − span_dur·(chunks−j)/chunks + stall`,
+    /// i.e. the transfer pipelines against the tail of the producing op.
+    /// The message is delivered whole at the **last** chunk's arrival.
+    ///
+    /// The default ignores the span and behaves like a blocking
+    /// [`Transport::send`] at `span_end + stall` — correct for wall-clock
+    /// transports, whose eager path is driven by a comm thread instead.
+    #[allow(clippy::too_many_arguments)]
+    fn send_overlapped(
+        &mut self,
+        from: usize,
+        to: usize,
+        key: MsgKey,
+        payload: Self::Payload,
+        span_end: f64,
+        span_dur: f64,
+        stall: f64,
+        chunks: usize,
+    ) -> f64 {
+        let _ = (span_dur, chunks);
+        self.send(from, to, key, payload, span_end + stall)
+    }
+
     /// Non-blocking receive at device `at`: the earliest-sent matching
     /// message and its arrival time, if one has been sent. Wall-clock
     /// transports report arrival `0.0` (already arrived).
@@ -80,11 +239,18 @@ pub type LinkFault = Box<dyn FnMut(usize, usize, &MsgKey, f64) -> f64>;
 /// Each directed edge is a FIFO link: a message departs no earlier than both
 /// its enqueue time and the link's previous arrival, so back-to-back sends
 /// queue rather than overlap. Messages park in a per-destination mailbox
-/// keyed by [`MsgKey`] until the receiver consumes them.
+/// until the receiver consumes them.
+///
+/// Storage is flat and `Vec`-indexed (device counts are small and dense):
+/// link state is a `p²` array indexed `from·p + to`, and each destination's
+/// mailbox is one arrival-ordered queue scanned for the first key match —
+/// push order is send order, so per-key FIFO semantics are preserved
+/// exactly.
 pub struct VirtualTransport<C: LinkCost> {
     costs: C,
-    link_free: HashMap<(usize, usize), f64>,
-    mailbox: Vec<HashMap<MsgKey, VecDeque<f64>>>,
+    n_devices: usize,
+    link_free: Vec<f64>,
+    mailbox: Vec<VecDeque<(MsgKey, f64)>>,
     fault: Option<LinkFault>,
 }
 
@@ -93,8 +259,9 @@ impl<C: LinkCost> VirtualTransport<C> {
     pub fn new(n_devices: usize, costs: C) -> Self {
         VirtualTransport {
             costs,
-            link_free: HashMap::new(),
-            mailbox: vec![HashMap::new(); n_devices],
+            n_devices,
+            link_free: vec![0.0; n_devices * n_devices],
+            mailbox: vec![VecDeque::new(); n_devices],
             fault: None,
         }
     }
@@ -115,6 +282,17 @@ impl<C: LinkCost> VirtualTransport<C> {
         self.fault = Some(fault);
         self
     }
+
+    /// The fault hook's extra delay for this message (0 when no hook).
+    /// Called exactly once per *message* — chunked sends fold the whole
+    /// delay into the final chunk so a scripted fault plan observes the
+    /// same `(edge, key, time)` stream whether or not overlap is on.
+    fn fault_extra(&mut self, from: usize, to: usize, key: &MsgKey, now: f64) -> f64 {
+        match &mut self.fault {
+            Some(fault) => fault(from, to, key, now).max(0.0),
+            None => 0.0,
+        }
+    }
 }
 
 impl<C: LinkCost> Transport for VirtualTransport<C> {
@@ -122,22 +300,54 @@ impl<C: LinkCost> Transport for VirtualTransport<C> {
 
     fn send(&mut self, from: usize, to: usize, key: MsgKey, _payload: (), now: f64) -> f64 {
         let mut transfer = self.costs.transfer(from, to, key.part);
-        if let Some(fault) = &mut self.fault {
-            transfer += fault(from, to, &key, now).max(0.0);
-        }
-        let free = self.link_free.entry((from, to)).or_insert(0.0);
+        transfer += self.fault_extra(from, to, &key, now);
+        let free = &mut self.link_free[from * self.n_devices + to];
         let depart = free.max(now);
         let arrival = depart + transfer;
         *free = arrival;
-        self.mailbox[to].entry(key).or_default().push_back(arrival);
+        self.mailbox[to].push_back((key, arrival));
+        arrival
+    }
+
+    fn send_overlapped(
+        &mut self,
+        from: usize,
+        to: usize,
+        key: MsgKey,
+        _payload: (),
+        span_end: f64,
+        span_dur: f64,
+        stall: f64,
+        chunks: usize,
+    ) -> f64 {
+        let k = chunks.max(1);
+        // One fault draw per message, at the same virtual time the blocking
+        // path would use, charged to the last chunk.
+        let fault_extra = self.fault_extra(from, to, &key, span_end + stall);
+        let free = &mut self.link_free[from * self.n_devices + to];
+        let mut arrival = 0.0;
+        for j in 1..=k {
+            let mut cost = self.costs.transfer_chunk(from, to, key.part, k);
+            if j == k {
+                cost += fault_extra;
+            }
+            // Chunk j is produced once j/k of the compute span has run; the
+            // last chunk's ready time is exactly the blocking send time
+            // (span_dur·0.0 vanishes bitwise).
+            let ready = span_end - span_dur * ((k - j) as f64 / k as f64) + stall;
+            let depart = free.max(ready);
+            arrival = depart + cost;
+            *free = arrival;
+        }
+        self.mailbox[to].push_back((key, arrival));
         arrival
     }
 
     fn try_recv(&mut self, at: usize, key: MsgKey) -> Option<((), f64)> {
-        self.mailbox[at]
-            .get_mut(&key)?
-            .pop_front()
-            .map(|arrival| ((), arrival))
+        let queue = &mut self.mailbox[at];
+        let idx = queue.iter().position(|(k, _)| *k == key)?;
+        let (_, arrival) = queue.remove(idx).expect("index from position");
+        Some(((), arrival))
     }
 }
 
@@ -155,8 +365,66 @@ pub fn schedule_edges(sched: &Schedule) -> BTreeSet<(usize, usize)> {
     edges
 }
 
+/// A payload the wall-clock transport can split into wire chunks and
+/// reassemble bit-identically: `join_chunks(split_chunks(x, k)) == x` for
+/// every `k ≥ 1`. Implementations may return fewer than `k` chunks when the
+/// payload is too small to split.
+pub trait ChunkPayload: Sized {
+    /// Split into at most `k` chunks, in transmission order.
+    fn split_chunks(self, k: usize) -> Vec<Self>;
+    /// Reassemble chunks produced by [`ChunkPayload::split_chunks`].
+    fn join_chunks(chunks: Vec<Self>) -> Self;
+}
+
+/// Unsplittable unit payload (timing-only execution).
+impl ChunkPayload for () {
+    fn split_chunks(self, _k: usize) -> Vec<Self> {
+        vec![()]
+    }
+    fn join_chunks(_chunks: Vec<Self>) -> Self {}
+}
+
+/// Unsplittable scalar payload (tests).
+impl ChunkPayload for u32 {
+    fn split_chunks(self, _k: usize) -> Vec<Self> {
+        vec![self]
+    }
+    fn join_chunks(chunks: Vec<Self>) -> Self {
+        chunks[0]
+    }
+}
+
+/// Contiguous-run splitting: chunk boundaries at `len·j/k`, so joining is a
+/// plain concatenation and ordering (hence bit-identity) is trivial.
+impl<T> ChunkPayload for Vec<T> {
+    fn split_chunks(mut self, k: usize) -> Vec<Self> {
+        let k = k.max(1).min(self.len().max(1));
+        let len = self.len();
+        let mut out = Vec::with_capacity(k);
+        // Split back-to-front so each split_off is a tail move.
+        let mut bounds: Vec<usize> = (1..k).map(|j| len * j / k).collect();
+        while let Some(b) = bounds.pop() {
+            out.push(self.split_off(b));
+        }
+        out.push(self);
+        out.reverse();
+        out
+    }
+
+    fn join_chunks(chunks: Vec<Self>) -> Self {
+        let mut it = chunks.into_iter();
+        let mut first = it.next().unwrap_or_default();
+        for c in it {
+            first.extend(c);
+        }
+        first
+    }
+}
+
 struct Packet<T> {
     key: MsgKey,
+    /// `(index, of)` chunk sequence; whole messages are `(0, 1)`.
+    seq: (u32, u32),
     payload: T,
 }
 
@@ -168,6 +436,8 @@ pub struct ChannelEndpoint<T> {
     tx: HashMap<usize, Sender<Packet<T>>>,
     rx: Vec<Receiver<Packet<T>>>,
     stash: HashMap<MsgKey, VecDeque<T>>,
+    /// Partially reassembled chunked messages.
+    assembly: HashMap<MsgKey, Vec<T>>,
 }
 
 /// Build one connected endpoint per device over the given directed edges
@@ -182,6 +452,7 @@ pub fn channel_mesh<T>(
             tx: HashMap::new(),
             rx: Vec::new(),
             stash: HashMap::new(),
+            assembly: HashMap::new(),
         })
         .collect();
     for (from, to) in edges {
@@ -192,20 +463,86 @@ pub fn channel_mesh<T>(
     endpoints
 }
 
+/// Send a (possibly chunked) message over a tx map — shared by
+/// [`ChannelEndpoint`] and [`ChannelSender`].
+fn send_packets<T: ChunkPayload>(
+    tx: &HashMap<usize, Sender<Packet<T>>>,
+    device: usize,
+    to: usize,
+    key: MsgKey,
+    payload: T,
+    chunks: usize,
+) {
+    let link = tx
+        .get(&to)
+        .unwrap_or_else(|| panic!("device {device}: no link to device {to}"));
+    if chunks <= 1 {
+        link.send(Packet {
+            key,
+            seq: (0, 1),
+            payload,
+        })
+        .expect("pipeline channel closed");
+        return;
+    }
+    let parts = payload.split_chunks(chunks);
+    let of = parts.len() as u32;
+    for (i, part) in parts.into_iter().enumerate() {
+        link.send(Packet {
+            key,
+            seq: (i as u32, of),
+            payload: part,
+        })
+        .expect("pipeline channel closed");
+    }
+}
+
+/// Send-only handle onto a device's outbound links, cloneable off a
+/// [`ChannelEndpoint`] so a dedicated comm thread can push messages while
+/// the stage thread keeps the receiving half.
+pub struct ChannelSender<T> {
+    device: usize,
+    tx: HashMap<usize, Sender<Packet<T>>>,
+}
+
+impl<T: ChunkPayload> ChannelSender<T> {
+    /// Asynchronous whole-message send to `to`.
+    pub fn send_to(&self, to: usize, key: MsgKey, payload: T) {
+        send_packets(&self.tx, self.device, to, key, payload, 1);
+    }
+
+    /// Asynchronous chunked send: split into at most `chunks` wire chunks,
+    /// delivered in order and reassembled at the receiver.
+    pub fn send_chunks(&self, to: usize, key: MsgKey, payload: T, chunks: usize) {
+        send_packets(&self.tx, self.device, to, key, payload, chunks);
+    }
+}
+
 impl<T> ChannelEndpoint<T> {
     /// The device this endpoint belongs to.
     pub fn device(&self) -> usize {
         self.device
     }
 
+    /// A send-only handle sharing this endpoint's outbound links.
+    pub fn sender(&self) -> ChannelSender<T> {
+        ChannelSender {
+            device: self.device,
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<T: ChunkPayload> ChannelEndpoint<T> {
     /// Asynchronous send to `to`. Panics if the mesh has no such edge or the
     /// peer hung up — both are schedule bugs, not runtime conditions.
     pub fn send_to(&self, to: usize, key: MsgKey, payload: T) {
-        self.tx
-            .get(&to)
-            .unwrap_or_else(|| panic!("device {}: no link to device {to}", self.device))
-            .send(Packet { key, payload })
-            .expect("pipeline channel closed");
+        send_packets(&self.tx, self.device, to, key, payload, 1);
+    }
+
+    /// Asynchronous chunked send (see [`ChannelSender::send_chunks`]).
+    pub fn send_chunks(&self, to: usize, key: MsgKey, payload: T, chunks: usize) {
+        send_packets(&self.tx, self.device, to, key, payload, chunks);
     }
 
     /// Blocking receive of the message matching `key`: drains inbound links
@@ -221,24 +558,42 @@ impl<T> ChannelEndpoint<T> {
         }
     }
 
-    /// Move every currently-available inbound packet into the stash; true if
-    /// anything arrived.
+    /// Move every currently-available inbound packet into the stash,
+    /// reassembling chunked messages; true if anything arrived.
     fn drain_inbound(&mut self) -> bool {
         let mut any = false;
         for r in &self.rx {
             while let Ok(pkt) = r.try_recv() {
                 any = true;
-                self.stash
-                    .entry(pkt.key)
-                    .or_default()
-                    .push_back(pkt.payload);
+                let (idx, of) = pkt.seq;
+                if of <= 1 {
+                    self.stash
+                        .entry(pkt.key)
+                        .or_default()
+                        .push_back(pkt.payload);
+                    continue;
+                }
+                let parts = self.assembly.entry(pkt.key).or_default();
+                debug_assert_eq!(
+                    parts.len(),
+                    idx as usize,
+                    "chunks of one message arrive in order on a FIFO edge"
+                );
+                parts.push(pkt.payload);
+                if parts.len() == of as usize {
+                    let parts = self.assembly.remove(&pkt.key).expect("just inserted");
+                    self.stash
+                        .entry(pkt.key)
+                        .or_default()
+                        .push_back(T::join_chunks(parts));
+                }
             }
         }
         any
     }
 }
 
-impl<T> Transport for ChannelEndpoint<T> {
+impl<T: ChunkPayload> Transport for ChannelEndpoint<T> {
     type Payload = T;
 
     fn send(&mut self, _from: usize, to: usize, key: MsgKey, payload: T, now: f64) -> f64 {
@@ -296,6 +651,56 @@ mod tests {
     }
 
     #[test]
+    fn chunked_transfer_pays_latency_per_chunk() {
+        let costs = AlphaBeta {
+            latency: 0.5,
+            volume: 2.0,
+        };
+        // k chunks: each pays full α and 1/k of the volume.
+        assert!((costs.transfer_chunk(0, 1, Part::Full, 4) - 1.0).abs() < 1e-12);
+        // k = 1 is the whole message, bit-for-bit.
+        assert_eq!(
+            costs.transfer_chunk(0, 1, Part::Full, 1).to_bits(),
+            costs.transfer(0, 1, Part::Full).to_bits()
+        );
+    }
+
+    #[test]
+    fn overlapped_send_pipelines_against_the_producing_span() {
+        // Producing op spans [0, 1]; zero-latency link with volume 1.
+        let ab = AlphaBeta {
+            latency: 0.0,
+            volume: 1.0,
+        };
+        let mut blocking = VirtualTransport::new(2, ab);
+        let b = blocking.send(0, 1, key(0), (), 1.0);
+        assert!((b - 2.0).abs() < 1e-12);
+        // 4 chunks: chunk j ready at j/4, costs 0.25 → last arrives at 1.25.
+        let mut overlapped = VirtualTransport::new(2, ab);
+        let o = overlapped.send_overlapped(0, 1, key(0), (), 1.0, 1.0, 0.0, 4);
+        assert!((o - 1.25).abs() < 1e-12, "overlapped arrival {o}");
+        // k = 1 reduces to the blocking send bit-for-bit.
+        let mut one = VirtualTransport::new(2, ab);
+        let o1 = one.send_overlapped(0, 1, key(0), (), 1.0, 1.0, 0.0, 1);
+        assert_eq!(o1.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn overlapped_chunks_queue_on_a_busy_link() {
+        // With α > 0 each chunk pays it, so heavy chunking can lose: volume
+        // 1 split into 4 on an α = 0.3 link costs 4·0.3 + 1 of link time.
+        let ab = AlphaBeta {
+            latency: 0.3,
+            volume: 1.0,
+        };
+        let mut t = VirtualTransport::new(2, ab);
+        let arrival = t.send_overlapped(0, 1, key(0), (), 1.0, 1.0, 0.0, 4);
+        // Chunk 1 departs at 0.25, arrives 0.8; chunk 2 ready 0.5, departs
+        // 0.8 (link busy), arrives 1.35; chunk 3 at 1.9; chunk 4 at 2.45.
+        assert!((arrival - 2.45).abs() < 1e-12, "arrival {arrival}");
+    }
+
+    #[test]
     fn fault_hook_injects_latency() {
         let clean = VirtualTransport::new(
             2,
@@ -315,6 +720,39 @@ mod tests {
         .with_fault(|from, to, _key, _now| if (from, to) == (0, 1) { 3.0 } else { 0.0 });
         let delayed = faulty.send(0, 1, key(0), (), 0.0);
         assert!((delayed - clean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_fault_draws_once_per_message() {
+        // The hook must see one call per message (not per chunk), and the
+        // whole delay lands on the final arrival.
+        let mut calls = 0usize;
+        let mut t = VirtualTransport::new(
+            2,
+            AlphaBeta {
+                latency: 0.0,
+                volume: 1.0,
+            },
+        )
+        .with_fault(move |_f, _t, _k, _n| {
+            calls += 1;
+            assert_eq!(calls, 1, "fault hook called once per message");
+            2.0
+        });
+        let arrival = t.send_overlapped(0, 1, key(0), (), 1.0, 1.0, 0.0, 4);
+        assert!((arrival - 3.25).abs() < 1e-12, "arrival {arrival}");
+    }
+
+    #[test]
+    fn link_cost_table_is_per_edge() {
+        let mut table = LinkCostTable::uniform(3, 0.1, 1.0);
+        table.set(1, 2, 0.5, 4.0);
+        assert!((table.transfer(0, 1, Part::Full) - 1.1).abs() < 1e-12);
+        assert!((table.transfer(1, 2, Part::Full) - 4.5).abs() < 1e-12);
+        // Reverse direction untouched by the directed set.
+        assert!((table.transfer(2, 1, Part::Full) - 1.1).abs() < 1e-12);
+        assert!((table.transfer_chunk(1, 2, Part::Full, 4) - 1.5).abs() < 1e-12);
+        assert_eq!(table.edge(1, 2), (0.5, 4.0));
     }
 
     #[test]
@@ -356,5 +794,48 @@ mod tests {
             }
         };
         assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn vec_chunks_round_trip_bit_identically() {
+        for len in [0usize, 1, 3, 8, 17] {
+            for k in [1usize, 2, 4, 8, 32] {
+                let v: Vec<u64> = (0..len as u64).collect();
+                let parts = v.clone().split_chunks(k);
+                assert!(parts.len() <= k.max(1));
+                assert_eq!(Vec::join_chunks(parts), v, "len {len} k {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_channel_sends_reassemble() {
+        let mut eps = channel_mesh::<Vec<u64>>(2, [(0, 1)]);
+        let mut receiver = eps.pop().unwrap();
+        let sender = eps.pop().unwrap();
+        let payload: Vec<u64> = (0..100).collect();
+        sender.send_chunks(1, key(0), payload.clone(), 4);
+        // A second whole message on the same edge must not interleave.
+        sender.send_to(1, key(1), vec![7, 7]);
+        let got = loop {
+            if let Some((v, _)) = receiver.try_recv(1, key(0)) {
+                break v;
+            }
+        };
+        assert_eq!(got, payload);
+        assert_eq!(receiver.recv(key(1)), vec![7, 7]);
+    }
+
+    #[test]
+    fn detached_sender_handle_sends_chunks() {
+        let mut eps = channel_mesh::<Vec<u64>>(2, [(0, 1)]);
+        let mut receiver = eps.pop().unwrap();
+        let endpoint = eps.pop().unwrap();
+        let sender = endpoint.sender();
+        let handle = std::thread::spawn(move || {
+            sender.send_chunks(1, key(0), vec![1, 2, 3, 4, 5], 3);
+        });
+        handle.join().unwrap();
+        assert_eq!(receiver.recv(key(0)), vec![1, 2, 3, 4, 5]);
     }
 }

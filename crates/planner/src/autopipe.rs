@@ -70,7 +70,9 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
 use autopipe_cost::CostDb;
-use autopipe_sim::analytic::{simulate_replay, simulate_time, AnalyticResult, SimScratch};
+use autopipe_sim::analytic::{
+    simulate_replay_with, simulate_time_with, AnalyticResult, OverlapModel, SimScratch,
+};
 use autopipe_sim::partition::{Partition, StageCosts};
 
 use crate::balanced::balanced_partition;
@@ -94,7 +96,7 @@ pub enum SimTier {
 }
 
 /// Search knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AutoPipeConfig {
     /// Maximum number of schemes to simulate before stopping.
     pub max_schemes: usize,
@@ -104,6 +106,13 @@ pub struct AutoPipeConfig {
     pub threads: usize,
     /// Simulation engine used to score candidates during the search.
     pub sim_tier: SimTier,
+    /// Score candidates under the overlapped comm engine instead of the
+    /// blocking one: per-edge eager chunked sends pipelined against the
+    /// producing compute span, exactly as the event simulator and the
+    /// threaded runtime execute them. `None` keeps the blocking cost model.
+    /// Changing this can change which partition wins — a comm-heavy stage
+    /// stops being the bottleneck once its sends overlap.
+    pub overlap: Option<OverlapModel>,
     /// Drop frontier candidates whose balance lower bound (`m ·` max stage
     /// work) already meets or exceeds the incumbent's iteration time. The
     /// bound is sound, so pruned schemes can never *win*; pruning does skip
@@ -120,6 +129,7 @@ impl Default for AutoPipeConfig {
             max_schemes: 512,
             threads: 1,
             sim_tier: SimTier::Fast,
+            overlap: None,
             prune: false,
         }
     }
@@ -252,17 +262,18 @@ fn score(
     db: &CostDb,
     m: usize,
     tier: SimTier,
+    overlap: Option<&OverlapModel>,
     scratch: &mut SimScratch,
     sc: &mut StageCosts,
 ) -> Score {
     part.stage_costs_into(db, sc);
     let (iteration_time, master_stage) = match tier {
         SimTier::Fast => {
-            let r = simulate_time(sc, m, scratch);
+            let r = simulate_time_with(sc, m, scratch, overlap);
             (r.iteration_time, r.master_stage)
         }
         SimTier::Replay => {
-            let r = simulate_replay(sc, m);
+            let r = simulate_replay_with(sc, m, overlap);
             (r.iteration_time, r.master_stage)
         }
     };
@@ -403,7 +414,7 @@ fn search(
                 )));
             }
             let (sim, sc) = &mut scratch.workers[0];
-            let s = score(seed, db, m, cfg.sim_tier, sim, sc);
+            let s = score(seed, db, m, cfg.sim_tier, cfg.overlap.as_ref(), sim, sc);
             explored += 1;
             let better = match &best {
                 None => true,
@@ -445,7 +456,7 @@ fn search(
         if threads == 1 || wave.len() == 1 {
             let (scratch, sc) = &mut workers[0];
             for (part, out) in wave.iter().zip(scores.iter_mut()) {
-                *out = score(part, db, m, cfg.sim_tier, scratch, sc);
+                *out = score(part, db, m, cfg.sim_tier, cfg.overlap.as_ref(), scratch, sc);
             }
         } else {
             // Contiguous chunks: worker k owns wave[k*chunk..], writes its
@@ -459,7 +470,7 @@ fn search(
                 {
                     s.spawn(move || {
                         for (part, out) in wchunk.iter().zip(ochunk.iter_mut()) {
-                            *out = score(part, db, m, cfg.sim_tier, scratch, sc);
+                            *out = score(part, db, m, cfg.sim_tier, cfg.overlap.as_ref(), scratch, sc);
                         }
                     });
                 }
@@ -533,7 +544,7 @@ fn search(
     let (partition, _) = best.expect("at least the seed scheme was simulated");
     // Full-fidelity tier for the winner only: the outcome carries the
     // complete per-op trace and critical path.
-    let analytic = simulate_replay(&partition.stage_costs(db), m);
+    let analytic = simulate_replay_with(&partition.stage_costs(db), m, cfg.overlap.as_ref());
     Ok(AutoPipeOutcome {
         partition,
         analytic,
@@ -647,6 +658,7 @@ fn shift_candidates(
 mod tests {
     use super::*;
     use autopipe_cost::Hardware;
+    use autopipe_sim::analytic::simulate_replay;
     use autopipe_model::{zoo, Granularity};
     use autopipe_sim::metrics::balance_stddev;
 
@@ -789,6 +801,73 @@ mod tests {
             assert_eq!(
                 fast.analytic.iteration_time.to_bits(),
                 replay.analytic.iteration_time.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn overlap_aware_search_scores_under_the_overlapped_model() {
+        // With k = 1 an overlapped send is the blocking send minus the
+        // device-blocking: same wire schedule, strictly no-later arrivals.
+        // The overlap-aware winner therefore can't be slower than the
+        // blocking winner re-scored under overlap, and its reported time is
+        // exactly the overlapped replay of its partition.
+        let d = db(Granularity::SubLayer);
+        let m = 8;
+        let p = 4;
+        let ov = OverlapModel {
+            latency: 30e-6,
+            chunks: 1,
+        };
+        let blocking = plan(&d, p, m, &AutoPipeConfig::default()).unwrap();
+        let overlapped = plan(
+            &d,
+            p,
+            m,
+            &AutoPipeConfig {
+                overlap: Some(ov),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            overlapped.analytic.iteration_time <= blocking.analytic.iteration_time,
+            "overlapped winner {} vs blocking winner {}",
+            overlapped.analytic.iteration_time,
+            blocking.analytic.iteration_time
+        );
+        let rescored =
+            simulate_replay_with(&overlapped.partition.stage_costs(&d), m, Some(&ov));
+        assert_eq!(
+            overlapped.analytic.iteration_time.to_bits(),
+            rescored.iteration_time.to_bits(),
+            "outcome must carry the overlapped replay of its own partition"
+        );
+        let blocking_rescored =
+            simulate_replay_with(&blocking.partition.stage_costs(&d), m, Some(&ov));
+        assert!(
+            overlapped.analytic.iteration_time <= blocking_rescored.iteration_time + 1e-12,
+            "overlap-aware search must not lose to the blocking winner under its own model"
+        );
+    }
+
+    #[test]
+    fn overlap_aware_search_is_thread_count_independent_too() {
+        let d = db(Granularity::SubLayer);
+        let cfg = AutoPipeConfig {
+            overlap: Some(OverlapModel {
+                latency: 30e-6,
+                chunks: 4,
+            }),
+            ..Default::default()
+        };
+        let serial = plan(&d, 8, 16, &cfg).unwrap();
+        for threads in [2, 4] {
+            let par = plan(&d, 8, 16, &AutoPipeConfig { threads, ..cfg }).unwrap();
+            assert_eq!(par.partition, serial.partition, "threads={threads}");
+            assert_eq!(
+                par.analytic.iteration_time.to_bits(),
+                serial.analytic.iteration_time.to_bits()
             );
         }
     }

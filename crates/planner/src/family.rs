@@ -18,6 +18,7 @@
 use autopipe_cost::{CostDb, Hardware};
 use autopipe_schedule::{generators, validate, Schedule, ScheduleKind};
 use autopipe_sim::event::{EventConfig, EventCosts};
+use autopipe_sim::CommConfig;
 use autopipe_sim::memcheck::check_memory;
 use autopipe_sim::schedule_replay::{replay_schedule, ReplayScratch};
 use autopipe_sim::Partition;
@@ -43,6 +44,11 @@ pub struct FamilyConfig {
     pub chunk_counts: Vec<usize>,
     /// Per-message latency (α) used to split stage comm costs when scoring.
     pub latency: f64,
+    /// Comm engine the candidates are scored under: blocking sends
+    /// (default) or the overlapped engine with eager chunked transfers.
+    /// Matches the executors' [`CommConfig`] exactly, so the family ranking
+    /// reflects how the plan will actually run.
+    pub comm: CommConfig,
     /// Partition-search knobs for the backing AutoPipe planner run.
     pub autopipe: AutoPipeConfig,
 }
@@ -53,6 +59,7 @@ impl Default for FamilyConfig {
             sliced_counts: vec![2, 3],
             chunk_counts: vec![2],
             latency: 30e-6,
+            comm: CommConfig::default(),
             autopipe: AutoPipeConfig::default(),
         }
     }
@@ -209,7 +216,11 @@ pub fn plan_families_with(
             continue;
         }
         let costs = EventCosts::from_stage_costs(&partition.stage_costs(db), cfg.latency);
-        match replay_schedule(sched, &costs, &EventConfig::default(), &mut scratch) {
+        let ev = EventConfig {
+            comm: cfg.comm,
+            ..EventConfig::default()
+        };
+        match replay_schedule(sched, &costs, &ev, &mut scratch) {
             Ok(summary) => {
                 cand.iteration_time = Some(summary.iteration_time);
                 if best.is_none_or(|(_, t)| summary.iteration_time < t) {

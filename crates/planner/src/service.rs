@@ -92,6 +92,14 @@ fn fold_cfg(h: &mut Fnv, cfg: &AutoPipeConfig) {
         SimTier::Fast => 0,
         SimTier::Replay => 1,
     });
+    match &cfg.overlap {
+        None => h.word(0),
+        Some(o) => {
+            h.word(1);
+            h.word(o.latency.to_bits());
+            h.word(o.chunks as u64);
+        }
+    }
     h.word(cfg.prune as u64);
 }
 
@@ -587,6 +595,17 @@ mod tests {
         // Other knobs are.
         let pruned = AutoPipeConfig { prune: true, ..cfg };
         assert_ne!(base, plan_fingerprint(&d, 4, 8, &pruned));
+        // The overlap cost model is part of the request identity: a cached
+        // blocking-model winner is not a valid hit for an overlap-aware
+        // request, and the model's parameters matter too.
+        let ov = |latency, chunks| AutoPipeConfig {
+            overlap: Some(autopipe_sim::OverlapModel { latency, chunks }),
+            ..cfg
+        };
+        let overlapped = plan_fingerprint(&d, 4, 8, &ov(30e-6, 4));
+        assert_ne!(base, overlapped);
+        assert_ne!(overlapped, plan_fingerprint(&d, 4, 8, &ov(60e-6, 4)));
+        assert_ne!(overlapped, plan_fingerprint(&d, 4, 8, &ov(30e-6, 2)));
     }
 
     #[test]

@@ -810,6 +810,7 @@ mod tests {
             lr: 1e-3,
             seed,
             checkpointing: false,
+            comm: autopipe_exec::CommConfig::default(),
         })
         .unwrap()
     }
@@ -884,6 +885,7 @@ mod tests {
             lr: 1e-3,
             seed: 1,
             checkpointing: false,
+            comm: autopipe_exec::CommConfig::default(),
         })
         .unwrap();
         let before = b.param_checksum();

@@ -383,6 +383,7 @@ mod tests {
             lr: 1e-3,
             seed: 77,
             checkpointing: false,
+            comm: autopipe_exec::CommConfig::default(),
         })
         .unwrap()
     }

@@ -183,6 +183,7 @@ mod tests {
             lr: 3e-3,
             seed: 11,
             checkpointing: true,
+            comm: autopipe_exec::CommConfig::default(),
         };
         let steps = train_copy_task(
             &model,
@@ -220,6 +221,7 @@ mod tests {
             lr: 1e-3,
             seed: 12,
             checkpointing: false,
+            comm: autopipe_exec::CommConfig::default(),
         };
         let mut trainer = Trainer::try_new(
             &pipe_cfg,

@@ -220,7 +220,7 @@ impl Watchdog {
     /// Deadline-looped receive. `Ok` delivers the payload; `Err(true)` means
     /// this wait was abandoned (and the pipeline poisoned); `Err(false)`
     /// means another thread poisoned the pipeline while we waited.
-    pub(crate) fn recv<T>(
+    pub(crate) fn recv<T: autopipe_exec::ChunkPayload>(
         &self,
         ep: &mut ChannelEndpoint<T>,
         device: usize,

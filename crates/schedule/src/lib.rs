@@ -29,7 +29,7 @@ pub mod program;
 pub mod validate;
 
 pub use generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble};
-pub use op::{Op, OpKind, Part};
+pub use op::{Lane, Op, OpKind, Part};
 pub use validate::{validate, ValidationError};
 
 use serde::{Deserialize, Serialize};

@@ -80,6 +80,20 @@ pub enum OpKind {
     },
 }
 
+/// Which per-device lane an op occupies when the comm engine runs in
+/// overlap mode. Compute ops hold the device; Send/Recv ops are issued from
+/// the compute lane but their wire time runs on the device's comm lane
+/// (eager chunked sends pipelined against the producing compute span,
+/// prefetched recvs gating the next compute op). In blocking mode both
+/// lanes collapse onto the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Lane {
+    /// Occupies the device for the op's duration.
+    Compute,
+    /// Runs on the wire; the device only issues/collects it.
+    Comm,
+}
+
 /// An op plus nothing else (a struct so the IR can grow metadata without
 /// touching every consumer).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -111,6 +125,16 @@ impl Op {
     #[inline]
     pub fn is_comm(&self) -> bool {
         !self.is_compute()
+    }
+
+    /// The lane this op occupies under the overlapped comm engine.
+    #[inline]
+    pub fn lane(&self) -> Lane {
+        if self.is_compute() {
+            Lane::Compute
+        } else {
+            Lane::Comm
+        }
     }
 
     /// Micro-batch this op concerns.
@@ -176,6 +200,22 @@ mod tests {
             part: Part::Half1,
         });
         assert!(f.is_compute());
+    }
+
+    #[test]
+    fn lanes_partition_compute_and_comm() {
+        let fwd = Op::new(OpKind::Fwd {
+            mb: 0,
+            chunk: 0,
+            part: Part::Full,
+        });
+        let recv = Op::new(OpKind::RecvGrad {
+            mb: 0,
+            chunk: 0,
+            from: 1,
+        });
+        assert_eq!(fwd.lane(), Lane::Compute);
+        assert_eq!(recv.lane(), Lane::Comm);
     }
 
     #[test]

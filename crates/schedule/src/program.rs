@@ -15,6 +15,13 @@
 //! Because communication placement is centralised here, coverage/deadlock
 //! validation and the simulators stay family-agnostic: a new family is just
 //! a new way of arranging slots into phases.
+//!
+//! Lowering also guarantees the *comm-lane adjacency* invariant the
+//! overlapped comm engine depends on: every send op is emitted directly
+//! after the compute op that produced its payload (recv–compute–send per
+//! slot), so an eager chunked send always knows which compute span to
+//! pipeline against ([`crate::Lane`]; enforced by
+//! [`crate::validate::validate`]).
 
 use serde::{Deserialize, Serialize};
 

@@ -42,6 +42,11 @@ pub enum ValidationError {
     /// A compute op carries `Part::Both`. The aggregated part describes one
     /// *message* holding two halves; compute always runs per half.
     BothOnCompute { stage: usize, mb: usize },
+    /// A send op is not directly preceded by a compute op on its device.
+    /// The overlapped comm engine pipelines a send's chunks against the
+    /// producing compute span — lowering must keep every send adjacent to
+    /// the op that produced its payload.
+    SendWithoutProducingSpan { device: usize, pos: usize },
 }
 
 impl std::fmt::Display for ValidationError {
@@ -83,6 +88,11 @@ impl std::fmt::Display for ValidationError {
                 "stage {stage} micro-batch {mb}: Part::Both on a compute op \
                  (aggregation applies to messages, not compute)"
             ),
+            ValidationError::SendWithoutProducingSpan { device, pos } => write!(
+                f,
+                "device {device} op {pos}: send not directly preceded by a compute op \
+                 (the overlapped comm lane needs the producing span adjacent)"
+            ),
         }
     }
 }
@@ -106,7 +116,25 @@ struct MsgKey {
 /// then deadlock-freedom of the replay, then absence of orphan sends.
 pub fn validate(s: &Schedule) -> Result<(), ValidationError> {
     check_coverage(s)?;
+    check_send_adjacency(s)?;
     replay(s)
+}
+
+/// Every send must sit directly after a compute op in its device program —
+/// the invariant the overlapped comm engine relies on to know which span a
+/// send's chunks pipeline against (`schedule::program` lowers sends this
+/// way; hand-built schedules must too).
+fn check_send_adjacency(s: &Schedule) -> Result<(), ValidationError> {
+    for (d, dev) in s.devices.iter().enumerate() {
+        for (pos, o) in dev.iter().enumerate() {
+            if matches!(o.kind, OpKind::SendAct { .. } | OpKind::SendGrad { .. })
+                && (pos == 0 || !dev[pos - 1].is_compute())
+            {
+                return Err(ValidationError::SendWithoutProducingSpan { device: d, pos });
+            }
+        }
+    }
+    Ok(())
 }
 
 fn check_coverage(s: &Schedule) -> Result<(), ValidationError> {
@@ -310,6 +338,24 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn detects_send_without_producing_span() {
+        // Swap a (compute, send) pair on device 0 of a valid 1F1B schedule:
+        // the send now directly follows a recv (or starts the program),
+        // breaking the overlap engine's producing-span adjacency.
+        let mut s = one_f_one_b(2, 2);
+        let pos = s.devices[0]
+            .iter()
+            .position(|o| matches!(o.kind, OpKind::SendAct { .. }))
+            .expect("1f1b device 0 sends activations");
+        assert!(pos > 0 && s.devices[0][pos - 1].is_compute());
+        s.devices[0].swap(pos - 1, pos);
+        assert!(matches!(
+            validate(&s),
+            Err(ValidationError::SendWithoutProducingSpan { device: 0, .. })
+        ));
     }
 
     #[test]

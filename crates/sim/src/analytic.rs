@@ -30,6 +30,55 @@ use serde::{Deserialize, Serialize};
 
 use crate::partition::StageCosts;
 
+/// Overlap-aware comm model for the analytic tiers.
+///
+/// When passed to [`simulate_time_with`] / [`simulate_replay_with`], the flat
+/// per-hop `comm` cost of [`StageCosts`] is split into a per-message latency
+/// α (`latency.min(comm)`, the same split as
+/// [`crate::event::EventCosts::from_stage_costs`]) and a volume term, and
+/// every hand-off is sent as `chunks` eager chunks that pipeline against the
+/// producing compute span over a per-directed-edge FIFO link — the exact
+/// arithmetic of `VirtualTransport::send_overlapped`, so the fast tier stays
+/// bit-identical to the event simulator with overlap on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverlapModel {
+    /// Per-message (and per-chunk) latency α.
+    pub latency: f64,
+    /// Number of wire chunks per hand-off.
+    pub chunks: usize,
+}
+
+impl OverlapModel {
+    /// Split a flat per-hop comm cost into (α, per-chunk cost), mirroring
+    /// `EventCosts::from_stage_costs` + `transfer_chunk` bit for bit.
+    fn chunk_cost(&self, comm: f64) -> f64 {
+        let alpha = self.latency.min(comm);
+        let volume = (comm - self.latency).max(0.0);
+        alpha + volume / self.chunks.max(1) as f64
+    }
+
+    /// Effective chunk count (≥ 1).
+    fn k(&self) -> usize {
+        self.chunks.max(1)
+    }
+}
+
+/// One eager chunked send over a directed edge's FIFO link: chunk `j` of `k`
+/// becomes ready once `j/k` of the producing span has run; each chunk pays
+/// `chunk_cost`. Returns the last chunk's arrival — the consumer's gate.
+/// Verbatim `VirtualTransport::send_overlapped` (stall-free).
+#[inline]
+fn eager_send(link_free: &mut f64, span_end: f64, span_dur: f64, chunk_cost: f64, k: usize) -> f64 {
+    let mut arrival = 0.0;
+    for j in 1..=k {
+        let ready = span_end - span_dur * ((k - j) as f64 / k as f64);
+        let depart = link_free.max(ready);
+        arrival = depart + chunk_cost;
+        *link_free = arrival;
+    }
+    arrival
+}
+
 /// Forward or backward.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum OpClass {
@@ -116,8 +165,30 @@ pub fn block_count(stage: usize, n: usize, m: usize) -> usize {
 /// Exact per-op replay of the 1F1B schedule for the given stage costs and
 /// micro-batch count.
 pub fn simulate_replay(costs: &StageCosts, m: usize) -> AnalyticResult {
+    simulate_replay_with(costs, m, None)
+}
+
+/// [`simulate_replay`] with an optional overlap-aware comm model.
+///
+/// With `overlap`, cross-stage gates are the arrivals of chunked eager sends
+/// computed at the *sender* (stored in [`OpTime::cross_ready`]); without it,
+/// the classic blocking `end + comm` — byte-identical to the original path.
+pub fn simulate_replay_with(
+    costs: &StageCosts,
+    m: usize,
+    overlap: Option<&OverlapModel>,
+) -> AnalyticResult {
     let n = costs.n_stages();
     assert!(m >= 1, "need at least one micro-batch");
+    // Overlap mode: per-directed-edge link state and sender-computed
+    // arrivals. `act_arr[x*m+mb]` gates stage x+1's forward of `mb`;
+    // `grad_arr[x*m+mb]` gates stage x−1's backward of `mb`.
+    let chunk_cost = overlap.map_or(0.0, |ov| ov.chunk_cost(costs.comm));
+    let k = overlap.map_or(1, OverlapModel::k);
+    let mut act_link = vec![0.0_f64; n];
+    let mut grad_link = vec![0.0_f64; n];
+    let mut act_arr = vec![0.0_f64; if overlap.is_some() { n * m } else { 0 }];
+    let mut grad_arr = vec![0.0_f64; if overlap.is_some() { n * m } else { 0 }];
 
     // Build per-stage programs and the op arena.
     let mut ops: Vec<OpTime> = Vec::with_capacity(2 * n * m);
@@ -188,7 +259,19 @@ pub fn simulate_replay(costs: &StageCosts, m: usize) -> AnalyticResult {
                     None
                 };
                 let intra_ready = dev_free[x];
-                let cross_ready = cross.map_or(0.0, |c| ops[c].end + costs.comm);
+                let cross_ready = match cross {
+                    Some(c) => {
+                        if overlap.is_some() {
+                            match class {
+                                OpClass::Fwd => act_arr[(x - 1) * m + mb],
+                                OpClass::Bwd => grad_arr[(x + 1) * m + mb],
+                            }
+                        } else {
+                            ops[c].end + costs.comm
+                        }
+                    }
+                    None => 0.0,
+                };
                 let start = intra_ready.max(cross_ready);
                 let dur = match class {
                     OpClass::Fwd => costs.f[x],
@@ -202,6 +285,20 @@ pub fn simulate_replay(costs: &StageCosts, m: usize) -> AnalyticResult {
                 o.start = start;
                 o.end = start + dur;
                 dev_free[x] = o.end;
+                if overlap.is_some() {
+                    // Sender-side eager send right after the producing span.
+                    match class {
+                        OpClass::Fwd if x < n - 1 => {
+                            act_arr[x * m + mb] =
+                                eager_send(&mut act_link[x], o.end, dur, chunk_cost, k);
+                        }
+                        OpClass::Bwd if x > 0 => {
+                            grad_arr[x * m + mb] =
+                                eager_send(&mut grad_link[x], o.end, dur, chunk_cost, k);
+                        }
+                        _ => {}
+                    }
+                }
                 done[idx] = true;
                 pc[x] += 1;
                 progressed = true;
@@ -270,6 +367,14 @@ pub struct SimScratch {
     path_count: Vec<usize>,
     /// Per-stage total busy time `m · (f_x + b_x)`, filled by each call.
     stage_busy: Vec<f64>,
+    /// Overlap mode: arrival of stage x's activation of `mb` at stage x+1.
+    act_arr: Vec<f64>,
+    /// Overlap mode: arrival of stage x's gradient of `mb` at stage x−1.
+    grad_arr: Vec<f64>,
+    /// Overlap mode: busy-until time of the activation edge x → x+1.
+    act_link: Vec<f64>,
+    /// Overlap mode: busy-until time of the gradient edge x → x−1.
+    grad_link: Vec<f64>,
     /// Stage count of the last simulation (bounds [`Self::stage_busy`]).
     n: usize,
 }
@@ -333,10 +438,25 @@ fn bwd_pos(w: usize, blocks: usize, mb: usize) -> usize {
 /// full replay, so `iteration_time` and `startup_overhead` are bit-identical
 /// and `master_stage` follows the identical critical-path tie rules.
 pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> FastResult {
+    simulate_time_with(costs, m, scratch, None)
+}
+
+/// [`simulate_time`] with an optional overlap-aware comm model — the fast
+/// tier of the overlapped cost model, bit-identical to
+/// [`simulate_replay_with`] (and to the event simulator's overlap sweep).
+pub fn simulate_time_with(
+    costs: &StageCosts,
+    m: usize,
+    scratch: &mut SimScratch,
+    overlap: Option<&OverlapModel>,
+) -> FastResult {
     let n = costs.n_stages();
     assert!(m >= 1, "need at least one micro-batch");
     let comm = costs.comm;
     let prog_len = 2 * m;
+    let chunk_cost = overlap.map_or(0.0, |ov| ov.chunk_cost(comm));
+    let k = overlap.map_or(1, OverlapModel::k);
+    let overlapped = overlap.is_some();
 
     let SimScratch {
         fwd_end,
@@ -344,6 +464,10 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
         dev_free,
         path_count,
         stage_busy,
+        act_arr,
+        grad_arr,
+        act_link,
+        grad_link,
         n: scratch_n,
     } = scratch;
     *scratch_n = n;
@@ -357,6 +481,15 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
     path_count.resize(n, 0);
     stage_busy.clear();
     stage_busy.extend((0..n).map(|x| m as f64 * costs.work(x)));
+    let arr_len = if overlapped { n * m } else { 0 };
+    act_arr.clear();
+    act_arr.resize(arr_len, 0.0);
+    grad_arr.clear();
+    grad_arr.resize(arr_len, 0.0);
+    act_link.clear();
+    act_link.resize(n, 0.0);
+    grad_link.clear();
+    grad_link.resize(n, 0.0);
 
     // Single-pass topological sweep over program indices. For the 1F1B
     // program the dependency of a forward at index `i` of stage `x` sits at
@@ -375,7 +508,11 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
                 continue;
             }
             let cross_ready = if x > 0 {
-                fwd_end[(x - 1) * m + mb] + comm
+                if overlapped {
+                    act_arr[(x - 1) * m + mb]
+                } else {
+                    fwd_end[(x - 1) * m + mb] + comm
+                }
             } else {
                 0.0
             };
@@ -383,6 +520,9 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
             let e = start + costs.f[x];
             fwd_end[x * m + mb] = e;
             dev_free[x] = e;
+            if overlapped && x < n - 1 {
+                act_arr[x * m + mb] = eager_send(&mut act_link[x], e, costs.f[x], chunk_cost, k);
+            }
         }
         for x in (0..n).rev() {
             let w = warmup_count(x, n, m);
@@ -391,7 +531,11 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
                 continue;
             }
             let cross_ready = if x < n - 1 {
-                bwd_end[(x + 1) * m + mb] + comm
+                if overlapped {
+                    grad_arr[(x + 1) * m + mb]
+                } else {
+                    bwd_end[(x + 1) * m + mb] + comm
+                }
             } else {
                 0.0
             };
@@ -399,6 +543,9 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
             let e = start + costs.b[x];
             bwd_end[x * m + mb] = e;
             dev_free[x] = e;
+            if overlapped && x > 0 {
+                grad_arr[x * m + mb] = eager_send(&mut grad_link[x], e, costs.b[x], chunk_cost, k);
+            }
         }
     }
 
@@ -442,8 +589,22 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
         }
         // (cross stage, cross readiness) of this op, if it has a cross dep.
         let cross = match class {
-            OpClass::Fwd if cx > 0 => Some((cx - 1, fwd_end[(cx - 1) * m + mb] + comm)),
-            OpClass::Bwd if cx < n - 1 => Some((cx + 1, bwd_end[(cx + 1) * m + mb] + comm)),
+            OpClass::Fwd if cx > 0 => Some((
+                cx - 1,
+                if overlapped {
+                    act_arr[(cx - 1) * m + mb]
+                } else {
+                    fwd_end[(cx - 1) * m + mb] + comm
+                },
+            )),
+            OpClass::Bwd if cx < n - 1 => Some((
+                cx + 1,
+                if overlapped {
+                    grad_arr[(cx + 1) * m + mb]
+                } else {
+                    bwd_end[(cx + 1) * m + mb] + comm
+                },
+            )),
             _ => None,
         };
         let intra_ready = if ci > 0 { end_of(cx, ci - 1) } else { 0.0 };
@@ -494,6 +655,8 @@ pub fn simulate_time(costs: &StageCosts, m: usize, scratch: &mut SimScratch) -> 
 
     let startup_overhead = if n == 1 {
         0.0
+    } else if overlapped {
+        act_arr[(n - 2) * m]
     } else {
         fwd_end[(n - 2) * m] + comm
     };
@@ -908,6 +1071,93 @@ mod tests {
             let r = simulate_time(&c, 12, &mut scratch);
             assert_eq!(r.master_stage, heavy, "heavy stage {heavy}");
         }
+    }
+
+    #[test]
+    fn overlapped_fast_tier_matches_overlapped_replay_bit_for_bit() {
+        let cases = [
+            (vec![2.0], vec![4.0], 0.5, 5),
+            (vec![1.0; 4], vec![2.0; 4], 0.0, 8),
+            (vec![1.0, 1.5, 2.0, 1.0], vec![2.0; 4], 0.25, 8),
+            (vec![1.0, 1.3, 0.9, 1.1], vec![2.0, 2.6, 1.8, 2.2], 1.05, 10),
+            (vec![1.0; 4], vec![2.0; 4], 3.0, 2), // comm-dominated, m < n
+            (vec![0.0, 1.0, 0.0], vec![0.0, 2.0, 0.0], 0.01, 6),
+        ];
+        let mut scratch = SimScratch::new();
+        for k in [1usize, 2, 4, 8] {
+            for (f, b, comm, m) in cases.clone() {
+                let ov = OverlapModel {
+                    latency: 0.01,
+                    chunks: k,
+                };
+                let c = costs(f, b, comm);
+                let full = simulate_replay_with(&c, m, Some(&ov));
+                let fast = simulate_time_with(&c, m, &mut scratch, Some(&ov));
+                assert_eq!(fast.iteration_time, full.iteration_time, "k={k}");
+                assert_eq!(fast.startup_overhead, full.startup_overhead, "k={k}");
+                assert_eq!(fast.master_stage, full.master_stage, "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn overlapped_analytic_matches_overlapped_event_sim_bit_for_bit() {
+        use crate::event::{run_schedule_untraced, EventConfig, EventCosts};
+        use autopipe_exec::CommConfig;
+        use autopipe_schedule::generators::one_f_one_b;
+        // Comm-heavy enough that the eager chunks actually queue on links.
+        let c = costs(vec![1.0, 1.3, 0.9, 1.1], vec![2.0, 2.6, 1.8, 2.2], 1.5);
+        let latency = 0.05;
+        let mut scratch = SimScratch::new();
+        for k in [1usize, 2, 4, 8] {
+            for m in [4, 8, 12] {
+                let ov = OverlapModel {
+                    latency,
+                    chunks: k,
+                };
+                let a = simulate_time_with(&c, m, &mut scratch, Some(&ov));
+                let e = run_schedule_untraced(
+                    &one_f_one_b(4, m),
+                    &EventCosts::from_stage_costs(&c, latency),
+                    &EventConfig {
+                        comm: CommConfig::overlapped(k),
+                        ..Default::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    a.iteration_time.to_bits(),
+                    e.iteration_time.to_bits(),
+                    "k={k} m={m}: analytic {} vs event {}",
+                    a.iteration_time,
+                    e.iteration_time
+                );
+                assert_eq!(
+                    a.startup_overhead.to_bits(),
+                    e.startup_overhead.to_bits(),
+                    "k={k} m={m}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_shrinks_iteration_time_on_comm_heavy_costs() {
+        let c = costs(vec![1.0; 4], vec![1.0; 4], 2.0);
+        let mut scratch = SimScratch::new();
+        let blocking = simulate_time(&c, 8, &mut scratch);
+        let ov = OverlapModel {
+            latency: 0.01,
+            chunks: 4,
+        };
+        let overlapped = simulate_time_with(&c, 8, &mut scratch, Some(&ov));
+        let gain = 1.0 - overlapped.iteration_time / blocking.iteration_time;
+        assert!(
+            gain >= 0.10,
+            "gain {gain:.3} (blocking {}, overlapped {})",
+            blocking.iteration_time,
+            overlapped.iteration_time
+        );
     }
 
     #[test]

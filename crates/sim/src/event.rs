@@ -21,8 +21,8 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use autopipe_exec::{
-    op_key, FailStopKind, FaultPlan, LinkCost, NoTrace, OpTimes, Recorder, Timeline, TraceSink,
-    Transport, VirtualTransport,
+    op_key, CommConfig, FailStopKind, FaultPlan, LinkCost, NoTrace, OpTimes, Recorder, Timeline,
+    TraceSink, Transport, VirtualTransport,
 };
 use autopipe_schedule::{OpKind, Part, Schedule};
 
@@ -55,11 +55,22 @@ impl EventCosts {
     pub fn transfer(&self, part: Part) -> f64 {
         self.latency + part.frac() * self.volume
     }
+
+    /// Transfer time of one of `k` chunks of that message: full latency per
+    /// chunk, `1/k` of the volume. `k = 1` equals [`EventCosts::transfer`]
+    /// bit-for-bit.
+    pub fn transfer_chunk(&self, part: Part, k: usize) -> f64 {
+        self.latency + part.frac() * (self.volume / k.max(1) as f64)
+    }
 }
 
 impl LinkCost for EventCosts {
     fn transfer(&self, _from: usize, _to: usize, part: Part) -> f64 {
         EventCosts::transfer(self, part)
+    }
+
+    fn transfer_chunk(&self, _from: usize, _to: usize, part: Part, k: usize) -> f64 {
+        EventCosts::transfer_chunk(self, part, k)
     }
 }
 
@@ -78,6 +89,9 @@ pub struct EventConfig {
     /// what makes micro-batch slicing "unsuitable for a shallow pipeline"
     /// (Fig. 10): at depth 2 the fill-time gain is too small to cover it.
     pub half_efficiency: f64,
+    /// Comm-lane behaviour: blocking hand-offs (default) or chunked eager
+    /// sends overlapped with compute.
+    pub comm: CommConfig,
 }
 
 impl Default for EventConfig {
@@ -87,6 +101,7 @@ impl Default for EventConfig {
             jitter_sigma: 0.0,
             seed: 0xE5E17,
             half_efficiency: 1.0,
+            comm: CommConfig::default(),
         }
     }
 }
@@ -101,6 +116,7 @@ impl EventConfig {
             jitter_sigma: 0.015,
             seed,
             half_efficiency: 1.25,
+            comm: CommConfig::default(),
         }
     }
 }
@@ -354,6 +370,14 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
     let mut dev_free = vec![0.0_f64; p];
     let mut device_busy = vec![0.0_f64; p];
     let mut startup: Option<f64> = None;
+    // Comm lane (overlap mode). `last_span[d]` is the (end, duration) of the
+    // device's most recent compute op — the span an eager send pipelines
+    // against. `pending[d]` gates the *next* compute op on the arrivals its
+    // recvs have posted; recvs themselves no longer block the device.
+    let overlap = cfg.comm.overlap;
+    let chunks = cfg.comm.effective_chunks();
+    let mut last_span = vec![(0.0_f64, 0.0_f64); p];
+    let mut pending = vec![0.0_f64; p];
     // Times for the current device's run of ops, flushed to the sink as one
     // block when the device yields. The buffer stays hot across the sweep,
     // which is what keeps tracing cheap (see the `trace_overhead` bench).
@@ -403,7 +427,14 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         };
                         let mut dur = duration(costs.f[stage] * part.frac() * eff, cfg, &mut rng);
                         dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
-                        let s = dev_free[d] + stall;
+                        let s = if overlap {
+                            let s = (dev_free[d] + stall).max(pending[d]);
+                            pending[d] = 0.0;
+                            last_span[d] = (s + dur, dur);
+                            s
+                        } else {
+                            dev_free[d] + stall
+                        };
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
@@ -411,7 +442,14 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         let stage = sched.stage_of(d, chunk);
                         let mut dur = duration(costs.b[stage], cfg, &mut rng);
                         dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
-                        let s = dev_free[d] + stall;
+                        let s = if overlap {
+                            let s = (dev_free[d] + stall).max(pending[d]);
+                            pending[d] = 0.0;
+                            last_span[d] = (s + dur, dur);
+                            s
+                        } else {
+                            dev_free[d] + stall
+                        };
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
@@ -423,7 +461,14 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         let stage = sched.stage_of(d, chunk);
                         let mut dur = duration(costs.b[stage] * 0.5, cfg, &mut rng);
                         dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
-                        let s = dev_free[d] + stall;
+                        let s = if overlap {
+                            let s = (dev_free[d] + stall).max(pending[d]);
+                            pending[d] = 0.0;
+                            last_span[d] = (s + dur, dur);
+                            s
+                        } else {
+                            dev_free[d] + stall
+                        };
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
@@ -432,7 +477,14 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         let b_in = costs.b[stage] * 0.5;
                         let mut dur = duration(costs.b[stage] - b_in, cfg, &mut rng);
                         dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
-                        let s = dev_free[d] + stall;
+                        let s = if overlap {
+                            let s = (dev_free[d] + stall).max(pending[d]);
+                            pending[d] = 0.0;
+                            last_span[d] = (s + dur, dur);
+                            s
+                        } else {
+                            dev_free[d] + stall
+                        };
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
@@ -440,7 +492,16 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         let (key, _) = op_key(sched, d, &op).expect("send op has a key");
                         // Sends are asynchronous: zero device time.
                         let t = dev_free[d] + stall;
-                        transport.send(d, to, key, (), t);
+                        if overlap {
+                            // Eager chunked send: chunks depart while the
+                            // producing compute span is still running.
+                            let (span_end, span_dur) = last_span[d];
+                            transport.send_overlapped(
+                                d, to, key, (), span_end, span_dur, stall, chunks,
+                            );
+                        } else {
+                            transport.send(d, to, key, (), t);
+                        }
                         (t, t)
                     }
                     OpKind::RecvAct { .. } => {
@@ -457,7 +518,15 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                                 if d == p - 1 && startup.is_none() {
                                     startup = Some(arrival);
                                 }
-                                (s, (s + stall).max(arrival))
+                                if overlap {
+                                    // Prefetch semantics: the recv posts the
+                                    // arrival as an input gate for the next
+                                    // compute op instead of blocking here.
+                                    pending[d] = pending[d].max(arrival);
+                                    (s, s + stall)
+                                } else {
+                                    (s, (s + stall).max(arrival))
+                                }
                             }
                             None => break,
                         }
@@ -468,7 +537,12 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                             Some(((), arrival)) => {
                                 ready = arrival;
                                 let s = dev_free[d];
-                                (s, (s + stall).max(arrival))
+                                if overlap {
+                                    pending[d] = pending[d].max(arrival);
+                                    (s, s + stall)
+                                } else {
+                                    (s, (s + stall).max(arrival))
+                                }
                             }
                             None => break,
                         }
@@ -501,7 +575,11 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
         }
     }
 
-    let iteration_time = dev_free.iter().copied().fold(0.0, f64::max);
+    let iteration_time = dev_free
+        .iter()
+        .chain(pending.iter())
+        .copied()
+        .fold(0.0, f64::max);
     Ok(SweepOutcome {
         summary: EventSummary {
             iteration_time,

@@ -14,7 +14,7 @@
 //! 3. The analytic pipeline simulator's critical path (§III-B.1) lands on
 //!    the event simulator's timeline within floating-point tolerance.
 
-use autopipe_exec::Timeline;
+use autopipe_exec::{CommConfig, Timeline};
 use autopipe_model::{ModelConfig, ModelFamily};
 use autopipe_runtime::{BatchSet, Pipeline, PipelineConfig};
 use autopipe_schedule::{
@@ -38,7 +38,7 @@ fn tiny() -> ModelConfig {
 
 /// Run `sched` through the threaded runtime on the tiny model and return
 /// its timeline.
-fn runtime_timeline(sched: &Schedule, partition: Vec<usize>, mbs: usize) -> Timeline {
+fn runtime_timeline(sched: &Schedule, partition: Vec<usize>, mbs: usize, comm: CommConfig) -> Timeline {
     let model = tiny();
     let m = sched.n_microbatches;
     let batch = BatchSet::synthetic(21, m, mbs, model.seq_len, model.vocab_size);
@@ -49,6 +49,7 @@ fn runtime_timeline(sched: &Schedule, partition: Vec<usize>, mbs: usize) -> Time
         lr: 1e-3,
         seed: 42,
         checkpointing: false,
+        comm,
     })
     .expect("valid pipeline config");
     pipe.forward_backward(&batch).expect("iteration completes");
@@ -73,15 +74,19 @@ fn simulated_timeline(sched: &Schedule) -> Timeline {
 }
 
 fn assert_consistent(sched: &Schedule, partition: Vec<usize>, mbs: usize) {
-    let real = runtime_timeline(sched, partition, mbs);
-    let sim = simulated_timeline(sched);
-    // Check 1: wall-clock execution and virtual-time simulation ran the
-    // exact same per-device op sequences.
-    real.same_op_order(&sim)
-        .unwrap_or_else(|divergence| panic!("runtime vs simulator: {divergence}"));
-    // Check 2: and that sequence is the schedule's program order.
-    for (d, ops) in sched.devices.iter().enumerate() {
-        assert_eq!(real.op_order(d), *ops, "device {d} diverged from program");
+    // Both comm engines must run the schedule's exact program order: the
+    // overlapped engine moves wire time off the stage threads, never ops.
+    for comm in [CommConfig::default(), CommConfig::overlapped(4)] {
+        let real = runtime_timeline(sched, partition.clone(), mbs, comm);
+        let sim = simulated_timeline(sched);
+        // Check 1: wall-clock execution and virtual-time simulation ran the
+        // exact same per-device op sequences.
+        real.same_op_order(&sim)
+            .unwrap_or_else(|divergence| panic!("runtime vs simulator ({comm:?}): {divergence}"));
+        // Check 2: and that sequence is the schedule's program order.
+        for (d, ops) in sched.devices.iter().enumerate() {
+            assert_eq!(real.op_order(d), *ops, "device {d} diverged from program");
+        }
     }
 }
 
@@ -135,6 +140,7 @@ fn split_backward_trains_bit_identically_to_fused() {
             lr: 1e-3,
             seed: 42,
             checkpointing: false,
+            comm: CommConfig::default(),
         })
         .expect("valid pipeline config");
         let mut losses = Vec::new();

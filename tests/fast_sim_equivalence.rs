@@ -14,9 +14,12 @@ use proptest::prelude::*;
 use autopipe_schedule::{
     gpipe, interleaved, one_f_one_b, sliced_1f1b, validate, zero_bubble, Schedule,
 };
-use autopipe_sim::analytic::{recurrence, simulate_replay, simulate_time, SimScratch};
+use autopipe_sim::analytic::{
+    recurrence, simulate_replay, simulate_replay_with, simulate_time, simulate_time_with,
+    OverlapModel, SimScratch,
+};
 use autopipe_sim::event::{run_schedule_untraced, EventConfig, EventCosts};
-use autopipe_sim::{replay_schedule, ReplayScratch, StageCosts};
+use autopipe_sim::{replay_schedule, CommConfig, ReplayScratch, StageCosts};
 
 /// Fully random pipelines: any depth 1..=8, any m 1..=32 (including m < n),
 /// stage times spanning four orders of magnitude down to near-zero.
@@ -183,6 +186,74 @@ proptest! {
             let fast = simulate_time(costs, *m, &mut scratch);
             prop_assert_eq!(fast.iteration_time.to_bits(), full.iteration_time.to_bits());
             prop_assert_eq!(fast.master_stage, full.master_stage);
+        }
+    }
+
+    /// The overlapped comm lane preserves the whole-family bit-identity:
+    /// the generic fast-tier replay reproduces the event simulator's eager
+    /// chunked sends exactly, for every family and chunking factor.
+    #[test]
+    fn every_family_replays_bit_identically_with_overlap_on(
+        (sched, costs) in any_family(),
+        k in 1usize..=8,
+    ) {
+        let ec = EventCosts::from_stage_costs(&costs, costs.comm.min(30e-6));
+        let cfg = EventConfig {
+            kernel_overhead: 1e-5,
+            comm: CommConfig::overlapped(k),
+            ..EventConfig::default()
+        };
+        let event = run_schedule_untraced(&sched, &ec, &cfg).unwrap();
+        let mut scratch = ReplayScratch::new();
+        let fast = replay_schedule(&sched, &ec, &cfg, &mut scratch).unwrap();
+        prop_assert_eq!(
+            fast.iteration_time.to_bits(),
+            event.iteration_time.to_bits(),
+            "iteration time: fast {} vs event {} (k={})",
+            fast.iteration_time,
+            event.iteration_time,
+            k
+        );
+        prop_assert_eq!(
+            fast.startup_overhead.to_bits(),
+            event.startup_overhead.to_bits()
+        );
+        for d in 0..sched.n_devices {
+            prop_assert_eq!(fast.device_busy[d].to_bits(), event.device_busy[d].to_bits());
+        }
+    }
+
+    /// The analytic tiers agree bitwise with each other under overlap on
+    /// arbitrary pipelines, and with one chunk the overlapped model can
+    /// never be slower than blocking (same wire schedule, device freed
+    /// early).
+    #[test]
+    fn overlapped_analytic_tiers_agree_bitwise((costs, m) in wild_costs(), k in 1usize..=8) {
+        let ov = OverlapModel { latency: costs.comm.min(30e-6), chunks: k };
+        let full = simulate_replay_with(&costs, m, Some(&ov));
+        let mut scratch = SimScratch::new();
+        let fast = simulate_time_with(&costs, m, &mut scratch, Some(&ov));
+        prop_assert_eq!(
+            fast.iteration_time.to_bits(),
+            full.iteration_time.to_bits(),
+            "iteration time: fast {} vs replay {} (k={})",
+            fast.iteration_time,
+            full.iteration_time,
+            k
+        );
+        prop_assert_eq!(
+            fast.startup_overhead.to_bits(),
+            full.startup_overhead.to_bits()
+        );
+        prop_assert_eq!(fast.master_stage, full.master_stage);
+        if k == 1 {
+            let blocking = simulate_replay(&costs, m);
+            prop_assert!(
+                fast.iteration_time <= blocking.iteration_time + 1e-12,
+                "1-chunk overlap {} must not lose to blocking {}",
+                fast.iteration_time,
+                blocking.iteration_time
+            );
         }
     }
 

@@ -56,6 +56,7 @@ fn pipe(p: usize, seed: u64) -> Pipeline {
         lr: 1e-3,
         seed,
         checkpointing: false,
+        comm: autopipe_exec::CommConfig::default(),
     })
     .unwrap()
 }
