@@ -1,0 +1,207 @@
+//! Memory-scalable planning frontier: plans GPT-2 1.3B on 24 GB-class
+//! cards under a ladder of per-device memory budgets, once with the
+//! recompute axis disabled (`RecomputePolicy::Off`) and once with the joint
+//! partition × recomputation × slicing search (`RecomputePolicy::Auto`),
+//! and emits the iteration-time vs. peak-memory frontier as
+//! `results/BENCH_memory.json`.
+//!
+//! The headline claim: budgets between the full-recompute floor and the
+//! plain-activation peak are plannable *only* with recomputation — the
+//! no-recompute planner returns OOM while the joint search trades forward
+//! replay time for activation residency. Every planned point is re-verified
+//! against `memcheck` under its stated budget before it is recorded.
+//! `--smoke` drops to one pipeline depth and a short ladder to validate the
+//! emitter in CI.
+
+use autopipe_bench::report::save_json;
+use autopipe_bench::systems::cost_db;
+use autopipe_cost::{CostDb, Hardware};
+use autopipe_model::zoo;
+use autopipe_planner::family::{plan_families, FamilyConfig, FamilyOutcome};
+use autopipe_planner::{AutoPipeConfig, RecomputePolicy};
+use autopipe_sim::memcheck::{check_memory_budget, device_memory};
+use serde_json::{json, Value};
+
+/// Peak per-device memory of a planned schedule, bytes.
+fn peak_bytes(outcome: &FamilyOutcome, db: &CostDb) -> u64 {
+    device_memory(&outcome.partition, db, &outcome.schedule)
+        .iter()
+        .map(|bd| bd.total())
+        .max()
+        .unwrap_or(0)
+}
+
+fn family_cfg(hw: &Hardware, budget: Option<u64>, policy: RecomputePolicy) -> FamilyConfig {
+    FamilyConfig::for_planner(
+        AutoPipeConfig {
+            memory_budget: budget,
+            recompute: policy,
+            ..AutoPipeConfig::default()
+        },
+        hw.link_latency,
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let hw = Hardware::rtx3090_cluster();
+    let model = zoo::gpt2_1_3b();
+    let mbs = 4;
+    let m = 16;
+    let depths: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    // Ladder points strictly below the no-recompute feasibility threshold
+    // (all auto-only) and above it (both planners reachable).
+    let (n_below, n_above) = if smoke { (2, 1) } else { (4, 3) };
+
+    let mut records = Vec::new();
+    let mut auto_only = 0usize;
+    for &p in depths {
+        let db = cost_db(&model, &hw, mbs);
+
+        // Anchor the budget ladder at this depth's two extremes: the peak
+        // the unconstrained no-recompute winner needs, and the floor the
+        // all-recompute winner gets by. Everything strictly between is
+        // reachable only by spending replay time.
+        let plain = plan_families(&db, &hw, p, m, &family_cfg(&hw, None, RecomputePolicy::Off))
+            .expect("unconstrained planning must succeed");
+        let full = plan_families(&db, &hw, p, m, &family_cfg(&hw, None, RecomputePolicy::All))
+            .expect("all-recompute planning must succeed");
+        let hi = peak_bytes(&plain, &db);
+        let lo = peak_bytes(&full, &db);
+        assert!(lo < hi, "recompute must reduce the peak: {lo} vs {hi}");
+        println!(
+            "p={p}: plain peak {:.2} GB ({:?}), full-recompute floor {:.2} GB ({:?})",
+            hi as f64 / 1e9,
+            plain.schedule.kind,
+            lo as f64 / 1e9,
+            full.schedule.kind
+        );
+
+        // Bisect the smallest budget the no-recompute planner can still
+        // meet (feasibility under a fixed policy is monotone in the
+        // budget). Budgets strictly below it are recompute-only territory.
+        let (mut infeasible, mut feasible) = (lo, hi);
+        while feasible - infeasible > feasible / 256 {
+            let mid = infeasible + (feasible - infeasible) / 2;
+            match plan_families(
+                &db,
+                &hw,
+                p,
+                m,
+                &family_cfg(&hw, Some(mid), RecomputePolicy::Off),
+            ) {
+                Ok(_) => feasible = mid,
+                Err(_) => infeasible = mid,
+            }
+        }
+        let off_floor = feasible;
+        println!(
+            "p={p}: no-recompute feasibility threshold ≈ {:.2} GB",
+            off_floor as f64 / 1e9
+        );
+
+        let mut budgets = Vec::new();
+        for i in 1..=n_below {
+            budgets.push(lo + ((off_floor - lo) * i as u64) / (n_below as u64 + 1));
+        }
+        for j in 0..n_above {
+            budgets.push(off_floor + ((hi - off_floor) * j as u64) / n_above as u64);
+        }
+
+        let mut points = Vec::new();
+        for budget in budgets {
+            let off = plan_families(
+                &db,
+                &hw,
+                p,
+                m,
+                &family_cfg(&hw, Some(budget), RecomputePolicy::Off),
+            );
+            let auto = plan_families(
+                &db,
+                &hw,
+                p,
+                m,
+                &family_cfg(&hw, Some(budget), RecomputePolicy::Auto),
+            );
+            let off_row = match &off {
+                Ok(o) => {
+                    json!({"iteration_s": o.iteration_time, "peak_gb": peak_bytes(o, &db) as f64 / 1e9})
+                }
+                Err(e) => json!({"oom": e.to_string()}),
+            };
+            let auto_row = match &auto {
+                Ok(o) => {
+                    // The point only counts if the winner actually fits the
+                    // stated budget under the static memory model.
+                    check_memory_budget(&o.partition, &db, &o.schedule, budget)
+                        .expect("auto winner must fit its own budget");
+                    let mask = &o.recompute;
+                    json!({
+                        "iteration_s": o.iteration_time,
+                        "peak_gb": peak_bytes(o, &db) as f64 / 1e9,
+                        "family": format!("{:?}", o.schedule.kind),
+                        "recompute_stages": mask.iter().filter(|&&r| r).count(),
+                        "mask": mask,
+                    })
+                }
+                Err(e) => json!({"oom": e.to_string()}),
+            };
+            let only = auto.is_ok() && off.is_err();
+            if only {
+                auto_only += 1;
+            }
+            let row = json!({
+                "p": p,
+                "budget_bytes": budget,
+                "budget_gb": budget as f64 / 1e9,
+                "off": off_row,
+                "auto": auto_row,
+                "auto_only": only,
+            });
+            if let Ok(o) = &auto {
+                println!(
+                    "p={p} budget {:.2} GB: auto {:?} {:.4}s mask {:?}{}",
+                    budget as f64 / 1e9,
+                    o.schedule.kind,
+                    o.iteration_time,
+                    o.recompute,
+                    if only { "  [auto-only]" } else { "" }
+                );
+            } else {
+                println!("p={p} budget {:.2} GB: auto OOM", budget as f64 / 1e9);
+            }
+            points.push(row);
+        }
+        records.push(json!({
+            "model": model.name,
+            "p": p,
+            "m": m,
+            "mbs": mbs,
+            "plain_peak_gb": hi as f64 / 1e9,
+            "full_recompute_peak_gb": lo as f64 / 1e9,
+            "plain_iteration_s": plain.iteration_time,
+            "full_recompute_iteration_s": full.iteration_time,
+            "points": points,
+        }));
+    }
+
+    // The frontier must contain configurations the no-recompute planner
+    // cannot reach at all (the tentpole's acceptance bar: ≥ 4 in the full
+    // sweep, ≥ 1 in smoke mode).
+    let floor = if smoke { 1 } else { 4 };
+    assert!(
+        auto_only >= floor,
+        "only {auto_only} auto-only points (need ≥ {floor})"
+    );
+    println!("{auto_only} frontier points are plannable only with recomputation");
+
+    let out: Value = json!({
+        "hardware": hw.name,
+        "budget_ladder_points": n_below + n_above,
+        "auto_only_points": auto_only,
+        "depths": records,
+        "smoke": smoke,
+    });
+    save_json("BENCH_memory", &out);
+}

@@ -15,11 +15,49 @@ use std::path::PathBuf;
 use autopipe_cost::profiler::ProfilerConfig;
 use autopipe_cost::Hardware;
 use autopipe_model::{Granularity, ModelConfig};
-use autopipe_planner::{AutoPipeConfig, SimTier};
+use autopipe_planner::{AutoPipeConfig, FamilyConfig, RecomputePolicy, SimTier};
 use autopipe_sim::event::EventConfig;
+use autopipe_sim::{CommConfig, OverlapModel};
 
 use crate::error::Error;
 use crate::plan::PlanRequest;
+
+/// Planner-wide constraints, stated once and lowered everywhere.
+///
+/// Before this struct the same knobs were smeared across three configs: the
+/// planner's `AutoPipeConfig { overlap, prune }`, the family search's
+/// `FamilyConfig { comm }`, and the executors' `CommConfig` — and nothing
+/// expressed a memory budget at all. `Constraints` is the single statement
+/// of *what the plan must satisfy*; [`SessionConfig::planner`] and
+/// [`SessionConfig::family`] are the only lowerings into the per-crate
+/// structs, so overlap/prune/budget/recompute cannot drift apart between
+/// layers.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Constraints {
+    /// Hard per-device memory budget in bytes. `None` uses the hardware's
+    /// budget for feasibility checks but does not gate the search.
+    pub memory_budget: Option<u64>,
+    /// Score (and run) under the overlapped comm engine with this cost
+    /// model; `None` keeps blocking sends everywhere.
+    pub overlap: Option<OverlapModel>,
+    /// How the planner may spend activation recomputation to meet the
+    /// budget (per-stage masks, jointly searched with the partition).
+    pub recompute: RecomputePolicy,
+    /// Dominance pruning in the wave search (winner-preserving).
+    pub prune: bool,
+}
+
+impl Constraints {
+    /// The comm engine the constraints imply for executors and the family
+    /// search: overlapped eager sends with the overlap model's chunk count,
+    /// or the blocking default.
+    pub fn comm(&self) -> CommConfig {
+        match self.overlap {
+            Some(o) => CommConfig::overlapped(o.chunks),
+            None => CommConfig::default(),
+        }
+    }
+}
 
 /// How a session chooses the schedule family.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -138,6 +176,10 @@ pub struct SessionConfig {
     pub planner_threads: usize,
     /// Analytic engine scoring candidate schemes.
     pub sim_tier: SimTier,
+    /// What the plan must satisfy: memory budget, comm overlap, recompute
+    /// policy, pruning — lowered into every layer by [`Self::planner`] and
+    /// [`Self::family`].
+    pub constraints: Constraints,
     // -- simulator knobs (lower into `EventConfig`) -----------------------
     /// Fixed overhead added to every simulated compute op.
     pub kernel_overhead: f64,
@@ -175,6 +217,7 @@ impl SessionConfig {
             max_schemes: AutoPipeConfig::default().max_schemes,
             planner_threads: AutoPipeConfig::default().threads,
             sim_tier: SimTier::default(),
+            constraints: Constraints::default(),
             kernel_overhead: event.kernel_overhead,
             jitter_sigma: event.jitter_sigma,
             half_efficiency: event.half_efficiency,
@@ -215,6 +258,17 @@ impl SessionConfig {
         if self.max_schemes < 1 {
             return fail("planner needs a scheme budget of at least 1".into());
         }
+        if self.constraints.memory_budget == Some(0) {
+            return fail("memory budget of 0 bytes".into());
+        }
+        if let Some(o) = &self.constraints.overlap {
+            if !(o.latency.is_finite() && o.latency >= 0.0) {
+                return fail(format!("bad overlap latency {}", o.latency));
+            }
+            if o.chunks < 1 {
+                return fail("overlapped comm needs at least 1 chunk".into());
+            }
+        }
         if !(self.kernel_overhead.is_finite() && self.kernel_overhead >= 0.0) {
             return fail(format!("bad kernel overhead {}", self.kernel_overhead));
         }
@@ -233,14 +287,24 @@ impl SessionConfig {
         Ok(())
     }
 
-    /// Lower into the planner's search knobs.
+    /// Lower into the planner's search knobs — the *only* place
+    /// [`Constraints`] meet `AutoPipeConfig`.
     pub fn planner(&self) -> AutoPipeConfig {
         AutoPipeConfig {
             max_schemes: self.max_schemes,
             threads: self.planner_threads,
             sim_tier: self.sim_tier,
-            ..AutoPipeConfig::default()
+            overlap: self.constraints.overlap,
+            prune: self.constraints.prune,
+            memory_budget: self.constraints.memory_budget,
+            recompute: self.constraints.recompute,
         }
+    }
+
+    /// Lower into the cross-family search's knobs, via the same constraint
+    /// set as [`Self::planner`] (see [`FamilyConfig::for_planner`]).
+    pub fn family(&self) -> FamilyConfig {
+        FamilyConfig::for_planner(self.planner(), self.hardware.link_latency)
     }
 
     /// Lower into the event simulator's knobs.
@@ -320,6 +384,54 @@ mod tests {
             let err = bad.validate().unwrap_err();
             assert!(matches!(err, Error::Config(_)), "{err}");
         }
+    }
+
+    #[test]
+    fn constraints_lower_into_every_layer_from_one_place() {
+        let mut c = cfg();
+        c.constraints = Constraints {
+            memory_budget: Some(10 << 30),
+            overlap: Some(OverlapModel {
+                latency: 25e-6,
+                chunks: 4,
+            }),
+            recompute: RecomputePolicy::Auto,
+            prune: true,
+        };
+        c.validate().unwrap();
+        let p = c.planner();
+        assert_eq!(p.memory_budget, Some(10 << 30));
+        assert_eq!(p.recompute, RecomputePolicy::Auto);
+        assert!(p.prune);
+        assert_eq!(p.overlap.unwrap().chunks, 4);
+        let f = c.family();
+        assert_eq!(f.autopipe.memory_budget, p.memory_budget);
+        assert_eq!(f.autopipe.recompute, p.recompute);
+        assert!(f.comm.overlap);
+        assert_eq!(f.comm.chunks, 4);
+        assert_eq!(f.latency, c.hardware.link_latency);
+        // Blocking constraints lower to the blocking comm engine.
+        assert!(!cfg().family().comm.overlap);
+        assert_eq!(cfg().constraints.comm(), CommConfig::default());
+    }
+
+    #[test]
+    fn degenerate_constraints_are_config_errors() {
+        let mut c = cfg();
+        c.constraints.memory_budget = Some(0);
+        assert!(matches!(c.validate().unwrap_err(), Error::Config(_)));
+        let mut c = cfg();
+        c.constraints.overlap = Some(OverlapModel {
+            latency: f64::NAN,
+            chunks: 2,
+        });
+        assert!(matches!(c.validate().unwrap_err(), Error::Config(_)));
+        let mut c = cfg();
+        c.constraints.overlap = Some(OverlapModel {
+            latency: 25e-6,
+            chunks: 0,
+        });
+        assert!(matches!(c.validate().unwrap_err(), Error::Config(_)));
     }
 
     #[test]

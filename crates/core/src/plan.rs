@@ -11,7 +11,7 @@ use autopipe_planner::types::PlanError;
 use autopipe_schedule::Schedule;
 use autopipe_sim::analytic::AnalyticResult;
 use autopipe_sim::Partition;
-use autopipe_slicer::{plan_slicing, solve_sliced_count};
+use autopipe_slicer::{plan_slicing, plan_slicing_masked, solve_sliced_count};
 
 use crate::config::SchedulePolicy;
 use crate::strategy::choose_strategy_with;
@@ -141,17 +141,23 @@ impl AutoPipe {
             &req.planner,
             planner,
         )?;
-        let costs = choice.outcome.partition.stage_costs(&db);
+        // When the partition search bought memory feasibility with a
+        // recompute mask, every downstream consumer (Algorithm 2's sliced
+        // count, the slicing plan) must see the masked stage costs — a
+        // recomputing stage's backward carries the forward replay.
+        let mask = &choice.outcome.recompute;
+        let recomputes = mask.iter().any(|&r| r);
+        let costs = if recomputes {
+            choice.outcome.partition.stage_costs_recompute(&db, mask)
+        } else {
+            choice.outcome.partition.stage_costs(&db)
+        };
         let (schedule, partition, est_pipeline_time) =
             if req.schedule_policy == SchedulePolicy::Auto && choice.stages >= 2 {
                 // Cross-family search: seed the sliced-count axis with the
                 // Slicer's Algorithm 2 pick so the classic AutoPipe schedule
                 // is always among the candidates.
-                let mut fam_cfg = FamilyConfig {
-                    latency: req.hardware.link_latency,
-                    autopipe: req.planner,
-                    ..FamilyConfig::default()
-                };
+                let mut fam_cfg = FamilyConfig::for_planner(req.planner, req.hardware.link_latency);
                 let algo2 = solve_sliced_count(&costs);
                 if algo2 >= 2 && !fam_cfg.sliced_counts.contains(&algo2) {
                     fam_cfg.sliced_counts.insert(0, algo2);
@@ -166,7 +172,11 @@ impl AutoPipe {
                 )?;
                 (fam.schedule, fam.partition, fam.iteration_time)
             } else if req.enable_slicer && choice.stages >= 2 {
-                let sp = plan_slicing(&costs, choice.microbatches);
+                let sp = if recomputes {
+                    plan_slicing_masked(&costs, choice.microbatches, mask)
+                } else {
+                    plan_slicing(&costs, choice.microbatches)
+                };
                 (
                     sp.schedule,
                     choice.outcome.partition.clone(),
@@ -179,6 +189,18 @@ impl AutoPipe {
                     choice.outcome.analytic.iteration_time,
                 )
             };
+        // The partition search may have bought memory feasibility with a
+        // recompute mask; the executable schedule must carry it. The family
+        // search and the masked slicer already lower their own winners, so
+        // only the plain-1F1B fallback still needs the mask applied here.
+        let mut schedule = schedule;
+        if recomputes
+            && !autopipe_schedule::recompute_mask(&schedule)
+                .iter()
+                .any(|&r| r)
+        {
+            autopipe_schedule::apply_recompute(&mut schedule, mask);
+        }
         Ok(Plan {
             stages: choice.stages,
             dp: choice.dp,

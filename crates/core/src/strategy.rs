@@ -12,8 +12,8 @@ use autopipe_cost::{CommModel, CostDb, Hardware};
 use autopipe_planner::autopipe::{plan as planner_plan, AutoPipeConfig, AutoPipeOutcome};
 use autopipe_planner::types::PlanError;
 use autopipe_planner::PartitionPlanner;
-use autopipe_schedule::one_f_one_b;
-use autopipe_sim::memcheck::check_memory;
+use autopipe_schedule::{apply_recompute, one_f_one_b};
+use autopipe_sim::memcheck::check_memory_budget;
 
 /// One evaluated (depth, width) candidate.
 #[derive(Debug, Clone)]
@@ -109,9 +109,16 @@ pub fn choose_strategy_with(
             }
         };
         total_explored += outcome.schemes_explored;
-        // Real memory feasibility of the planned partition.
-        let sched = one_f_one_b(s, m);
-        if let Err(e) = check_memory(&outcome.partition, db, &sched, hw) {
+        // Real memory feasibility of the planned partition, under the
+        // requested budget (not just the hardware's) and with the plan's
+        // recompute mask applied — a depth the planner rescued with
+        // recomputation must not be rejected on the full-stash footprint.
+        let mut sched = one_f_one_b(s, m);
+        if outcome.recompute.iter().any(|&r| r) {
+            apply_recompute(&mut sched, &outcome.recompute);
+        }
+        let budget = cfg.memory_budget.unwrap_or_else(|| hw.mem_budget());
+        if let Err(e) = check_memory_budget(&outcome.partition, db, &sched, budget) {
             last_err = PlanError::Oom(format!("depth {s}: {e}"));
             continue;
         }

@@ -192,6 +192,27 @@ impl CostDb {
         self.bwd_prefix[r.end] - self.bwd_prefix[r.start]
     }
 
+    /// Backward time of blocks `r` *without* the per-block checkpoint
+    /// re-forwards baked into `bwd` when the database was built with
+    /// activation checkpointing. A stage executing a schedule-level
+    /// `Recompute` op replays its whole forward once, rebuilding every
+    /// block's caches, so its backward runs at the non-checkpointed rate —
+    /// charging both would double-count the replay. Equals [`range_bwd`]
+    /// when `checkpointing` is off.
+    ///
+    /// [`range_bwd`]: CostDb::range_bwd
+    pub fn range_bwd_no_ckpt(&self, r: std::ops::Range<usize>) -> f64 {
+        let mut b = self.range_bwd(r.clone());
+        if self.checkpointing {
+            b -= self.blocks[r]
+                .iter()
+                .filter(|c| c.kind.is_layer_body())
+                .map(|c| c.fwd)
+                .sum::<f64>();
+        }
+        b
+    }
+
     /// Parameters held by blocks `r`, O(1).
     #[inline]
     pub fn range_params(&self, r: std::ops::Range<usize>) -> u64 {

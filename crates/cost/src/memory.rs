@@ -91,8 +91,15 @@ pub fn stage_memory(
     in_flight: usize,
     frag: f64,
 ) -> MemoryBreakdown {
-    let params: u64 = costs.iter().map(|c| c.params).sum();
-    let ckpt_per_mb: u64 = costs.iter().map(|c| c.ckpt_act_bytes).sum();
+    stage_memory_frac(costs, comm_bytes, in_flight as f64, frag, false)
+}
+
+/// Transient recompute/backward working set of a stage: the layer-body
+/// working set doubles for the gradient of the live activation during
+/// recompute; the LM-head logits (B·s·V) get their gradient computed in
+/// place by the fused softmax-cross-entropy, so the non-body term is
+/// charged once.
+pub fn working_set(costs: &[BlockCost]) -> u64 {
     let max_body = costs
         .iter()
         .filter(|c| c.kind.is_layer_body())
@@ -105,15 +112,39 @@ pub fn stage_memory(
         .map(|c| c.full_act_bytes)
         .max()
         .unwrap_or(0);
-    // Layer-body working set doubles for the gradient of the live
-    // activation during recompute; the LM-head logits (B·s·V) get their
-    // gradient computed in place by the fused softmax-cross-entropy, so
-    // the non-body term is charged once.
-    let working = 2 * max_body + max_nonbody;
-    let checkpoints = in_flight as u64 * ckpt_per_mb;
+    2 * max_body + max_nonbody
+}
+
+/// The general stage-memory model behind [`stage_memory`]: fractional
+/// in-flight counts (sliced schedules keep half micro-batches live, so the
+/// peak-liveness replay can land on `n + ½`) and stage-level recomputation.
+///
+/// With `recompute`, the stage stashes only its *input* activation per
+/// in-flight micro-batch (the schedule's `Recompute` op replays the forward
+/// from it), but during one micro-batch's backward the replay has
+/// rematerialised that micro-batch's full per-block checkpoint set — charged
+/// to the working term. Exactly [`stage_memory`] when `recompute` is off and
+/// `in_flight` is integral.
+pub fn stage_memory_frac(
+    costs: &[BlockCost],
+    comm_bytes: u64,
+    in_flight: f64,
+    frag: f64,
+    recompute: bool,
+) -> MemoryBreakdown {
+    let params: u64 = costs.iter().map(|c| c.params).sum();
+    let ckpt_per_mb: u64 = costs.iter().map(|c| c.ckpt_act_bytes).sum();
+    let (ckpt_unit, remat) = if recompute {
+        // The stage input is the first block's input activation.
+        let input = costs.first().map(|c| c.ckpt_act_bytes).unwrap_or(0);
+        (input, ckpt_per_mb)
+    } else {
+        (ckpt_per_mb, 0)
+    };
+    let working = working_set(costs) + remat;
     MemoryBreakdown {
         param_state: params * PARAM_STATE_BYTES,
-        checkpoints: (checkpoints as f64 * frag) as u64,
+        checkpoints: (in_flight * ckpt_unit as f64 * frag) as u64,
         working: (working as f64 * frag) as u64,
         buffers: 4 * comm_bytes,
     }

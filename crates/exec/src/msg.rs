@@ -77,7 +77,8 @@ pub fn op_key(sched: &Schedule, device: usize, op: &Op) -> Option<(MsgKey, Optio
         OpKind::Fwd { .. }
         | OpKind::Bwd { .. }
         | OpKind::BwdInput { .. }
-        | OpKind::BwdWeight { .. } => None,
+        | OpKind::BwdWeight { .. }
+        | OpKind::Recompute { .. } => None,
     }
 }
 

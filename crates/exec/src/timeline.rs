@@ -273,9 +273,12 @@ impl Timeline {
                 for (op, t) in ops.iter().zip(times) {
                     match op.kind {
                         OpKind::Fwd { .. } => fwd += t.end - t.start,
-                        OpKind::Bwd { .. } | OpKind::BwdInput { .. } | OpKind::BwdWeight { .. } => {
-                            bwd += t.end - t.start
-                        }
+                        // Recompute is backward-phase work: it exists only to
+                        // feed the following backward.
+                        OpKind::Bwd { .. }
+                        | OpKind::BwdInput { .. }
+                        | OpKind::BwdWeight { .. }
+                        | OpKind::Recompute { .. } => bwd += t.end - t.start,
                         OpKind::RecvAct { .. } | OpKind::RecvGrad { .. } => wait += t.end - t.start,
                         _ => {}
                     }
@@ -454,6 +457,7 @@ fn describe(kind: &OpKind) -> (String, &'static str) {
         OpKind::Bwd { mb, .. } => (format!("B{mb}"), "bwd"),
         OpKind::BwdInput { mb, .. } => (format!("Bi{mb}"), "bwd"),
         OpKind::BwdWeight { mb, .. } => (format!("Bw{mb}"), "bwd"),
+        OpKind::Recompute { mb, .. } => (format!("R{mb}"), "bwd"),
         OpKind::RecvAct { mb, .. } => (format!("recv-act {mb}"), "wait"),
         OpKind::RecvGrad { mb, .. } => (format!("recv-grad {mb}"), "wait"),
         OpKind::SendAct { mb, .. } => (format!("send-act {mb}"), "comm"),

@@ -69,9 +69,10 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::time::{Duration, Instant};
 
+use autopipe_cost::memory::{in_flight_1f1b, stage_memory_frac, ACT_FRAG_MULT};
 use autopipe_cost::CostDb;
 use autopipe_sim::analytic::{
-    simulate_replay_with, simulate_time_with, AnalyticResult, OverlapModel, SimScratch,
+    simulate_replay_masked, simulate_time_masked, AnalyticResult, OverlapModel, SimScratch,
 };
 use autopipe_sim::partition::{Partition, StageCosts};
 
@@ -93,6 +94,24 @@ pub enum SimTier {
     /// Full per-op replay ([`simulate_replay`]) for every candidate — the
     /// pre-wave-search behaviour, kept for benchmark comparison.
     Replay,
+}
+
+/// Per-stage activation recomputation policy for the planner.
+///
+/// Recomputation trades compute for memory: a recomputing stage stashes only
+/// its input activation per in-flight micro-batch and replays its forward
+/// (the schedule IR's `Recompute` op) before each backward. The policy says
+/// how the search may use that trade under [`AutoPipeConfig::memory_budget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecomputePolicy {
+    /// Never recompute: candidates must fit the budget with full stashes.
+    #[default]
+    Off,
+    /// Recompute only on stages that would otherwise exceed the budget —
+    /// the minimal mask, chosen per candidate partition.
+    Auto,
+    /// Recompute on every stage, budget or not.
+    All,
 }
 
 /// Search knobs.
@@ -121,6 +140,19 @@ pub struct AutoPipeConfig {
     /// the benchmark zoo. Off when bit-exact parity with the unpruned
     /// exploration sequence is required (e.g. baseline comparisons).
     pub prune: bool,
+    /// Hard per-device memory budget in bytes. When set, every candidate is
+    /// checked against the 1F1B static memory model
+    /// ([`autopipe_cost::memory`]); infeasible candidates are still explored
+    /// for successors but can never *win*, and the search errors with
+    /// [`PlanError::Oom`] when no explored scheme fits. `None` disables the
+    /// gate (the historical behaviour).
+    pub memory_budget: Option<u64>,
+    /// How the search may spend recomputation to fit the budget. With
+    /// [`RecomputePolicy::Auto`], each candidate partition gets the minimal
+    /// per-stage mask that fits and is *scored under that mask* (forward
+    /// replays included), so partitioning and recomputation are optimised
+    /// jointly.
+    pub recompute: RecomputePolicy,
 }
 
 impl Default for AutoPipeConfig {
@@ -131,6 +163,8 @@ impl Default for AutoPipeConfig {
             sim_tier: SimTier::Fast,
             overlap: None,
             prune: false,
+            memory_budget: None,
+            recompute: RecomputePolicy::Off,
         }
     }
 }
@@ -140,6 +174,9 @@ impl Default for AutoPipeConfig {
 pub struct AutoPipeOutcome {
     /// The best partition found.
     pub partition: Partition,
+    /// Per-stage recompute mask the winner is scored (and must run) under.
+    /// All-false unless a budget/policy made the search spend recomputation.
+    pub recompute: Vec<bool>,
     /// Its simulation (iteration time, critical path, master stage, …).
     pub analytic: AnalyticResult,
     /// Number of schemes simulated.
@@ -198,7 +235,7 @@ pub struct PlannerScratch {
     queue: VecDeque<Partition>,
     wave: Vec<Partition>,
     scores: Vec<Score>,
-    workers: Vec<(SimScratch, StageCosts)>,
+    workers: Vec<(SimScratch, StageCosts, Vec<bool>)>,
     memo: PrefixMemo,
 }
 
@@ -218,8 +255,9 @@ impl PlannerScratch {
         self.scores.clear();
         self.memo.clear();
         if self.workers.len() < threads {
-            self.workers
-                .resize_with(threads, || (SimScratch::new(), StageCosts::default()));
+            self.workers.resize_with(threads, || {
+                (SimScratch::new(), StageCosts::default(), Vec::new())
+            });
         }
     }
 
@@ -253,27 +291,119 @@ struct Score {
     iteration_time: f64,
     master_stage: usize,
     b_master: f64,
+    /// Fits the memory budget (always true when no budget is set).
+    feasible: bool,
+}
+
+/// Fill `mask` with the per-stage recompute decisions for `part` under the
+/// 1F1B static memory model and return whether the partition fits `budget`.
+/// `Off` never recomputes, `All` always does, `Auto` masks exactly the
+/// stages that do not fit with full stashes but do with recomputation.
+/// On an infeasible partition the mask contents are unspecified.
+fn recompute_mask_for(
+    db: &CostDb,
+    part: &Partition,
+    m: usize,
+    budget: u64,
+    policy: RecomputePolicy,
+    mask: &mut Vec<bool>,
+) -> bool {
+    let p = part.n_stages();
+    mask.clear();
+    for s in 0..p {
+        let blocks = &db.blocks[part.range(s)];
+        let in_flight = in_flight_1f1b(s, p, m) as f64;
+        let fits = |rec: bool| {
+            stage_memory_frac(blocks, db.comm_bytes, in_flight, ACT_FRAG_MULT, rec).total()
+                <= budget
+        };
+        let rec = match policy {
+            RecomputePolicy::Off => {
+                if !fits(false) {
+                    return false;
+                }
+                false
+            }
+            RecomputePolicy::All => {
+                if !fits(true) {
+                    return false;
+                }
+                true
+            }
+            RecomputePolicy::Auto => {
+                if fits(false) {
+                    false
+                } else if fits(true) {
+                    true
+                } else {
+                    return false;
+                }
+            }
+        };
+        mask.push(rec);
+    }
+    true
+}
+
+/// Resolve the (feasibility, mask) of a candidate under the config's budget
+/// and policy. The mask buffer is left holding the stage mask whenever
+/// `use_mask` comes back true.
+fn resolve_mask(
+    part: &Partition,
+    db: &CostDb,
+    m: usize,
+    cfg: &AutoPipeConfig,
+    mask: &mut Vec<bool>,
+) -> (bool, bool) {
+    match (cfg.memory_budget, cfg.recompute) {
+        (None, RecomputePolicy::All) => {
+            mask.clear();
+            mask.resize(part.n_stages(), true);
+            (true, true)
+        }
+        (None, _) => (true, false),
+        (Some(budget), policy) => {
+            if recompute_mask_for(db, part, m, budget, policy, mask) {
+                let any = mask.iter().any(|&r| r);
+                (true, any)
+            } else {
+                (false, false)
+            }
+        }
+    }
 }
 
 /// Score one candidate with the configured engine, reusing the caller's
-/// scratch buffers so the per-candidate cost is allocation-free.
+/// scratch buffers so the per-candidate cost is allocation-free. Candidates
+/// that fit the budget only with recomputation are scored under their mask
+/// (masked stage costs + forward replays); infeasible candidates are scored
+/// plain — their time still drives successor generation, but the merge loop
+/// never lets them win.
 fn score(
     part: &Partition,
     db: &CostDb,
     m: usize,
-    tier: SimTier,
-    overlap: Option<&OverlapModel>,
+    cfg: &AutoPipeConfig,
     scratch: &mut SimScratch,
     sc: &mut StageCosts,
+    mask: &mut Vec<bool>,
 ) -> Score {
-    part.stage_costs_into(db, sc);
-    let (iteration_time, master_stage) = match tier {
+    let (feasible, use_mask) = resolve_mask(part, db, m, cfg, mask);
+    let recompute = if use_mask {
+        part.stage_costs_recompute_into(db, mask, sc);
+        Some(mask.as_slice())
+    } else {
+        part.stage_costs_into(db, sc);
+        None
+    };
+    let overlap = cfg.overlap.as_ref();
+    let (iteration_time, master_stage) = match cfg.sim_tier {
         SimTier::Fast => {
-            let r = simulate_time_with(sc, m, scratch, overlap);
+            let r = simulate_time_masked(sc, m, scratch, overlap, recompute);
             (r.iteration_time, r.master_stage)
         }
         SimTier::Replay => {
-            let r = simulate_replay_with(sc, m, overlap);
+            let r = simulate_replay_masked(sc, m, overlap, recompute);
             (r.iteration_time, r.master_stage)
         }
     };
@@ -281,6 +411,7 @@ fn score(
         iteration_time,
         master_stage,
         b_master: sc.b[master_stage],
+        feasible,
     }
 }
 
@@ -413,13 +544,14 @@ fn search(
                     weights.len()
                 )));
             }
-            let (sim, sc) = &mut scratch.workers[0];
-            let s = score(seed, db, m, cfg.sim_tier, cfg.overlap.as_ref(), sim, sc);
+            let (sim, sc, mask) = &mut scratch.workers[0];
+            let s = score(seed, db, m, cfg, sim, sc, mask);
             explored += 1;
-            let better = match &best {
-                None => true,
-                Some((bp, bt)) => ranks_better(s.iteration_time, seed, *bt, bp),
-            };
+            let better = s.feasible
+                && match &best {
+                    None => true,
+                    Some((bp, bt)) => ranks_better(s.iteration_time, seed, *bt, bp),
+                };
             if better {
                 best = Some((seed.clone(), s.iteration_time));
             }
@@ -454,23 +586,23 @@ fn search(
         scores.resize(wave.len(), Score::default());
 
         if threads == 1 || wave.len() == 1 {
-            let (scratch, sc) = &mut workers[0];
+            let (scratch, sc, mask) = &mut workers[0];
             for (part, out) in wave.iter().zip(scores.iter_mut()) {
-                *out = score(part, db, m, cfg.sim_tier, cfg.overlap.as_ref(), scratch, sc);
+                *out = score(part, db, m, cfg, scratch, sc, mask);
             }
         } else {
             // Contiguous chunks: worker k owns wave[k*chunk..], writes its
             // own slice of `scores`, and never touches shared search state.
             let chunk = wave.len().div_ceil(threads);
             std::thread::scope(|s| {
-                for ((wchunk, ochunk), (scratch, sc)) in wave
+                for ((wchunk, ochunk), (scratch, sc, mask)) in wave
                     .chunks(chunk)
                     .zip(scores.chunks_mut(chunk))
                     .zip(workers.iter_mut())
                 {
                     s.spawn(move || {
                         for (part, out) in wchunk.iter().zip(ochunk.iter_mut()) {
-                            *out = score(part, db, m, cfg.sim_tier, cfg.overlap.as_ref(), scratch, sc);
+                            *out = score(part, db, m, cfg, scratch, sc, mask);
                         }
                     });
                 }
@@ -486,10 +618,14 @@ fn search(
             explored += 1;
             let i = s.master_stage;
 
-            let better = match &best {
-                None => true,
-                Some((bp, bt)) => ranks_better(s.iteration_time, &part, *bt, bp),
-            };
+            // Memory-infeasible candidates keep generating successors (the
+            // search may have to cross an infeasible region to reach a
+            // feasible one) but never enter the ranking.
+            let better = s.feasible
+                && match &best {
+                    None => true,
+                    Some((bp, bt)) => ranks_better(s.iteration_time, &part, *bt, bp),
+                };
             if better {
                 best = Some((part.clone(), s.iteration_time));
             }
@@ -541,12 +677,41 @@ fn search(
         }
     }
 
-    let (partition, _) = best.expect("at least the seed scheme was simulated");
-    // Full-fidelity tier for the winner only: the outcome carries the
-    // complete per-op trace and critical path.
-    let analytic = simulate_replay_with(&partition.stage_costs(db), m, cfg.overlap.as_ref());
+    let Some((partition, _)) = best else {
+        // Every explored scheme blew the budget — only possible with the
+        // memory gate on (without it the seed always ranks).
+        let budget = cfg.memory_budget.unwrap_or(0);
+        return Err(PlanError::Oom(format!(
+            "no {p}-stage partition of {} blocks fits {:.2} GB per device \
+             with {m} micro-batches (recompute policy {:?}, {explored} schemes tried)",
+            weights.len(),
+            budget as f64 / 1e9,
+            cfg.recompute
+        )));
+    };
+    // Re-derive the winner's mask (deterministic, same code path that scored
+    // it) and run the full-fidelity tier under it: the outcome carries the
+    // complete per-op trace and critical path of the plan as it will run.
+    let mut mask = Vec::new();
+    let (_, use_mask) = resolve_mask(&partition, db, m, cfg, &mut mask);
+    if !use_mask {
+        mask.clear();
+        mask.resize(partition.n_stages(), false);
+    }
+    let costs = if use_mask {
+        partition.stage_costs_recompute(db, &mask)
+    } else {
+        partition.stage_costs(db)
+    };
+    let analytic = simulate_replay_masked(
+        &costs,
+        m,
+        cfg.overlap.as_ref(),
+        use_mask.then_some(mask.as_slice()),
+    );
     Ok(AutoPipeOutcome {
         partition,
+        recompute: mask,
         analytic,
         schemes_explored: explored,
         schemes_pruned: pruned,
@@ -658,8 +823,8 @@ fn shift_candidates(
 mod tests {
     use super::*;
     use autopipe_cost::Hardware;
-    use autopipe_sim::analytic::simulate_replay;
     use autopipe_model::{zoo, Granularity};
+    use autopipe_sim::analytic::{simulate_replay, simulate_replay_with};
     use autopipe_sim::metrics::balance_stddev;
 
     fn db(g: Granularity) -> CostDb {
@@ -836,8 +1001,7 @@ mod tests {
             overlapped.analytic.iteration_time,
             blocking.analytic.iteration_time
         );
-        let rescored =
-            simulate_replay_with(&overlapped.partition.stage_costs(&d), m, Some(&ov));
+        let rescored = simulate_replay_with(&overlapped.partition.stage_costs(&d), m, Some(&ov));
         assert_eq!(
             overlapped.analytic.iteration_time.to_bits(),
             rescored.iteration_time.to_bits(),
@@ -944,6 +1108,172 @@ mod tests {
         // Wrong block count.
         let wrong = Partition::even(d.len() - 1, 4);
         assert!(plan_seeded(&d, 4, 8, &cfg, &[wrong], &mut scratch).is_err());
+    }
+
+    #[test]
+    fn loose_budget_changes_nothing() {
+        // A budget everything fits under must not perturb the search: same
+        // partition, same explored count, bit-identical time, all-false mask.
+        let d = db(Granularity::SubLayer);
+        let base = plan(&d, 4, 8, &AutoPipeConfig::default()).unwrap();
+        let gated = plan(
+            &d,
+            4,
+            8,
+            &AutoPipeConfig {
+                memory_budget: Some(u64::MAX),
+                recompute: RecomputePolicy::Auto,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(gated.partition, base.partition);
+        assert_eq!(gated.schemes_explored, base.schemes_explored);
+        assert_eq!(
+            gated.analytic.iteration_time.to_bits(),
+            base.analytic.iteration_time.to_bits()
+        );
+        assert!(gated.recompute.iter().all(|&r| !r));
+    }
+
+    #[test]
+    fn impossible_budget_errors_with_oom() {
+        let d = db(Granularity::SubLayer);
+        let err = plan(
+            &d,
+            4,
+            8,
+            &AutoPipeConfig {
+                memory_budget: Some(1),
+                recompute: RecomputePolicy::Auto,
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, PlanError::Oom(_)), "{err}");
+    }
+
+    #[test]
+    fn auto_policy_unlocks_budgets_off_cannot_meet() {
+        // Find a budget between the plain peak and the full-recompute peak
+        // of the winning partition: Off must OOM, Auto must plan with a
+        // non-empty mask and report a slower (never faster) iteration.
+        let hw = Hardware::rtx3090_cluster();
+        let d = CostDb::build(&zoo::gpt2_345m(), &hw, 16, true, Granularity::SubLayer);
+        let p = 4;
+        let m = 8;
+        let base = plan(&d, p, m, &AutoPipeConfig::default()).unwrap();
+        let peak = |part: &Partition, rec: bool| -> u64 {
+            (0..p)
+                .map(|s| {
+                    stage_memory_frac(
+                        &d.blocks[part.range(s)],
+                        d.comm_bytes,
+                        in_flight_1f1b(s, p, m) as f64,
+                        ACT_FRAG_MULT,
+                        rec,
+                    )
+                    .total()
+                })
+                .max()
+                .unwrap()
+        };
+        let plain = peak(&base.partition, false);
+        let recomputed = peak(&base.partition, true);
+        assert!(recomputed < plain, "{recomputed} vs {plain}");
+        let budget = (plain + recomputed) / 2;
+
+        let off = plan(
+            &d,
+            p,
+            m,
+            &AutoPipeConfig {
+                memory_budget: Some(budget),
+                ..Default::default()
+            },
+        );
+        let auto = plan(
+            &d,
+            p,
+            m,
+            &AutoPipeConfig {
+                memory_budget: Some(budget),
+                recompute: RecomputePolicy::Auto,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(auto.recompute.iter().any(|&r| r), "{:?}", auto.recompute);
+        // The replayed forwards are real work: summed busy time strictly
+        // exceeds the unmasked plan's (which is partition-independent —
+        // every stage-busy sum is m·(F+B) over the whole block list). The
+        // *iteration* time may go either way: a recompute issued before
+        // RecvGrad hides inside the gradient-transit bubble.
+        let busy = |r: &AnalyticResult| r.stage_busy.iter().sum::<f64>();
+        assert!(busy(&auto.analytic) > busy(&base.analytic));
+        // The reported analytic must be reproducible from the outcome alone.
+        let costs = auto.partition.stage_costs_recompute(&d, &auto.recompute);
+        let check = simulate_replay_masked(&costs, m, None, Some(&auto.recompute));
+        assert_eq!(
+            check.iteration_time.to_bits(),
+            auto.analytic.iteration_time.to_bits()
+        );
+        if let Ok(off) = off {
+            // If Off found some other feasible partition it must have paid
+            // for it in time; Auto never does worse than Off.
+            assert!(auto.analytic.iteration_time <= off.analytic.iteration_time + 1e-12);
+        }
+    }
+
+    #[test]
+    fn budget_gated_search_is_thread_count_independent() {
+        let hw = Hardware::rtx3090_cluster();
+        let d = CostDb::build(&zoo::gpt2_345m(), &hw, 16, true, Granularity::SubLayer);
+        let cfg = AutoPipeConfig {
+            memory_budget: Some(hw.mem_budget()),
+            recompute: RecomputePolicy::Auto,
+            ..Default::default()
+        };
+        let serial = plan(&d, 8, 16, &cfg).unwrap();
+        for threads in [2, 4, 0] {
+            let par = plan(&d, 8, 16, &AutoPipeConfig { threads, ..cfg }).unwrap();
+            assert_eq!(par.partition, serial.partition, "threads={threads}");
+            assert_eq!(par.recompute, serial.recompute);
+            assert_eq!(
+                par.analytic.iteration_time.to_bits(),
+                serial.analytic.iteration_time.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn all_policy_scores_the_replay_overhead() {
+        // Forcing recompute everywhere adds one full forward of busy time
+        // per stage per micro-batch beyond the checkpointed backward's
+        // built-in body replays — the mask is not free, and the search must
+        // score that overhead rather than reuse the unmasked costs. (The
+        // *iteration* time may still drop when the replay hides inside a
+        // gradient-transit bubble, so busy time is the invariant.)
+        let d = db(Granularity::SubLayer);
+        let base = plan(&d, 4, 8, &AutoPipeConfig::default()).unwrap();
+        let all = plan(
+            &d,
+            4,
+            8,
+            &AutoPipeConfig {
+                recompute: RecomputePolicy::All,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(all.recompute.iter().all(|&r| r));
+        let busy = |r: &AnalyticResult| r.stage_busy.iter().sum::<f64>();
+        assert!(
+            busy(&all.analytic) > busy(&base.analytic),
+            "all-recompute busy {} vs base busy {}",
+            busy(&all.analytic),
+            busy(&base.analytic)
+        );
     }
 
     #[test]

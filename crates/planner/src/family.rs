@@ -16,14 +16,14 @@
 //! at any thread count — so the family pick is fully deterministic.
 
 use autopipe_cost::{CostDb, Hardware};
-use autopipe_schedule::{generators, validate, Schedule, ScheduleKind};
+use autopipe_schedule::{apply_recompute, generators, validate, Schedule, ScheduleKind};
 use autopipe_sim::event::{EventConfig, EventCosts};
-use autopipe_sim::CommConfig;
-use autopipe_sim::memcheck::check_memory;
+use autopipe_sim::memcheck::{check_memory_budget, device_memory};
 use autopipe_sim::schedule_replay::{replay_schedule, ReplayScratch};
+use autopipe_sim::CommConfig;
 use autopipe_sim::Partition;
 
-use crate::autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome};
+use crate::autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome, RecomputePolicy};
 use crate::balanced::balanced_partition;
 use crate::types::PlanError;
 
@@ -65,6 +65,27 @@ impl Default for FamilyConfig {
     }
 }
 
+impl FamilyConfig {
+    /// The canonical lowering from planner knobs to family-search knobs:
+    /// candidates are scored under the same comm engine the partition
+    /// search models (`autopipe.overlap` ⇒ overlapped eager sends with the
+    /// same chunk count, else blocking) and the same budget/recompute
+    /// constraints, so the family ranking and the partition ranking never
+    /// disagree about the cost model. Every caller that assembles a
+    /// [`FamilyConfig`] from an [`AutoPipeConfig`] should go through here.
+    pub fn for_planner(autopipe: AutoPipeConfig, latency: f64) -> FamilyConfig {
+        FamilyConfig {
+            latency,
+            comm: match autopipe.overlap {
+                Some(o) => CommConfig::overlapped(o.chunks),
+                None => CommConfig::default(),
+            },
+            autopipe,
+            ..FamilyConfig::default()
+        }
+    }
+}
+
 /// One evaluated (or skipped) candidate, for reports and benches.
 #[derive(Debug, Clone)]
 pub struct FamilyCandidate {
@@ -74,6 +95,9 @@ pub struct FamilyCandidate {
     pub n_sliced: usize,
     /// Chunks per device (1 except interleaved).
     pub n_chunks: usize,
+    /// Per-stage recompute mask the candidate was scored under (empty when
+    /// the candidate was skipped before the memory gate resolved one).
+    pub recompute: Vec<bool>,
     /// Simulated iteration time; `None` when the candidate was skipped.
     pub iteration_time: Option<f64>,
     /// Why the candidate was skipped (generator guard, OOM, …).
@@ -91,6 +115,10 @@ pub struct FamilyOutcome {
     pub iteration_time: f64,
     /// Every candidate considered, in enumeration order.
     pub candidates: Vec<FamilyCandidate>,
+    /// The winner's per-stage recompute mask (all-false when the budget was
+    /// met without recomputation; the schedule already carries the matching
+    /// `Recompute` ops).
+    pub recompute: Vec<bool>,
 }
 
 /// Search across schedule families for the best (schedule, partition) pair
@@ -136,6 +164,7 @@ pub fn plan_families_with(
             kind,
             n_sliced,
             n_chunks,
+            recompute: Vec::new(),
             iteration_time: None,
             skipped: Some(why),
         });
@@ -191,40 +220,103 @@ pub fn plan_families_with(
     }
 
     // Gate and score sequentially; interleave the skip records so
-    // `candidates` reflects enumeration order.
+    // `candidates` reflects enumeration order. The memory gate tries
+    // recompute masks in a fixed order per candidate — none, then (under
+    // `Auto`) the minimal mask covering the over-budget devices, then all
+    // stages — so the family × recompute pick stays fully deterministic.
+    let budget = cfg
+        .autopipe
+        .memory_budget
+        .unwrap_or_else(|| hw.mem_budget());
+    let policy = cfg.autopipe.recompute;
     let mut scratch = ReplayScratch::new();
     let mut best: Option<(usize, f64)> = None; // (entries index, time)
+    let mut best_mask: Vec<bool> = Vec::new();
     let mut entry_idx: Vec<usize> = Vec::new(); // candidates index -> entries index
-    for (idx, (sched, partition)) in entries.iter().enumerate() {
+    for idx in 0..entries.len() {
+        let (sched, partition) = entries[idx].clone();
         let mut cand = FamilyCandidate {
             kind: sched.kind,
             n_sliced: sched.n_sliced,
             n_chunks: sched.n_chunks,
+            recompute: Vec::new(),
             iteration_time: None,
             skipped: None,
         };
-        if let Err(e) = validate(sched) {
+        if let Err(e) = validate(&sched) {
             cand.skipped = Some(format!("validate: {e}"));
             candidates.push(cand);
             entry_idx.push(idx);
             continue;
         }
-        if let Err(e) = check_memory(partition, db, sched, hw) {
-            cand.skipped = Some(e.to_string());
+        let n_stages = sched.n_stages();
+        let mut attempts: Vec<Vec<bool>> = Vec::new();
+        match policy {
+            RecomputePolicy::Off => attempts.push(vec![false; n_stages]),
+            RecomputePolicy::All => attempts.push(vec![true; n_stages]),
+            RecomputePolicy::Auto => {
+                attempts.push(vec![false; n_stages]);
+                // Minimal mask: recompute exactly on the stages of the
+                // devices that blow the budget with full stashes.
+                let usage = device_memory(&partition, db, &sched);
+                let mut minimal = vec![false; n_stages];
+                let mut any = false;
+                for (dev, bd) in usage.iter().enumerate() {
+                    if bd.total() > budget {
+                        any = true;
+                        for c in 0..sched.n_chunks {
+                            minimal[sched.stage_of(dev, c)] = true;
+                        }
+                    }
+                }
+                if any {
+                    let partial = !minimal.iter().all(|&r| r);
+                    attempts.push(minimal);
+                    if partial {
+                        attempts.push(vec![true; n_stages]);
+                    }
+                }
+            }
+        }
+        let mut chosen: Option<(Schedule, Vec<bool>)> = None;
+        let mut oom_note: Option<String> = None;
+        for mask in attempts {
+            let mut masked = sched.clone();
+            if mask.iter().any(|&r| r) {
+                apply_recompute(&mut masked, &mask);
+            }
+            match check_memory_budget(&partition, db, &masked, budget) {
+                Ok(_) => {
+                    chosen = Some((masked, mask));
+                    break;
+                }
+                Err(e) => oom_note = Some(e.to_string()),
+            }
+        }
+        let Some((masked_sched, mask)) = chosen else {
+            cand.skipped = oom_note;
             candidates.push(cand);
             entry_idx.push(idx);
             continue;
-        }
-        let costs = EventCosts::from_stage_costs(&partition.stage_costs(db), cfg.latency);
+        };
+        let sc = if mask.iter().any(|&r| r) {
+            partition.stage_costs_recompute(db, &mask)
+        } else {
+            partition.stage_costs(db)
+        };
+        let costs = EventCosts::from_stage_costs(&sc, cfg.latency);
         let ev = EventConfig {
             comm: cfg.comm,
             ..EventConfig::default()
         };
-        match replay_schedule(sched, &costs, &ev, &mut scratch) {
+        match replay_schedule(&masked_sched, &costs, &ev, &mut scratch) {
             Ok(summary) => {
                 cand.iteration_time = Some(summary.iteration_time);
+                cand.recompute = mask;
+                entries[idx].0 = masked_sched;
                 if best.is_none_or(|(_, t)| summary.iteration_time < t) {
                     best = Some((idx, summary.iteration_time));
+                    best_mask = cand.recompute.clone();
                 }
             }
             Err(e) => cand.skipped = Some(e.to_string()),
@@ -249,6 +341,7 @@ pub fn plan_families_with(
         partition,
         iteration_time,
         candidates,
+        recompute: best_mask,
     })
 }
 
@@ -256,6 +349,8 @@ pub fn plan_families_with(
 mod tests {
     use super::*;
     use autopipe_model::{zoo, Granularity};
+    use autopipe_schedule::recompute_mask;
+    use autopipe_sim::memcheck::check_memory;
 
     fn db(mbs: usize) -> CostDb {
         CostDb::build(
@@ -348,6 +443,93 @@ mod tests {
             int.skipped
         );
         assert_ne!(out.schedule.kind, ScheduleKind::Interleaved);
+    }
+
+    #[test]
+    fn default_search_never_recomputes() {
+        // Policy `Off` (the default) must leave every scored candidate —
+        // and the winning schedule — recompute-free, so existing callers
+        // see exactly the pre-budget behaviour.
+        let d = db(4);
+        let hw = Hardware::rtx3090_cluster();
+        let out = plan_families(&d, &hw, 4, 8, &FamilyConfig::default()).unwrap();
+        for c in &out.candidates {
+            if c.iteration_time.is_some() {
+                assert!(c.recompute.iter().all(|&r| !r), "{:?}", c.kind);
+            }
+        }
+        assert!(recompute_mask(&out.schedule).iter().all(|&r| !r));
+    }
+
+    #[test]
+    fn auto_policy_recomputes_families_the_budget_rules_out() {
+        // Pick a budget between GPipe's full-stash peak and its
+        // full-recompute peak (and above plain 1F1B's peak so the backing
+        // partition search is unaffected): `Off` must skip GPipe with an
+        // OOM note, `Auto` must score it under a recompute mask.
+        let d = db(16);
+        let hw = Hardware::rtx3090_cluster();
+        let (p, m) = (4, 8);
+        let part = autopipe_plan(&d, p, m, &AutoPipeConfig::default())
+            .unwrap()
+            .partition;
+        let peak = |sched: &Schedule| {
+            device_memory(&part, &d, sched)
+                .iter()
+                .map(|b| b.total())
+                .max()
+                .unwrap()
+        };
+        let plain_1f1b = peak(&generators::one_f_one_b(p, m));
+        let gp = generators::gpipe(p, m);
+        let gp_plain = peak(&gp);
+        let mut gp_rec = gp.clone();
+        apply_recompute(&mut gp_rec, &vec![true; p]);
+        let floor = plain_1f1b.max(peak(&gp_rec));
+        assert!(floor < gp_plain, "no budget window: {floor} vs {gp_plain}");
+        let budget = floor + (gp_plain - floor) / 2;
+        let mk = |policy| FamilyConfig {
+            autopipe: AutoPipeConfig {
+                memory_budget: Some(budget),
+                recompute: policy,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let off = plan_families(&d, &hw, p, m, &mk(RecomputePolicy::Off)).unwrap();
+        let off_gp = off
+            .candidates
+            .iter()
+            .find(|c| c.kind == ScheduleKind::GPipe)
+            .unwrap();
+        assert!(off_gp.iteration_time.is_none());
+        assert!(
+            off_gp.skipped.as_deref().unwrap().contains("OOM"),
+            "{:?}",
+            off_gp.skipped
+        );
+        let auto = plan_families(&d, &hw, p, m, &mk(RecomputePolicy::Auto)).unwrap();
+        let auto_gp = auto
+            .candidates
+            .iter()
+            .find(|c| c.kind == ScheduleKind::GPipe)
+            .unwrap();
+        assert!(auto_gp.iteration_time.is_some(), "{:?}", auto_gp.skipped);
+        assert!(auto_gp.recompute.iter().any(|&r| r));
+        // Recompute-free families score identically under both policies.
+        let off_plain = off
+            .candidates
+            .iter()
+            .find(|c| c.kind == ScheduleKind::OneFOneB)
+            .and_then(|c| c.iteration_time)
+            .unwrap();
+        let auto_plain = auto
+            .candidates
+            .iter()
+            .find(|c| c.kind == ScheduleKind::OneFOneB)
+            .and_then(|c| c.iteration_time)
+            .unwrap();
+        assert_eq!(off_plain.to_bits(), auto_plain.to_bits());
     }
 
     #[test]

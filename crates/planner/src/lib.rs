@@ -38,7 +38,9 @@ pub mod replan;
 pub mod service;
 pub mod types;
 
-pub use autopipe::{plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome, SimTier};
+pub use autopipe::{
+    plan as autopipe_plan, AutoPipeConfig, AutoPipeOutcome, RecomputePolicy, SimTier,
+};
 pub use balanced::balanced_partition;
 pub use family::{
     plan_families, plan_families_with, FamilyCandidate, FamilyConfig, FamilyOutcome,

@@ -41,7 +41,7 @@ use autopipe_sim::analytic::simulate_replay;
 use autopipe_sim::Partition;
 
 use crate::autopipe::{
-    plan_in, plan_seeded, AutoPipeConfig, AutoPipeOutcome, PlannerScratch, SimTier,
+    plan_in, plan_seeded, AutoPipeConfig, AutoPipeOutcome, PlannerScratch, RecomputePolicy, SimTier,
 };
 use crate::replan::observed_cost_db;
 use crate::types::PlanError;
@@ -101,6 +101,22 @@ fn fold_cfg(h: &mut Fnv, cfg: &AutoPipeConfig) {
         }
     }
     h.word(cfg.prune as u64);
+    // The memory constraint changes which candidates may win, and the
+    // recompute policy changes how infeasible ones are rescued — both are
+    // part of the request identity, so cached plans never alias across
+    // distinct budgets or policies.
+    match cfg.memory_budget {
+        None => h.word(0),
+        Some(b) => {
+            h.word(1);
+            h.word(b);
+        }
+    }
+    h.word(match cfg.recompute {
+        RecomputePolicy::Off => 0,
+        RecomputePolicy::Auto => 1,
+        RecomputePolicy::All => 2,
+    });
 }
 
 /// Fold the parts of the cost database that do *not* drift at runtime: the
@@ -606,6 +622,59 @@ mod tests {
         assert_ne!(base, overlapped);
         assert_ne!(overlapped, plan_fingerprint(&d, 4, 8, &ov(60e-6, 4)));
         assert_ne!(overlapped, plan_fingerprint(&d, 4, 8, &ov(30e-6, 2)));
+
+        // Memory constraints are part of the request identity: a plan found
+        // under one budget (or recompute policy) must never be served for
+        // another — not even "no budget" vs an enormous explicit one.
+        let budgeted = |memory_budget, recompute| AutoPipeConfig {
+            memory_budget,
+            recompute,
+            ..cfg
+        };
+        let b24 = plan_fingerprint(&d, 4, 8, &budgeted(Some(24 << 30), RecomputePolicy::Off));
+        assert_ne!(base, b24);
+        assert_ne!(
+            b24,
+            plan_fingerprint(&d, 4, 8, &budgeted(Some(16 << 30), RecomputePolicy::Off))
+        );
+        assert_ne!(
+            base,
+            plan_fingerprint(&d, 4, 8, &budgeted(Some(u64::MAX), RecomputePolicy::Off))
+        );
+        assert_ne!(
+            b24,
+            plan_fingerprint(&d, 4, 8, &budgeted(Some(24 << 30), RecomputePolicy::Auto))
+        );
+        assert_ne!(
+            plan_fingerprint(&d, 4, 8, &budgeted(None, RecomputePolicy::Auto)),
+            plan_fingerprint(&d, 4, 8, &budgeted(None, RecomputePolicy::All))
+        );
+    }
+
+    #[test]
+    fn budgeted_requests_cache_separately() {
+        // Same (db, p, m), different constraints: each policy/budget combo
+        // is its own cache line, and repeats hit only their own line.
+        let d = db();
+        let svc = PlanService::new();
+        let base = svc.plan(&d, 4, 8).unwrap();
+        let auto_cfg = AutoPipeConfig {
+            memory_budget: Some(u64::MAX),
+            recompute: RecomputePolicy::Auto,
+            ..*svc.config()
+        };
+        let auto1 = svc.plan_cfg(&d, 4, 8, &auto_cfg).unwrap();
+        assert_eq!(auto1.source, Source::Cold);
+        assert_ne!(auto1.fingerprint, base.fingerprint);
+        let auto2 = svc.plan_cfg(&d, 4, 8, &auto_cfg).unwrap();
+        assert_eq!(auto2.source, Source::Hit);
+        assert!(Arc::ptr_eq(&auto1.outcome, &auto2.outcome));
+        // A loose budget plans the same partition but stays its own entry.
+        assert_eq!(
+            auto1.outcome.partition.boundaries(),
+            base.outcome.partition.boundaries()
+        );
+        assert_eq!(svc.len(), 2);
     }
 
     #[test]

@@ -25,11 +25,11 @@ use autopipe_exec::{
     channel_mesh, op_key, schedule_edges, ChannelEndpoint, ChunkPayload, CommConfig, FailStopKind,
     FaultPlan, MsgKey, Timeline, TraceEvent, WallClock,
 };
-use crossbeam::channel::{bounded, SyncSender};
 use autopipe_model::ModelConfig;
 use autopipe_schedule::{Op, OpKind, Part, Schedule};
 use autopipe_sim::Partition;
 use autopipe_tensor::{optim::Adam, Tensor};
+use crossbeam::channel::{bounded, SyncSender};
 
 use crate::checkpoint::{PipelineSnapshot, StageState};
 use crate::data::BatchSet;
@@ -81,7 +81,7 @@ impl PipelineConfig {
             lr: cfg.lr,
             seed: cfg.seed,
             checkpointing: cfg.checkpointing,
-            comm: CommConfig::default(),
+            comm: cfg.constraints.comm(),
         }
     }
 }
@@ -142,17 +142,22 @@ impl Pipeline {
                 all.len()
             )));
         }
+        // Stages the schedule recomputes run their forwards checkpointed —
+        // caches are dropped at `Fwd` and rebuilt by the `Recompute` op —
+        // independent of the global checkpointing flag.
+        let rec_mask = autopipe_schedule::recompute_mask(&cfg.schedule);
         let stages = (0..p)
             .map(|d| {
                 (0..v)
                     .map(|c| {
+                        let stage = cfg.schedule.stage_of(d, c);
                         StageModel::new(
                             &all,
                             &cfg.partition,
-                            cfg.schedule.stage_of(d, c),
+                            stage,
                             cfg.model.seq_len,
                             cfg.lr,
-                            cfg.checkpointing,
+                            cfg.checkpointing || rec_mask.get(stage).copied().unwrap_or(false),
                         )
                     })
                     .collect()
@@ -864,6 +869,18 @@ fn run_device(ctx: DeviceCtx<'_>) -> DeviceOutcome {
                     break 'program;
                 }
             }
+            OpKind::Recompute { mb, chunk } => {
+                let compute_started = Instant::now();
+                let stage = &mut chunks[chunk];
+                if !stage.has_forward_state(mb) {
+                    die!('program, "device {d} chunk {chunk}: recompute {mb} before its forward");
+                }
+                stage.recompute_microbatch(mb);
+                if !straggle(faults, wd, sched.stage_of(d, chunk), compute_started) {
+                    aborted = true;
+                    break 'program;
+                }
+            }
             OpKind::SendAct {
                 mb,
                 chunk,
@@ -1028,7 +1045,7 @@ mod tests {
     use crate::reference::ReferenceModel;
     use autopipe_exec::FaultSpec;
     use autopipe_model::ModelFamily;
-    use autopipe_schedule::{gpipe, interleaved, one_f_one_b, sliced_1f1b};
+    use autopipe_schedule::{apply_recompute, gpipe, interleaved, one_f_one_b, sliced_1f1b};
 
     fn tiny() -> ModelConfig {
         ModelConfig {
@@ -1203,6 +1220,75 @@ mod tests {
             1e-6,
             "params",
         );
+    }
+
+    #[test]
+    fn recompute_schedules_are_bit_identical_to_plain() {
+        // The `Recompute` op replays a pure forward from the stashed stage
+        // input, so a masked schedule must train bit-identically to the
+        // plain one — full masks, partial masks, and sliced halves alike.
+        let model = tiny();
+        let m = 4;
+        let batch = BatchSet::synthetic(11, m, 2, model.seq_len, model.vocab_size);
+        let masks: [&[bool]; 2] = [&[true, true], &[false, true]];
+        for base in [one_f_one_b(2, m), sliced_1f1b(2, m, 2), gpipe(2, m)] {
+            let mut plain = Pipeline::try_new(&cfg(base.clone(), partition2(), false)).unwrap();
+            let pl = plain.train_iteration(&batch).unwrap().loss;
+            let pc = plain.param_checksum();
+            for mask in masks {
+                let mut sched = base.clone();
+                apply_recompute(&mut sched, mask);
+                let mut pipe = Pipeline::try_new(&cfg(sched, partition2(), false)).unwrap();
+                let rl = pipe.train_iteration(&batch).unwrap().loss;
+                assert_eq!(
+                    rl.to_bits(),
+                    pl.to_bits(),
+                    "loss {:?} mask {mask:?}",
+                    base.kind
+                );
+                assert_eq!(
+                    pipe.param_checksum().to_bits(),
+                    pc.to_bits(),
+                    "params {:?} mask {mask:?}",
+                    base.kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_interleaved_is_bit_identical_to_plain() {
+        // Mixed per-chunk masks on the interleaved schedule: one device's
+        // chunk-stages recompute while the other's keep caches.
+        let model = tiny4();
+        let m = 4;
+        let part = Partition::new(vec![0, 3, 5, 8, 11]);
+        let base = interleaved(2, 2, m).unwrap();
+        let mk = |sched: Schedule| PipelineConfig {
+            model: model.clone(),
+            partition: part.clone(),
+            schedule: sched,
+            lr: 1e-3,
+            seed: 77,
+            checkpointing: false,
+            comm: CommConfig::default(),
+        };
+        let batch = BatchSet::synthetic(12, m, 2, model.seq_len, model.vocab_size);
+        let mut plain = Pipeline::try_new(&mk(base.clone())).unwrap();
+        let pl = plain.train_iteration(&batch).unwrap().loss;
+        let pc = plain.param_checksum();
+        for mask in [[true, false, true, false], [true, true, true, true]] {
+            let mut sched = base.clone();
+            apply_recompute(&mut sched, &mask);
+            let mut pipe = Pipeline::try_new(&mk(sched)).unwrap();
+            let rl = pipe.train_iteration(&batch).unwrap().loss;
+            assert_eq!(rl.to_bits(), pl.to_bits(), "interleaved loss mask {mask:?}");
+            assert_eq!(
+                pipe.param_checksum().to_bits(),
+                pc.to_bits(),
+                "interleaved params mask {mask:?}"
+            );
+        }
     }
 
     #[test]

@@ -146,7 +146,7 @@ enum ModCache {
     Identity,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 enum PartKey {
     Full,
     Half1,
@@ -270,6 +270,40 @@ impl StageModel {
             self.caches.insert(key, caches);
         }
         out
+    }
+
+    /// Replay the forward of micro-batch `mb` from the stashed stage inputs,
+    /// rebuilding the activation caches a checkpointed forward dropped — the
+    /// schedule IR's `Recompute` op. `run_forward` is pure, so the rebuilt
+    /// caches are bit-identical to the ones the forward would have kept;
+    /// parts whose caches are still live are left untouched. Returns how
+    /// many parts were rebuilt (0 when nothing was dropped, which makes the
+    /// op a timed no-op on unmasked stages).
+    pub fn recompute_microbatch(&mut self, mb: usize) -> usize {
+        let mut keys: Vec<(usize, PartKey)> = self
+            .inputs
+            .keys()
+            .filter(|(m, _)| *m == mb)
+            .copied()
+            .collect();
+        keys.sort();
+        let mut rebuilt = 0;
+        for key in keys {
+            if self.caches.contains_key(&key) {
+                continue;
+            }
+            let input = self.inputs[&key].clone();
+            let (_, caches) = self.run_forward(key, input);
+            self.caches.insert(key, caches);
+            rebuilt += 1;
+        }
+        rebuilt
+    }
+
+    /// Whether any forward state (stashed input) for micro-batch `mb` is
+    /// live on this stage.
+    pub fn has_forward_state(&self, mb: usize) -> bool {
+        self.inputs.keys().any(|(m, _)| *m == mb)
     }
 
     fn run_forward(

@@ -26,10 +26,12 @@
 pub mod generators;
 pub mod op;
 pub mod program;
+pub mod recompute;
 pub mod validate;
 
 pub use generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble};
 pub use op::{Lane, Op, OpKind, Part};
+pub use recompute::{apply_recompute, recompute_mask};
 pub use validate::{validate, ValidationError};
 
 use serde::{Deserialize, Serialize};

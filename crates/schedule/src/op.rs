@@ -55,6 +55,13 @@ pub enum OpKind {
     /// stashed by the matching `BwdInput`, releasing the micro-batch's
     /// activation checkpoints. Schedulable anywhere after its `BwdInput`.
     BwdWeight { mb: usize, chunk: usize },
+    /// Replay the forward of micro-batch `mb` through chunk `chunk` from the
+    /// stashed stage input, rebuilding the activation caches the following
+    /// backward consumes (stage-level activation recomputation). Emitted
+    /// only on stages whose recompute flag is set; costs one stage forward
+    /// and lets the stage stash a single input activation per in-flight
+    /// micro-batch instead of every block's checkpoint.
+    Recompute { mb: usize, chunk: usize },
     /// Ship the output activation of (`mb`, `chunk`, `part`) to device `to`.
     SendAct {
         mb: usize,
@@ -118,6 +125,7 @@ impl Op {
                 | OpKind::Bwd { .. }
                 | OpKind::BwdInput { .. }
                 | OpKind::BwdWeight { .. }
+                | OpKind::Recompute { .. }
         )
     }
 
@@ -145,6 +153,7 @@ impl Op {
             | OpKind::Bwd { mb, .. }
             | OpKind::BwdInput { mb, .. }
             | OpKind::BwdWeight { mb, .. }
+            | OpKind::Recompute { mb, .. }
             | OpKind::SendAct { mb, .. }
             | OpKind::RecvAct { mb, .. }
             | OpKind::SendGrad { mb, .. }
@@ -160,6 +169,7 @@ impl Op {
             | OpKind::Bwd { chunk, .. }
             | OpKind::BwdInput { chunk, .. }
             | OpKind::BwdWeight { chunk, .. }
+            | OpKind::Recompute { chunk, .. }
             | OpKind::SendAct { chunk, .. }
             | OpKind::RecvAct { chunk, .. }
             | OpKind::SendGrad { chunk, .. }

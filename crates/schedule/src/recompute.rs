@@ -1,0 +1,214 @@
+//! Stage-level activation recomputation as a schedule transform.
+//!
+//! [`apply_recompute`] rewrites any lowered schedule so that every stage
+//! whose mask bit is set replays its forward ([`OpKind::Recompute`])
+//! immediately before each micro-batch's backward. The insertion point is
+//! *before* the backward's `RecvGrad` when one exists, so the replay
+//! overlaps the gradient's wire time instead of waiting behind it — the
+//! device is idle there anyway, and the stashed stage input is all the
+//! replay needs.
+//!
+//! Keeping recomputation a post-lowering transform (rather than a per-
+//! generator concern) means every family — 1F1B, sliced, GPipe,
+//! zero-bubble, interleaved — inherits it from one code path, and the
+//! comm-adjacency invariant the overlapped engine relies on is preserved by
+//! construction: no `Recompute` is ever placed between a compute op and the
+//! send it feeds.
+
+use crate::op::{Op, OpKind};
+use crate::Schedule;
+
+/// Insert a [`OpKind::Recompute`] before each fused or grad-input backward
+/// on every stage whose `mask` bit is set. `mask` is indexed by pipeline
+/// stage (`chunk · p + device`) and must have exactly
+/// [`Schedule::n_stages`] entries. Grad-weight ops are untouched: they
+/// consume the caches the grad-input's recompute rebuilt.
+///
+/// The transform is idempotent on schedules without recompute ops; applying
+/// it twice would double-insert, so callers apply it to freshly generated
+/// schedules only.
+pub fn apply_recompute(sched: &mut Schedule, mask: &[bool]) {
+    assert_eq!(
+        mask.len(),
+        sched.n_stages(),
+        "recompute mask has {} entries for {} stages",
+        mask.len(),
+        sched.n_stages()
+    );
+    if !mask.iter().any(|&m| m) {
+        return;
+    }
+    let p = sched.n_devices;
+    for (d, ops) in sched.devices.iter_mut().enumerate() {
+        let mut out: Vec<Op> = Vec::with_capacity(ops.len());
+        let mut i = 0;
+        while i < ops.len() {
+            let op = ops[i];
+            // A backward's recompute goes before its RecvGrad (when the
+            // stage has one) so the replay overlaps the gradient transfer.
+            let backward = match op.kind {
+                OpKind::RecvGrad { mb, chunk, .. }
+                    if matches!(
+                        ops.get(i + 1).map(|o| o.kind),
+                        Some(OpKind::Bwd { mb: bmb, chunk: bc })
+                        | Some(OpKind::BwdInput { mb: bmb, chunk: bc })
+                            if bmb == mb && bc == chunk
+                    ) =>
+                {
+                    Some((mb, chunk))
+                }
+                OpKind::Bwd { mb, chunk } | OpKind::BwdInput { mb, chunk } => {
+                    // No preceding RecvGrad for this backward (last stage).
+                    let after_recv = i > 0
+                        && matches!(
+                            ops[i - 1].kind,
+                            OpKind::RecvGrad { mb: rmb, chunk: rc, .. }
+                                if rmb == mb && rc == chunk
+                        );
+                    if after_recv {
+                        None // already handled at the RecvGrad
+                    } else {
+                        Some((mb, chunk))
+                    }
+                }
+                _ => None,
+            };
+            if let Some((mb, chunk)) = backward {
+                if mask[chunk * p + d] {
+                    out.push(Op::new(OpKind::Recompute { mb, chunk }));
+                }
+            }
+            out.push(op);
+            i += 1;
+        }
+        *ops = out;
+    }
+}
+
+/// Recover the per-stage recompute mask from a schedule's ops: stage `s` is
+/// masked iff any device program contains a `Recompute` op for it. The
+/// memory model and the runtime both key off this, so the mask never needs
+/// to travel beside the schedule.
+pub fn recompute_mask(sched: &Schedule) -> Vec<bool> {
+    let mut mask = vec![false; sched.n_stages()];
+    for (d, ops) in sched.devices.iter().enumerate() {
+        for op in ops {
+            if let OpKind::Recompute { chunk, .. } = op.kind {
+                mask[sched.stage_of(d, chunk)] = true;
+            }
+        }
+    }
+    mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble};
+    use crate::validate::validate;
+
+    fn families() -> Vec<Schedule> {
+        vec![
+            one_f_one_b(4, 8),
+            sliced_1f1b(4, 8, 2),
+            gpipe(4, 8),
+            zero_bubble(4, 8),
+            interleaved(4, 2, 8).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn masked_schedules_validate_for_every_family() {
+        for base in families() {
+            let n = base.n_stages();
+            for mask_fn in [
+                |_: usize, _: usize| true,                // all stages
+                |s: usize, _: usize| s.is_multiple_of(2), // alternating
+                |s: usize, n: usize| s + 1 < n,           // all but last
+            ] {
+                let mask: Vec<bool> = (0..n).map(|s| mask_fn(s, n)).collect();
+                let mut sched = base.clone();
+                apply_recompute(&mut sched, &mask);
+                validate(&sched)
+                    .unwrap_or_else(|e| panic!("{:?} with mask {mask:?}: {e}", sched.kind));
+                assert_eq!(recompute_mask(&sched), mask, "{:?}", sched.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn one_recompute_per_backward_on_masked_stages() {
+        for base in families() {
+            let n = base.n_stages();
+            let mask = vec![true; n];
+            let mut sched = base.clone();
+            apply_recompute(&mut sched, &mask);
+            for (d, ops) in sched.devices.iter().enumerate() {
+                let backwards = ops
+                    .iter()
+                    .filter(|o| matches!(o.kind, OpKind::Bwd { .. } | OpKind::BwdInput { .. }))
+                    .count();
+                let recomputes = ops
+                    .iter()
+                    .filter(|o| matches!(o.kind, OpKind::Recompute { .. }))
+                    .count();
+                assert_eq!(recomputes, backwards, "{:?} device {d}", sched.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_precedes_its_backward_and_overlaps_the_recv() {
+        let mut sched = one_f_one_b(4, 8);
+        apply_recompute(&mut sched, &[true; 4]);
+        for (d, ops) in sched.devices.iter().enumerate() {
+            for (i, op) in ops.iter().enumerate() {
+                let OpKind::Recompute { mb, chunk } = op.kind else {
+                    continue;
+                };
+                // The matching backward follows within two ops (directly, or
+                // with the RecvGrad in between).
+                let next_two = &ops[i + 1..(i + 3).min(ops.len())];
+                assert!(
+                    next_two.iter().any(|o| matches!(
+                        o.kind,
+                        OpKind::Bwd { mb: bmb, chunk: bc } if bmb == mb && bc == chunk
+                    )),
+                    "device {d}: Recompute({mb}) not followed by its backward"
+                );
+                // Interior stages overlap the recv: RecvGrad directly after.
+                if d + 1 < sched.n_devices {
+                    assert!(
+                        matches!(ops[i + 1].kind, OpKind::RecvGrad { mb: rmb, .. } if rmb == mb),
+                        "device {d}: Recompute({mb}) should precede the RecvGrad"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_mask_is_identity() {
+        let base = zero_bubble(4, 8);
+        let mut sched = base.clone();
+        apply_recompute(&mut sched, &[false; 4]);
+        assert_eq!(sched, base);
+        assert_eq!(recompute_mask(&base), vec![false; 4]);
+    }
+
+    #[test]
+    fn grad_weights_get_no_recompute() {
+        let mut sched = zero_bubble(4, 8);
+        apply_recompute(&mut sched, &[true; 4]);
+        for ops in &sched.devices {
+            for (i, op) in ops.iter().enumerate() {
+                if matches!(op.kind, OpKind::BwdWeight { .. }) && i > 0 {
+                    assert!(
+                        !matches!(ops[i - 1].kind, OpKind::Recompute { .. }),
+                        "grad-weight must not trigger a recompute"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -220,7 +220,8 @@ fn replay(s: &Schedule) -> Result<(), ValidationError> {
                     OpKind::Fwd { .. }
                     | OpKind::Bwd { .. }
                     | OpKind::BwdInput { .. }
-                    | OpKind::BwdWeight { .. } => {}
+                    | OpKind::BwdWeight { .. }
+                    | OpKind::Recompute { .. } => {}
                     OpKind::SendAct {
                         mb,
                         chunk,

@@ -178,8 +178,31 @@ pub fn simulate_replay_with(
     m: usize,
     overlap: Option<&OverlapModel>,
 ) -> AnalyticResult {
+    simulate_replay_masked(costs, m, overlap, None)
+}
+
+/// [`simulate_replay_with`] with an optional per-stage recompute mask.
+///
+/// A masked stage replays its forward (`f[x]`) before each backward — the
+/// analytic image of the schedule IR's `Recompute` op, which the lowering
+/// places *before* the gradient receive. The replay therefore starts as soon
+/// as the device is free, and the backward starts at
+/// `max(dev_free + f[x], grad_arrival)` — the same floats, in the same
+/// order, as the event simulator's `Recompute` arm, keeping all three tiers
+/// bit-identical. Callers pass `b[x]` at the *non-checkpointed* rate for
+/// masked stages ([`crate::partition::Partition::stage_costs_recompute`]).
+pub fn simulate_replay_masked(
+    costs: &StageCosts,
+    m: usize,
+    overlap: Option<&OverlapModel>,
+    recompute: Option<&[bool]>,
+) -> AnalyticResult {
     let n = costs.n_stages();
     assert!(m >= 1, "need at least one micro-batch");
+    if let Some(r) = recompute {
+        assert_eq!(r.len(), n, "recompute mask/stage count mismatch");
+    }
+    let masked = |x: usize| recompute.is_some_and(|r| r[x]);
     // Overlap mode: per-directed-edge link state and sender-computed
     // arrivals. `act_arr[x*m+mb]` gates stage x+1's forward of `mb`;
     // `grad_arr[x*m+mb]` gates stage x−1's backward of `mb`.
@@ -258,7 +281,13 @@ pub fn simulate_replay_with(
                 } else {
                     None
                 };
-                let intra_ready = dev_free[x];
+                let intra_ready = if class == OpClass::Bwd && masked(x) {
+                    // The forward replay runs while the gradient is on the
+                    // wire; the backward cannot start before it finishes.
+                    dev_free[x] + costs.f[x]
+                } else {
+                    dev_free[x]
+                };
                 let cross_ready = match cross {
                     Some(c) => {
                         if overlap.is_some() {
@@ -321,7 +350,10 @@ pub fn simulate_replay_with(
     };
     let critical_path = backtrack_critical_path(&ops);
     let master_stage = find_master_stage(&ops, &critical_path, costs);
-    let stage_busy = (0..n).map(|x| m as f64 * costs.work(x)).collect();
+    // A masked stage pays one forward replay per backward on top of its work.
+    let stage_busy = (0..n)
+        .map(|x| m as f64 * (costs.work(x) + if masked(x) { costs.f[x] } else { 0.0 }))
+        .collect();
 
     AnalyticResult {
         iteration_time,
@@ -450,8 +482,25 @@ pub fn simulate_time_with(
     scratch: &mut SimScratch,
     overlap: Option<&OverlapModel>,
 ) -> FastResult {
+    simulate_time_masked(costs, m, scratch, overlap, None)
+}
+
+/// [`simulate_time_with`] with an optional per-stage recompute mask — the
+/// fast tier of [`simulate_replay_masked`], bit-identical to it (and to the
+/// event simulator on a `Recompute`-lowered schedule).
+pub fn simulate_time_masked(
+    costs: &StageCosts,
+    m: usize,
+    scratch: &mut SimScratch,
+    overlap: Option<&OverlapModel>,
+    recompute: Option<&[bool]>,
+) -> FastResult {
     let n = costs.n_stages();
     assert!(m >= 1, "need at least one micro-batch");
+    if let Some(r) = recompute {
+        assert_eq!(r.len(), n, "recompute mask/stage count mismatch");
+    }
+    let masked = |x: usize| recompute.is_some_and(|r| r[x]);
     let comm = costs.comm;
     let prog_len = 2 * m;
     let chunk_cost = overlap.map_or(0.0, |ov| ov.chunk_cost(comm));
@@ -480,7 +529,9 @@ pub fn simulate_time_with(
     path_count.clear();
     path_count.resize(n, 0);
     stage_busy.clear();
-    stage_busy.extend((0..n).map(|x| m as f64 * costs.work(x)));
+    stage_busy.extend(
+        (0..n).map(|x| m as f64 * (costs.work(x) + if masked(x) { costs.f[x] } else { 0.0 })),
+    );
     let arr_len = if overlapped { n * m } else { 0 };
     act_arr.clear();
     act_arr.resize(arr_len, 0.0);
@@ -539,7 +590,14 @@ pub fn simulate_time_with(
             } else {
                 0.0
             };
-            let start = dev_free[x].max(cross_ready);
+            // Masked stages replay the forward before the backward — the
+            // exact `dev_free + f` expression of the full replay.
+            let intra_ready = if masked(x) {
+                dev_free[x] + costs.f[x]
+            } else {
+                dev_free[x]
+            };
+            let start = intra_ready.max(cross_ready);
             let e = start + costs.b[x];
             bwd_end[x * m + mb] = e;
             dev_free[x] = e;
@@ -607,7 +665,16 @@ pub fn simulate_time_with(
             )),
             _ => None,
         };
-        let intra_ready = if ci > 0 { end_of(cx, ci - 1) } else { 0.0 };
+        let intra_ready = if ci > 0 {
+            let e = end_of(cx, ci - 1);
+            if class == OpClass::Bwd && masked(cx) {
+                e + costs.f[cx]
+            } else {
+                e
+            }
+        } else {
+            0.0
+        };
         let cross_ready = cross.map_or(0.0, |(_, r)| r);
         let start = intra_ready.max(cross_ready);
 
@@ -1111,10 +1178,7 @@ mod tests {
         let mut scratch = SimScratch::new();
         for k in [1usize, 2, 4, 8] {
             for m in [4, 8, 12] {
-                let ov = OverlapModel {
-                    latency,
-                    chunks: k,
-                };
+                let ov = OverlapModel { latency, chunks: k };
                 let a = simulate_time_with(&c, m, &mut scratch, Some(&ov));
                 let e = run_schedule_untraced(
                     &one_f_one_b(4, m),
@@ -1138,6 +1202,96 @@ mod tests {
                     "k={k} m={m}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn masked_fast_tier_matches_masked_replay_bit_for_bit() {
+        let masks: [Vec<bool>; 3] = [
+            vec![true; 4],
+            vec![true, false, true, false],
+            vec![false, false, false, true],
+        ];
+        let mut scratch = SimScratch::new();
+        for mask in &masks {
+            for overlap in [
+                None,
+                Some(OverlapModel {
+                    latency: 0.05,
+                    chunks: 4,
+                }),
+            ] {
+                let c = costs(vec![1.0, 1.3, 0.9, 1.1], vec![2.0, 2.6, 1.8, 2.2], 1.05);
+                let full = simulate_replay_masked(&c, 10, overlap.as_ref(), Some(mask));
+                let fast = simulate_time_masked(&c, 10, &mut scratch, overlap.as_ref(), Some(mask));
+                assert_eq!(fast.iteration_time, full.iteration_time, "mask {mask:?}");
+                assert_eq!(
+                    fast.startup_overhead, full.startup_overhead,
+                    "mask {mask:?}"
+                );
+                assert_eq!(fast.master_stage, full.master_stage, "mask {mask:?}");
+                assert_eq!(scratch.stage_busy(), &full.stage_busy[..], "mask {mask:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_overlapped_analytic_matches_event_sim_bit_for_bit() {
+        use crate::event::{run_schedule_untraced, EventConfig, EventCosts};
+        use autopipe_exec::CommConfig;
+        use autopipe_schedule::{apply_recompute, generators::one_f_one_b};
+        let c = costs(vec![1.0, 1.3, 0.9, 1.1], vec![2.0, 2.6, 1.8, 2.2], 1.5);
+        let latency = 0.05;
+        let masks: [Vec<bool>; 3] = [
+            vec![true; 4],
+            vec![true, true, false, false],
+            vec![false, true, false, true],
+        ];
+        let mut scratch = SimScratch::new();
+        for mask in &masks {
+            for k in [1usize, 4] {
+                for m in [4, 8] {
+                    let ov = OverlapModel { latency, chunks: k };
+                    let a = simulate_time_masked(&c, m, &mut scratch, Some(&ov), Some(mask));
+                    let mut sched = one_f_one_b(4, m);
+                    apply_recompute(&mut sched, mask);
+                    let e = run_schedule_untraced(
+                        &sched,
+                        &EventCosts::from_stage_costs(&c, latency),
+                        &EventConfig {
+                            comm: CommConfig::overlapped(k),
+                            ..Default::default()
+                        },
+                    )
+                    .unwrap();
+                    assert_eq!(
+                        a.iteration_time.to_bits(),
+                        e.iteration_time.to_bits(),
+                        "mask {mask:?} k={k} m={m}: analytic {} vs event {}",
+                        a.iteration_time,
+                        e.iteration_time
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn recompute_mask_never_speeds_up_equal_costs() {
+        // With b held fixed, masking a stage adds one forward replay per
+        // backward — iteration time must not drop.
+        let c = costs(vec![1.0, 1.3, 0.9, 1.1], vec![2.0, 2.6, 1.8, 2.2], 0.05);
+        let plain = simulate_replay(&c, 8);
+        for s in 0..4 {
+            let mut mask = vec![false; 4];
+            mask[s] = true;
+            let rec = simulate_replay_masked(&c, 8, None, Some(&mask));
+            assert!(
+                rec.iteration_time >= plain.iteration_time,
+                "stage {s}: {} < {}",
+                rec.iteration_time,
+                plain.iteration_time
+            );
         }
     }
 

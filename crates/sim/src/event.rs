@@ -472,6 +472,26 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                         device_busy[d] += dur;
                         (s, s + dur)
                     }
+                    // Forward replay before a backward on a recomputing
+                    // stage: costs one full stage forward. Placed before the
+                    // backward's RecvGrad by the lowering, so in overlap mode
+                    // it runs while the gradient is still on the wire (no
+                    // pending arrival gates it — the recv has not posted yet).
+                    OpKind::Recompute { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let mut dur = duration(costs.f[stage], cfg, &mut rng);
+                        dur *= faults.map_or(1.0, |f| f.compute_factor(stage));
+                        let s = if overlap {
+                            let s = (dev_free[d] + stall).max(pending[d]);
+                            pending[d] = 0.0;
+                            last_span[d] = (s + dur, dur);
+                            s
+                        } else {
+                            dev_free[d] + stall
+                        };
+                        device_busy[d] += dur;
+                        (s, s + dur)
+                    }
                     OpKind::BwdWeight { chunk, .. } => {
                         let stage = sched.stage_of(d, chunk);
                         let b_in = costs.b[stage] * 0.5;
@@ -497,7 +517,14 @@ fn sweep<T: Transport<Payload = ()>, S: TraceSink>(
                             // producing compute span is still running.
                             let (span_end, span_dur) = last_span[d];
                             transport.send_overlapped(
-                                d, to, key, (), span_end, span_dur, stall, chunks,
+                                d,
+                                to,
+                                key,
+                                (),
+                                span_end,
+                                span_dur,
+                                stall,
+                                chunks,
                             );
                         } else {
                             transport.send(d, to, key, (), t);

@@ -33,14 +33,15 @@ pub mod schedule_replay;
 pub mod trace;
 
 pub use analytic::{
-    simulate_replay, simulate_replay_with, simulate_time, simulate_time_with, AnalyticResult,
-    FastResult, OpClass, OpTime, OverlapModel, Phase, SimScratch,
+    simulate_replay, simulate_replay_masked, simulate_replay_with, simulate_time,
+    simulate_time_masked, simulate_time_with, AnalyticResult, FastResult, OpClass, OpTime,
+    OverlapModel, Phase, SimScratch,
 };
+pub use autopipe_exec::CommConfig;
 pub use event::{
     run_schedule, run_schedule_failstop, run_schedule_faulty, run_schedule_on,
     run_schedule_untraced, EventConfig, EventCosts, EventResult, EventSummary, FailStopResult,
     SimCrash, SimError,
 };
-pub use autopipe_exec::CommConfig;
 pub use partition::{Partition, StageCosts};
 pub use schedule_replay::{replay_schedule, ReplayScratch};

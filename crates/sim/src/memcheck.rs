@@ -16,14 +16,22 @@
 use std::collections::HashMap;
 
 use autopipe_cost::{
-    memory::{stage_memory, ACT_FRAG_MULT, INTERLEAVED_FRAG_MULT},
+    memory::{
+        stage_memory_frac, working_set, ACT_FRAG_MULT, INTERLEAVED_FRAG_MULT, PARAM_STATE_BYTES,
+    },
     CostDb, Hardware, MemoryBreakdown,
 };
-use autopipe_schedule::{OpKind, Schedule};
+use autopipe_schedule::{apply_recompute, recompute_mask, OpKind, Schedule};
 
 use crate::partition::Partition;
 
 /// A device exceeded its memory budget.
+///
+/// Carries everything a caller needs to act on the failure: the itemised
+/// [`MemoryBreakdown`] of the offending device, the budget it missed, and
+/// whether rerunning the same (partition, schedule) with every stage
+/// recomputing would have fit — the hint the memory-aware planner turns
+/// into a recompute mask.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OomError {
     /// Offending device.
@@ -34,16 +42,30 @@ pub struct OomError {
     pub budget: u64,
     /// Itemised usage.
     pub breakdown: MemoryBreakdown,
+    /// Would this (partition, schedule) fit under the same budget with
+    /// activation recomputation on every stage? `false` when the schedule
+    /// already recomputes (no further headroom of this kind exists).
+    pub fits_with_recompute: bool,
 }
 
 impl std::fmt::Display for OomError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "OOM on device {}: needs {:.2} GB, budget {:.2} GB",
+            "OOM on device {}: needs {:.2} GB, budget {:.2} GB \
+             (params {:.2} + checkpoints {:.2} + working {:.2} + buffers {:.2} GB); {}",
             self.device,
             self.required as f64 / 1e9,
-            self.budget as f64 / 1e9
+            self.budget as f64 / 1e9,
+            self.breakdown.param_state as f64 / 1e9,
+            self.breakdown.checkpoints as f64 / 1e9,
+            self.breakdown.working as f64 / 1e9,
+            self.breakdown.buffers as f64 / 1e9,
+            if self.fits_with_recompute {
+                "would fit with activation recomputation"
+            } else {
+                "does not fit even with full recomputation"
+            }
         )
     }
 }
@@ -81,13 +103,23 @@ pub fn peak_in_flight(sched: &Schedule, device: usize) -> f64 {
 /// Compute per-device memory for a partitioned model under `sched`.
 /// `partition` must have exactly `sched.n_stages()` stages (for the
 /// interleaved schedule: one partition stage per chunk-stage).
+///
+/// Recompute-aware: stages whose op programs contain `Recompute` ops (see
+/// [`autopipe_schedule::recompute_mask`]) stash only their input activation
+/// per in-flight micro-batch; the full per-block checkpoint set is charged
+/// once, to the working term, for the micro-batch whose backward the replay
+/// is feeding. The in-flight count itself comes from the generic
+/// peak-liveness replay, fractional for sliced schedules (a live half
+/// micro-batch is charged as a half, not rounded up — non-uniform slice
+/// patterns are exact, verified against `memtrace` in the proptest sweep).
 pub fn device_memory(partition: &Partition, db: &CostDb, sched: &Schedule) -> Vec<MemoryBreakdown> {
     let p = sched.n_devices;
     let v = sched.n_chunks;
     assert_eq!(partition.n_stages(), sched.n_stages());
+    let mask = recompute_mask(sched);
     (0..p)
         .map(|d| {
-            let peak = peak_in_flight(sched, d);
+            let peak = peak_in_flight(sched, d).max(1.0);
             if v > 1 {
                 // Merge the device's chunks into one virtual block list.
                 let mut blocks = Vec::new();
@@ -99,38 +131,108 @@ pub fn device_memory(partition: &Partition, db: &CostDb, sched: &Schedule) -> Ve
                 // hold peak/v stage-equivalents. Interleaving also doubles
                 // the comm buffers (wrap-around links) and fragments worse.
                 let equiv = ((peak / v as f64).ceil() as usize).max(1);
-                stage_memory(&blocks, 2 * db.comm_bytes, equiv, INTERLEAVED_FRAG_MULT)
+                if (0..v).all(|c| !mask[sched.stage_of(d, c)]) {
+                    stage_memory_frac(
+                        &blocks,
+                        2 * db.comm_bytes,
+                        equiv as f64,
+                        INTERLEAVED_FRAG_MULT,
+                        false,
+                    )
+                } else {
+                    // Mixed per-chunk masks: the checkpoint unit is summed
+                    // chunk by chunk (input activation for recomputing
+                    // chunks, full set otherwise); only one backward runs at
+                    // a time, so the rematerialised set is the largest
+                    // recomputing chunk's.
+                    let mut unit = 0u64;
+                    let mut remat = 0u64;
+                    for c in 0..v {
+                        let r = partition.range(sched.stage_of(d, c));
+                        let cb = &db.blocks[r];
+                        let ckpt: u64 = cb.iter().map(|b| b.ckpt_act_bytes).sum();
+                        if mask[sched.stage_of(d, c)] {
+                            unit += cb.first().map(|b| b.ckpt_act_bytes).unwrap_or(0);
+                            remat = remat.max(ckpt);
+                        } else {
+                            unit += ckpt;
+                        }
+                    }
+                    let params: u64 = blocks.iter().map(|b| b.params).sum();
+                    MemoryBreakdown {
+                        param_state: params * PARAM_STATE_BYTES,
+                        checkpoints: (equiv as f64 * unit as f64 * INTERLEAVED_FRAG_MULT) as u64,
+                        working: ((working_set(&blocks) + remat) as f64 * INTERLEAVED_FRAG_MULT)
+                            as u64,
+                        buffers: 4 * (2 * db.comm_bytes),
+                    }
+                }
             } else {
-                stage_memory(
+                stage_memory_frac(
                     &db.blocks[partition.range(d)],
                     db.comm_bytes,
-                    (peak.ceil() as usize).max(1),
+                    peak,
                     ACT_FRAG_MULT,
+                    mask[d],
                 )
             }
         })
         .collect()
 }
 
-/// Check that every device fits; returns the per-device breakdowns.
+/// Check that every device fits the hardware budget; returns the per-device
+/// breakdowns.
 pub fn check_memory(
     partition: &Partition,
     db: &CostDb,
     sched: &Schedule,
     hw: &Hardware,
 ) -> Result<Vec<MemoryBreakdown>, OomError> {
+    check_memory_budget(partition, db, sched, hw.mem_budget())
+}
+
+/// [`check_memory`] against an explicit byte budget — the planner's
+/// `Constraints { memory_budget }` end of the API. On failure the
+/// [`OomError`] also answers "would a recompute mask have fixed this?" by
+/// re-checking the same configuration with every stage recomputing.
+pub fn check_memory_budget(
+    partition: &Partition,
+    db: &CostDb,
+    sched: &Schedule,
+    budget: u64,
+) -> Result<Vec<MemoryBreakdown>, OomError> {
     let usage = device_memory(partition, db, sched);
     for (device, bd) in usage.iter().enumerate() {
-        if !bd.fits(hw) {
+        if bd.total() > budget {
             return Err(OomError {
                 device,
                 required: bd.total(),
-                budget: hw.mem_budget(),
+                budget,
                 breakdown: *bd,
+                fits_with_recompute: fits_with_full_recompute(partition, db, sched, budget),
             });
         }
     }
     Ok(usage)
+}
+
+/// Would the configuration fit `budget` if every stage recomputed? `false`
+/// when the schedule already contains recompute ops (the headroom is spent).
+fn fits_with_full_recompute(
+    partition: &Partition,
+    db: &CostDb,
+    sched: &Schedule,
+    budget: u64,
+) -> bool {
+    if recompute_mask(sched).iter().any(|&m| m) {
+        return false;
+    }
+    let mut all = sched.clone();
+    let mask = vec![true; all.n_stages()];
+    apply_recompute(&mut all, &mask);
+    device_memory(partition, db, &all)
+        .iter()
+        .all(|bd| bd.total() <= budget)
 }
 
 #[cfg(test)]

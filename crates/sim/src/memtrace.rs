@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use autopipe_schedule::{OpKind, Schedule};
+use autopipe_schedule::{recompute_mask, OpKind, Schedule};
 
 use crate::event::EventResult;
 use crate::partition::Partition;
@@ -23,6 +23,9 @@ pub struct StageQuanta {
     pub param_state: u64,
     /// Stashed checkpoint bytes per in-flight micro-batch.
     pub ckpt_per_mb: u64,
+    /// Stage *input* activation bytes — all a recomputing stage stashes per
+    /// in-flight micro-batch (the first block's checkpoint).
+    pub ckpt_input: u64,
     /// Transient working set while a compute op runs.
     pub working: u64,
 }
@@ -62,6 +65,7 @@ pub fn stage_quanta(partition: &Partition, db: &CostDb) -> Vec<StageQuanta> {
             StageQuanta {
                 param_state: params * PARAM_STATE_BYTES,
                 ckpt_per_mb: ckpt,
+                ckpt_input: blocks.first().map(|b| b.ckpt_act_bytes).unwrap_or(0),
                 working: 2 * max_body + max_nonbody,
             }
         })
@@ -79,6 +83,10 @@ pub fn dynamic_peaks(
 ) -> Vec<DevicePeak> {
     assert_eq!(quanta.len(), sched.n_stages());
     let p = sched.n_devices;
+    // Stages flagged in the schedule stash only their input activation per
+    // micro-batch; the Recompute op rematerialises the rest just before the
+    // backward.
+    let mask = recompute_mask(sched);
     let mut peaks = Vec::with_capacity(p);
     for d in 0..p {
         let persistent: u64 = (0..sched.n_chunks)
@@ -88,14 +96,30 @@ pub fn dynamic_peaks(
         for r in result.timeline.device(d) {
             match r.op.kind {
                 OpKind::Fwd { chunk, part, .. } => {
-                    let q = &quanta[sched.stage_of(d, chunk)];
+                    let stage = sched.stage_of(d, chunk);
+                    let q = &quanta[stage];
                     // Working set lives for the op's duration.
                     edges.push((r.start, false, q.working as i64));
                     edges.push((r.end, true, -(q.working as i64)));
                     // The checkpoint materialises when the forward ends;
-                    // halves stash half each.
-                    let ckpt = (q.ckpt_per_mb as f64 * part.frac()) as i64;
+                    // halves stash half each. A recomputing stage stashes
+                    // only its input activation.
+                    let unit = if mask[stage] {
+                        q.ckpt_input
+                    } else {
+                        q.ckpt_per_mb
+                    };
+                    let ckpt = (unit as f64 * part.frac()) as i64;
                     edges.push((r.end, false, ckpt));
+                }
+                OpKind::Recompute { chunk, .. } => {
+                    let q = &quanta[sched.stage_of(d, chunk)];
+                    edges.push((r.start, false, q.working as i64));
+                    edges.push((r.end, true, -(q.working as i64)));
+                    // The replay rematerialises the micro-batch's full
+                    // checkpoint set on top of the stashed input; the
+                    // following backward releases all of it.
+                    edges.push((r.end, false, (q.ckpt_per_mb - q.ckpt_input) as i64));
                 }
                 OpKind::Bwd { chunk, .. } => {
                     let q = &quanta[sched.stage_of(d, chunk)];
@@ -145,7 +169,7 @@ mod tests {
     use crate::memcheck::device_memory;
     use autopipe_cost::Hardware;
     use autopipe_model::{zoo, Granularity};
-    use autopipe_schedule::{gpipe, one_f_one_b, sliced_1f1b, zero_bubble};
+    use autopipe_schedule::{apply_recompute, gpipe, one_f_one_b, sliced_1f1b, zero_bubble};
 
     fn setup(p: usize, mbs: usize) -> (CostDb, Partition) {
         let hw = Hardware::rtx3090_cluster();
@@ -227,6 +251,42 @@ mod tests {
         let g = run(&db, &part, &gpipe(4, 8));
         let o = run(&db, &part, &one_f_one_b(4, 8));
         assert!(g[3].peak > o[3].peak, "{} vs {}", g[3].peak, o[3].peak);
+    }
+
+    #[test]
+    fn recompute_cuts_the_peak_and_leaks_nothing() {
+        let (db, part) = setup(4, 8);
+        let plain = run(&db, &part, &one_f_one_b(4, 8));
+        let mut sched = one_f_one_b(4, 8);
+        apply_recompute(&mut sched, &[true; 4]);
+        let rec = run(&db, &part, &sched);
+        let quanta = stage_quanta(&part, &db);
+        for pk in &rec {
+            assert_eq!(
+                pk.residual, quanta[pk.device].param_state,
+                "device {} leaked activations under recompute",
+                pk.device
+            );
+        }
+        // Stage 0 stashes the most checkpoints, so trading them for a
+        // single input stash must cut its dynamic peak.
+        assert!(
+            rec[0].peak < plain[0].peak,
+            "recompute peak {} >= plain peak {}",
+            rec[0].peak,
+            plain[0].peak
+        );
+        // The static model must still dominate the dynamic replay.
+        let static_est = device_memory(&part, &db, &sched);
+        for (dp, se) in rec.iter().zip(&static_est) {
+            assert!(
+                se.total() >= dp.peak,
+                "device {}: static {} < dynamic {}",
+                dp.device,
+                se.total(),
+                dp.peak
+            );
+        }
     }
 
     #[test]

@@ -168,6 +168,20 @@ pub fn replay_schedule(
                         };
                         s + dur
                     }
+                    OpKind::Recompute { chunk, .. } => {
+                        let stage = sched.stage_of(d, chunk);
+                        let dur = costs.f[stage] + cfg.kernel_overhead;
+                        device_busy[d] += dur;
+                        let s = if overlap {
+                            let s = dev_free[d].max(pending[d]);
+                            pending[d] = 0.0;
+                            last_span[d] = (s + dur, dur);
+                            s
+                        } else {
+                            dev_free[d]
+                        };
+                        s + dur
+                    }
                     OpKind::BwdWeight { chunk, .. } => {
                         let stage = sched.stage_of(d, chunk);
                         let b_in = costs.b[stage] * 0.5;
@@ -419,8 +433,7 @@ mod tests {
         let c = costs(p, 1.0, 1.0, 0.01, 2.0);
         let mut scratch = ReplayScratch::new();
         let sched = one_f_one_b(p, m);
-        let blocking =
-            replay_schedule(&sched, &c, &EventConfig::default(), &mut scratch).unwrap();
+        let blocking = replay_schedule(&sched, &c, &EventConfig::default(), &mut scratch).unwrap();
         let overlapped = replay_schedule(
             &sched,
             &c,

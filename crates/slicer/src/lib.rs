@@ -12,7 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use autopipe_schedule::{sliced_1f1b, Schedule};
+use autopipe_schedule::{apply_recompute, sliced_1f1b, Schedule};
 use autopipe_sim::event::{run_schedule, EventConfig, EventCosts};
 use autopipe_sim::partition::StageCosts;
 
@@ -156,6 +156,21 @@ pub fn plan_slicing(costs: &StageCosts, m: usize) -> SlicedPlan {
     }
 }
 
+/// [`plan_slicing`] for a partition planned under a per-stage recompute
+/// mask. `costs` must be the *masked* stage costs
+/// ([`autopipe_sim::Partition::stage_costs_recompute`]), so Algorithm 2
+/// sees the forward replay inside `b_i` on masked stages — a recomputing
+/// stage drains its Warmup later, which can change how many micro-batches
+/// are worth slicing. The returned schedule carries the mask's `Recompute`
+/// ops and is executable as returned.
+pub fn plan_slicing_masked(costs: &StageCosts, m: usize, mask: &[bool]) -> SlicedPlan {
+    let mut plan = plan_slicing(costs, m);
+    if mask.iter().any(|&r| r) {
+        apply_recompute(&mut plan.schedule, mask);
+    }
+    plan
+}
+
 /// Re-validate a sliced count against Algorithm 2's bound for a (possibly
 /// re-planned) partition scheme. Used after shrink-and-replan recovery: the
 /// schedule hot-swapped onto the surviving `p − 1` devices must carry the
@@ -222,6 +237,25 @@ mod tests {
                 "p={p}: algorithm2 {analytic} vs empirical {empirical}"
             );
         }
+    }
+
+    #[test]
+    fn masked_plan_carries_the_mask_and_solves_on_masked_costs() {
+        let p = 4;
+        let m = 8;
+        // Masked costs: every stage's backward carries a full forward
+        // replay (b = f + b_plain), as stage_costs_recompute would report
+        // for an all-true mask over body-only stages.
+        let plain = balanced(p, 1.0, 2.0, 0.02);
+        let masked_costs = balanced(p, 1.0, 3.0, 0.02);
+        let mask = vec![true; p];
+        let plan = plan_slicing_masked(&masked_costs, m, &mask);
+        assert_eq!(autopipe_schedule::recompute_mask(&plan.schedule), mask);
+        autopipe_schedule::validate(&plan.schedule).unwrap();
+        assert_eq!(plan.n_sliced, solve_sliced_count(&masked_costs).min(p - 1));
+        // An all-false mask degenerates to plan_slicing exactly.
+        let unmasked = plan_slicing_masked(&plain, m, &vec![false; p]);
+        assert_eq!(unmasked, plan_slicing(&plain, m));
     }
 
     #[test]

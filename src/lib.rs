@@ -8,8 +8,10 @@
 
 pub mod session;
 
-pub use autopipe_core::{Error, RecoveryConfig, RecoveryPolicy, SchedulePolicy, SessionConfig};
-pub use autopipe_planner::{PlanService, ServiceStats};
+pub use autopipe_core::{
+    Constraints, Error, RecoveryConfig, RecoveryPolicy, SchedulePolicy, SessionConfig,
+};
+pub use autopipe_planner::{PlanService, RecomputePolicy, ServiceStats};
 pub use autopipe_runtime::{RecoveryAction, RecoveryRecord};
 pub use session::{PlannedSession, RunReport, Session, SimReport};
 

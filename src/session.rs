@@ -31,11 +31,13 @@
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use autopipe_core::{AutoPipe, Error, Plan, RecoveryConfig, SchedulePolicy, SessionConfig};
+use autopipe_core::{
+    AutoPipe, Constraints, Error, Plan, RecoveryConfig, SchedulePolicy, SessionConfig,
+};
 use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
-use autopipe_exec::FaultPlan;
+use autopipe_exec::{CommConfig, FaultPlan};
 use autopipe_model::ModelConfig;
-use autopipe_planner::{AutoPipeConfig, PlanService};
+use autopipe_planner::{AutoPipeConfig, FamilyConfig, PlanService, RecomputePolicy};
 use autopipe_runtime::{
     BatchSet, CheckpointStore, FaultReport, Pipeline, PipelineConfig, PipelineSnapshot,
     RecoveryCoordinator, RecoveryRecord, Replanner, RuntimeError, ShrinkPlan, StragglerConfig,
@@ -43,8 +45,21 @@ use autopipe_runtime::{
 };
 use autopipe_schedule::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble, ScheduleKind};
 use autopipe_sim::event::{run_schedule, run_schedule_faulty, EventCosts, EventResult};
+use autopipe_sim::OverlapModel;
 use autopipe_sim::Partition;
 use autopipe_slicer::{plan_slicing, validate_sliced_count};
+
+/// Lower a session's [`Constraints`] into every layer's configuration in
+/// one place: the planner's search knobs ([`AutoPipeConfig`]), the
+/// cross-family search's knobs ([`FamilyConfig`]), and the executors' comm
+/// engine ([`CommConfig`]). Overlap, pruning, the memory budget and the
+/// recompute policy are each read from `cfg.constraints` exactly once —
+/// every builder method and internal consumer (the plan request, the plan
+/// service, the runtime pipeline) goes through these lowerings, so the
+/// layers can never disagree about what was asked for.
+pub fn lower_constraints(cfg: &SessionConfig) -> (AutoPipeConfig, FamilyConfig, CommConfig) {
+    (cfg.planner(), cfg.family(), cfg.constraints.comm())
+}
 
 /// Builder for a training session. See the [module docs](self).
 #[derive(Debug, Clone)]
@@ -75,8 +90,13 @@ impl Session {
     /// Start a session for `model` with AutoPipe's defaults: one device,
     /// micro-batch 4, strategy search over the DP×PP space.
     pub fn for_model(model: ModelConfig) -> Session {
+        let mut cfg = SessionConfig::new(model, 1, 4, 4);
+        // The serving default: dominance pruning on. It is winner-preserving
+        // and warm-started re-plans rely on it; sessions built from an
+        // explicit config keep whatever its constraints say.
+        cfg.constraints.prune = true;
         Session {
-            cfg: SessionConfig::new(model, 1, 4, 4),
+            cfg,
             microbatches: None,
             devices_pinned: false,
             tolerance: Tolerance {
@@ -161,6 +181,46 @@ impl Session {
         self
     }
 
+    /// Replace the whole constraint set in one call (see [`Constraints`]).
+    /// The granular builder methods below are thin shims over this.
+    pub fn constraints(mut self, c: Constraints) -> Session {
+        self.cfg.constraints = c;
+        self
+    }
+
+    /// Hard per-device memory budget in bytes. The planner searches
+    /// (partition × schedule family × recompute mask) jointly under it and
+    /// errors with a structured OOM when nothing fits; pair with
+    /// [`Session::recompute_policy`] to let the search spend recomputation.
+    pub fn memory_budget(mut self, bytes: u64) -> Session {
+        self.cfg.constraints.memory_budget = Some(bytes);
+        self
+    }
+
+    /// How the planner may use activation recomputation to meet the memory
+    /// budget ([`RecomputePolicy::Auto`] = minimal per-stage masks, scored
+    /// with their forward-replay cost).
+    pub fn recompute_policy(mut self, policy: RecomputePolicy) -> Session {
+        self.cfg.constraints.recompute = policy;
+        self
+    }
+
+    /// Plan *and run* under the overlapped comm engine: the planner scores
+    /// candidates with eager chunked sends (α = `latency`, `chunks` wire
+    /// chunks per hand-off) and the runtime executes with the matching
+    /// [`CommConfig`].
+    pub fn overlap_comm(mut self, latency: f64, chunks: usize) -> Session {
+        self.cfg.constraints.overlap = Some(OverlapModel { latency, chunks });
+        self
+    }
+
+    /// Toggle dominance pruning in the wave search (on by default for
+    /// sessions built with [`Session::for_model`]).
+    pub fn prune(mut self, on: bool) -> Session {
+        self.cfg.constraints.prune = on;
+        self
+    }
+
     /// Adam learning rate for [`PlannedSession::run`].
     pub fn learning_rate(mut self, lr: f32) -> Session {
         self.cfg.lr = lr;
@@ -234,15 +294,16 @@ impl Session {
     }
 
     /// The planner service this session will plan through: the injected one,
-    /// or a freshly created private service in the serving configuration
-    /// (the session's search knobs plus dominance pruning for warm starts).
+    /// or a freshly created private service in the session's lowered search
+    /// configuration (pruning now comes from [`Constraints`], set by
+    /// [`Session::for_model`], instead of being forced here).
     fn resolve_service(&self) -> Arc<PlanService> {
         match &self.service {
             Some(s) => Arc::clone(s),
-            None => Arc::new(PlanService::with_config(AutoPipeConfig {
-                prune: true,
-                ..self.cfg.planner()
-            })),
+            None => {
+                let (planner_cfg, _, _) = lower_constraints(&self.cfg);
+                Arc::new(PlanService::with_config(planner_cfg))
+            }
         }
     }
 

@@ -208,5 +208,9 @@ fn overlap_wins_ten_percent_on_comm_heavy_pipelines_across_engines() {
     let (bl, bck) = run(CommConfig::default());
     let (ol, ock) = run(CommConfig::overlapped(k));
     assert_eq!(bl.to_bits(), ol.to_bits(), "loss blocking vs overlapped");
-    assert_eq!(bck.to_bits(), ock.to_bits(), "params blocking vs overlapped");
+    assert_eq!(
+        bck.to_bits(),
+        ock.to_bits(),
+        "params blocking vs overlapped"
+    );
 }

@@ -38,7 +38,12 @@ fn tiny() -> ModelConfig {
 
 /// Run `sched` through the threaded runtime on the tiny model and return
 /// its timeline.
-fn runtime_timeline(sched: &Schedule, partition: Vec<usize>, mbs: usize, comm: CommConfig) -> Timeline {
+fn runtime_timeline(
+    sched: &Schedule,
+    partition: Vec<usize>,
+    mbs: usize,
+    comm: CommConfig,
+) -> Timeline {
     let model = tiny();
     let m = sched.n_microbatches;
     let batch = BatchSet::synthetic(21, m, mbs, model.seq_len, model.vocab_size);
