@@ -174,6 +174,7 @@ fn runtime_campaign(n_seeds: u64) -> serde_json::Value {
             slack: 4.0,
             backoff: 2.0,
             max_retries: 40,
+            jitter_seed: 0,
         }),
     );
     let report = report.expect("stall produces a fault report");

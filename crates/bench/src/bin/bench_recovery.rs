@@ -65,6 +65,7 @@ fn snappy() -> WatchdogConfig {
         slack: 4.0,
         backoff: 2.0,
         max_retries: 3,
+        jitter_seed: 0,
     }
 }
 

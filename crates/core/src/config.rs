@@ -143,6 +143,151 @@ impl RecoveryConfig {
     }
 }
 
+/// Health-check thresholds for the cluster membership state machine
+/// (`autopipe-runtime::membership`). All counters are in heartbeat periods,
+/// so the same config is exact on the event simulator (virtual time) and the
+/// threaded runtime (wall time × time_scale).
+///
+/// The state machine is `Ready → Suspect → Quarantined → Evicted`, with
+/// `Quarantined → Readmitted → Ready` on sustained recovery. Hysteresis is
+/// two-sided: a device must *miss* `suspect_after ≤ quarantine_after ≤
+/// evict_after` consecutive heartbeats to walk down, and must *deliver*
+/// `quarantine_cooldown` consecutive heartbeats to walk back up — so a
+/// flapping device (≥ `flap_threshold` Suspect→Ready recoveries inside
+/// `flap_window` ticks) is parked in `Quarantined` instead of oscillating
+/// the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipConfig {
+    /// Consecutive missed heartbeats before `Ready → Suspect`.
+    pub suspect_after: u32,
+    /// Consecutive missed heartbeats before `Suspect → Quarantined`.
+    pub quarantine_after: u32,
+    /// Consecutive missed heartbeats before `Quarantined → Evicted`.
+    pub evict_after: u32,
+    /// Consecutive *delivered* heartbeats a quarantined device needs before
+    /// it is `Readmitted` (then `Ready`).
+    pub quarantine_cooldown: u32,
+    /// Number of `Suspect → Ready` recoveries inside `flap_window` that
+    /// count as flapping and force quarantine.
+    pub flap_threshold: u32,
+    /// Width of the flap-detection window, in heartbeat ticks.
+    pub flap_window: u64,
+    /// Base probe interval for suspect/quarantined devices, in heartbeat
+    /// periods; doubles per failed probe (`probe_factor`) up to `probe_max`,
+    /// with seeded jitter so simultaneous probes don't synchronize.
+    pub probe_base: f64,
+    /// Exponential probe backoff factor (≥ 1).
+    pub probe_factor: f64,
+    /// Probe interval cap, in heartbeat periods.
+    pub probe_max: f64,
+    /// Seed for the deterministic probe jitter.
+    pub seed: u64,
+}
+
+impl Default for MembershipConfig {
+    fn default() -> Self {
+        MembershipConfig {
+            suspect_after: 2,
+            quarantine_after: 4,
+            evict_after: 8,
+            quarantine_cooldown: 3,
+            flap_threshold: 3,
+            flap_window: 16,
+            probe_base: 1.0,
+            probe_factor: 2.0,
+            probe_max: 8.0,
+            seed: 0,
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// Reject degenerate thresholds with a structured [`Error::Config`].
+    pub fn validate(&self) -> Result<(), Error> {
+        let fail = |msg: String| Err(Error::Config(msg));
+        if self.suspect_after < 1 {
+            return fail("suspect_after must be at least 1 missed heartbeat".into());
+        }
+        if self.quarantine_after < self.suspect_after {
+            return fail(format!(
+                "quarantine_after {} below suspect_after {}",
+                self.quarantine_after, self.suspect_after
+            ));
+        }
+        if self.evict_after < self.quarantine_after {
+            return fail(format!(
+                "evict_after {} below quarantine_after {}",
+                self.evict_after, self.quarantine_after
+            ));
+        }
+        if self.quarantine_cooldown < 1 {
+            return fail("quarantine_cooldown must be at least 1 heartbeat".into());
+        }
+        if self.flap_threshold < 1 {
+            return fail("flap_threshold must be at least 1".into());
+        }
+        if self.flap_window < 1 {
+            return fail("flap_window must be at least 1 tick".into());
+        }
+        if !(self.probe_base.is_finite() && self.probe_base > 0.0) {
+            return fail(format!("bad probe_base {}", self.probe_base));
+        }
+        if !(self.probe_factor.is_finite() && self.probe_factor >= 1.0) {
+            return fail(format!("bad probe_factor {}", self.probe_factor));
+        }
+        if !(self.probe_max.is_finite() && self.probe_max >= self.probe_base) {
+            return fail(format!(
+                "probe_max {} below probe_base {}",
+                self.probe_max, self.probe_base
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Elastic membership: grow/shrink the pipeline as devices churn instead of
+/// merely surviving one loss. Lowered into the runtime's
+/// `ElasticCoordinator` by the `Session` facade (requires `recovery` — the
+/// grow path migrates state through the checkpoint repartition).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticConfig {
+    /// Health-check state machine thresholds.
+    pub membership: MembershipConfig,
+    /// Accept joins/readmissions and grow the pipeline back toward the
+    /// session's device count. Off = degraded mode only.
+    pub grow: bool,
+    /// Keep training while at least this many devices survive; below the
+    /// floor the run surfaces a runtime error instead of degrading further.
+    pub min_devices: usize,
+    /// Fold per-device slowdown multipliers into re-planning (the
+    /// heterogeneity-aware balance objective). Off = plan homogeneous.
+    pub heterogeneity_aware: bool,
+}
+
+impl Default for ElasticConfig {
+    fn default() -> Self {
+        ElasticConfig {
+            membership: MembershipConfig::default(),
+            grow: true,
+            min_devices: 1,
+            heterogeneity_aware: true,
+        }
+    }
+}
+
+impl ElasticConfig {
+    /// Reject degenerate knobs with a structured [`Error::Config`].
+    pub fn validate(&self) -> Result<(), Error> {
+        self.membership.validate()?;
+        if self.min_devices < 1 {
+            return Err(Error::Config(
+                "elastic min_devices must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Everything a profile → plan → slice → simulate → run session needs, in
 /// one validated place.
 #[derive(Debug, Clone)]
@@ -197,6 +342,16 @@ pub struct SessionConfig {
     /// Durable checkpointing + fail-stop recovery. `None` = crash-fragile
     /// (a fail-stop fault surfaces as a runtime error).
     pub recovery: Option<RecoveryConfig>,
+    /// Elastic membership: health-checked grow/shrink under churn. `None` =
+    /// the pre-elastic behaviour (fail-stop recovery only). Requires
+    /// `recovery` — growing migrates state through the checkpoint path.
+    pub elastic: Option<ElasticConfig>,
+    /// Per-device compute-time multipliers for a heterogeneous cluster
+    /// (empty = homogeneous). Folded into the cost database so the
+    /// planner's balance objective charges each stage the device that runs
+    /// it; folded into plan fingerprints so cached homogeneous plans never
+    /// alias.
+    pub device_multipliers: Vec<f64>,
 }
 
 impl SessionConfig {
@@ -225,6 +380,8 @@ impl SessionConfig {
             seed: 0,
             checkpointing: true,
             recovery: None,
+            elastic: None,
+            device_multipliers: Vec::new(),
         }
     }
 
@@ -284,6 +441,38 @@ impl SessionConfig {
         if let Some(r) = &self.recovery {
             r.validate()?;
         }
+        if let Some(e) = &self.elastic {
+            e.validate()?;
+            if self.recovery.is_none() {
+                return fail(
+                    "elastic membership requires recovery (checkpointing) to be configured: \
+                     growing the pipeline migrates state through the checkpoint path"
+                        .into(),
+                );
+            }
+            if e.min_devices > self.n_devices {
+                return fail(format!(
+                    "elastic min_devices {} exceeds the {} devices in the cluster",
+                    e.min_devices, self.n_devices
+                ));
+            }
+        }
+        if !self.device_multipliers.is_empty() {
+            if self.device_multipliers.len() != self.n_devices {
+                return fail(format!(
+                    "{} device multipliers for {} devices",
+                    self.device_multipliers.len(),
+                    self.n_devices
+                ));
+            }
+            for (d, &mult) in self.device_multipliers.iter().enumerate() {
+                if !(mult.is_finite() && mult > 0.0) {
+                    return fail(format!(
+                        "device {d} multiplier {mult} must be finite and > 0"
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -332,6 +521,7 @@ impl SessionConfig {
             schedule_policy: self.schedule_policy,
             profiler: self.profiler,
             planner: self.planner(),
+            multipliers: self.device_multipliers.clone(),
         }
     }
 }

@@ -15,7 +15,10 @@ pub mod plan;
 pub mod strategy;
 pub mod table2;
 
-pub use config::{Constraints, RecoveryConfig, RecoveryPolicy, SchedulePolicy, SessionConfig};
+pub use config::{
+    Constraints, ElasticConfig, MembershipConfig, RecoveryConfig, RecoveryPolicy, SchedulePolicy,
+    SessionConfig,
+};
 pub use error::Error;
 pub use plan::{AutoPipe, Plan, PlanRequest};
 pub use strategy::{choose_strategy, choose_strategy_with, StrategyChoice};

@@ -43,6 +43,10 @@ pub struct PlanRequest {
     /// How the schedule itself is chosen: the classic Slicer pipeline, or a
     /// cross-family search over every generator the schedule IR knows.
     pub schedule_policy: SchedulePolicy,
+    /// Per-device compute-time multipliers for a heterogeneous cluster
+    /// (empty = homogeneous). Applied to the cost database so planning and
+    /// fingerprinting are device-aware.
+    pub multipliers: Vec<f64>,
 }
 
 impl PlanRequest {
@@ -60,6 +64,7 @@ impl PlanRequest {
             profiler: None,
             planner: AutoPipeConfig::default(),
             schedule_policy: SchedulePolicy::default(),
+            multipliers: Vec::new(),
         }
     }
 }
@@ -217,12 +222,19 @@ impl AutoPipe {
         })
     }
 
-    /// The cost database a request plans against.
+    /// The cost database a request plans against. Heterogeneity multipliers
+    /// are attached *after* profiling so the profiler's per-block noise and
+    /// the per-device skew compose instead of overwriting each other.
     pub fn cost_db(req: &PlanRequest) -> CostDb {
         let db = CostDb::build(&req.model, &req.hardware, req.mbs, true, req.granularity);
-        match &req.profiler {
+        let db = match &req.profiler {
             Some(p) => autopipe_cost::profiler::profile(&db, p),
             None => db,
+        };
+        if req.multipliers.is_empty() {
+            db
+        } else {
+            db.with_device_multipliers(&req.multipliers)
         }
     }
 }

@@ -68,6 +68,14 @@ pub struct CostDb {
     pub params_prefix: Vec<u64>,
     /// Prefix sums of `BlockCost::layer_weight`.
     pub layer_prefix: Vec<f64>,
+    /// Per-device compute-time multipliers for heterogeneous clusters
+    /// (entry `d` scales device `d`'s stage compute; empty = homogeneous).
+    /// Stage→device mapping is round-robin (`stage % n_devices`), which is
+    /// the identity for single-chunk schedule families. Consumed by the
+    /// planner's balance objective and folded into `PlanService`
+    /// fingerprints so heterogeneous requests never alias cached
+    /// homogeneous plans.
+    pub device_multipliers: Vec<f64>,
 }
 
 impl CostDb {
@@ -97,9 +105,40 @@ impl CostDb {
             bwd_prefix: Vec::new(),
             params_prefix: Vec::new(),
             layer_prefix: Vec::new(),
+            device_multipliers: Vec::new(),
         };
         db.recompute_prefixes();
         db
+    }
+
+    /// Attach per-device throughput multipliers (see
+    /// [`crate::DeviceProfile`]). An all-1.0 profile is normalised back to
+    /// empty so a uniform heterogeneous request fingerprints identically to
+    /// (and shares cached plans with) the plain homogeneous request.
+    pub fn with_device_multipliers(mut self, multipliers: &[f64]) -> CostDb {
+        if multipliers.iter().all(|&m| m == 1.0) {
+            self.device_multipliers.clear();
+        } else {
+            self.device_multipliers = multipliers.to_vec();
+        }
+        self
+    }
+
+    /// Compute-time multiplier for `device` (1.0 when homogeneous). Devices
+    /// beyond the profile wrap round-robin, matching the stage→device
+    /// assignment of interleaved families.
+    pub fn device_multiplier(&self, device: usize) -> f64 {
+        if self.device_multipliers.is_empty() {
+            1.0
+        } else {
+            self.device_multipliers[device % self.device_multipliers.len()]
+        }
+    }
+
+    /// True when any device runs off-baseline — the planner's cue to charge
+    /// stages device-aware costs.
+    pub fn is_heterogeneous(&self) -> bool {
+        !self.device_multipliers.is_empty()
     }
 
     /// Rebuild the prefix-sum tables from `blocks`. Must be called after any

@@ -118,6 +118,47 @@ pub struct DeviceLost {
     pub at_op: usize,
 }
 
+/// How one membership event changes a device's standing in the cluster.
+/// Unlike the data-plane families above, membership events fire at *training
+/// step* boundaries (not per-op): they are control-plane input for an
+/// elastic coordinator, which turns them into grow/shrink/quarantine
+/// decisions between iterations. Replayed identically by both executors
+/// because the script — like every other family — is a pure function of its
+/// seed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MembershipChange {
+    /// A device arrives (or returns) and asks to join the pipeline.
+    Join,
+    /// A device departs gracefully (drain + leave, not a crash).
+    Leave,
+    /// A device flaps: it misses `beats` consecutive heartbeats, then
+    /// resumes beating. A hysteretic membership machine must quarantine a
+    /// repeat offender instead of oscillating the pipeline.
+    Flap {
+        /// Consecutive heartbeats missed before the device recovers.
+        beats: u32,
+    },
+    /// A device's compute persistently degrades to `factor`× its modelled
+    /// time (≥ 1). Drives heterogeneity-aware re-planning rather than a
+    /// membership transition.
+    Slowdown {
+        /// Throughput multiplier, ≥ 1.
+        factor: f64,
+    },
+}
+
+/// One scripted membership event: `device` undergoes `change` at the
+/// boundary *before* training step `at_step` (0-based).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MembershipFault {
+    /// Affected device.
+    pub device: usize,
+    /// Training step boundary at which the event fires.
+    pub at_step: u64,
+    /// What happens to the device.
+    pub change: MembershipChange,
+}
+
 /// What kind of fail-stop event hit a device, as reported by
 /// [`FaultPlan::crash_at`]. Drives the recovery policy choice: a `Crash` may
 /// be restarted in place, a `Lost` device forces shrink-and-replan.
@@ -146,6 +187,9 @@ pub struct FaultPlan {
     pub crashes: Vec<StageCrash>,
     /// Fail-stop device losses (force a shrink).
     pub lost: Vec<DeviceLost>,
+    /// Control-plane membership events (join/leave/flap/slowdown), fired at
+    /// training-step boundaries by an elastic coordinator.
+    pub membership: Vec<MembershipFault>,
 }
 
 /// Knobs for [`FaultPlan::random`]: which fault families to draw and how
@@ -184,8 +228,11 @@ impl FaultSpec {
     }
 }
 
-/// SplitMix64: the tiny counter-based mixer behind every decision.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64: the tiny counter-based mixer behind every decision. Public
+/// because deterministic consumers elsewhere (the runtime's membership
+/// machine, the watchdog's jittered backoff) draw from the same stream
+/// family so one seed governs every stochastic choice in a campaign.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -194,8 +241,18 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 /// Map a hash to a uniform draw in `[0, 1)`.
-fn unit(h: u64) -> f64 {
+pub fn unit(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Stable ordering tag for membership changes (sort key, not identity).
+fn membership_tag(c: &MembershipChange) -> u64 {
+    match c {
+        MembershipChange::Leave => 0,
+        MembershipChange::Join => 1,
+        MembershipChange::Flap { .. } => 2,
+        MembershipChange::Slowdown { .. } => 3,
+    }
 }
 
 fn part_tag(part: Part) -> u64 {
@@ -229,6 +286,7 @@ impl FaultPlan {
             && self.stalls.is_empty()
             && self.crashes.is_empty()
             && self.lost.is_empty()
+            && self.membership.is_empty()
     }
 
     /// True when the script contains fail-stop events (crashes or losses).
@@ -355,6 +413,108 @@ impl FaultPlan {
             plan.lost.push(DeviceLost { device, at_op });
         } else {
             plan.crashes.push(StageCrash { device, at_op });
+        }
+        plan
+    }
+
+    /// True when the script contains membership events.
+    pub fn has_membership(&self) -> bool {
+        !self.membership.is_empty()
+    }
+
+    /// Membership events scripted for the boundary before step `step`, in
+    /// deterministic (device, change-tag) order — the order an elastic
+    /// coordinator must apply them in so both executors agree.
+    pub fn membership_at(&self, step: u64) -> Vec<MembershipFault> {
+        let mut out: Vec<MembershipFault> = self
+            .membership
+            .iter()
+            .filter(|m| m.at_step == step)
+            .copied()
+            .collect();
+        out.sort_by_key(|m| (m.device, membership_tag(&m.change)));
+        out
+    }
+
+    /// Steps ≥ `from` with at least one membership event, ascending.
+    pub fn membership_steps(&self, from: u64) -> Vec<u64> {
+        let mut steps: Vec<u64> = self
+            .membership
+            .iter()
+            .map(|m| m.at_step)
+            .filter(|&s| s >= from)
+            .collect();
+        steps.sort_unstable();
+        steps.dedup();
+        steps
+    }
+
+    /// Draw a seeded elastic-chaos script: over `n_steps` training steps on
+    /// `n_devices` devices, each step boundary may carry one membership event
+    /// with probability `event_prob` — a leave (weight 0.3), a later rejoin
+    /// of a previously departed device (0.3 when one is out), a flap (0.25)
+    /// or a slowdown (rest). The script never empties the pipeline: a leave
+    /// is only drawn while more than `min_devices` devices remain.
+    /// Deterministic in `seed`.
+    pub fn random_membership(
+        seed: u64,
+        n_devices: usize,
+        n_steps: u64,
+        event_prob: f64,
+        min_devices: usize,
+    ) -> FaultPlan {
+        let mut plan = FaultPlan::with_seed(seed);
+        let mut ctr = splitmix64(seed ^ 0xE1A5);
+        let mut draw = || {
+            ctr = splitmix64(ctr);
+            unit(ctr)
+        };
+        let mut present: Vec<usize> = (0..n_devices).collect();
+        let mut out: Vec<usize> = Vec::new();
+        // Step 0 is the initial plan; events start at the first boundary.
+        for step in 1..n_steps {
+            if draw() >= event_prob {
+                continue;
+            }
+            let r = draw();
+            if r < 0.3 && present.len() > min_devices.max(1) {
+                let i = (draw() * present.len() as f64) as usize % present.len();
+                let device = present.remove(i);
+                out.push(device);
+                plan.membership.push(MembershipFault {
+                    device,
+                    at_step: step,
+                    change: MembershipChange::Leave,
+                });
+            } else if r < 0.6 && !out.is_empty() {
+                let i = (draw() * out.len() as f64) as usize % out.len();
+                let device = out.remove(i);
+                present.push(device);
+                present.sort_unstable();
+                plan.membership.push(MembershipFault {
+                    device,
+                    at_step: step,
+                    change: MembershipChange::Join,
+                });
+            } else if r < 0.85 && !present.is_empty() {
+                let i = (draw() * present.len() as f64) as usize % present.len();
+                plan.membership.push(MembershipFault {
+                    device: present[i],
+                    at_step: step,
+                    change: MembershipChange::Flap {
+                        beats: 1 + (draw() * 3.0) as u32,
+                    },
+                });
+            } else if !present.is_empty() {
+                let i = (draw() * present.len() as f64) as usize % present.len();
+                plan.membership.push(MembershipFault {
+                    device: present[i],
+                    at_step: step,
+                    change: MembershipChange::Slowdown {
+                        factor: 1.5 + 1.5 * draw(),
+                    },
+                });
+            }
         }
         plan
     }
@@ -563,6 +723,76 @@ mod tests {
     #[test]
     fn failstop_scripts_serialise_round_trip() {
         let plan = FaultPlan::random_failstop(11, &FaultSpec::new(4, 40, 1.0), 0.5);
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: FaultPlan = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+
+    #[test]
+    fn membership_scripts_are_deterministic_and_in_range() {
+        for seed in 0..50 {
+            let plan = FaultPlan::random_membership(seed, 4, 16, 0.8, 2);
+            assert_eq!(plan, FaultPlan::random_membership(seed, 4, 16, 0.8, 2));
+            for ev in &plan.membership {
+                assert!(ev.device < 4, "device {} out of range", ev.device);
+                assert!((1..16).contains(&ev.at_step), "step {}", ev.at_step);
+                if let MembershipChange::Slowdown { factor } = ev.change {
+                    assert!(factor >= 1.0, "slowdown {factor} < 1");
+                }
+            }
+            // A leave-heavy draw never empties the pipeline below the floor.
+            let mut present = 4i64;
+            for step in plan.membership_steps(0) {
+                for ev in plan.membership_at(step) {
+                    match ev.change {
+                        MembershipChange::Leave => present -= 1,
+                        MembershipChange::Join => present += 1,
+                        _ => {}
+                    }
+                }
+                assert!(present >= 2, "seed {seed}: pipeline drained to {present}");
+            }
+        }
+    }
+
+    #[test]
+    fn membership_events_query_in_deterministic_order() {
+        let mut plan = FaultPlan::with_seed(5);
+        for (device, change) in [
+            (2, MembershipChange::Join),
+            (1, MembershipChange::Leave),
+            (2, MembershipChange::Leave),
+        ] {
+            plan.membership.push(MembershipFault {
+                device,
+                at_step: 3,
+                change,
+            });
+        }
+        assert!(plan.has_membership() && !plan.is_empty());
+        let at = plan.membership_at(3);
+        assert_eq!(at.len(), 3);
+        // Sorted by (device, change tag): device 1 leave, device 2 leave,
+        // device 2 join.
+        assert_eq!(at[0].device, 1);
+        assert_eq!(
+            at[1],
+            MembershipFault {
+                device: 2,
+                at_step: 3,
+                change: MembershipChange::Leave
+            }
+        );
+        assert_eq!(at[2].change, MembershipChange::Join);
+        assert_eq!(plan.membership_at(2), Vec::new());
+        assert_eq!(plan.membership_steps(0), vec![3]);
+        assert_eq!(plan.membership_steps(4), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn membership_scripts_serialise_round_trip() {
+        let plan = FaultPlan::random_membership(13, 4, 12, 0.9, 2);
+        assert!(plan.has_membership(), "seed 13 must draw events");
         let json = serde_json::to_string(&plan).unwrap();
         let back: FaultPlan = serde_json::from_str(&json).unwrap();
         assert_eq!(plan, back);

@@ -33,8 +33,8 @@ pub mod timeline;
 pub mod transport;
 
 pub use fault::{
-    DeviceLost, FailStopKind, FaultPlan, FaultSpec, LinkDegrade, MessageDrop, StageCrash,
-    StageStall, Straggler,
+    splitmix64, unit, DeviceLost, FailStopKind, FaultPlan, FaultSpec, LinkDegrade,
+    MembershipChange, MembershipFault, MessageDrop, StageCrash, StageStall, Straggler,
 };
 pub use msg::{op_key, MsgKey};
 pub use recorder::{NoTrace, Recorder, TraceSink, WallClock};

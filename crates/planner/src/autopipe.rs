@@ -396,6 +396,7 @@ fn score(
         part.stage_costs_into(db, sc);
         None
     };
+    apply_device_multipliers(db, sc);
     let overlap = cfg.overlap.as_ref();
     let (iteration_time, master_stage) = match cfg.sim_tier {
         SimTier::Fast => {
@@ -423,12 +424,27 @@ fn max_stage_work(db: &CostDb, part: &Partition) -> f64 {
     let b = part.boundaries();
     let mut mx = 0.0_f64;
     for s in 0..part.n_stages() {
-        let w = db.range_fwd(b[s]..b[s + 1]) + db.range_bwd(b[s]..b[s + 1]);
+        let w =
+            (db.range_fwd(b[s]..b[s + 1]) + db.range_bwd(b[s]..b[s + 1])) * db.device_multiplier(s);
         if w > mx {
             mx = w;
         }
     }
     mx
+}
+
+/// Scale per-stage costs by the device multipliers of a heterogeneous
+/// cluster (stage `s` runs on device `s` in single-chunk families). A no-op
+/// on homogeneous databases, so the hot path pays one branch.
+fn apply_device_multipliers(db: &CostDb, sc: &mut StageCosts) {
+    if !db.is_heterogeneous() {
+        return;
+    }
+    for s in 0..sc.f.len() {
+        let mult = db.device_multiplier(s);
+        sc.f[s] *= mult;
+        sc.b[s] *= mult;
+    }
 }
 
 /// Plan a `p`-stage pipeline for the model in `db` running `m` micro-batches
@@ -698,11 +714,12 @@ fn search(
         mask.clear();
         mask.resize(partition.n_stages(), false);
     }
-    let costs = if use_mask {
+    let mut costs = if use_mask {
         partition.stage_costs_recompute(db, &mask)
     } else {
         partition.stage_costs(db)
     };
+    apply_device_multipliers(db, &mut costs);
     let analytic = simulate_replay_masked(
         &costs,
         m,

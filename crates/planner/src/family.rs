@@ -299,11 +299,21 @@ pub fn plan_families_with(
             entry_idx.push(idx);
             continue;
         };
-        let sc = if mask.iter().any(|&r| r) {
+        let mut sc = if mask.iter().any(|&r| r) {
             partition.stage_costs_recompute(db, &mask)
         } else {
             partition.stage_costs(db)
         };
+        if db.is_heterogeneous() {
+            // Stage s of a v-chunk interleaved partition runs on device
+            // s % p; `device_multiplier` wraps by profile length, which the
+            // coordinator sizes to the device count.
+            for s in 0..sc.f.len() {
+                let mult = db.device_multiplier(s);
+                sc.f[s] *= mult;
+                sc.b[s] *= mult;
+            }
+        }
         let costs = EventCosts::from_stage_costs(&sc, cfg.latency);
         let ev = EventConfig {
             comm: cfg.comm,

@@ -141,6 +141,13 @@ fn fold_shape(h: &mut Fnv, db: &CostDb, p: usize, m: usize, cfg: &AutoPipeConfig
     h.word(db.mbs as u64);
     h.word(db.checkpointing as u64);
     h.word(db.granularity as u64);
+    // Per-device throughput multipliers change which partition balances, so
+    // a heterogeneous request must never alias a cached homogeneous plan
+    // (empty = homogeneous folds as a bare zero length).
+    h.word(db.device_multipliers.len() as u64);
+    for &mult in &db.device_multipliers {
+        h.word(mult.to_bits());
+    }
     h.word(p as u64);
     h.word(m as u64);
     fold_cfg(h, cfg);

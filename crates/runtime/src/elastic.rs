@@ -1,0 +1,478 @@
+//! The elastic coordinator: membership transitions → pipeline actions.
+//!
+//! [`ElasticCoordinator`] sits between the chaos/ops layer (scripted or real
+//! [`autopipe_exec::MembershipFault`] events) and the session run loop. Each
+//! training step it feeds the step's membership events plus implicit
+//! heartbeats through the [`ClusterMembership`] state machine, then
+//! translates the new transitions into [`ElasticAction`]s the caller
+//! executes against the pipeline:
+//!
+//! * a device entering `Quarantined`/`Evicted` while serving →
+//!   [`ElasticAction::Shrink`] — re-plan at p−1 and keep training degraded
+//!   while the device proves itself;
+//! * a device reaching `Readmitted` (or joining and proving itself) →
+//!   [`ElasticAction::Grow`] — re-plan at p and migrate state back through
+//!   the repartition path;
+//! * an observed slowdown on a serving device →
+//!   [`ElasticAction::Replan`] with the current per-device multipliers, so
+//!   the planner's balance objective charges the slow device honestly
+//!   (heterogeneity-aware planning);
+//! * the serving set dropping below the configured floor →
+//!   [`ElasticAction::Halt`].
+//!
+//! The coordinator is deterministic: actions are a pure function of the
+//! event history, and the per-step event order is canonicalised by
+//! [`ClusterMembership::apply_all`], so replaying a chaos script reproduces
+//! the same grow/shrink sequence bit-for-bit on both executors.
+
+use autopipe_core::ElasticConfig;
+use autopipe_exec::{MembershipChange, MembershipFault};
+
+use crate::membership::{ClusterMembership, DeviceState, MemberEvent, TimedEvent, Transition};
+
+/// What the run loop must do in response to membership churn, in the order
+/// emitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ElasticAction {
+    /// Re-plan onto `survivors` stages (the named device left the serving
+    /// set) and hot-swap via the repartition migration path.
+    Shrink {
+        /// Pipeline width after the shrink.
+        survivors: usize,
+        /// Device that was quarantined/evicted.
+        device: usize,
+    },
+    /// Re-plan onto `target` stages (the named device was readmitted) and
+    /// migrate state back through the checkpoint-path repartition.
+    Grow {
+        /// Pipeline width after the grow.
+        target: usize,
+        /// Device that rejoined the serving set.
+        device: usize,
+    },
+    /// Re-plan at the current width with these per-*stage* compute
+    /// multipliers (serving devices only, pipeline order) folded into the
+    /// cost database.
+    Replan {
+        /// Multiplier per serving device, in stage order.
+        multipliers: Vec<f64>,
+    },
+    /// The serving set fell below `ElasticConfig::min_devices`.
+    Halt {
+        /// Human-readable cause for the error surfaced to the caller.
+        reason: String,
+    },
+}
+
+/// One coordinator decision, for reports and the chaos-campaign asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticEvent {
+    /// Training step the action fired on.
+    pub step: u64,
+    /// The action taken.
+    pub action: ElasticAction,
+}
+
+/// Drives elastic membership for one pipeline. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct ElasticCoordinator {
+    cfg: ElasticConfig,
+    membership: ClusterMembership,
+    /// Devices currently serving pipeline stages, in stage order.
+    serving: Vec<usize>,
+    /// Last observed compute multiplier per device (1.0 = baseline).
+    multipliers: Vec<f64>,
+    /// Transitions already translated into actions.
+    cursor: usize,
+    log: Vec<ElasticEvent>,
+}
+
+impl ElasticCoordinator {
+    /// A coordinator for a cluster of `n` devices, all serving.
+    pub fn new(n: usize, cfg: ElasticConfig) -> ElasticCoordinator {
+        ElasticCoordinator {
+            membership: ClusterMembership::new(n, cfg.membership),
+            cfg,
+            serving: (0..n).collect(),
+            multipliers: vec![1.0; n],
+            cursor: 0,
+            log: Vec::new(),
+        }
+    }
+
+    /// Read access to the membership state machine.
+    pub fn membership(&self) -> &ClusterMembership {
+        &self.membership
+    }
+
+    /// Devices currently serving stages, in stage order.
+    pub fn serving(&self) -> &[usize] {
+        &self.serving
+    }
+
+    /// Current multiplier of each *serving* device, in stage order — what a
+    /// heterogeneity-aware re-plan should fold into the cost database.
+    pub fn serving_multipliers(&self) -> Vec<f64> {
+        self.serving.iter().map(|&d| self.multipliers[d]).collect()
+    }
+
+    /// Every action taken so far.
+    pub fn log(&self) -> &[ElasticEvent] {
+        &self.log
+    }
+
+    /// How many grows happened.
+    pub fn grows(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|e| matches!(e.action, ElasticAction::Grow { .. }))
+            .count()
+    }
+
+    /// How many shrinks happened.
+    pub fn shrinks(&self) -> usize {
+        self.log
+            .iter()
+            .filter(|e| matches!(e.action, ElasticAction::Shrink { .. }))
+            .count()
+    }
+
+    /// Feed one training step's membership faults (from the chaos script or
+    /// a real health checker) and return the actions to execute, in order.
+    /// Devices without an explicit event heartbeat implicitly — a
+    /// quarantined device proves itself simply by staying healthy.
+    pub fn on_step(&mut self, step: u64, faults: &[MembershipFault]) -> Vec<ElasticAction> {
+        let mut events: Vec<TimedEvent> = Vec::new();
+        let mut explicit = vec![false; self.membership.len()];
+        let mut slowdown = false;
+        for f in faults {
+            match f.change {
+                MembershipChange::Leave => {
+                    if f.device < explicit.len() {
+                        explicit[f.device] = true;
+                    }
+                    events.push(TimedEvent {
+                        at: step,
+                        device: f.device,
+                        event: MemberEvent::Leave,
+                    });
+                }
+                MembershipChange::Join => {
+                    if f.device < explicit.len() {
+                        explicit[f.device] = true;
+                    }
+                    events.push(TimedEvent {
+                        at: step,
+                        device: f.device,
+                        event: MemberEvent::Join,
+                    });
+                }
+                MembershipChange::Flap { beats } => {
+                    if f.device < explicit.len() {
+                        explicit[f.device] = true;
+                    }
+                    // A flap is `beats` silent heartbeat periods followed by
+                    // the device coming back — all observed within this
+                    // step's health-check window.
+                    for b in 0..beats {
+                        events.push(TimedEvent {
+                            at: step,
+                            device: f.device,
+                            event: MemberEvent::Missed,
+                        });
+                        let _ = b;
+                    }
+                    events.push(TimedEvent {
+                        at: step,
+                        device: f.device,
+                        event: MemberEvent::Heartbeat,
+                    });
+                }
+                MembershipChange::Slowdown { factor } => {
+                    while self.multipliers.len() <= f.device {
+                        self.multipliers.push(1.0);
+                    }
+                    self.multipliers[f.device] = factor.max(f64::MIN_POSITIVE);
+                    slowdown = true;
+                }
+            }
+        }
+        // Implicit heartbeats for everyone else still on the roster.
+        for d in 0..self.membership.len() {
+            if (d >= explicit.len() || !explicit[d])
+                && self.membership.state(d) != DeviceState::Evicted
+            {
+                events.push(TimedEvent {
+                    at: step,
+                    device: d,
+                    event: MemberEvent::Heartbeat,
+                });
+            }
+        }
+        // Flap misses and the recovery beat must fold in script order for
+        // one device, which the canonical (at, device, rank) sort preserves
+        // (Missed ranks before Heartbeat).
+        self.membership.apply_all(&events);
+        while self.multipliers.len() < self.membership.len() {
+            self.multipliers.push(1.0);
+        }
+
+        let mut actions = Vec::new();
+        // Translate the new transitions, in observation order.
+        let fresh: Vec<Transition> = self.membership.log()[self.cursor..].to_vec();
+        self.cursor = self.membership.log().len();
+        for t in fresh {
+            match t.to {
+                DeviceState::Quarantined | DeviceState::Evicted => {
+                    let Some(pos) = self.serving.iter().position(|&d| d == t.device) else {
+                        continue; // already out of the pipeline
+                    };
+                    self.serving.remove(pos);
+                    let survivors = self.serving.len();
+                    if survivors < self.cfg.min_devices {
+                        actions.push(ElasticAction::Halt {
+                            reason: format!(
+                                "device {} {} left {survivors} serving devices, below the \
+                                 elastic floor of {}",
+                                t.device,
+                                if t.to == DeviceState::Evicted {
+                                    "evicted"
+                                } else {
+                                    "quarantined"
+                                },
+                                self.cfg.min_devices
+                            ),
+                        });
+                    } else {
+                        actions.push(ElasticAction::Shrink {
+                            survivors,
+                            device: t.device,
+                        });
+                    }
+                }
+                DeviceState::Readmitted => {
+                    if !self.cfg.grow {
+                        continue;
+                    }
+                    if self.serving.contains(&t.device) {
+                        continue;
+                    }
+                    self.serving.push(t.device);
+                    self.serving.sort_unstable();
+                    self.membership.mark_grown(step, t.device);
+                    self.cursor = self.membership.log().len();
+                    actions.push(ElasticAction::Grow {
+                        target: self.serving.len(),
+                        device: t.device,
+                    });
+                }
+                DeviceState::Ready | DeviceState::Suspect => {}
+            }
+        }
+        if slowdown && self.cfg.heterogeneity_aware && !self.serving.is_empty() {
+            // Only re-plan when the serving set is actually skewed — an
+            // all-baseline update is a no-op.
+            let mult = self.serving_multipliers();
+            if mult.iter().any(|&m| m != 1.0) {
+                actions.push(ElasticAction::Replan { multipliers: mult });
+            }
+        }
+        for a in &actions {
+            self.log.push(ElasticEvent {
+                step,
+                action: a.clone(),
+            });
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autopipe_core::MembershipConfig;
+
+    fn cfg() -> ElasticConfig {
+        ElasticConfig::default()
+    }
+
+    fn fault(device: usize, at_step: u64, change: MembershipChange) -> MembershipFault {
+        MembershipFault {
+            device,
+            at_step,
+            change,
+        }
+    }
+
+    #[test]
+    fn leave_shrinks_and_rejoin_grows_back() {
+        let mut c = ElasticCoordinator::new(4, cfg());
+        let a = c.on_step(1, &[fault(2, 1, MembershipChange::Leave)]);
+        assert_eq!(
+            a,
+            vec![ElasticAction::Shrink {
+                survivors: 3,
+                device: 2
+            }]
+        );
+        assert_eq!(c.serving(), &[0, 1, 3]);
+        // Rejoin: quarantined, then proves itself over the cooldown.
+        let a = c.on_step(2, &[fault(2, 2, MembershipChange::Join)]);
+        assert!(a.is_empty(), "{a:?}");
+        let cooldown = cfg().membership.quarantine_cooldown as u64;
+        let mut grown = Vec::new();
+        for s in 0..cooldown {
+            grown = c.on_step(3 + s, &[]);
+        }
+        assert_eq!(
+            grown,
+            vec![ElasticAction::Grow {
+                target: 4,
+                device: 2
+            }]
+        );
+        assert_eq!(c.serving(), &[0, 1, 2, 3]);
+        assert_eq!(c.grows(), 1);
+        assert_eq!(c.shrinks(), 1);
+    }
+
+    #[test]
+    fn deep_flap_quarantines_then_proves_itself() {
+        let mc = MembershipConfig::default();
+        let mut c = ElasticCoordinator::new(3, cfg());
+        // One flap long enough to cross quarantine_after: shrink now, grow
+        // after the cooldown.
+        let a = c.on_step(
+            1,
+            &[fault(
+                1,
+                1,
+                MembershipChange::Flap {
+                    beats: mc.quarantine_after,
+                },
+            )],
+        );
+        assert_eq!(
+            a,
+            vec![ElasticAction::Shrink {
+                survivors: 2,
+                device: 1
+            }]
+        );
+        let mut last = Vec::new();
+        for s in 0..mc.quarantine_cooldown as u64 + 1 {
+            last = c.on_step(2 + s, &[]);
+            if !last.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(
+            last,
+            vec![ElasticAction::Grow {
+                target: 3,
+                device: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn shallow_flaps_trip_the_hysteresis_not_each_outage() {
+        let mc = MembershipConfig::default();
+        let mut c = ElasticCoordinator::new(3, cfg());
+        // Each flap is below quarantine_after: no shrink per flap...
+        let mut shrunk = None;
+        for i in 0..mc.flap_threshold as u64 {
+            let a = c.on_step(
+                1 + i,
+                &[fault(
+                    0,
+                    1 + i,
+                    MembershipChange::Flap {
+                        beats: mc.suspect_after,
+                    },
+                )],
+            );
+            if !a.is_empty() {
+                shrunk = Some((i, a));
+                break;
+            }
+        }
+        // ...until the flap_threshold-th recovery parks it in quarantine.
+        let (i, a) = shrunk.expect("flapping device was never quarantined");
+        assert_eq!(i, mc.flap_threshold as u64 - 1);
+        assert_eq!(
+            a,
+            vec![ElasticAction::Shrink {
+                survivors: 2,
+                device: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn slowdown_triggers_heterogeneity_replan_with_serving_multipliers() {
+        let mut c = ElasticCoordinator::new(3, cfg());
+        let a = c.on_step(
+            1,
+            &[fault(1, 1, MembershipChange::Slowdown { factor: 2.5 })],
+        );
+        assert_eq!(
+            a,
+            vec![ElasticAction::Replan {
+                multipliers: vec![1.0, 2.5, 1.0]
+            }]
+        );
+        // After device 1 leaves, its multiplier leaves the serving view too.
+        let _ = c.on_step(2, &[fault(1, 2, MembershipChange::Leave)]);
+        assert_eq!(c.serving_multipliers(), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn halting_below_the_floor() {
+        let mut ec = cfg();
+        ec.min_devices = 2;
+        let mut c = ElasticCoordinator::new(2, ec);
+        let a = c.on_step(1, &[fault(0, 1, MembershipChange::Leave)]);
+        assert!(
+            matches!(a.as_slice(), [ElasticAction::Halt { .. }]),
+            "{a:?}"
+        );
+    }
+
+    #[test]
+    fn grow_disabled_stays_degraded() {
+        let mut ec = cfg();
+        ec.grow = false;
+        let mc = ec.membership;
+        let mut c = ElasticCoordinator::new(3, ec);
+        let _ = c.on_step(1, &[fault(2, 1, MembershipChange::Leave)]);
+        let _ = c.on_step(2, &[fault(2, 2, MembershipChange::Join)]);
+        for s in 0..mc.quarantine_cooldown as u64 + 2 {
+            let a = c.on_step(3 + s, &[]);
+            assert!(a.is_empty(), "grow=false must never grow: {a:?}");
+        }
+        assert_eq!(c.serving(), &[0, 1]);
+    }
+
+    #[test]
+    fn replaying_the_same_script_reproduces_the_same_decisions() {
+        let script = [
+            (1u64, fault(2, 1, MembershipChange::Leave)),
+            (3, fault(0, 3, MembershipChange::Slowdown { factor: 2.0 })),
+            (4, fault(2, 4, MembershipChange::Join)),
+        ];
+        let run = |steps: u64| {
+            let mut c = ElasticCoordinator::new(4, cfg());
+            for s in 1..=steps {
+                let evs: Vec<MembershipFault> = script
+                    .iter()
+                    .filter(|(at, _)| *at == s)
+                    .map(|(_, f)| *f)
+                    .collect();
+                let _ = c.on_step(s, &evs);
+            }
+            c.log().to_vec()
+        };
+        assert_eq!(run(12), run(12));
+    }
+}

@@ -1482,6 +1482,7 @@ mod tests {
             slack: 4.0,
             backoff: 2.0,
             max_retries: 40,
+            jitter_seed: 0,
         });
         let stats = pipe.train_iteration(&batch).unwrap();
         assert!(stats.loss.is_finite());
@@ -1515,6 +1516,7 @@ mod tests {
             slack: 4.0,
             backoff: 1.5,
             max_retries: 3,
+            jitter_seed: 0,
         });
         let start = Instant::now();
         let err = pipe.train_iteration(&batch).unwrap_err();
@@ -1552,6 +1554,7 @@ mod tests {
             slack: 4.0,
             backoff: 1.5,
             max_retries: 2,
+            jitter_seed: 0,
         });
         let before = pipe.param_checksum();
         let err = pipe.train_iteration(&batch).unwrap_err();
@@ -1599,6 +1602,7 @@ mod tests {
             slack: 4.0,
             backoff: 1.5,
             max_retries: 2,
+            jitter_seed: 0,
         });
         match pipe.train_iteration(&batch).unwrap_err() {
             RuntimeError::StageDown { stage, report } => {

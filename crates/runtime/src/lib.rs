@@ -29,7 +29,9 @@
 pub mod adaptive;
 pub mod checkpoint;
 pub mod data;
+pub mod elastic;
 pub mod engine;
+pub mod membership;
 pub mod recovery;
 pub mod reference;
 pub mod stage;
@@ -42,7 +44,9 @@ pub use checkpoint::{
     PipelineSnapshot, StagePayload, StageState, WriterStatus,
 };
 pub use data::BatchSet;
+pub use elastic::{ElasticAction, ElasticCoordinator, ElasticEvent};
 pub use engine::{data_parallel_step, IterationStats, Pipeline, PipelineConfig};
+pub use membership::{ClusterMembership, DeviceState, MemberEvent, TimedEvent, Transition};
 pub use recovery::{
     EvenReplanner, RecoveryAction, RecoveryCoordinator, RecoveryRecord, Replanner, ShrinkPlan,
 };

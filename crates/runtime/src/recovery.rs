@@ -394,6 +394,7 @@ mod tests {
             slack: 4.0,
             backoff: 1.5,
             max_retries: 2,
+            jitter_seed: 0,
         }
     }
 

@@ -36,10 +36,17 @@ pub struct WatchdogConfig {
     /// Multiplier on the expected (scaled) op gap when an expected timeline
     /// is installed.
     pub slack: f64,
-    /// Budget multiplier applied on every retry.
+    /// Budget multiplier applied on every retry. The effective per-retry
+    /// multiplier is additionally jittered ±25 % (seeded by `jitter_seed`,
+    /// keyed on device/op/attempt) so stages that started waiting together
+    /// don't re-fire their deadlines in lockstep; the jittered multiplier
+    /// never drops below 1, so budgets stay monotone.
     pub backoff: f64,
     /// Expired deadlines tolerated on one wait before the run is aborted.
     pub max_retries: u32,
+    /// Seed for the deterministic retry jitter: the same seed replays the
+    /// exact same deadline sequence on every wait.
+    pub jitter_seed: u64,
 }
 
 impl Default for WatchdogConfig {
@@ -53,6 +60,7 @@ impl Default for WatchdogConfig {
             slack: 4.0,
             backoff: 2.0,
             max_retries: 5,
+            jitter_seed: 0,
         }
     }
 }
@@ -153,6 +161,9 @@ pub enum RuntimeError {
         /// The full structured outcome of the aborted iteration.
         report: FaultReport,
     },
+    /// Elastic membership drove the serving set below the configured floor
+    /// (`ElasticConfig::min_devices`) — the run cannot degrade further.
+    Elastic(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -163,6 +174,7 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::StageDown { stage, report } => {
                 write!(f, "stage {stage} down: {report}")
             }
+            RuntimeError::Elastic(s) => write!(f, "elastic membership failure: {s}"),
         }
     }
 }
@@ -265,7 +277,7 @@ impl Watchdog {
                     self.poison();
                     return Err(true);
                 }
-                budget = budget.mul_f64(self.cfg.backoff.max(1.0));
+                budget = retry_budget(&self.cfg, budget, device, op_index, timeouts);
                 deadline = now + budget;
             }
             // Stay responsive for fast messages, polite once a deadline has
@@ -295,6 +307,31 @@ impl Watchdog {
             std::thread::sleep((deadline - now).min(CHUNK));
         }
     }
+}
+
+/// Seeded-jittered exponential backoff: the budget for the next retry of a
+/// wait that has already expired `timeouts` times. Stages whose waits
+/// expired together would otherwise extend by the identical factor and
+/// re-fire their deadlines in lockstep forever; the ±25 % jitter is a pure
+/// function of (seed, device, op, attempt), so replays with the same seed
+/// walk the exact same deadline sequence, and the effective multiplier is
+/// floored at 1 so budgets stay monotone.
+pub(crate) fn retry_budget(
+    cfg: &WatchdogConfig,
+    budget: Duration,
+    device: usize,
+    op_index: usize,
+    timeouts: u32,
+) -> Duration {
+    let h = autopipe_exec::splitmix64(
+        cfg.jitter_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add((device as u64) << 40)
+            .wrapping_add((op_index as u64) << 8)
+            .wrapping_add(timeouts as u64),
+    );
+    let jitter = 0.75 + 0.5 * autopipe_exec::unit(h);
+    budget.mul_f64((cfg.backoff.max(1.0) * jitter).max(1.0))
 }
 
 /// Derive per-op wait budgets from an expected timeline (typically the event
@@ -347,7 +384,43 @@ mod tests {
             slack: 2.0,
             backoff: 1.5,
             max_retries: 2,
+            jitter_seed: 0,
         }
+    }
+
+    #[test]
+    fn retry_budgets_are_jittered_monotone_and_seed_deterministic() {
+        let cfg = fast_cfg();
+        let base = Duration::from_millis(10);
+        // Monotone growth on every attempt, for every lane.
+        for d in 0..4 {
+            let mut b = base;
+            for t in 1..=6 {
+                let next = retry_budget(&cfg, b, d, 3, t);
+                assert!(next > b, "device {d} attempt {t}: {b:?} → {next:?}");
+                b = next;
+            }
+        }
+        // Identical seeds replay identical deadline sequences…
+        assert_eq!(
+            retry_budget(&cfg, base, 1, 3, 2),
+            retry_budget(&cfg, base, 1, 3, 2)
+        );
+        // …while devices retrying the same op attempt de-synchronize.
+        let lanes: Vec<Duration> = (0..4).map(|d| retry_budget(&cfg, base, d, 3, 1)).collect();
+        assert!(
+            lanes.windows(2).any(|w| w[0] != w[1]),
+            "all lanes backed off identically: {lanes:?}"
+        );
+        // A different seed shifts the jitter.
+        let reseeded = WatchdogConfig {
+            jitter_seed: 42,
+            ..cfg
+        };
+        assert_ne!(
+            retry_budget(&cfg, base, 1, 3, 1),
+            retry_budget(&reseeded, base, 1, 3, 1)
+        );
     }
 
     #[test]

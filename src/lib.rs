@@ -9,10 +9,13 @@
 pub mod session;
 
 pub use autopipe_core::{
-    Constraints, Error, RecoveryConfig, RecoveryPolicy, SchedulePolicy, SessionConfig,
+    Constraints, ElasticConfig, Error, MembershipConfig, RecoveryConfig, RecoveryPolicy,
+    SchedulePolicy, SessionConfig,
 };
 pub use autopipe_planner::{PlanService, RecomputePolicy, ServiceStats};
-pub use autopipe_runtime::{RecoveryAction, RecoveryRecord};
+pub use autopipe_runtime::{
+    ElasticAction, ElasticCoordinator, ElasticEvent, RecoveryAction, RecoveryRecord,
+};
 pub use session::{PlannedSession, RunReport, Session, SimReport};
 
 pub use autopipe_core as core;

@@ -32,17 +32,19 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use autopipe_core::{
-    AutoPipe, Constraints, Error, Plan, RecoveryConfig, SchedulePolicy, SessionConfig,
+    AutoPipe, Constraints, ElasticConfig, Error, Plan, RecoveryConfig, SchedulePolicy,
+    SessionConfig,
 };
 use autopipe_cost::{profiler::ProfilerConfig, CostDb, Hardware};
 use autopipe_exec::{CommConfig, FaultPlan};
 use autopipe_model::ModelConfig;
 use autopipe_planner::{AutoPipeConfig, FamilyConfig, PlanService, RecomputePolicy};
 use autopipe_runtime::{
-    BatchSet, CheckpointStore, FaultReport, Pipeline, PipelineConfig, PipelineSnapshot,
-    RecoveryCoordinator, RecoveryRecord, Replanner, RuntimeError, ShrinkPlan, StragglerConfig,
-    StragglerMonitor, WatchdogConfig,
+    BatchSet, CheckpointStore, ElasticAction, ElasticCoordinator, ElasticEvent, FaultReport,
+    Pipeline, PipelineConfig, PipelineSnapshot, RecoveryCoordinator, RecoveryRecord, Replanner,
+    RuntimeError, ShrinkPlan, StragglerConfig, StragglerMonitor, WatchdogConfig,
 };
+use autopipe_schedule::Schedule;
 use autopipe_schedule::{gpipe, interleaved, one_f_one_b, sliced_1f1b, zero_bubble, ScheduleKind};
 use autopipe_sim::event::{run_schedule, run_schedule_faulty, EventCosts, EventResult};
 use autopipe_sim::OverlapModel;
@@ -273,6 +275,28 @@ impl Session {
         self
     }
 
+    /// Enable elastic membership: per-device health checks drive
+    /// quarantine/eviction (shrink to degraded mode), readmission and joins
+    /// (grow back, migrating state through the repartition path), and —
+    /// when `heterogeneity_aware` is on — device-aware re-planning under
+    /// observed slowdowns. Membership events come from the session's
+    /// [`FaultPlan`] script ([`Session::faults`]); requires
+    /// [`Session::recovery`].
+    pub fn elastic(mut self, cfg: ElasticConfig) -> Session {
+        self.cfg.elastic = Some(cfg);
+        self
+    }
+
+    /// Plan (and re-plan) for a heterogeneous cluster: `multipliers[d]`
+    /// scales device `d`'s compute time in the cost model (1.0 = baseline).
+    /// The planner's balance objective then charges each stage the device
+    /// that runs it, and the multipliers are part of the plan fingerprint,
+    /// so skewed requests never alias cached homogeneous plans.
+    pub fn device_multipliers(mut self, multipliers: Vec<f64>) -> Session {
+        self.cfg.device_multipliers = multipliers;
+        self
+    }
+
     /// Training iterations [`PlannedSession::run`] executes (default 2).
     pub fn iterations(mut self, n: usize) -> Session {
         self.tolerance.iterations = n;
@@ -399,6 +423,48 @@ impl Session {
                 interleaved(p, v, m).map_err(|e| Error::Config(e.to_string()))?
             }
         };
+        // Validate the on-disk shape against what this session asked for
+        // *before* touching the pipeline: a mismatch here used to surface as
+        // an opaque failure deep inside repartition/restore.
+        if self.devices_pinned && self.cfg.n_devices != p {
+            return Err(Error::Config(format!(
+                "checkpoint in {} was written by a {p}-device pipeline but this \
+                 session requests {} devices; resume onto a matching cluster, or \
+                 drop .devices()/.stages() to adopt the checkpoint's shape",
+                dir.display(),
+                self.cfg.n_devices
+            )));
+        }
+        if let Some(s) = self.cfg.fixed_stages {
+            if s != p {
+                return Err(Error::Config(format!(
+                    "checkpoint in {} holds a {p}-stage {:?} pipeline but this \
+                     session pinned {s} stages; resume with .stages({p}) or unpinned",
+                    dir.display(),
+                    manifest.kind
+                )));
+            }
+        }
+        if let Some(req_m) = self.microbatches {
+            if req_m != m {
+                return Err(Error::Config(format!(
+                    "checkpoint in {} was written with {m} micro-batches but this \
+                     session requests {req_m}; the schedule geometry is part of the \
+                     checkpoint — resume with .microbatches({m}) or leave it unset",
+                    dir.display()
+                )));
+            }
+        }
+        if self.cfg.schedule_policy == SchedulePolicy::Auto
+            && manifest.kind == ScheduleKind::Interleaved
+            && v < 2
+        {
+            return Err(Error::Config(format!(
+                "checkpoint in {} claims an interleaved schedule with {v} chunk(s) \
+                 per device — the manifest is inconsistent",
+                dir.display()
+            )));
+        }
         // The geometry is the manifest's; align the config with it so
         // validation and the replanner's cost model see a consistent
         // single-replica pipeline.
@@ -427,6 +493,14 @@ impl Session {
             pipe.set_faults(fp, self.tolerance.time_scale);
         }
         if let Some(wd) = self.tolerance.watchdog {
+            let wd = if wd.jitter_seed == 0 {
+                WatchdogConfig {
+                    jitter_seed: self.cfg.seed,
+                    ..wd
+                }
+            } else {
+                wd
+            };
             pipe.set_watchdog(wd);
         }
         let batch = BatchSet::synthetic(
@@ -498,6 +572,7 @@ impl Session {
             resumed_from_step: Some(base),
             final_partition: pipe.partition().clone(),
             param_checksum: pipe.param_checksum(),
+            elastic_log: Vec::new(),
         })
     }
 }
@@ -544,7 +619,41 @@ impl Replanner for SessionReplanner<'_> {
     }
 }
 
-/// A planned session: the chosen strategy, partition and schedule, ready to
+/// Re-plan for `width` stages through the plan service, optionally on a
+/// heterogeneity-scaled cost database (any off-baseline multiplier attaches
+/// a device profile, which the planner's balance objective and the service's
+/// fingerprints both honour). Shared by the elastic grow, shrink and
+/// slowdown-replan paths so every elastic transition plans identically.
+fn elastic_plan(
+    service: &PlanService,
+    db: &CostDb,
+    planner_cfg: &AutoPipeConfig,
+    slice: bool,
+    width: usize,
+    m: usize,
+    multipliers: &[f64],
+) -> Result<(Partition, Schedule), Error> {
+    let hetero;
+    let db = if multipliers.iter().any(|&x| x != 1.0) {
+        hetero = db.clone().with_device_multipliers(multipliers);
+        &hetero
+    } else {
+        db
+    };
+    let served = service.plan_cfg(db, width, m, planner_cfg)?;
+    let outcome = &served.outcome;
+    let schedule = if slice && width >= 2 {
+        let costs = outcome.partition.stage_costs(db);
+        let sp = plan_slicing(&costs, m);
+        validate_sliced_count(&costs, m, sp.n_sliced).map_err(Error::Config)?;
+        sp.schedule
+    } else {
+        one_f_one_b(width, m)
+    };
+    Ok((outcome.partition.clone(), schedule))
+}
+
+///// A planned session: the chosen strategy, partition and schedule, ready to
 /// slice, simulate or execute.
 #[derive(Debug, Clone)]
 pub struct PlannedSession {
@@ -586,6 +695,10 @@ pub struct RunReport {
     /// For [`Session::resume`] runs: the checkpointed step training
     /// continued from. `None` for fresh runs.
     pub resumed_from_step: Option<u64>,
+    /// Every elastic decision taken ([`Session::elastic`]): shrinks into
+    /// degraded mode, grows after readmission, heterogeneity re-plans.
+    /// Empty when elasticity is off.
+    pub elastic_log: Vec<ElasticEvent>,
     /// The partition the run finished on (differs from the plan's after a
     /// hot swap).
     pub final_partition: Partition,
@@ -700,6 +813,17 @@ impl PlannedSession {
             pipe.set_faults(fp, self.tolerance.time_scale);
         }
         if let Some(wd) = self.tolerance.watchdog {
+            // Thread the session seed into the retry jitter unless the
+            // caller picked an explicit one — deterministic, and distinct
+            // sessions de-synchronize naturally.
+            let wd = if wd.jitter_seed == 0 {
+                WatchdogConfig {
+                    jitter_seed: self.cfg.seed,
+                    ..wd
+                }
+            } else {
+                wd
+            };
             pipe.set_watchdog(wd);
         }
         let batch = BatchSet::synthetic(
@@ -720,6 +844,16 @@ impl PlannedSession {
             }
             None => None,
         };
+        // Elastic membership: the chaos script's (or health checker's)
+        // join/leave/flap/slowdown events drive the coordinator; its
+        // grow/shrink/replan decisions execute between iterations through
+        // the same repartition migration path recovery uses.
+        let mut elastic = self
+            .cfg
+            .elastic
+            .as_ref()
+            .map(|ec| ElasticCoordinator::new(self.cfg.n_devices, ec.clone()));
+        let membership_faults = self.tolerance.faults.clone().unwrap_or_default();
         let mut replanner = SessionReplanner {
             db: &self.db,
             service: &self.service,
@@ -762,6 +896,50 @@ impl PlannedSession {
             iteration_seconds.push(stats.wall.as_secs_f64());
             if let Some(coord) = &mut coordinator {
                 coord.maybe_checkpoint(&mut pipe, losses.len() as u64)?;
+            }
+            if let Some(el) = elastic.as_mut() {
+                let step = losses.len() as u64;
+                let events = membership_faults.membership_at(step);
+                let hetero_aware = self
+                    .cfg
+                    .elastic
+                    .as_ref()
+                    .is_some_and(|e| e.heterogeneity_aware);
+                for action in el.on_step(step, &events) {
+                    let (width, mult) = match &action {
+                        ElasticAction::Halt { reason } => {
+                            return Err(RuntimeError::Elastic(reason.clone()).into());
+                        }
+                        ElasticAction::Shrink { survivors, .. } => (*survivors, None),
+                        ElasticAction::Grow { target, .. } => (*target, None),
+                        ElasticAction::Replan { multipliers } => {
+                            (pipe.partition().n_stages(), Some(multipliers.clone()))
+                        }
+                    };
+                    let mult = match mult {
+                        Some(m) => m,
+                        // Grow/shrink fold the live per-device multipliers
+                        // too, so a shrink away from a slowed device plans
+                        // on what the survivors can actually sustain.
+                        None if hetero_aware => el.serving_multipliers(),
+                        None => Vec::new(),
+                    };
+                    let (part, sched) = elastic_plan(
+                        &self.service,
+                        &self.db,
+                        &self.cfg.planner(),
+                        self.cfg.enable_slicer,
+                        width,
+                        m,
+                        &mult,
+                    )?;
+                    // State migrates through the same checkpoint-path
+                    // repartition recovery uses: bit-identical params and
+                    // optimizer state on the new width.
+                    pipe.repartition(&part, sched)?;
+                    replans += 1;
+                    monitor = None;
+                }
             }
             if pipe
                 .last_fault_report()
@@ -824,6 +1002,7 @@ impl PlannedSession {
             resumed_from_step: None,
             final_partition: pipe.partition().clone(),
             param_checksum: pipe.param_checksum(),
+            elastic_log: elastic.map(|el| el.log().to_vec()).unwrap_or_default(),
         })
     }
 }
@@ -844,6 +1023,7 @@ mod tests {
             slack: 4.0,
             backoff: 2.0,
             max_retries: 3,
+            jitter_seed: 0,
         }
     }
 

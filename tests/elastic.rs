@@ -1,0 +1,421 @@
+//! Elastic membership, end to end.
+//!
+//! Three layers of evidence, mirroring `results/BENCH_elastic.json`:
+//!
+//! 1. a **property suite** over the membership state machine — no device is
+//!    evicted without a graceful leave or the full missed-heartbeat
+//!    threshold, no device is readmitted before serving the quarantine
+//!    cooldown, and any permutation of a timed event set folds to the same
+//!    terminal membership;
+//! 2. **session-level elasticity** — scripted leaves shrink the pipeline
+//!    into degraded mode, rejoins grow it back through the checkpoint-path
+//!    repartition, slowdowns trigger heterogeneity-aware re-plans, and the
+//!    whole run stays deterministic under replay;
+//! 3. **config validation** — elastic sessions without recovery, bad
+//!    multipliers and bad thresholds are rejected up front with actionable
+//!    errors.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use autopipe::{ElasticAction, ElasticConfig, Error, MembershipConfig, RecoveryConfig, Session};
+use autopipe_exec::{splitmix64, FaultPlan, MembershipChange, MembershipFault};
+use autopipe_model::zoo;
+use autopipe_runtime::{ClusterMembership, DeviceState, MemberEvent, TimedEvent, WatchdogConfig};
+
+// ---------------------------------------------------------------------------
+// 1. Property suite over the membership state machine.
+// ---------------------------------------------------------------------------
+
+const DEVICES: usize = 4;
+
+/// 0 → Leave, 1 → Join, 2-5 → Missed, 6-9 → Heartbeat: misses and
+/// heartbeats weighted up so walks actually go somewhere.
+fn decode(kind: usize) -> MemberEvent {
+    match kind {
+        0 => MemberEvent::Leave,
+        1 => MemberEvent::Join,
+        2..=5 => MemberEvent::Missed,
+        _ => MemberEvent::Heartbeat,
+    }
+}
+
+/// Random timed event sets: 4 devices, ticks 0..40, all four event kinds.
+fn events_strategy() -> impl Strategy<Value = Vec<TimedEvent>> {
+    proptest::collection::vec((0usize..40, 0usize..DEVICES, 0usize..10), 0..80).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(at, device, kind)| TimedEvent {
+                at: at as u64,
+                device,
+                event: decode(kind),
+            })
+            .collect()
+    })
+}
+
+/// Deterministic Fisher–Yates driven by splitmix64 (the shim has no
+/// `prop_shuffle`).
+fn shuffle<T>(v: &mut [T], seed: u64) {
+    let mut s = seed;
+    for i in (1..v.len()).rev() {
+        s = splitmix64(s);
+        v.swap(i, (s % (i as u64 + 1)) as usize);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No device reaches `Evicted` without either a graceful `Leave` or at
+    /// least `evict_after` missed heartbeats on record — an eviction can
+    /// never be fabricated from heartbeats and joins alone.
+    #[test]
+    fn eviction_requires_a_leave_or_the_full_missed_threshold(
+        events in events_strategy(),
+    ) {
+        let cfg = MembershipConfig::default();
+        let mut m = ClusterMembership::new(DEVICES, cfg);
+        m.apply_all(&events);
+        for d in 0..DEVICES {
+            if m.state(d) != DeviceState::Evicted {
+                continue;
+            }
+            let left = events
+                .iter()
+                .any(|e| e.device == d && e.event == MemberEvent::Leave);
+            let missed = events
+                .iter()
+                .filter(|e| e.device == d && e.event == MemberEvent::Missed)
+                .count() as u32;
+            prop_assert!(
+                left || missed >= cfg.evict_after,
+                "device {d} evicted with no leave and only {missed} misses \
+                 (threshold {})",
+                cfg.evict_after
+            );
+        }
+    }
+
+    /// No device reaches `Readmitted` without first being quarantined and
+    /// then delivering at least `quarantine_cooldown` heartbeats — the
+    /// hysteresis can't be skipped.
+    #[test]
+    fn readmission_requires_quarantine_and_the_cooldown(
+        events in events_strategy(),
+    ) {
+        let cfg = MembershipConfig::default();
+        let mut m = ClusterMembership::new(DEVICES, cfg);
+        m.apply_all(&events);
+        for t in m.log().iter().filter(|t| t.to == DeviceState::Readmitted) {
+            prop_assert_eq!(
+                t.from,
+                DeviceState::Quarantined,
+                "device {} readmitted from {:?}",
+                t.device,
+                t.from
+            );
+            let beats = events
+                .iter()
+                .filter(|e| e.device == t.device && e.event == MemberEvent::Heartbeat)
+                .count() as u32;
+            prop_assert!(
+                beats >= cfg.quarantine_cooldown,
+                "device {} readmitted on {beats} heartbeats (cooldown {})",
+                t.device,
+                cfg.quarantine_cooldown
+            );
+        }
+    }
+
+    /// `apply_all` is a pure function of the event *set*: any permutation
+    /// of the same timed events folds to the same terminal states and the
+    /// same transition log.
+    #[test]
+    fn any_permutation_folds_to_the_same_terminal_membership(
+        events in events_strategy(),
+        seed in 0usize..1_000_000,
+    ) {
+        let cfg = MembershipConfig::default();
+        let mut fwd = ClusterMembership::new(DEVICES, cfg);
+        fwd.apply_all(&events);
+
+        let mut shuffled = events.clone();
+        shuffle(&mut shuffled, seed as u64);
+        let mut alt = ClusterMembership::new(DEVICES, cfg);
+        alt.apply_all(&shuffled);
+
+        prop_assert_eq!(fwd.states(), alt.states());
+        prop_assert_eq!(fwd.log(), alt.log());
+    }
+
+    /// Serving capacity only moves through explicit transitions: every
+    /// device is in exactly one state, and the serving count equals the
+    /// Ready+Suspect population.
+    #[test]
+    fn serving_count_matches_the_state_census(events in events_strategy()) {
+        let cfg = MembershipConfig::default();
+        let mut m = ClusterMembership::new(DEVICES, cfg);
+        m.apply_all(&events);
+        let census = m
+            .states()
+            .iter()
+            .filter(|s| matches!(s, DeviceState::Ready | DeviceState::Suspect))
+            .count();
+        prop_assert_eq!(m.serving(), census);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Session-level elasticity.
+// ---------------------------------------------------------------------------
+
+fn snappy() -> WatchdogConfig {
+    WatchdogConfig {
+        base_timeout: Duration::from_millis(100),
+        slack: 4.0,
+        backoff: 2.0,
+        max_retries: 3,
+        jitter_seed: 0,
+    }
+}
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("autopipe_elastic_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Membership machine tuned so a scripted flap/leave resolves within a
+/// handful of training steps.
+fn fast_membership() -> MembershipConfig {
+    MembershipConfig {
+        suspect_after: 1,
+        quarantine_after: 2,
+        evict_after: 4,
+        quarantine_cooldown: 1,
+        ..MembershipConfig::default()
+    }
+}
+
+fn elastic_session(
+    name: &str,
+    faults: FaultPlan,
+    iterations: usize,
+) -> (Session, std::path::PathBuf) {
+    let dir = temp_dir(name);
+    let s = Session::for_model(zoo::gpt2_tiny())
+        .stages(2)
+        .microbatches(4)
+        .microbatch_size(2)
+        .seed(7)
+        .iterations(iterations)
+        .watchdog(snappy())
+        .faults(faults, 0.0)
+        .recovery(RecoveryConfig {
+            background: false,
+            ..RecoveryConfig::new(&dir)
+        })
+        .elastic(ElasticConfig {
+            membership: fast_membership(),
+            ..ElasticConfig::default()
+        });
+    (s, dir)
+}
+
+/// A graceful leave shrinks the pipeline into degraded mode (p − 1
+/// stages), the run completes, and the decision is on the elastic log.
+#[test]
+fn a_scripted_leave_shrinks_into_degraded_mode() {
+    let mut faults = FaultPlan::default();
+    faults.membership.push(MembershipFault {
+        device: 1,
+        at_step: 2,
+        change: MembershipChange::Leave,
+    });
+    let (session, dir) = elastic_session("leave", faults, 4);
+    let report = session.plan().unwrap().run().unwrap();
+    assert_eq!(report.losses.len(), 4);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    assert_eq!(
+        report.final_partition.n_stages(),
+        1,
+        "pipeline should be serving degraded at p − 1"
+    );
+    assert!(
+        report.elastic_log.iter().any(|e| matches!(
+            e.action,
+            ElasticAction::Shrink {
+                survivors: 1,
+                device: 1
+            }
+        )),
+        "missing shrink decision: {:?}",
+        report.elastic_log
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Leave then rejoin: the pipeline shrinks to p − 1, the returning device
+/// proves itself through quarantine, and the coordinator grows back to p —
+/// parameters migrating through the same repartition path both ways.
+#[test]
+fn a_rejoining_device_grows_the_pipeline_back() {
+    let mut faults = FaultPlan::default();
+    faults.membership.push(MembershipFault {
+        device: 1,
+        at_step: 1,
+        change: MembershipChange::Leave,
+    });
+    faults.membership.push(MembershipFault {
+        device: 1,
+        at_step: 2,
+        change: MembershipChange::Join,
+    });
+    let (session, dir) = elastic_session("rejoin", faults, 6);
+    let report = session.plan().unwrap().run().unwrap();
+    assert_eq!(report.losses.len(), 6);
+    assert!(report.losses.iter().all(|l| l.is_finite()));
+    let shrinks = report
+        .elastic_log
+        .iter()
+        .filter(|e| matches!(e.action, ElasticAction::Shrink { .. }))
+        .count();
+    let grows = report
+        .elastic_log
+        .iter()
+        .filter(|e| matches!(e.action, ElasticAction::Grow { target: 2, .. }))
+        .count();
+    assert_eq!(shrinks, 1, "log: {:?}", report.elastic_log);
+    assert_eq!(grows, 1, "log: {:?}", report.elastic_log);
+    assert_eq!(
+        report.final_partition.n_stages(),
+        2,
+        "pipeline should be back at full width"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A persistent slowdown triggers a heterogeneity-aware re-plan carrying
+/// the observed per-device multipliers.
+#[test]
+fn a_slowdown_triggers_a_heterogeneity_replan() {
+    let mut faults = FaultPlan::default();
+    faults.membership.push(MembershipFault {
+        device: 1,
+        at_step: 2,
+        change: MembershipChange::Slowdown { factor: 3.0 },
+    });
+    let (session, dir) = elastic_session("slowdown", faults, 4);
+    let report = session.plan().unwrap().run().unwrap();
+    assert_eq!(report.losses.len(), 4);
+    let replan = report
+        .elastic_log
+        .iter()
+        .find_map(|e| match &e.action {
+            ElasticAction::Replan { multipliers } => Some(multipliers.clone()),
+            _ => None,
+        })
+        .expect("no heterogeneity replan on the log");
+    assert_eq!(replan, vec![1.0, 3.0]);
+    assert_eq!(report.final_partition.n_stages(), 2);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same elastic script replayed from scratch reproduces the identical
+/// loss trajectory, elastic decisions and final parameters — elasticity
+/// never spends the determinism the executors guarantee.
+#[test]
+fn elastic_runs_replay_bit_identically() {
+    let script = || {
+        let mut faults = FaultPlan::default();
+        faults.membership.push(MembershipFault {
+            device: 1,
+            at_step: 1,
+            change: MembershipChange::Leave,
+        });
+        faults.membership.push(MembershipFault {
+            device: 1,
+            at_step: 3,
+            change: MembershipChange::Join,
+        });
+        faults
+    };
+    let (a, dir_a) = elastic_session("replay_a", script(), 6);
+    let (b, dir_b) = elastic_session("replay_b", script(), 6);
+    let ra = a.plan().unwrap().run().unwrap();
+    let rb = b.plan().unwrap().run().unwrap();
+    assert_eq!(ra.losses, rb.losses);
+    assert_eq!(ra.elastic_log, rb.elastic_log);
+    assert_eq!(
+        ra.param_checksum.to_bits(),
+        rb.param_checksum.to_bits(),
+        "params drifted across replay"
+    );
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Config validation.
+// ---------------------------------------------------------------------------
+
+/// Elastic membership without checkpointing configured is rejected up
+/// front — growing migrates state through the checkpoint path, so there is
+/// nothing correct the session could do later.
+#[test]
+fn elastic_without_recovery_is_rejected_upfront() {
+    let err = Session::for_model(zoo::gpt2_tiny())
+        .stages(2)
+        .microbatches(4)
+        .elastic(ElasticConfig::default())
+        .plan()
+        .unwrap_err();
+    match err {
+        Error::Config(msg) => assert!(msg.contains("recovery"), "unhelpful message: {msg}"),
+        other => panic!("expected Config error, got {other}"),
+    }
+}
+
+/// Device multipliers that don't match the cluster, or aren't finite and
+/// positive, are rejected at plan time.
+#[test]
+fn bad_device_multipliers_are_rejected_upfront() {
+    let wrong_len = Session::for_model(zoo::gpt2_tiny())
+        .stages(2)
+        .microbatches(4)
+        .device_multipliers(vec![1.0, 2.0, 3.0])
+        .plan()
+        .unwrap_err();
+    assert!(matches!(wrong_len, Error::Config(_)), "{wrong_len}");
+
+    let non_positive = Session::for_model(zoo::gpt2_tiny())
+        .stages(2)
+        .microbatches(4)
+        .device_multipliers(vec![1.0, 0.0])
+        .plan()
+        .unwrap_err();
+    assert!(matches!(non_positive, Error::Config(_)), "{non_positive}");
+}
+
+/// Inverted membership thresholds are rejected by config validation.
+#[test]
+fn inverted_membership_thresholds_are_rejected() {
+    let dir = temp_dir("bad_thresholds");
+    let err = Session::for_model(zoo::gpt2_tiny())
+        .stages(2)
+        .microbatches(4)
+        .recovery(RecoveryConfig::new(&dir))
+        .elastic(ElasticConfig {
+            membership: MembershipConfig {
+                suspect_after: 5,
+                quarantine_after: 2,
+                ..MembershipConfig::default()
+            },
+            ..ElasticConfig::default()
+        })
+        .plan()
+        .unwrap_err();
+    assert!(matches!(err, Error::Config(_)), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -104,6 +104,7 @@ fn watchdog_reports_injected_stalls_through_the_facade() {
             slack: 4.0,
             backoff: 2.0,
             max_retries: 40,
+            jitter_seed: 0,
         })
         .run()
         .unwrap();

@@ -67,6 +67,7 @@ fn snappy() -> WatchdogConfig {
         slack: 4.0,
         backoff: 1.5,
         max_retries: 2,
+        jitter_seed: 0,
     }
 }
 
